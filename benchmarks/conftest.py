@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Benchmarks run the full-scale workloads (override with REPRO_SCALE).
+Each benchmark executes its experiment once (``pedantic`` with a single
+round — these are minutes-scale analyses, not microbenchmarks), prints
+the regenerated table, and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    """Compile the suite once for the whole benchmark session."""
+    return {name: build_benchmark(name, BENCH_SCALE) for name in BENCHMARK_NAMES}
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

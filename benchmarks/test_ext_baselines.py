@@ -1,0 +1,22 @@
+"""Extension bench: our encodings vs the related-work schemes."""
+
+from repro.experiments import ext_baselines
+
+from conftest import run_once
+
+
+def test_ext_baselines(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_baselines.run, bench_scale)
+    print()
+    print(ext_baselines.render(rows))
+    for row in rows:
+        # Paper ordering: sub-instruction codewords beat whole-word
+        # call-dictionary codewords (which cannot compress single
+        # instructions), which beat the software mini-subroutines.
+        assert row.nibble < row.baseline
+        assert row.baseline < row.liao1
+        assert row.liao1 <= row.liao2
+        assert row.liao1 <= row.minisub + 0.02
+        # CCRP's per-line padding and LAT cost more than one whole-text
+        # Huffman pass.
+        assert row.huffman < row.ccrp_line

@@ -1,0 +1,17 @@
+"""Extension bench: register canonicalization headroom (paper §5)."""
+
+from repro.experiments import ext_canon
+
+from conftest import run_once
+
+
+def test_ext_canon(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_canon.run, bench_scale)
+    print()
+    print(ext_canon.render(rows))
+    for row in rows:
+        # Renaming always merges some sequences in compiled code...
+        assert row.merge_factor > 1.05, row.name
+        # ...but not unboundedly (opcodes/immediates still distinguish).
+        assert row.merge_factor < 3.0, row.name
+        assert row.rescued_occurrences > 0, row.name

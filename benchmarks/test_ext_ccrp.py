@@ -1,0 +1,17 @@
+"""Extension bench: CCRP codec vs dictionary compression."""
+
+from repro.experiments import ext_ccrp
+
+from conftest import run_once
+
+
+def test_ext_ccrp(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_ccrp.run, bench_scale)
+    print()
+    print(ext_ccrp.render(rows))
+    for row in rows:
+        # The paper's section 2.3 contrast: byte-granular Huffman with
+        # per-line padding and a LAT compresses far less than the
+        # dictionary scheme on the same programs.
+        assert row.nibble_ratio < row.ccrp_ratio
+        assert row.ccrp_ratio < 1.0

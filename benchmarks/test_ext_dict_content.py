@@ -1,0 +1,22 @@
+"""Extension bench: dictionary content mix (the SDTS boilerplate story)."""
+
+from repro.experiments import ext_dict_content
+
+from conftest import run_once
+
+
+def test_ext_dict_content(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_dict_content.run, bench_scale)
+    print()
+    print(ext_dict_content.render(rows))
+    for row in rows:
+        boilerplate = sum(
+            row.mix.get(cls, 0.0)
+            for cls in ("address", "move", "constant", "memory", "return")
+        )
+        # The compressible fabric of compiled code is the template
+        # boilerplate around the computation (paper section 1.1).
+        assert boilerplate > 0.5, row.name
+        # Relative branches can never enter the dictionary; the only
+        # branch-class entries possible are the rare indirect bctr.
+        assert row.mix.get("branch", 0.0) < 0.01, row.name

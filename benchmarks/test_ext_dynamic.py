@@ -1,0 +1,19 @@
+"""Extension bench: profile-guided vs size-optimized dictionaries."""
+
+from repro.experiments import ext_dynamic
+
+from conftest import run_once
+
+
+def test_ext_dynamic(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_dynamic.run, bench_scale)
+    print()
+    print(ext_dynamic.render(rows))
+    for row in rows:
+        # The Pareto trade: profiling reduces fetch traffic...
+        assert row.traffic_fetch_bytes <= row.size_fetch_bytes, row.name
+        # ...while never beating the size-optimized ratio on ROM size.
+        assert row.traffic_ratio_static >= row.size_ratio - 1e-9, row.name
+    mean_saved = sum(r.fetch_improvement for r in rows) / len(rows)
+    assert mean_saved > 0.01
+    benchmark.extra_info["mean_fetch_saved_pct"] = round(100 * mean_saved, 1)

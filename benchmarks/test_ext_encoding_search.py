@@ -1,0 +1,23 @@
+"""Extension bench: nibble-allocation design-space search."""
+
+from repro.experiments import ext_encoding_search
+
+from conftest import run_once
+
+
+def test_ext_encoding_search(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_encoding_search.run, bench_scale)
+    print()
+    print(ext_encoding_search.render(rows))
+    for row in rows:
+        # The search can never do worse than the Figure 10 allocation
+        # (it is in the search space), and the paper's hand-picked
+        # choice should be within ~2 points of per-program optimal.
+        assert row.best_ratio <= row.figure10_ratio + 1e-12
+        assert row.improvement_points < 2.0
+        assert row.allocations_tried == 816
+        # Paper section 4.1.3's hint: when few codewords are needed,
+        # more short codewords win — the best allocation spends at
+        # least as many first-nibble values on 1-2 nibble codewords.
+        n1, n2, _, _ = row.best_allocation
+        assert n1 + n2 >= 12

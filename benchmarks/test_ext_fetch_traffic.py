@@ -1,0 +1,16 @@
+"""Extension bench: fetch traffic of the compressed processor."""
+
+from repro.experiments import ext_fetch_traffic
+
+from conftest import run_once
+
+
+def test_ext_fetch_traffic(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_fetch_traffic.run, bench_scale)
+    print()
+    print(ext_fetch_traffic.render(rows))
+    for row in rows:
+        # Compressed fetch moves fewer bytes for the same instruction
+        # stream — the [Chen97b] bandwidth argument.
+        assert row.traffic_ratio < 1.0
+        assert row.codeword_expansions > 0

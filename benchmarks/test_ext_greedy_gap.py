@@ -1,0 +1,15 @@
+"""Extension bench: greedy vs exhaustive-optimal dictionaries."""
+
+from repro.experiments import ext_greedy_gap
+
+from conftest import run_once
+
+
+def test_ext_greedy_gap(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_greedy_gap.run, bench_scale)
+    print()
+    print(ext_greedy_gap.render(rows))
+    for row in rows:
+        # Paper footnote 1: greedy is near-optimal in practice.
+        assert row.gap <= 0.05, row.name
+        assert row.subsets_tried > 1000

@@ -1,0 +1,18 @@
+"""Extension bench: I-cache miss rates ([Chen97a] effect)."""
+
+from repro.experiments import ext_icache
+
+from conftest import run_once
+
+
+def test_ext_icache(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_icache.run, bench_scale)
+    print()
+    print(ext_icache.render(rows))
+    for row in rows:
+        for size, (uncompressed, compressed) in row.miss_rates.items():
+            # Denser code never misses more, and at small caches the
+            # reduction is substantial.
+            assert compressed <= uncompressed + 1e-12, (row.name, size)
+        small_unc, small_cmp = row.miss_rates[min(row.miss_rates)]
+        assert small_cmp < small_unc, row.name

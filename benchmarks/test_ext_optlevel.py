@@ -1,0 +1,19 @@
+"""Extension bench: optimization level vs compression."""
+
+from repro.experiments import ext_optlevel
+
+from conftest import run_once
+
+
+def test_ext_optlevel(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_optlevel.run, bench_scale)
+    print()
+    print(ext_optlevel.render(rows))
+    for row in rows:
+        # Unoptimized code is bigger...
+        assert row.text_inflation > 1.0, row.name
+        # ...but compresses essentially as well as optimized code, so
+        # the compressed O0/O2 gap stays close to the text gap — the
+        # compression ratio is insensitive to the optimization level.
+        assert abs(row.o0_ratio - row.o2_ratio) < 0.04, row.name
+        assert row.compressed_inflation <= row.text_inflation + 0.03, row.name

@@ -1,0 +1,19 @@
+"""Extension bench: per-program vs shared dictionary (adaptivity)."""
+
+from repro.experiments import ext_shared_dict
+
+from conftest import run_once
+
+
+def test_ext_shared_dict(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_shared_dict.run, bench_scale)
+    print()
+    print(ext_shared_dict.render(rows))
+    for row in rows:
+        # Paper section 2.2: dictionaries derived from "the specific
+        # characteristics of the program under execution" beat a fixed
+        # compromise set on every benchmark.
+        assert row.own_ratio <= row.shared_ratio + 1e-9, row.name
+    mean_gain = sum(r.adaptivity_points for r in rows) / len(rows)
+    assert mean_gain > 0.5
+    benchmark.extra_info["mean_adaptivity_points"] = round(mean_gain, 1)

@@ -1,0 +1,19 @@
+"""Extension bench: cycle estimates vs bus width (speed/size trade)."""
+
+from repro.experiments import ext_speed
+
+from conftest import run_once
+
+
+def test_ext_speed(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, ext_speed.run, bench_scale)
+    print()
+    print(ext_speed.render(rows))
+    for row in rows:
+        # Narrow embedded bus: compression wins cycles outright.
+        assert row.speedup(1) > 1.0, row.name
+        # Wide bus: compression costs cycles (the paper's stated trade:
+        # "execution speed can be traded for compression").
+        assert row.speedup(4) < 1.0, row.name
+        # Speedup degrades monotonically as the bus widens.
+        assert row.speedup(1) > row.speedup(2) > row.speedup(4), row.name

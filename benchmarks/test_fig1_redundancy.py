@@ -1,0 +1,14 @@
+"""Regenerates paper Figure 1 (instruction-encoding redundancy)."""
+
+from repro.experiments import fig1_redundancy
+
+from conftest import run_once
+
+
+def test_fig1_redundancy(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, fig1_redundancy.run, bench_scale)
+    print()
+    print(fig1_redundancy.render(rows))
+    average_unique = sum(r.unique_instruction_pct for r in rows) / len(rows)
+    assert average_unique < 0.20  # paper: "on average, less than 20%"
+    benchmark.extra_info["avg_unique_encoding_pct"] = round(100 * average_unique, 1)

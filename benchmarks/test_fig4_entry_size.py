@@ -1,0 +1,15 @@
+"""Regenerates paper Figure 4 (dictionary entry length sweep)."""
+
+from repro.experiments import fig4_entry_size
+
+from conftest import run_once
+
+
+def test_fig4_entry_size(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, fig4_entry_size.run, bench_scale)
+    print()
+    print(fig4_entry_size.render(rows))
+    for row in rows:
+        assert row.ratios[2] < row.ratios[1]
+        assert row.ratios[4] <= row.ratios[2] + 0.002
+        assert abs(row.ratios[8] - row.ratios[4]) < 0.06

@@ -1,0 +1,18 @@
+"""Regenerates paper Figure 5 (codeword count sweep)."""
+
+from repro.experiments import fig5_num_codewords
+
+from conftest import run_once
+
+
+def test_fig5_num_codewords(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, fig5_num_codewords.run, bench_scale)
+    print()
+    print(fig5_num_codewords.render(rows))
+    for row in rows:
+        budgets = sorted(row.ratios)
+        for small, large in zip(budgets, budgets[1:]):
+            assert row.ratios[large] <= row.ratios[small] + 1e-9
+        # Dictionary size is the single most important parameter: going
+        # from 16 to 8192 codewords buys a large improvement.
+        assert row.ratios[16] - row.ratios[8192] > 0.10

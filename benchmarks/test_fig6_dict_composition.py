@@ -1,0 +1,16 @@
+"""Regenerates paper Figure 6 (dictionary composition, ijpeg)."""
+
+from repro.experiments import fig6_dict_composition
+
+from conftest import run_once
+
+
+def test_fig6_dict_composition(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, fig6_dict_composition.run, bench_scale)
+    print()
+    print(fig6_dict_composition.render(rows))
+    largest = rows[-1]
+    # Paper: 48%-80% of entries hold a single instruction, growing with
+    # dictionary size.
+    assert largest.length_fractions.get(1, 0) > 0.45
+    assert largest.length_fractions.get(1, 0) >= rows[0].length_fractions.get(1, 0)

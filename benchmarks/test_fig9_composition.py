@@ -1,0 +1,20 @@
+"""Regenerates paper Figure 9 (composition of compressed program)."""
+
+from repro.experiments import fig9_composition
+
+from conftest import run_once
+
+
+def test_fig9_composition(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, fig9_composition.run, bench_scale)
+    print()
+    print(fig9_composition.render(rows))
+    for stats in rows:
+        fractions = stats.composition_fractions()
+        codewords = fractions["codeword_index"] + fractions["codeword_escape"]
+        # Paper: with 8192 codewords, codewords are a large share of
+        # the program and escape bytes are exactly half of them (2-byte
+        # codewords = 1 escape byte + 1 index byte).
+        assert codewords > 0.25
+        assert abs(fractions["codeword_escape"] - fractions["codeword_index"]) < 1e-9
+        assert fractions["dictionary"] > 0.0

@@ -1,0 +1,15 @@
+"""Regenerates paper Table 1 (branch offset field usage)."""
+
+from repro.experiments import table1_branch_offsets
+
+from conftest import run_once
+
+
+def test_table1_branch_offsets(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, table1_branch_offsets.run, bench_scale)
+    print()
+    print(table1_branch_offsets.render(rows))
+    for row in rows:
+        # Paper: almost all branches have slack; the worst column stays
+        # a tiny fraction even at 4-bit target resolution.
+        assert row.percent(row.too_narrow_4bit) < 5.0

@@ -1,0 +1,20 @@
+"""Regenerates paper Table 2 (maximum codewords used)."""
+
+from repro.experiments import table2_max_codewords
+
+from conftest import run_once
+
+
+def test_table2_max_codewords(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, table2_max_codewords.run, bench_scale)
+    print()
+    print(table2_max_codewords.render(rows))
+    by_name = {row.name: row for row in rows}
+    # Bigger programs need more codewords; gcc tops the table as in the
+    # paper, compress sits at the bottom.
+    assert by_name["gcc"].max_codewords_used == max(
+        row.max_codewords_used for row in rows
+    )
+    assert by_name["compress"].max_codewords_used == min(
+        row.max_codewords_used for row in rows
+    )

@@ -1,0 +1,15 @@
+"""Regenerates paper Table 3 (prologue/epilogue share)."""
+
+from repro.experiments import table3_prologue
+
+from conftest import run_once
+
+
+def test_table3_prologue(benchmark, bench_scale, full_suite):
+    rows = run_once(benchmark, table3_prologue.run, bench_scale)
+    print()
+    print(table3_prologue.render(rows))
+    for row in rows:
+        combined = row.prologue_fraction + row.epilogue_fraction
+        # Paper: prologue+epilogue typically ~12% of the program.
+        assert 0.05 < combined < 0.25, row.name

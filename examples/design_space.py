@@ -1,0 +1,82 @@
+"""Design-space exploration: which encoding for which memory budget?
+
+Sweeps the compression parameters the paper identifies as the two that
+matter — dictionary size first, codeword size second (section 5) — over
+one of the synthetic CINT95 benchmarks, and prints a designer-facing
+recommendation table: for each instruction-memory budget, the cheapest
+configuration that fits.
+
+Run:  python examples/design_space.py [benchmark] [--scale S]
+"""
+
+import argparse
+
+from repro import BaselineEncoding, NibbleEncoding, OneByteEncoding, compress
+from repro.baselines import unix_compress_size
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+
+def sweep(program):
+    """Yield (label, compressed) across the design space."""
+    for entries in (8, 16, 32):
+        yield f"1-byte codewords, {entries}-entry dict", compress(
+            program, OneByteEncoding(entries)
+        )
+    for budget in (256, 1024, 4096, 8192):
+        yield f"2-byte codewords, {budget} codewords", compress(
+            program, BaselineEncoding(), max_codewords=budget
+        )
+    for budget in (584, 4680):
+        yield f"nibble codewords, {budget} codewords", compress(
+            program, NibbleEncoding(), max_codewords=budget
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="ijpeg",
+                        choices=BENCHMARK_NAMES)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    program = build_benchmark(args.benchmark, args.scale)
+    original = program.text_size
+    print(f"{args.benchmark}: {len(program.text)} instructions, "
+          f"{original} bytes uncompressed\n")
+
+    results = []
+    print(f"{'configuration':38s} {'stream':>8s} {'dict':>7s} "
+          f"{'total':>8s} {'ratio':>7s}")
+    for label, compressed in sweep(program):
+        results.append((label, compressed))
+        print(
+            f"{label:38s} {compressed.stream_bytes:7d}B "
+            f"{compressed.dictionary_bytes:6d}B "
+            f"{compressed.compressed_bytes:7d}B "
+            f"{compressed.compression_ratio:7.1%}"
+        )
+
+    lzw = unix_compress_size(program.text_bytes())
+    print(f"\n(reference: Unix compress on the raw text = {lzw} bytes, "
+          f"{lzw / original:.1%} — not executable in place)")
+
+    # Recommendation table: smallest dictionary RAM that meets each budget.
+    print("\nrecommendations by instruction-memory budget:")
+    for fraction in (0.8, 0.7, 0.6, 0.5, 0.45):
+        budget = int(original * fraction)
+        fitting = [
+            (label, c) for label, c in results if c.compressed_bytes <= budget
+        ]
+        if not fitting:
+            print(f"  <= {fraction:.0%} of original ({budget:6d}B): "
+                  "no configuration fits")
+            continue
+        label, best = min(fitting, key=lambda lc: lc[1].dictionary_bytes)
+        print(
+            f"  <= {fraction:.0%} of original ({budget:6d}B): {label} "
+            f"(needs {best.dictionary_bytes}B of dictionary RAM)"
+        )
+
+
+if __name__ == "__main__":
+    main()

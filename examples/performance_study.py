@@ -1,0 +1,93 @@
+"""Performance study: what does compression cost — or save — at runtime?
+
+The paper targets systems that "trade execution speed for compression"
+and leaves the performance question to future work.  This example puts
+the repo's performance instruments together on one benchmark:
+
+1. fetch traffic (bytes moved from program memory),
+2. I-cache miss rates across cache sizes,
+3. cycle estimates across instruction-bus widths,
+4. the profile-guided dictionary's effect on all of the above.
+
+Run:  python examples/performance_study.py [benchmark] [--scale S]
+"""
+
+import argparse
+
+from repro import NibbleEncoding, compress
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.icache import InstructionCache, attach_to_simulator
+from repro.machine.simulator import Simulator, profile_program
+from repro.machine.timing import TimingParameters, time_compressed, time_uncompressed
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="m88ksim",
+                        choices=BENCHMARK_NAMES)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    program = build_benchmark(args.benchmark, args.scale)
+    compressed = compress(program, NibbleEncoding())
+    print(f"{args.benchmark}: {program.text_size} bytes -> "
+          f"{compressed.compressed_bytes} bytes "
+          f"({compressed.compression_ratio:.1%})\n")
+
+    # 1. Fetch traffic -------------------------------------------------
+    plain = Simulator(program)
+    plain_result = plain.run()
+    packed = CompressedSimulator(compressed)
+    packed.run()
+    uncompressed_bytes = 4 * plain_result.steps
+    compressed_bytes = packed.stats.bytes_fetched(
+        compressed.encoding.alignment_bits
+    )
+    print(f"fetch traffic: {uncompressed_bytes} B uncompressed vs "
+          f"{compressed_bytes:.0f} B compressed "
+          f"({compressed_bytes / uncompressed_bytes:.2f}x)\n")
+
+    # 2. I-cache misses -------------------------------------------------
+    print(f"{'cache':>8s} {'uncompressed':>13s} {'compressed':>11s}")
+    for size in (256, 512, 1024, 2048):
+        reference = Simulator(program)
+        reference_cache = attach_to_simulator(
+            reference, InstructionCache(size, 16, 2), 32
+        )
+        reference.run()
+        dense = CompressedSimulator(compressed)
+        dense_cache = attach_to_simulator(
+            dense, InstructionCache(size, 16, 2),
+            compressed.encoding.alignment_bits,
+        )
+        dense.run()
+        print(f"{size:7d}B {reference_cache.stats.miss_rate:13.2%} "
+              f"{dense_cache.stats.miss_rate:11.2%}")
+    print()
+
+    # 3. Cycle estimates -------------------------------------------------
+    print(f"{'bus':>6s} {'uncompressed':>13s} {'compressed':>11s} {'speedup':>8s}")
+    for bus in (1, 2, 4):
+        params = TimingParameters(bus_bytes=bus)
+        reference_cycles = time_uncompressed(program, params).cycles
+        dense_cycles = time_compressed(compressed, params).cycles
+        print(f"{bus:5d}B {reference_cycles:13.0f} {dense_cycles:11.0f} "
+              f"{reference_cycles / dense_cycles:7.2f}x")
+    print()
+
+    # 4. Profile-guided dictionary ----------------------------------------
+    profile = profile_program(program)
+    tuned = compress(program, NibbleEncoding(), position_weights=profile)
+    tuned_sim = CompressedSimulator(tuned)
+    tuned_sim.run()
+    tuned_bytes = tuned_sim.stats.bytes_fetched(tuned.encoding.alignment_bits)
+    print("profile-guided dictionary:")
+    print(f"  static ratio {compressed.compression_ratio:.1%} -> "
+          f"{tuned.compression_ratio:.1%}")
+    print(f"  fetch bytes  {compressed_bytes:.0f} -> {tuned_bytes:.0f} "
+          f"({1 - tuned_bytes / compressed_bytes:+.1%} saved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Improving Code Density Using Compression
+Techniques" (Lefurgy, Bird, Chen, Mudge; U. Michigan CSE-TR-342-97 /
+MICRO 1997).
+
+The package provides the full stack the paper's evaluation needs:
+
+* :mod:`repro.isa` — a bit-accurate 32-bit PowerPC subset,
+* :mod:`repro.compiler` — a MiniC SDTS compiler (GCC -O2 stand-in),
+* :mod:`repro.linker` — static linking into executable Programs,
+* :mod:`repro.workloads` — the synthetic SPEC CINT95-like suite,
+* :mod:`repro.core` — the paper's dictionary compression (greedy
+  dictionary, baseline/1-byte/nibble codeword encodings, branch
+  patching),
+* :mod:`repro.machine` — functional simulation, uncompressed and
+  compressed (dictionary-expanding fetch stage),
+* :mod:`repro.baselines` — Unix compress (LZW), CCRP Huffman, Liao
+  call-dictionary, mini-subroutines,
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import compile_and_link, compress, NibbleEncoding
+    from repro.machine import run_program, run_compressed
+
+    program = compile_and_link(minic_source)
+    compressed = compress(program, NibbleEncoding())
+    print(compressed.compression_ratio)
+    assert run_compressed(compressed).output_text == \\
+        run_program(program).output_text
+"""
+
+from repro.compiler import compile_and_link, compile_source
+from repro.core import (
+    BaselineEncoding,
+    CompressedProgram,
+    Compressor,
+    NibbleEncoding,
+    OneByteEncoding,
+    compress,
+)
+from repro.linker import Program, link
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_and_link",
+    "compile_source",
+    "BaselineEncoding",
+    "CompressedProgram",
+    "Compressor",
+    "NibbleEncoding",
+    "OneByteEncoding",
+    "compress",
+    "Program",
+    "link",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Comparison compressors from the paper's related-work section.
+
+* :mod:`lzw` — a Unix ``compress(1)``-style adaptive LZW coder with
+  9→16-bit growing codes (paper Figure 11's comparison point).
+* :mod:`huffman` — byte-granularity Huffman coding in the style of
+  CCRP [Wolfe92/94] (paper section 2.3), with an optional
+  cache-line-refill mode and Line Address Table overhead.
+* :mod:`liao` — the call-dictionary scheme of [Liao96] (section 2.4):
+  codewords are whole instruction words, so single instructions cannot
+  be compressed.
+* :mod:`minisub` — [Liao96]'s software-only mini-subroutine scheme:
+  common sequences become ``bl``-called subroutines ending in ``blr``.
+"""
+
+from repro.baselines.huffman import HuffmanResult, huffman_compress_bytes, ccrp_compress
+from repro.baselines.lzw import lzw_compress, lzw_decompress, unix_compress_size
+from repro.baselines.liao import liao_compress
+from repro.baselines.minisub import minisub_compress
+
+__all__ = [
+    "HuffmanResult",
+    "huffman_compress_bytes",
+    "ccrp_compress",
+    "lzw_compress",
+    "lzw_decompress",
+    "unix_compress_size",
+    "liao_compress",
+    "minisub_compress",
+]

@@ -1,0 +1,131 @@
+"""Byte-granularity Huffman coding, CCRP style (paper section 2.3).
+
+CCRP [Wolfe92] Huffman-encodes instruction *bytes* at cache-line
+granularity so lines can be decompressed independently on refill; a
+Line Address Table (LAT) maps line addresses to compressed locations.
+``ccrp_compress`` models both costs: per-line bit padding and the LAT.
+
+The paper contrasts this with its own scheme: byte granularity needs
+more codewords per instruction and a LAT, while dictionary codewords
+expand to whole instruction groups and need no LAT because branches are
+re-patched.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import CompressionError
+
+
+@dataclass(frozen=True)
+class HuffmanResult:
+    """Huffman coding outcome."""
+
+    payload_bits: int
+    table_bytes: int
+    code_lengths: dict[int, int]
+
+    @property
+    def compressed_bytes(self) -> int:
+        return self.table_bytes + (self.payload_bits + 7) // 8
+
+
+def code_lengths(data: bytes) -> dict[int, int]:
+    """Canonical Huffman code lengths for the byte distribution."""
+    counts = Counter(data)
+    if not counts:
+        return {}
+    if len(counts) == 1:
+        symbol = next(iter(counts))
+        return {symbol: 1}
+    heap: list[tuple[int, int, tuple[int, ...]]] = []
+    for tiebreak, (symbol, count) in enumerate(sorted(counts.items())):
+        heap.append((count, tiebreak, (symbol,)))
+    heapq.heapify(heap)
+    tiebreak = len(heap)
+    lengths: dict[int, int] = dict.fromkeys(counts, 0)
+    while len(heap) > 1:
+        count_a, _, symbols_a = heapq.heappop(heap)
+        count_b, _, symbols_b = heapq.heappop(heap)
+        for symbol in symbols_a + symbols_b:
+            lengths[symbol] += 1
+        tiebreak += 1
+        heapq.heappush(heap, (count_a + count_b, tiebreak, symbols_a + symbols_b))
+    return lengths
+
+
+def assign_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Canonical code assignment: symbol -> (code, length)."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+def huffman_compress_bytes(data: bytes) -> HuffmanResult:
+    """Whole-text Huffman coding of ``data`` (table stored as 256
+    one-byte code lengths, the canonical-table convention)."""
+    lengths = code_lengths(data)
+    payload = sum(lengths[byte] for byte in data)
+    return HuffmanResult(payload_bits=payload, table_bytes=256, code_lengths=lengths)
+
+
+def huffman_roundtrip(data: bytes) -> bool:
+    """Encode ``data`` to a bit stream and decode it back; True when the
+    round trip is exact (proves the code is prefix-free and canonical
+    assignment is consistent)."""
+    from repro import bitutils
+
+    if not data:
+        return True
+    codes = assign_codes(code_lengths(data))
+    writer = bitutils.BitWriter()
+    for byte in data:
+        code, length = codes[byte]
+        writer.write(code, length)
+    reverse = {(length, code): symbol for symbol, (code, length) in codes.items()}
+    reader = bitutils.BitReader(writer.getvalue())
+    out = bytearray()
+    code = 0
+    length = 0
+    while len(out) < len(data):
+        code = (code << 1) | reader.read(1)
+        length += 1
+        symbol = reverse.get((length, code))
+        if symbol is not None:
+            out.append(symbol)
+            code = 0
+            length = 0
+        elif length > 32:
+            return False
+    return bytes(out) == data
+
+
+def ccrp_compress(
+    data: bytes, line_bytes: int = 32, lat_entry_bytes: int = 3
+) -> HuffmanResult:
+    """CCRP model: one program-wide Huffman table, lines compressed
+    independently (padded to a byte), plus a LAT entry per line."""
+    if line_bytes <= 0:
+        raise CompressionError("line size must be positive")
+    lengths = code_lengths(data)
+    payload = 0
+    lines = 0
+    for start in range(0, len(data), line_bytes):
+        line = data[start : start + line_bytes]
+        line_bits = sum(lengths[b] for b in line)
+        payload += (line_bits + 7) // 8 * 8  # pad each line to a byte
+        lines += 1
+    table_and_lat = 256 + lines * lat_entry_bytes
+    return HuffmanResult(
+        payload_bits=payload, table_bytes=table_and_lat, code_lengths=lengths
+    )

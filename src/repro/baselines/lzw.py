@@ -1,0 +1,120 @@
+"""Unix ``compress(1)``-style LZW coder.
+
+The paper's Figure 11 compares the nibble-aligned scheme against Unix
+Compress run over the extracted instruction bytes.  This module
+implements the same family of coder: LZW with an adaptive dictionary,
+variable-width codes growing from 9 to 16 bits, a CLEAR code, and a
+dictionary reset when the code space fills while compression degrades
+(block mode).  A decompressor provides the round-trip guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import bitutils
+
+CLEAR_CODE = 256
+FIRST_FREE = 257
+MIN_BITS = 9
+MAX_BITS = 16
+HEADER_BYTES = 3  # magic (2) + flags (1), as written by compress(1)
+
+
+@dataclass(frozen=True)
+class LzwResult:
+    """Compressed output plus accounting."""
+
+    codes: tuple[int, ...]
+    payload_bits: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        return HEADER_BYTES + (self.payload_bits + 7) // 8
+
+
+def lzw_compress(data: bytes) -> LzwResult:
+    """Compress ``data``; returns the code sequence and bit count."""
+    dictionary: dict[bytes, int] = {bytes([i]): i for i in range(256)}
+    next_code = FIRST_FREE
+    code_bits = MIN_BITS
+    codes: list[int] = []
+    payload_bits = 0
+
+    def emit(code: int) -> None:
+        nonlocal payload_bits
+        codes.append(code)
+        payload_bits += code_bits
+
+    if not data:
+        return LzwResult(tuple(), 0)
+
+    window = bytes([data[0]])
+    # Track recent compression to decide on dictionary resets, like
+    # block-mode compress: reset when full and ratio stops improving.
+    consumed = 1
+    emitted_bits_at_last_check = 0
+    consumed_at_last_check = 0
+    for byte in data[1:]:
+        candidate = window + bytes([byte])
+        consumed += 1
+        if candidate in dictionary:
+            window = candidate
+            continue
+        emit(dictionary[window])
+        if next_code < (1 << MAX_BITS):
+            dictionary[candidate] = next_code
+            next_code += 1
+            if next_code > (1 << code_bits) and code_bits < MAX_BITS:
+                code_bits += 1
+        else:
+            # Dictionary full: check whether compression is degrading.
+            recent_bits = payload_bits - emitted_bits_at_last_check
+            recent_bytes = consumed - consumed_at_last_check
+            if recent_bytes >= 4096 and recent_bits >= 8 * recent_bytes:
+                emit(CLEAR_CODE)
+                dictionary = {bytes([i]): i for i in range(256)}
+                next_code = FIRST_FREE
+                code_bits = MIN_BITS
+                emitted_bits_at_last_check = payload_bits
+                consumed_at_last_check = consumed
+        window = bytes([byte])
+    emit(dictionary[window])
+    return LzwResult(tuple(codes), payload_bits)
+
+
+def lzw_decompress(result: LzwResult) -> bytes:
+    """Invert :func:`lzw_compress` (dictionary rebuilt on the fly)."""
+    if not result.codes:
+        return b""
+    table: dict[int, bytes] = {i: bytes([i]) for i in range(256)}
+    next_code = FIRST_FREE
+    out = bytearray()
+    previous: bytes | None = None
+    for code in result.codes:
+        if code == CLEAR_CODE:
+            table = {i: bytes([i]) for i in range(256)}
+            next_code = FIRST_FREE
+            previous = None
+            continue
+        if previous is None:
+            entry = table[code]
+        elif code in table:
+            entry = table[code]
+            if next_code < (1 << MAX_BITS):
+                table[next_code] = previous + entry[:1]
+                next_code += 1
+        else:
+            # The classic KwKwK case.
+            entry = previous + previous[:1]
+            if next_code < (1 << MAX_BITS):
+                table[next_code] = entry
+                next_code += 1
+        out.extend(entry)
+        previous = entry
+    return bytes(out)
+
+
+def unix_compress_size(data: bytes) -> int:
+    """Compressed size (bytes) of ``data`` under the compress(1) model."""
+    return lzw_compress(data).compressed_bytes

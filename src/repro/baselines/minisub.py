@@ -1,0 +1,104 @@
+"""Software-only mini-subroutine compression ([Liao96], paper 2.4).
+
+Each common sequence becomes a subroutine ending in ``blr``; every
+occurrence is replaced by a ``bl``.  No hardware support is required,
+but the sequence must not disturb the link register, so anything
+containing a call (``bl``), an LR move, or a return cannot be
+abstracted.  Cost model per entry of length L with u uses:
+
+    savings = u * (L - 1) * 4  -  (L + 1) * 4        [bytes]
+
+(the occurrence shrinks to one ``bl``; the subroutine body plus its
+``blr`` lands once in .text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import enumerate_candidates
+from repro.core.greedy import _valid_occurrences
+from repro.isa.instruction import decode
+from repro.isa.registers import LR
+from repro.linker.program import Program
+
+
+@dataclass(frozen=True)
+class MiniSubResult:
+    """Size accounting for the mini-subroutine transform."""
+
+    name: str
+    original_bytes: int
+    compressed_bytes: int
+    subroutines: int
+    call_sites: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.compressed_bytes / self.original_bytes
+
+
+def _touches_lr(word: int) -> bool:
+    ins = decode(word)
+    if ins.mnemonic in ("bl", "bcl", "bclr", "bcctrl"):
+        return True
+    if ins.mnemonic in ("mfspr", "mtspr") and ins.operand("SPR") == LR:
+        return True
+    return False
+
+
+def minisub_compress(
+    program: Program, max_entry_len: int = 8
+) -> MiniSubResult:
+    """Greedy mini-subroutine abstraction over ``program``."""
+    candidates = enumerate_candidates(program, max_entry_len=max_entry_len)
+    covered = [False] * len(program.text)
+
+    viable = {
+        key: candidate
+        for key, candidate in candidates.items()
+        if candidate.length >= 2 and not any(_touches_lr(w) for w in key)
+    }
+
+    def savings_bytes(length: int, uses: int) -> int:
+        return uses * (length - 1) * 4 - (length + 1) * 4
+
+    import heapq
+
+    heap = []
+    for key, candidate in viable.items():
+        priority = savings_bytes(candidate.length, len(candidate.positions))
+        if priority > 0:
+            heap.append((-priority, key))
+    heapq.heapify(heap)
+
+    subroutines = 0
+    call_sites = 0
+    extra_subroutine_bytes = 0
+    while heap:
+        neg_priority, key = heapq.heappop(heap)
+        candidate = viable[key]
+        occurrences = _valid_occurrences(candidate, covered)
+        current = savings_bytes(candidate.length, len(occurrences))
+        if current != -neg_priority:
+            if current > 0:
+                heapq.heappush(heap, (-current, key))
+            continue
+        if current <= 0:
+            break
+        subroutines += 1
+        call_sites += len(occurrences)
+        extra_subroutine_bytes += 4 * (candidate.length + 1)
+        for position in occurrences:
+            for index in range(position, position + candidate.length):
+                covered[index] = True
+
+    uncovered = sum(1 for flag in covered if not flag)
+    compressed = 4 * uncovered + 4 * call_sites + extra_subroutine_bytes
+    return MiniSubResult(
+        name=program.name,
+        original_bytes=program.text_size,
+        compressed_bytes=compressed,
+        subroutines=subroutines,
+        call_sites=call_sites,
+    )

@@ -1,0 +1,204 @@
+"""Thumb/MIPS16-style dense re-encoding model (paper section 2.2).
+
+Thumb and MIPS16 shrink code by re-encoding a *subset* of the base ISA
+into 16-bit instructions with 3-bit register fields and reduced
+immediates, plus explicit mode-switch branches between 16- and 32-bit
+regions.  The paper compares its dictionary method against their ~30%
+and ~40% typical reductions.
+
+This module models such a re-encoding for our PowerPC subset:
+
+* the eight "low" registers are chosen per program by static usage —
+  mirroring how the MIPS16 designers picked their register subset from
+  compiler statistics;
+* an instruction is 16-bit encodable if its mnemonic has a dense format
+  and its operands fit (low registers, shortened immediates/offsets);
+* the program is partitioned into 16-bit and 32-bit regions by dynamic
+  programming, paying ``MODE_SWITCH_BYTES`` at every transition (the
+  ``bx``-style mode-change branches both ISAs require).
+
+It is a size model, not an executable re-encoding — exactly the level
+at which the paper's section 2.2 comparison operates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro import bitutils
+from repro.isa.fields import OperandKind
+from repro.isa.instruction import Instruction
+from repro.linker.program import Program
+
+MODE_SWITCH_BYTES = 4  # one mode-change branch per region transition
+
+# Mnemonics with plausible 16-bit dense formats, with the immediate
+# width available after the opcode and register fields are paid for
+# (modelled on actual Thumb-1 / MIPS16 formats).
+_DENSE_IMM_WIDTH = {
+    "addi": 8,      # Thumb add/sub imm8 (also covers li)
+    "cmpwi": 8,     # Thumb cmp imm8
+    "mulli": 5,
+    "andi.": 5,
+    "ori": 5,
+    "xori": 5,
+}
+_DENSE_MEM_OFFSET_WIDTH = 5  # scaled imm5, like Thumb ldr/str
+_DENSE_RR = frozenset(
+    {"add", "subf", "and", "or", "xor", "neg", "nor", "slw", "srw",
+     "sraw", "mullw", "cmpw", "cmplw", "extsb", "extsh"}
+)
+_DENSE_SHIFT_IMM = frozenset({"srawi"})  # imm5 shift, like Thumb lsr/asr
+_DENSE_MEM = frozenset({"lwz", "stw", "lbz", "stb", "lhz", "sth"})
+_DENSE_BRANCH_WIDTH = {"b": 11, "bl": 11, "bc": 8, "bcl": 8}
+_DENSE_OTHER = frozenset({"bclr", "bcctr", "bcctrl", "sc", "rlwinm"})
+
+
+def select_low_registers(program: Program, count: int = 8) -> frozenset[int]:
+    """The ``count`` statically most-used GPRs (the dense register set)."""
+    usage: Counter[int] = Counter()
+    for ti in program.text:
+        for operand, value in zip(ti.instruction.spec.operands, ti.instruction.values):
+            if operand.kind is OperandKind.GPR:
+                usage[value] += 1
+            elif operand.kind is OperandKind.DISP_GPR:
+                usage[value[1]] += 1
+    return frozenset(register for register, _ in usage.most_common(count))
+
+
+def _registers_ok(ins: Instruction, low: frozenset[int]) -> bool:
+    for operand, value in zip(ins.spec.operands, ins.values):
+        if operand.kind is OperandKind.GPR and value not in low:
+            return False
+        if operand.kind is OperandKind.DISP_GPR and value[1] not in low:
+            return False
+    return True
+
+
+def is_dense_encodable(ins: Instruction, low: frozenset[int]) -> bool:
+    """Can this instruction use a 16-bit dense format?"""
+    name = ins.mnemonic
+    if name in _DENSE_RR or name in _DENSE_OTHER:
+        if name == "rlwinm":
+            # Only the slwi/srwi/clrlwi idioms have Thumb analogues.
+            sh, mb, me = (ins.operand("SH"), ins.operand("MB"), ins.operand("ME"))
+            shift_like = (
+                (mb == 0 and me == 31 - sh)
+                or (sh and mb == 32 - sh and me == 31)
+                or (sh == 0 and me == 31)
+            )
+            if not shift_like:
+                return False
+        return _registers_ok(ins, low)
+    if name in _DENSE_IMM_WIDTH:
+        width = _DENSE_IMM_WIDTH[name]
+        immediate = ins.values[-1]
+        if name == "cmpwi" and ins.operand("crfD") != 0:
+            return False
+        if isinstance(immediate, tuple):  # pragma: no cover - imm forms only
+            return False
+        fits = (
+            bitutils.fits_unsigned(immediate, width)
+            if name != "addi"
+            else bitutils.fits_signed(immediate, width)
+        )
+        return fits and _registers_ok(ins, low)
+    if name in _DENSE_SHIFT_IMM:
+        return ins.operand("SH") < 32 and _registers_ok(ins, low)
+    if name in _DENSE_MEM:
+        disp, base = ins.operand("D(rA)")
+        scale = 4 if name in ("lwz", "stw") else (2 if name in ("lhz", "sth") else 1)
+        scaled_ok = disp % scale == 0 and bitutils.fits_unsigned(
+            disp // scale, _DENSE_MEM_OFFSET_WIDTH
+        )
+        return scaled_ok and _registers_ok(ins, low)
+    if name in _DENSE_BRANCH_WIDTH:
+        # The 16-bit branch keeps a halfword-scaled offset.
+        target_slot = ins.operand("target")
+        return bitutils.fits_signed(target_slot * 2, _DENSE_BRANCH_WIDTH[name])
+    if name in ("mfspr", "mtspr"):
+        return False  # Thumb needs 32-bit mode for system registers
+    return False
+
+
+@dataclass(frozen=True)
+class Thumb16Result:
+    """Outcome of the dense re-encoding model."""
+
+    name: str
+    original_bytes: int
+    compressed_bytes: int
+    dense_instructions: int
+    total_instructions: int
+    mode_switches: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.compressed_bytes / self.original_bytes
+
+    @property
+    def dense_fraction(self) -> float:
+        if not self.total_instructions:
+            return 0.0
+        return self.dense_instructions / self.total_instructions
+
+
+def thumb16_model(
+    program: Program,
+    low_register_count: int = 8,
+    assume_recompiled: bool = False,
+) -> Thumb16Result:
+    """Minimum size under the dense/wide mode partition (DP).
+
+    State: the mode after instruction ``i``.  A 16-bit-encodable
+    instruction costs 2 bytes in dense mode or 4 in wide mode; others
+    cost 4 and force wide mode; every mode change costs
+    ``MODE_SWITCH_BYTES``.
+
+    ``assume_recompiled=False`` models re-encoding the existing binary:
+    register operands must land in the dense register set.  With
+    ``assume_recompiled=True`` the register constraint is waived —
+    modelling a compiler that targets the dense set directly, which is
+    how Thumb/MIPS16 actually reach their 30–40% reductions (they are
+    compiler targets, not binary rewriters).
+    """
+    if assume_recompiled:
+        low = frozenset(range(32))
+    else:
+        low = select_low_registers(program, low_register_count)
+    encodable = [is_dense_encodable(ti.instruction, low) for ti in program.text]
+
+    INF = float("inf")
+    # cost[mode]: best bytes so far ending in mode (0 = wide, 1 = dense)
+    cost = [0.0, float(MODE_SWITCH_BYTES)]
+    switches = [0, 1]
+    for dense_ok in encodable:
+        wide_stay = cost[0] + 4
+        wide_from_dense = cost[1] + MODE_SWITCH_BYTES + 4
+        new_wide = min(wide_stay, wide_from_dense)
+        new_wide_switches = (
+            switches[0] if wide_stay <= wide_from_dense else switches[1] + 1
+        )
+        if dense_ok:
+            dense_stay = cost[1] + 2
+            dense_from_wide = cost[0] + MODE_SWITCH_BYTES + 2
+            new_dense = min(dense_stay, dense_from_wide)
+            new_dense_switches = (
+                switches[1] if dense_stay <= dense_from_wide else switches[0] + 1
+            )
+        else:
+            new_dense = INF
+            new_dense_switches = 0
+        cost = [new_wide, new_dense]
+        switches = [new_wide_switches, new_dense_switches]
+
+    best_mode = 0 if cost[0] <= cost[1] else 1
+    return Thumb16Result(
+        name=program.name,
+        original_bytes=program.text_size,
+        compressed_bytes=int(cost[best_mode]),
+        dense_instructions=sum(encodable),
+        total_instructions=len(program.text),
+        mode_switches=switches[best_mode],
+    )

@@ -1,0 +1,28 @@
+"""MiniC -> PowerPC compiler substrate.
+
+The paper's premise (section 1.1) is that compilers generate code with a
+Syntax Directed Translation Scheme: fixed instruction templates reused
+throughout a program, differing only in register numbers and operand
+offsets.  That template reuse is what makes compiled code compressible.
+
+This package is a complete, small compiler built on that principle:
+
+* :mod:`lexer` / :mod:`parser` — MiniC (a C subset: ints, global arrays,
+  array parameters, full statement set including ``switch``).
+* :mod:`semantics` — symbol resolution and checking.
+* :mod:`ir` / :mod:`lowering` — three-address IR.
+* :mod:`optimizer` — constant folding, copy propagation, algebraic
+  simplification, dead-code elimination (the "-O2 without inlining or
+  unrolling" configuration the paper compiled with).
+* :mod:`regalloc` — liveness analysis + linear-scan allocation over the
+  PowerPC SysV register convention.
+* :mod:`codegen` — SDTS instruction templates, GCC-style prologue and
+  epilogue sequences (tagged for the paper's Table 3), jump tables for
+  dense switches.
+* :mod:`runtime` — the statically linked runtime library.
+* :mod:`driver` — ``compile_source`` / ``compile_and_link``.
+"""
+
+from repro.compiler.driver import compile_and_link, compile_source
+
+__all__ = ["compile_and_link", "compile_source"]

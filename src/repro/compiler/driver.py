@@ -1,0 +1,107 @@
+"""Compilation driver: MiniC source -> linked Program.
+
+``compile_and_link`` mirrors the paper's toolchain: compile the program
+together with the runtime library (statically linked), optimize at the
+"-O2 without inlining/unrolling" level, and lay everything out into one
+executable image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.codegen import CodegenConfig, FunctionCodegen
+from repro.compiler.lowering import FunctionLowerer
+from repro.compiler.optimizer import optimize_function
+from repro.compiler.parser import parse
+from repro.compiler.regalloc import allocate
+from repro.compiler.runtime import RUNTIME_FUNCTIONS, RUNTIME_SOURCE, make_start
+from repro.compiler.semantics import check
+from repro.errors import CompileError
+from repro.linker.layout import link
+from repro.linker.objfile import DataItem, ObjectModule
+from repro.linker.program import Program
+
+
+@dataclass
+class CompileOptions:
+    """Toolchain configuration."""
+
+    opt_level: int = 2
+    codegen: CodegenConfig = field(default_factory=CodegenConfig)
+    include_runtime: bool = True
+
+
+def _globals_to_data(unit: ast.TranslationUnit) -> list[DataItem]:
+    items = []
+    for var in unit.globals:
+        initial = b""
+        if var.init is not None:
+            if var.type.element_size == 1:
+                initial = bytes(v & 0xFF for v in var.init)
+            else:
+                initial = b"".join(
+                    (v & 0xFFFFFFFF).to_bytes(4, "big") for v in var.init
+                )
+        items.append(
+            DataItem(
+                symbol=var.name,
+                size=var.size_bytes,
+                align=4 if var.type.element_size == 4 else 1,
+                initial=initial,
+            )
+        )
+    return items
+
+
+def compile_source(
+    source: str,
+    module_name: str = "module",
+    options: CompileOptions | None = None,
+) -> ObjectModule:
+    """Compile MiniC source (plus the runtime library) to an object module.
+
+    Runtime functions are tagged ``is_library`` so size accounting can
+    separate application from library code, as the paper's static
+    linking discussion requires.
+    """
+    options = options or CompileOptions()
+    unit = parse(source)
+    if options.include_runtime:
+        # Parse the runtime separately so user diagnostics keep the
+        # user's line numbers, then merge the translation units.
+        runtime_unit = parse(RUNTIME_SOURCE)
+        unit = ast.TranslationUnit(
+            globals=runtime_unit.globals + unit.globals,
+            functions=runtime_unit.functions + unit.functions,
+        )
+    info = check(unit)
+
+    module = ObjectModule(module_name)
+    module.data.extend(_globals_to_data(unit))
+    for fn in unit.functions:
+        is_library = options.include_runtime and fn.name in RUNTIME_FUNCTIONS
+        ir_fn = FunctionLowerer(fn, info, is_library).lower()
+        optimize_function(ir_fn, level=options.opt_level)
+        allocation = allocate(ir_fn)
+        codegen = FunctionCodegen(ir_fn, allocation, options.codegen, module.data)
+        module.functions.append(codegen.generate())
+    return module
+
+
+def compile_and_link(
+    source: str,
+    name: str = "a.out",
+    options: CompileOptions | None = None,
+) -> Program:
+    """Compile MiniC source and statically link it into a Program.
+
+    The program must define ``main``; the runtime's ``_start`` calls it
+    and halts.
+    """
+    module = compile_source(source, module_name=name, options=options)
+    if not any(fn.name == "main" for fn in module.functions):
+        raise CompileError(f"{name}: program defines no main()")
+    start_module = ObjectModule("crt0", functions=[make_start()])
+    return link([module, start_module], name=name)

@@ -1,0 +1,186 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+# Longest-match-first operator table.
+OPERATORS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    "?",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'num' | 'string' | 'kw' | 'op' | 'eof'
+    text: str
+    value: int | None
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniC source text into tokens; raises CompileError."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isascii() and (ch.isalpha() or ch == "_"):
+            j = i
+            while j < n and source[j].isascii() and (
+                source[j].isalnum() or source[j] == "_"
+            ):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line))
+            i = j
+            continue
+        # ASCII digits only: str.isdigit() also accepts Unicode digits
+        # (e.g. superscripts) that int() rejects.
+        if ch in "0123456789":
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j] in "0123456789":
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("num", source[i:j], value, line))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 2 >= n or source[j + 2] != "'":
+                    raise CompileError("bad character literal", line)
+                esc = source[j + 1]
+                if esc not in _ESCAPES:
+                    raise CompileError(f"unknown escape \\{esc}", line)
+                tokens.append(Token("num", source[i : j + 3], _ESCAPES[esc], line))
+                i = j + 3
+            else:
+                if j + 1 >= n or source[j + 1] != "'":
+                    raise CompileError("bad character literal", line)
+                tokens.append(Token("num", source[i : j + 2], ord(source[j]), line))
+                i = j + 2
+            continue
+        if ch == '"':
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                        raise CompileError("bad string escape", line)
+                    chars.append(chr(_ESCAPES[source[j + 1]]))
+                    j += 2
+                elif source[j] == "\n":
+                    raise CompileError("unterminated string literal", line)
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise CompileError("unterminated string literal", line)
+            tokens.append(Token("string", "".join(chars), None, line))
+            i = j + 1
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, None, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens

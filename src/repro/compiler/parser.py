@@ -1,0 +1,466 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (C-like, pointer-free):
+
+    unit       := (global | function)*
+    global     := type ident ('[' num ']')? ('=' initializer)? ';'
+    function   := type ident '(' params ')' block
+    params     := (type ident ('[' ']')?) (',' ...)* | 'void' | empty
+    block      := '{' (declaration | statement)* '}'
+
+Expressions use standard C precedence; ``++``/``--`` are supported in
+prefix and postfix positions (desugared to assignments); string
+literals may only initialize ``char`` arrays.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.lexer import Token, tokenize
+from repro.errors import CompileError
+
+# Binary operator precedence, loosest first (ternary/logical handled apart).
+_PRECEDENCE: list[tuple[str, ...]] = [
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_COMPOUND_OPS = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._cur
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        if not self._check(kind, text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {self._cur.text!r}", self._cur.line
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self._check("eof"):
+            base = self._parse_type_name()
+            name = self._expect("ident")
+            if self._check("op", "("):
+                unit.functions.append(self._parse_function(base, name))
+            else:
+                unit.globals.append(self._parse_global(base, name))
+        return unit
+
+    def _parse_type_name(self) -> str:
+        token = self._cur
+        if token.kind == "kw" and token.text in ("int", "char", "void"):
+            self._advance()
+            return token.text
+        raise CompileError(f"expected type, found {token.text!r}", token.line)
+
+    def _parse_global(self, base: str, name: Token) -> ast.GlobalVar:
+        if base == "void":
+            raise CompileError("void variable", name.line)
+        array_size: int | None = None
+        if self._accept("op", "["):
+            size_tok = self._expect("num")
+            assert size_tok.value is not None
+            array_size = size_tok.value
+            if array_size <= 0:
+                raise CompileError("array size must be positive", size_tok.line)
+            self._expect("op", "]")
+        elif base == "char":
+            raise CompileError("char variables must be arrays", name.line)
+        init: list[int] | None = None
+        if self._accept("op", "="):
+            init = self._parse_initializer(base, array_size, name.line)
+        self._expect("op", ";")
+        var_type = ast.Type(base, is_array=array_size is not None)
+        return ast.GlobalVar(name.text, var_type, array_size, init, name.line)
+
+    def _parse_initializer(
+        self, base: str, array_size: int | None, line: int
+    ) -> list[int]:
+        if self._check("string"):
+            token = self._advance()
+            if base != "char" or array_size is None:
+                raise CompileError("string initializer needs a char array", line)
+            values = [ord(c) & 0xFF for c in token.text] + [0]
+            if len(values) > array_size:
+                raise CompileError("string longer than array", line)
+            return values
+        if self._accept("op", "{"):
+            values = []
+            while not self._check("op", "}"):
+                values.append(self._parse_const_expr())
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", "}")
+            if array_size is None:
+                raise CompileError("brace initializer needs an array", line)
+            if len(values) > array_size:
+                raise CompileError("too many initializer values", line)
+            return values
+        if array_size is not None:
+            raise CompileError("array initializer must be braced or a string", line)
+        return [self._parse_const_expr()]
+
+    def _parse_const_expr(self) -> int:
+        negative = bool(self._accept("op", "-"))
+        token = self._expect("num")
+        assert token.value is not None
+        return -token.value if negative else token.value
+
+    def _parse_function(self, base: str, name: Token) -> ast.Function:
+        self._expect("op", "(")
+        params: list[ast.Param] = []
+        if self._accept("kw", "void"):
+            self._expect("op", ")")
+        elif self._accept("op", ")"):
+            pass
+        else:
+            while True:
+                p_base = self._parse_type_name()
+                if p_base == "void":
+                    raise CompileError("void parameter", self._cur.line)
+                p_name = self._expect("ident")
+                is_array = False
+                if self._accept("op", "["):
+                    self._expect("op", "]")
+                    is_array = True
+                if p_base == "char" and not is_array:
+                    raise CompileError("char parameters must be arrays", p_name.line)
+                params.append(
+                    ast.Param(p_name.text, ast.Type(p_base, is_array), p_name.line)
+                )
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ")")
+        if len(params) > 8:
+            raise CompileError("more than 8 parameters", name.line)
+        body = self._parse_block()
+        return ast.Function(name.text, ast.Type(base), params, body, name.line)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        open_tok = self._expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise CompileError("unterminated block", open_tok.line)
+            body.append(self._parse_block_item())
+        self._expect("op", "}")
+        return ast.Block(open_tok.line, body)
+
+    def _parse_block_item(self) -> ast.Stmt:
+        if self._check("kw", "int"):
+            return self._parse_local_decl()
+        return self._parse_statement()
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        kw = self._expect("kw", "int")
+        name = self._expect("ident")
+        init = None
+        if self._accept("op", "="):
+            init = self._parse_expression()
+        decl = ast.LocalDecl(kw.line, name.text, init)
+        # `int a = 1, b = 2;` — desugar into a block of declarations.
+        extra: list[ast.Stmt] = [decl]
+        while self._accept("op", ","):
+            name = self._expect("ident")
+            init = None
+            if self._accept("op", "="):
+                init = self._parse_expression()
+            extra.append(ast.LocalDecl(name.line, name.text, init))
+        self._expect("op", ";")
+        if len(extra) == 1:
+            return decl
+        return ast.Block(kw.line, extra)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._cur
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if token.kind == "op" and token.text == ";":
+            self._advance()
+            return ast.Block(token.line, [])
+        if token.kind == "kw":
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "for": self._parse_for,
+                "switch": self._parse_switch,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+            }.get(token.text)
+            if handler is not None:
+                return handler()
+        expr = self._parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(token.line, expr)
+
+    def _parse_if(self) -> ast.Stmt:
+        kw = self._expect("kw", "if")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept("kw", "else"):
+            otherwise = self._parse_statement()
+        return ast.If(kw.line, cond, then, otherwise)
+
+    def _parse_while(self) -> ast.Stmt:
+        kw = self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.While(kw.line, cond, body)
+
+    def _parse_do_while(self) -> ast.Stmt:
+        kw = self._expect("kw", "do")
+        body = self._parse_statement()
+        self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(kw.line, body, cond)
+
+    def _parse_for(self) -> ast.Stmt:
+        kw = self._expect("kw", "for")
+        self._expect("op", "(")
+        init: ast.Stmt | None = None
+        if not self._check("op", ";"):
+            if self._check("kw", "int"):
+                init = self._parse_local_decl()
+                # _parse_local_decl consumed the ';'
+            else:
+                init = ast.ExprStmt(self._cur.line, self._parse_expression())
+                self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.For(kw.line, init, cond, step, body)
+
+    def _parse_switch(self) -> ast.Stmt:
+        kw = self._expect("kw", "switch")
+        self._expect("op", "(")
+        selector = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", "{")
+        cases: list[ast.SwitchCase] = []
+        default: list[ast.Stmt] | None = None
+        current: list[ast.Stmt] | None = None
+        while not self._check("op", "}"):
+            if self._accept("kw", "case"):
+                value = self._parse_const_expr()
+                self._expect("op", ":")
+                if any(c.value == value for c in cases):
+                    raise CompileError(f"duplicate case {value}", kw.line)
+                case = ast.SwitchCase(value, [])
+                cases.append(case)
+                current = case.body
+            elif self._accept("kw", "default"):
+                self._expect("op", ":")
+                if default is not None:
+                    raise CompileError("duplicate default", kw.line)
+                default = []
+                current = default
+            else:
+                if current is None:
+                    raise CompileError("statement before first case", self._cur.line)
+                current.append(self._parse_block_item())
+        self._expect("op", "}")
+        return ast.Switch(kw.line, selector, cases, default)
+
+    def _parse_return(self) -> ast.Stmt:
+        kw = self._expect("kw", "return")
+        value = None
+        if not self._check("op", ";"):
+            value = self._parse_expression()
+        self._expect("op", ";")
+        return ast.Return(kw.line, value)
+
+    def _parse_break(self) -> ast.Stmt:
+        kw = self._expect("kw", "break")
+        self._expect("op", ";")
+        return ast.Break(kw.line)
+
+    def _parse_continue(self) -> ast.Stmt:
+        kw = self._expect("kw", "continue")
+        self._expect("op", ";")
+        return ast.Continue(kw.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._cur
+        if token.kind == "op" and (token.text == "=" or token.text in _COMPOUND_OPS):
+            self._advance()
+            if not isinstance(left, (ast.Var, ast.ArrayRef)):
+                raise CompileError("assignment target must be a variable", token.line)
+            value = self._parse_assignment()
+            op = None if token.text == "=" else token.text[:-1]
+            return ast.Assign(token.line, left, value, op)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_logical_or()
+        if self._check("op", "?"):
+            token = self._advance()
+            then = self._parse_expression()
+            self._expect("op", ":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(token.line, cond, then, otherwise)
+        return cond
+
+    def _parse_logical_or(self) -> ast.Expr:
+        left = self._parse_logical_and()
+        while self._check("op", "||"):
+            token = self._advance()
+            right = self._parse_logical_and()
+            left = ast.Logical(token.line, "||", left, right)
+        return left
+
+    def _parse_logical_and(self) -> ast.Expr:
+        left = self._parse_binary(0)
+        while self._check("op", "&&"):
+            token = self._advance()
+            right = self._parse_binary(0)
+            left = ast.Logical(token.line, "&&", left, right)
+        return left
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while self._cur.kind == "op" and self._cur.text in _PRECEDENCE[level]:
+            token = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(token.line, token.text, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "op" and token.text in ("-", "~", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.line, token.text, operand)
+        if token.kind == "op" and token.text == "+":
+            self._advance()
+            return self._parse_unary()
+        if token.kind == "op" and token.text in ("++", "--"):
+            self._advance()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Var, ast.ArrayRef)):
+                raise CompileError("++/-- target must be a variable", token.line)
+            op = "+" if token.text == "++" else "-"
+            return ast.Assign(token.line, target, ast.Num(token.line, 1), op)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._cur
+            if token.kind == "op" and token.text == "[":
+                if not isinstance(expr, ast.Var):
+                    raise CompileError("only named arrays can be indexed", token.line)
+                self._advance()
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expr = ast.ArrayRef(token.line, expr.name, index)
+            elif token.kind == "op" and token.text in ("++", "--"):
+                # Postfix inc/dec: allowed only where the value is unused
+                # (statement context); lowering enforces this.
+                self._advance()
+                if not isinstance(expr, (ast.Var, ast.ArrayRef)):
+                    raise CompileError("++/-- target must be a variable", token.line)
+                op = "+" if token.text == "++" else "-"
+                expr = ast.Assign(token.line, expr, ast.Num(token.line, 1), op)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "num":
+            self._advance()
+            assert token.value is not None
+            return ast.Num(token.line, token.value)
+        if token.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                if len(args) > 8:
+                    raise CompileError("more than 8 call arguments", token.line)
+                return ast.Call(token.line, token.text, args)
+            return ast.Var(token.line, token.text)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into a translation unit."""
+    return Parser(tokenize(source)).parse_unit()

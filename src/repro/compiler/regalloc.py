@@ -1,0 +1,243 @@
+"""Liveness analysis and linear-scan register allocation.
+
+Targets the PowerPC SysV convention the paper's GCC used:
+
+* volatile (caller-saved) allocatable pool: r3–r10,
+* non-volatile (callee-saved) pool: r31 down to r14, allocated from
+  r31 downward so prologues save a contiguous high register range —
+  the same pattern GCC emits, which matters for the prologue/epilogue
+  redundancy measured in the paper's Table 3,
+* r0, r11, r12 are codegen scratch; r1 is the stack pointer; r2/r13
+  are reserved by the ABI and never touched.
+
+Virtual registers whose live interval crosses a call must live in a
+non-volatile register (or spill to the frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+
+VOLATILE_POOL: tuple[int, ...] = tuple(range(3, 11))  # r3..r10
+NONVOLATILE_POOL: tuple[int, ...] = tuple(range(31, 13, -1))  # r31..r14
+
+
+@dataclass(frozen=True)
+class Loc:
+    """Where a vreg lives: a physical register or a frame spill slot."""
+
+    kind: str  # 'reg' | 'stack'
+    index: int
+
+    def __repr__(self) -> str:
+        return f"r{self.index}" if self.kind == "reg" else f"[slot{self.index}]"
+
+
+def reg(n: int) -> Loc:
+    return Loc("reg", n)
+
+
+def slot(n: int) -> Loc:
+    return Loc("stack", n)
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    location: dict[ir.VReg, Loc] = field(default_factory=dict)
+    used_nonvolatile: list[int] = field(default_factory=list)
+    num_spill_slots: int = 0
+    has_calls: bool = False
+
+    def loc(self, vreg: ir.VReg) -> Loc:
+        return self.location[vreg]
+
+
+@dataclass
+class _Interval:
+    vreg: ir.VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Basic blocks and liveness
+# ---------------------------------------------------------------------------
+@dataclass
+class _Block:
+    start: int  # index of first instruction
+    end: int  # one past last
+    succs: list[int] = field(default_factory=list)
+    use: set = field(default_factory=set)
+    defs: set = field(default_factory=set)
+    live_in: set = field(default_factory=set)
+    live_out: set = field(default_factory=set)
+
+
+def _split_blocks(fn: ir.IRFunction) -> list[_Block]:
+    leaders = {0}
+    labels = fn.label_indices()
+    for i, instr in enumerate(fn.instrs):
+        if isinstance(instr, ir.Label):
+            leaders.add(i)
+        if isinstance(instr, (ir.Br, ir.CBr, ir.Switch, ir.Ret, ir.Halt)):
+            leaders.add(i + 1)
+    ordered = sorted(l for l in leaders if l < len(fn.instrs))
+    blocks = []
+    for bi, start in enumerate(ordered):
+        end = ordered[bi + 1] if bi + 1 < len(ordered) else len(fn.instrs)
+        blocks.append(_Block(start, end))
+    index_of_block = {}
+    for bi, block in enumerate(blocks):
+        for i in range(block.start, block.end):
+            index_of_block[i] = bi
+    for bi, block in enumerate(blocks):
+        if block.start == block.end:
+            continue
+        last = fn.instrs[block.end - 1]
+        for target in fn.branch_targets(last):
+            block.succs.append(index_of_block[labels[target]])
+        falls_through = not isinstance(last, (ir.Br, ir.Ret, ir.Switch, ir.Halt))
+        if falls_through and bi + 1 < len(blocks):
+            block.succs.append(bi + 1)
+    return blocks
+
+
+def _compute_liveness(fn: ir.IRFunction, blocks: list[_Block]) -> None:
+    for block in blocks:
+        seen_defs: set = set()
+        for i in range(block.start, block.end):
+            instr = fn.instrs[i]
+            for use in instr.uses():
+                if use not in seen_defs:
+                    block.use.add(use)
+            for dest in instr.defs():
+                seen_defs.add(dest)
+        block.defs = seen_defs
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            live_out = set()
+            for succ in block.succs:
+                live_out |= blocks[succ].live_in
+            live_in = block.use | (live_out - block.defs)
+            if live_in != block.live_in or live_out != block.live_out:
+                block.live_in = live_in
+                block.live_out = live_out
+                changed = True
+
+
+def _build_intervals(fn: ir.IRFunction, blocks: list[_Block]) -> list[_Interval]:
+    start: dict[ir.VReg, int] = {}
+    end: dict[ir.VReg, int] = {}
+
+    def touch(vreg: ir.VReg, pos: int) -> None:
+        if vreg not in start:
+            start[vreg] = pos
+            end[vreg] = pos
+        else:
+            start[vreg] = min(start[vreg], pos)
+            end[vreg] = max(end[vreg], pos)
+
+    # Parameters are defined at position -1 (function entry).
+    for pid in range(fn.nparams):
+        touch(ir.VReg(pid), -1)
+    for i, instr in enumerate(fn.instrs):
+        for vreg in instr.uses():
+            touch(vreg, i)
+        for vreg in instr.defs():
+            touch(vreg, i)
+    for block in blocks:
+        for vreg in block.live_in:
+            touch(vreg, block.start)
+        for vreg in block.live_out:
+            touch(vreg, max(block.start, block.end - 1))
+
+    # Out/OutC templates clobber the argument registers (they marshal
+    # into r3 before ``sc``), so they constrain allocation like calls.
+    call_positions = [
+        i
+        for i, instr in enumerate(fn.instrs)
+        if isinstance(instr, (ir.Call, ir.Out, ir.OutC))
+    ]
+    intervals = []
+    for vreg in start:
+        interval = _Interval(vreg, start[vreg], end[vreg])
+        interval.crosses_call = any(
+            interval.start < pos < interval.end for pos in call_positions
+        )
+        intervals.append(interval)
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.vreg.id))
+    return intervals
+
+
+# ---------------------------------------------------------------------------
+# Linear scan
+# ---------------------------------------------------------------------------
+def allocate(fn: ir.IRFunction) -> Allocation:
+    """Run liveness + linear scan, returning vreg locations."""
+    blocks = _split_blocks(fn)
+    _compute_liveness(fn, blocks)
+    intervals = _build_intervals(fn, blocks)
+
+    allocation = Allocation()
+    allocation.has_calls = any(
+        isinstance(instr, ir.Call) for instr in fn.instrs
+    )
+
+    free_volatile = list(VOLATILE_POOL)
+    free_nonvolatile = list(NONVOLATILE_POOL)
+    active: list[tuple[_Interval, Loc]] = []
+    next_slot = 0
+
+    def expire(position: int) -> None:
+        nonlocal active
+        keep = []
+        for interval, location in active:
+            if interval.end < position:
+                if location.kind == "reg":
+                    if location.index in VOLATILE_POOL:
+                        free_volatile.append(location.index)
+                        free_volatile.sort()
+                    else:
+                        free_nonvolatile.append(location.index)
+                        free_nonvolatile.sort(reverse=True)
+            else:
+                keep.append((interval, location))
+        active = keep
+
+    for interval in intervals:
+        expire(interval.start)
+        location = _take_register(interval, free_volatile, free_nonvolatile)
+        if location is None:
+            location = slot(next_slot)
+            next_slot += 1
+        if location.kind == "reg" and location.index in NONVOLATILE_POOL:
+            if location.index not in allocation.used_nonvolatile:
+                allocation.used_nonvolatile.append(location.index)
+        allocation.location[interval.vreg] = location
+        if location.kind == "reg":
+            active.append((interval, location))
+
+    allocation.num_spill_slots = next_slot
+    allocation.used_nonvolatile.sort(reverse=True)
+    return allocation
+
+
+def _take_register(
+    interval: _Interval, free_volatile: list[int], free_nonvolatile: list[int]
+) -> Loc | None:
+    if interval.crosses_call:
+        if free_nonvolatile:
+            return reg(free_nonvolatile.pop(0))
+        return None
+    if free_volatile:
+        return reg(free_volatile.pop(0))
+    if free_nonvolatile:
+        return reg(free_nonvolatile.pop(0))
+    return None

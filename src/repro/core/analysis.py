@@ -1,0 +1,104 @@
+"""Dictionary content analysis.
+
+The paper discusses *which* code ends up in dictionaries (single
+instructions dominate, address formation and prologue/epilogue
+sequences recur).  This module classifies dictionary entries by the
+kind of work their instructions do, so the ``ext_dict_content``
+experiment can show what the compressor actually learned about a
+program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.dictionary import Dictionary
+from repro.isa.instruction import decode
+
+# Instruction classes, checked in order.
+_CLASS_OF_MNEMONIC = {
+    "lwz": "memory", "lwzu": "memory", "lbz": "memory", "lbzu": "memory",
+    "lhz": "memory", "lha": "memory", "stw": "memory", "stwu": "memory",
+    "stb": "memory", "stbu": "memory", "sth": "memory",
+    "b": "branch", "bl": "branch", "bc": "branch", "bcl": "branch",
+    "bclr": "return", "bcctr": "branch", "bcctrl": "branch", "sc": "system",
+    "cmpwi": "compare", "cmplwi": "compare", "cmpw": "compare",
+    "cmplw": "compare",
+    "mfspr": "system", "mtspr": "system",
+}
+
+
+def classify_instruction(word: int) -> str:
+    """One of: address, move, constant, memory, compare, branch,
+    return, system, alu."""
+    ins = decode(word)
+    name = ins.mnemonic
+    if name in _CLASS_OF_MNEMONIC:
+        return _CLASS_OF_MNEMONIC[name]
+    if name == "addis":
+        # lis: high half of an address or constant.
+        return "address" if ins.operand("rA") == 0 else "alu"
+    if name == "addi":
+        if ins.operand("rA") == 0:
+            return "constant"  # li
+        return "alu"
+    if name == "or" and ins.operand("rS") == ins.operand("rB"):
+        return "move"  # mr
+    if name == "ori" and ins.values == (0, 0, 0):
+        return "move"  # nop
+    return "alu"
+
+
+@dataclass(frozen=True)
+class EntryClassification:
+    """What one dictionary entry consists of."""
+
+    words: tuple[int, ...]
+    uses: int
+    classes: tuple[str, ...]
+
+    @property
+    def dominant_class(self) -> str:
+        counts = Counter(self.classes)
+        # Address formation usually pairs with an alu add; call the
+        # entry "address" when any address-class instruction appears.
+        if "address" in counts:
+            return "address"
+        return counts.most_common(1)[0][0]
+
+
+@dataclass(frozen=True)
+class DictionaryContentReport:
+    """Aggregate content mix of one dictionary."""
+
+    name: str
+    entries: tuple[EntryClassification, ...]
+
+    def class_mix_by_savings(self) -> dict[str, float]:
+        """Fraction of total (uses x length) attributable to each class."""
+        weights: Counter[str] = Counter()
+        total = 0
+        for entry in self.entries:
+            weight = entry.uses * len(entry.words)
+            weights[entry.dominant_class] += weight
+            total += weight
+        if not total:
+            return {}
+        return {cls: count / total for cls, count in weights.items()}
+
+    def top_entries(self, count: int = 10) -> list[EntryClassification]:
+        return sorted(self.entries, key=lambda e: -e.uses)[:count]
+
+
+def analyze_dictionary(name: str, dictionary: Dictionary) -> DictionaryContentReport:
+    """Classify every entry of ``dictionary``."""
+    entries = tuple(
+        EntryClassification(
+            words=entry.words,
+            uses=entry.uses,
+            classes=tuple(classify_instruction(word) for word in entry.words),
+        )
+        for entry in dictionary.entries
+    )
+    return DictionaryContentReport(name=name, entries=entries)

@@ -1,0 +1,55 @@
+"""Basic-block segmentation of a linked program.
+
+A leader is: the entry point, any branch target (including jump-table
+targets), any function start, and any instruction following a branch.
+Dictionary entries must lie entirely within one basic block (paper
+section 3.1.1), which also guarantees no branch lands *inside* an
+encoded sequence (section 3.2 restriction).
+"""
+
+from __future__ import annotations
+
+from repro.linker.program import Program
+
+
+def leader_flags(program: Program) -> list[bool]:
+    """``flags[i]`` is True when instruction ``i`` starts a basic block."""
+    n = len(program.text)
+    flags = [False] * n
+    if n == 0:
+        return flags
+    flags[0] = True
+    flags[program.entry_index] = True
+    for target in program.branch_target_indices():
+        flags[target] = True
+    previous_function = None
+    for index, ti in enumerate(program.text):
+        if ti.function != previous_function:
+            flags[index] = True
+            previous_function = ti.function
+        if ti.instruction.spec.is_branch and index + 1 < n:
+            flags[index + 1] = True
+    return flags
+
+
+def block_ranges(program: Program) -> list[tuple[int, int]]:
+    """Half-open [start, end) index ranges of the basic blocks."""
+    flags = leader_flags(program)
+    ranges = []
+    start = 0
+    for index in range(1, len(flags)):
+        if flags[index]:
+            ranges.append((start, index))
+            start = index
+    if flags:
+        ranges.append((start, len(flags)))
+    return ranges
+
+
+def block_id_map(program: Program) -> list[int]:
+    """``block_of[i]`` = id of the basic block containing instruction i."""
+    block_of = [0] * len(program.text)
+    for block_id, (start, end) in enumerate(block_ranges(program)):
+        for index in range(start, end):
+            block_of[index] = block_id
+    return block_of

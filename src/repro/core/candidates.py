@@ -1,0 +1,76 @@
+"""Candidate sequence enumeration (paper section 3.1.1).
+
+A candidate dictionary entry is a run of instructions that
+
+* lies entirely within one basic block,
+* contains no PC-relative branch (those must stay patchable), and
+* is no longer than ``max_entry_len`` instructions.
+
+Branch targets are always basic-block leaders, so an occurrence can
+only *start* at a branch target — branches into the middle of encoded
+sequences cannot arise (section 3.2 restriction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.basic_blocks import block_id_map
+from repro.linker.program import Program
+
+
+@dataclass
+class Candidate:
+    """A repeated sequence and every position where it occurs."""
+
+    words: tuple[int, ...]
+    positions: list[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.words)
+
+
+def compressible_flags(program: Program) -> list[bool]:
+    """True for instructions allowed inside dictionary entries."""
+    return [not ti.is_relative_branch for ti in program.text]
+
+
+def enumerate_candidates(
+    program: Program, max_entry_len: int = 4
+) -> dict[tuple[int, ...], Candidate]:
+    """Map sequence words -> candidate with all occurrence positions.
+
+    Only sequences occurring at least twice, plus single instructions
+    occurring at least twice, are kept (a unique sequence can never
+    save space: codeword + dictionary entry >= original).
+    """
+    words = program.words()
+    blocks = block_id_map(program)
+    allowed = compressible_flags(program)
+    n = len(words)
+
+    candidates: dict[tuple[int, ...], Candidate] = {}
+    for start in range(n):
+        if not allowed[start]:
+            continue
+        block = blocks[start]
+        limit = min(max_entry_len, n - start)
+        sequence: list[int] = []
+        for offset in range(limit):
+            index = start + offset
+            if blocks[index] != block or not allowed[index]:
+                break
+            sequence.append(words[index])
+            key = tuple(sequence)
+            candidate = candidates.get(key)
+            if candidate is None:
+                candidate = Candidate(key)
+                candidates[key] = candidate
+            candidate.positions.append(start)
+
+    return {
+        key: candidate
+        for key, candidate in candidates.items()
+        if len(candidate.positions) >= 2
+    }

@@ -1,0 +1,139 @@
+"""Register-canonicalization analysis (paper section 5, future work).
+
+The paper's first improvement proposal: "the compiler could attempt to
+produce instructions with similar byte sequences … by allocating
+registers so that common sequences of instructions use the same
+registers."  This module measures the headroom of that idea: it
+rewrites every candidate sequence into a *canonical* form where GPR
+numbers are renamed in order of first appearance, then counts how many
+additional matches appear that exact-bit matching misses.
+
+The result is an upper bound — a real allocator could not realize every
+canonical merge — which is exactly how the paper frames the proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import enumerate_candidates
+from repro.core.encodings import Encoding
+from repro.isa.fields import OperandKind
+from repro.isa.instruction import Instruction, decode
+from repro.linker.program import Program
+
+# Canonical register numbers are assigned from this base so the result
+# is still a plausible allocatable register.
+_CANONICAL_BASE = 3
+
+
+def canonical_words(words: tuple[int, ...]) -> tuple[int, ...]:
+    """Rename GPRs by first-use order across the sequence.
+
+    CR fields, SPRs, immediates and opcodes are untouched; both plain
+    GPR operands and the base registers of memory operands rename.
+    """
+    mapping: dict[int, int] = {}
+
+    def rename(register: int) -> int:
+        # r0 and r1 have architectural meaning (literal zero in
+        # addressing, stack pointer); leave them fixed.
+        if register in (0, 1):
+            return register
+        if register not in mapping:
+            mapping[register] = _CANONICAL_BASE + len(mapping)
+        return mapping[register]
+
+    out = []
+    for word in words:
+        ins = decode(word)
+        values = []
+        for operand, value in zip(ins.spec.operands, ins.values):
+            if operand.kind is OperandKind.GPR:
+                values.append(rename(value))
+            elif operand.kind is OperandKind.DISP_GPR:
+                disp, base = value
+                values.append((disp, rename(base)))
+            else:
+                values.append(value)
+        out.append(Instruction(ins.spec, tuple(values)).encode())
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class CanonicalizationReport:
+    """How much register renaming could improve sequence matching."""
+
+    name: str
+    distinct_exact: int
+    distinct_canonical: int
+    # Occurrences whose exact sequence is unique (uncompressible) but
+    # whose canonical class repeats — the renaming opportunity.
+    rescued_occurrences: int
+    # Upper bound on extra stream savings (bytes) if every canonical
+    # class shared a single dictionary entry, under ``encoding``'s
+    # cheapest codeword.
+    extra_savings_bound_bytes: float
+
+    @property
+    def merge_factor(self) -> float:
+        """distinct_exact / distinct_canonical (1.0 = no headroom)."""
+        if not self.distinct_canonical:
+            return 1.0
+        return self.distinct_exact / self.distinct_canonical
+
+
+def analyze(
+    program: Program, encoding: Encoding, max_entry_len: int = 4
+) -> CanonicalizationReport:
+    """Measure canonical-merge headroom for ``program``."""
+    candidates = enumerate_candidates(program, max_entry_len=max_entry_len)
+    # enumerate_candidates drops singletons; re-enumerate with the raw
+    # sequence map to see unique sequences too.
+    from repro.core.basic_blocks import block_id_map
+    from repro.core.candidates import compressible_flags
+
+    words = program.words()
+    blocks = block_id_map(program)
+    allowed = compressible_flags(program)
+    exact_counts: dict[tuple[int, ...], int] = {}
+    for start in range(len(words)):
+        if not allowed[start]:
+            continue
+        block = blocks[start]
+        sequence: list[int] = []
+        for offset in range(min(max_entry_len, len(words) - start)):
+            index = start + offset
+            if blocks[index] != block or not allowed[index]:
+                break
+            sequence.append(words[index])
+            key = tuple(sequence)
+            exact_counts[key] = exact_counts.get(key, 0) + 1
+
+    canonical_counts: dict[tuple[int, ...], int] = {}
+    canonical_of: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for key, count in exact_counts.items():
+        canon = canonical_words(key)
+        canonical_of[key] = canon
+        canonical_counts[canon] = canonical_counts.get(canon, 0) + count
+
+    rescued = 0
+    extra_bits = 0.0
+    cheapest = encoding.codeword_bits(0)
+    for key, count in exact_counts.items():
+        if count > 1:
+            continue
+        canon = canonical_of[key]
+        if canonical_counts[canon] > 1:
+            rescued += 1
+            # One previously uncompressible occurrence could become a
+            # codeword: save (len * uncompressed - codeword) bits.
+            extra_bits += len(key) * encoding.instruction_bits - cheapest
+
+    return CanonicalizationReport(
+        name=program.name,
+        distinct_exact=len(exact_counts),
+        distinct_canonical=len(canonical_counts),
+        rescued_occurrences=rescued,
+        extra_savings_bound_bytes=extra_bits / 8.0,
+    )

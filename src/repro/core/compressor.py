@@ -1,0 +1,167 @@
+"""The compressor: orchestrates the full pipeline of section 3.1.
+
+``compress(program, encoding)`` returns a :class:`CompressedProgram`
+holding the dictionary, the patched token stream, the serialized
+bit stream, the re-patched data image, and the address map — enough
+both for size accounting (the paper's figures) and for execution on
+the compressed-program processor model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import bitutils
+from repro.core.branch_patch import patch_branches, patch_jump_tables
+from repro.core.dictionary import Dictionary
+from repro.core.encodings import BaselineEncoding, Encoding
+from repro.core.greedy import GreedyResult, build_dictionary
+from repro.core.replace import Token, build_tokens
+from repro.errors import CompressionError
+from repro.linker.program import Program
+
+
+@dataclass
+class CompressedProgram:
+    """A compressed executable image."""
+
+    program: Program
+    encoding: Encoding
+    dictionary: Dictionary
+    tokens: list[Token]
+    index_to_unit: dict[int, int]
+    stream: bytes
+    data_image: bytearray
+    relaxations: int
+    greedy: GreedyResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Size accounting (paper equation 1: ratio = compressed / original)
+    # ------------------------------------------------------------------
+    @property
+    def original_bytes(self) -> int:
+        return self.program.text_size
+
+    @property
+    def stream_bits(self) -> int:
+        return sum(t.size_units for t in self.tokens) * self.encoding.alignment_bits
+
+    @property
+    def stream_bytes(self) -> int:
+        """Compressed instruction stream, rounded up to whole bytes."""
+        return (self.stream_bits + 7) // 8
+
+    @property
+    def dictionary_bytes(self) -> int:
+        return self.dictionary.size_bytes
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Stream plus dictionary — the paper includes the dictionary."""
+        return self.stream_bytes + self.dictionary_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.compressed_bytes / self.original_bytes
+
+    # ------------------------------------------------------------------
+    def total_units(self) -> int:
+        return sum(token.size_units for token in self.tokens)
+
+    def verify_stream(self) -> None:
+        """Re-parse the serialized stream and check it matches the tokens.
+
+        This is the bit-level proof that a hardware decoder could walk
+        the stream: every item must round-trip through the encoding.
+        """
+        reader = bitutils.BitReader(self.stream)
+        for token in self.tokens:
+            kind, payload = self.encoding.read_item(reader)
+            if token.kind == "cw":
+                if kind != "cw" or payload != token.rank:
+                    raise CompressionError(
+                        f"stream mismatch at unit {token.address}: "
+                        f"expected codeword {token.rank}, read {kind}:{payload}"
+                    )
+            else:
+                assert token.instruction is not None
+                expected = token.instruction.encode()
+                if kind != "ins" or payload != expected:
+                    raise CompressionError(
+                        f"stream mismatch at unit {token.address}: "
+                        f"expected instruction {expected:#010x}, read {kind}:{payload}"
+                    )
+
+
+class Compressor:
+    """Configurable front end for :func:`compress`."""
+
+    def __init__(
+        self,
+        encoding: Encoding | None = None,
+        max_entry_len: int = 4,
+        max_codewords: int | None = None,
+        position_weights: list[int] | None = None,
+    ) -> None:
+        self.encoding = encoding or BaselineEncoding()
+        self.max_entry_len = max_entry_len
+        self.max_codewords = max_codewords
+        self.position_weights = position_weights
+
+    def compress(self, program: Program) -> CompressedProgram:
+        encoding = self.encoding
+        greedy = build_dictionary(
+            program,
+            encoding,
+            max_entry_len=self.max_entry_len,
+            max_codewords=self.max_codewords,
+            position_weights=self.position_weights,
+        )
+        tokens = build_tokens(program, greedy, greedy.dictionary)
+        tokens, index_to_unit, relaxations = patch_branches(tokens, encoding)
+        stream = _serialize(tokens, encoding)
+        data_image = patch_jump_tables(program, index_to_unit)
+        compressed = CompressedProgram(
+            program=program,
+            encoding=encoding,
+            dictionary=greedy.dictionary,
+            tokens=tokens,
+            index_to_unit=index_to_unit,
+            stream=stream,
+            data_image=data_image,
+            relaxations=relaxations,
+            greedy=greedy,
+        )
+        return compressed
+
+
+def _serialize(tokens: list[Token], encoding: Encoding) -> bytes:
+    writer = bitutils.BitWriter()
+    for token in tokens:
+        if token.kind == "cw":
+            assert token.rank is not None
+            encoding.write_codeword(writer, token.rank)
+        else:
+            assert token.instruction is not None
+            encoding.write_instruction(writer, token.instruction.encode())
+    return writer.getvalue()
+
+
+def compress(
+    program: Program,
+    encoding: Encoding | None = None,
+    max_entry_len: int = 4,
+    max_codewords: int | None = None,
+    position_weights: list[int] | None = None,
+) -> CompressedProgram:
+    """Compress ``program`` with the given encoding and limits.
+
+    ``position_weights`` selects the profile-guided objective (see
+    :func:`repro.core.greedy.build_dictionary`).
+    """
+    return Compressor(
+        encoding=encoding,
+        max_entry_len=max_entry_len,
+        max_codewords=max_codewords,
+        position_weights=position_weights,
+    ).compress(program)

@@ -1,0 +1,58 @@
+"""Dictionary model: entries of original instruction words.
+
+Codeword *ranks* are assigned after greedy selection by static usage
+count — most frequently used entry gets the shortest codeword (paper
+section 3.1.3) — so the dictionary order here is rank order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One dictionary entry: the original instruction words."""
+
+    words: tuple[int, ...]
+    uses: int  # static occurrence count in the compressed program
+
+    @property
+    def length(self) -> int:
+        """Number of instructions in the entry."""
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.words)
+
+
+@dataclass
+class Dictionary:
+    """Rank-ordered dictionary."""
+
+    entries: list[DictionaryEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, rank: int) -> DictionaryEntry:
+        return self.entries[rank]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total dictionary storage (the paper counts this as overhead)."""
+        return sum(entry.size_bytes for entry in self.entries)
+
+    def rank_of(self, words: tuple[int, ...]) -> int:
+        for rank, entry in enumerate(self.entries):
+            if entry.words == words:
+                return rank
+        raise KeyError(f"no dictionary entry for {words}")
+
+    def length_histogram(self) -> dict[int, int]:
+        """Entry-length -> number of entries (paper Figure 6)."""
+        histogram: dict[int, int] = {}
+        for entry in self.entries:
+            histogram[entry.length] = histogram.get(entry.length, 0) + 1
+        return histogram

@@ -1,0 +1,318 @@
+"""Codeword encodings (paper sections 4.1, 4.1.2, 4.1.3).
+
+An :class:`Encoding` defines the codeword space:
+
+* how many codewords exist and how many bits the *k*-th (rank-ordered)
+  codeword occupies,
+* the stream alignment unit ("all instructions, compressed and
+  uncompressed, are aligned to the size of the smallest codeword"),
+* how many bits an *uncompressed* instruction occupies in the stream
+  (32, or 36 for the nibble scheme whose escape nibble precedes it),
+* bit-level serialization of codewords and instructions.
+
+Three concrete encodings reproduce the paper:
+
+=================  =========  ==========  ===========================
+encoding           codeword   alignment   capacity
+=================  =========  ==========  ===========================
+Baseline           16 bits    16 bits     32 escapes x 256 = 8192
+OneByte            8 bits     8 bits      the 32 escape bytes
+Nibble             4/8/12/16  4 bits      8 + 64 + 512 + 4096 = 4680
+=================  =========  ==========  ===========================
+"""
+
+from __future__ import annotations
+
+from repro import bitutils
+from repro.errors import CompressionError, DecompressionError
+from repro.isa.opcodes import ILLEGAL_PRIMARY_OPCODES, escape_bytes
+
+
+class Encoding:
+    """Interface for codeword spaces."""
+
+    name: str = "abstract"
+    alignment_bits: int = 8
+    instruction_bits: int = 32  # stream cost of one uncompressed instruction
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of codewords."""
+        raise NotImplementedError
+
+    def codeword_bits(self, rank: int) -> int:
+        """Stream bits of the codeword with rank ``rank`` (0 = shortest)."""
+        raise NotImplementedError
+
+    def write_codeword(self, writer: bitutils.BitWriter, rank: int) -> None:
+        raise NotImplementedError
+
+    def write_instruction(self, writer: bitutils.BitWriter, word: int) -> None:
+        raise NotImplementedError
+
+    def read_item(self, reader: bitutils.BitReader) -> tuple[str, int]:
+        """Read one stream item: ('cw', rank) or ('ins', word)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def units(self, bits: int) -> int:
+        """Convert a bit count to alignment units (must divide evenly)."""
+        if bits % self.alignment_bits:
+            raise CompressionError(
+                f"{self.name}: {bits} bits not aligned to {self.alignment_bits}"
+            )
+        return bits // self.alignment_bits
+
+    def instruction_units(self) -> int:
+        return self.units(self.instruction_bits)
+
+    def codeword_units(self, rank: int) -> int:
+        return self.units(self.codeword_bits(rank))
+
+    # Escape overhead of one codeword, in bits (paper Figure 9 splits
+    # codeword bytes into escape bytes and index bytes).
+    def escape_bits(self, rank: int) -> int:
+        raise NotImplementedError
+
+
+class BaselineEncoding(Encoding):
+    """2-byte codewords: illegal-opcode escape byte + index byte.
+
+    PowerPC has 8 illegal 6-bit primary opcodes; with the remaining two
+    bits of the byte free, 32 escape byte values exist, each followed
+    by one index byte: up to 8192 codewords (paper section 4.1).
+    Programs compressed this way remain supersets of valid PowerPC:
+    a processor that knows the escapes can also run original binaries.
+    """
+
+    name = "baseline"
+    alignment_bits = 16
+    instruction_bits = 32
+
+    def __init__(self, max_codewords: int = 8192) -> None:
+        if not 1 <= max_codewords <= 8192:
+            raise CompressionError("baseline supports 1..8192 codewords")
+        self.max_codewords = max_codewords
+        self._escapes = escape_bytes()
+
+    @property
+    def capacity(self) -> int:
+        return self.max_codewords
+
+    def codeword_bits(self, rank: int) -> int:
+        if rank >= self.max_codewords:
+            raise CompressionError(f"rank {rank} beyond capacity")
+        return 16
+
+    def escape_bits(self, rank: int) -> int:
+        return 8
+
+    def write_codeword(self, writer: bitutils.BitWriter, rank: int) -> None:
+        escape = self._escapes[rank >> 8]
+        writer.write(escape, 8)
+        writer.write(rank & 0xFF, 8)
+
+    def write_instruction(self, writer: bitutils.BitWriter, word: int) -> None:
+        writer.write(word, 32)
+
+    def read_item(self, reader: bitutils.BitReader) -> tuple[str, int]:
+        first = reader.peek(8)
+        if (first >> 2) in ILLEGAL_PRIMARY_OPCODES:
+            escape = reader.read(8)
+            index = reader.read(8)
+            try:
+                escape_rank = self._escapes.index(escape)
+            except ValueError as exc:  # pragma: no cover - peek guarantees
+                raise DecompressionError(f"bad escape byte {escape:#x}") from exc
+            return ("cw", (escape_rank << 8) | index)
+        return ("ins", reader.read(32))
+
+
+class OneByteEncoding(Encoding):
+    """1-byte codewords for small dictionaries (paper section 4.1.2).
+
+    The 32 escape byte values themselves are the codewords, so at most
+    32 dictionary entries exist — the paper evaluates 8, 16, and 32
+    (128/256/512-byte dictionaries at 16 bytes per entry).
+    """
+
+    name = "onebyte"
+    alignment_bits = 8
+    instruction_bits = 32
+
+    def __init__(self, max_codewords: int = 32) -> None:
+        if not 1 <= max_codewords <= 32:
+            raise CompressionError("one-byte encoding supports 1..32 codewords")
+        self.max_codewords = max_codewords
+        self._escapes = escape_bytes()
+
+    @property
+    def capacity(self) -> int:
+        return self.max_codewords
+
+    def codeword_bits(self, rank: int) -> int:
+        if rank >= self.max_codewords:
+            raise CompressionError(f"rank {rank} beyond capacity")
+        return 8
+
+    def escape_bits(self, rank: int) -> int:
+        # The whole byte both escapes and indexes; count it as escape
+        # overhead zero so Figure 9 style accounting sums correctly.
+        return 0
+
+    def write_codeword(self, writer: bitutils.BitWriter, rank: int) -> None:
+        writer.write(self._escapes[rank], 8)
+
+    def write_instruction(self, writer: bitutils.BitWriter, word: int) -> None:
+        writer.write(word, 32)
+
+    def read_item(self, reader: bitutils.BitReader) -> tuple[str, int]:
+        first = reader.peek(8)
+        if (first >> 2) in ILLEGAL_PRIMARY_OPCODES:
+            return ("cw", self._escapes.index(reader.read(8)))
+        return ("ins", reader.read(32))
+
+
+class CustomNibbleEncoding(Encoding):
+    """Nibble-aligned codewords with a configurable first-nibble split.
+
+    ``allocation`` maps codeword length in nibbles (1..4) to how many of
+    the 16 first-nibble values that band owns.  One value is always
+    reserved as the escape prefix for uncompressed instructions, so the
+    bands must sum to 15.  A band owning ``k`` first-nibble values of
+    length ``n`` nibbles provides ``k * 16**(n-1)`` codewords.
+
+    The paper presents one allocation ("the best encoding choice we
+    have discovered") and notes other programs may prefer others; the
+    ``ext_encoding_search`` experiment sweeps this space.
+    """
+
+    alignment_bits = 4
+    instruction_bits = 36  # escape nibble + original word
+
+    def __init__(
+        self,
+        allocation: dict[int, int],
+        max_codewords: int | None = None,
+        name: str = "nibble-custom",
+    ) -> None:
+        self.name = name
+        self.allocation = dict(allocation)
+        total_values = sum(self.allocation.get(n, 0) for n in (1, 2, 3, 4))
+        if total_values != 15:
+            raise CompressionError(
+                f"first-nibble bands must sum to 15 (escape takes the 16th), "
+                f"got {total_values}"
+            )
+        # Bands in increasing codeword size: (nibbles, first_value, count).
+        self._bands: list[tuple[int, int, int]] = []
+        first_value = 0
+        capacity = 0
+        for nibbles in (1, 2, 3, 4):
+            values = self.allocation.get(nibbles, 0)
+            if values:
+                self._bands.append((nibbles, first_value, values * 16 ** (nibbles - 1)))
+                first_value += values
+                capacity += values * 16 ** (nibbles - 1)
+        self._escape_value = 15
+        self._full_capacity = capacity
+        if max_codewords is None:
+            max_codewords = capacity
+        if not 1 <= max_codewords <= capacity:
+            raise CompressionError(
+                f"{name} supports 1..{capacity} codewords, got {max_codewords}"
+            )
+        self.max_codewords = max_codewords
+
+    @property
+    def capacity(self) -> int:
+        return self.max_codewords
+
+    def _band_of(self, rank: int) -> tuple[int, int, int, int]:
+        """(nibbles, first_value, band_size, rank_base) for ``rank``."""
+        base = 0
+        for nibbles, first_value, size in self._bands:
+            if rank < base + size:
+                return nibbles, first_value, size, base
+            base += size
+        raise CompressionError(f"rank {rank} beyond capacity")
+
+    def codeword_bits(self, rank: int) -> int:
+        if rank >= self.max_codewords:
+            raise CompressionError(f"rank {rank} beyond capacity")
+        nibbles, _, _, _ = self._band_of(rank)
+        return 4 * nibbles
+
+    def escape_bits(self, rank: int) -> int:
+        # The selector nibble is the escape overhead of each codeword.
+        return 4
+
+    def write_codeword(self, writer: bitutils.BitWriter, rank: int) -> None:
+        nibbles, first_value, _, base = self._band_of(rank)
+        offset = rank - base
+        tail_bits = 4 * (nibbles - 1)
+        writer.write(first_value + (offset >> tail_bits), 4)
+        if tail_bits:
+            writer.write(offset & bitutils.mask(tail_bits), tail_bits)
+
+    def write_instruction(self, writer: bitutils.BitWriter, word: int) -> None:
+        writer.write(self._escape_value, 4)
+        writer.write(word, 32)
+
+    def read_item(self, reader: bitutils.BitReader) -> tuple[str, int]:
+        first = reader.read(4)
+        if first == self._escape_value:
+            return ("ins", reader.read(32))
+        base = 0
+        for nibbles, first_value, size in self._bands:
+            values = size // 16 ** (nibbles - 1)
+            if first < first_value + values:
+                tail_bits = 4 * (nibbles - 1)
+                offset = (first - first_value) << tail_bits
+                if tail_bits:
+                    offset |= reader.read(tail_bits)
+                return ("cw", base + offset)
+            base += size
+        raise DecompressionError(f"first nibble {first} maps to no band")
+
+
+# The paper's Figure 10 allocation: 8 one-nibble values, 4 two-nibble
+# prefixes, 2 three-nibble, 1 four-nibble, 1 escape.
+_FIGURE10_ALLOCATION = {1: 8, 2: 4, 3: 2, 4: 1}
+
+
+class NibbleEncoding(CustomNibbleEncoding):
+    """Nibble-aligned variable-length codewords (paper Figure 10).
+
+    First-nibble dispatch:
+
+    =========  ==================  ==========================
+    nibble     item                codeword ranks
+    =========  ==================  ==========================
+    0-7        4-bit codeword      0..7
+    8-11       8-bit codeword      8..71
+    12-13      12-bit codeword     72..583
+    14         16-bit codeword     584..4679
+    15         escape + 32-bit     (uncompressed instruction)
+    =========  ==================  ==========================
+
+    Because the escape nibble redefines the whole encoding space, an
+    unmodified PowerPC cannot run these programs (paper section 4.1.3)
+    — the trade for the best compression ratio.
+    """
+
+    def __init__(self, max_codewords: int = 4680) -> None:
+        super().__init__(
+            _FIGURE10_ALLOCATION, max_codewords=max_codewords, name="nibble"
+        )
+
+
+def make_encoding(name: str, max_codewords: int | None = None) -> Encoding:
+    """Factory by name: 'baseline', 'onebyte', or 'nibble'."""
+    if name == "baseline":
+        return BaselineEncoding(max_codewords or 8192)
+    if name == "onebyte":
+        return OneByteEncoding(max_codewords or 32)
+    if name == "nibble":
+        return NibbleEncoding(max_codewords or 4680)
+    raise CompressionError(f"unknown encoding {name!r}")

@@ -1,0 +1,164 @@
+"""Greedy dictionary construction (paper section 3.1.1).
+
+Optimal dictionary selection is NP-complete [Storer77]; like the paper
+we run a greedy loop: on every iteration pick the candidate whose
+replacement yields the largest immediate savings, replace all of its
+(non-overlapping, still-intact) occurrences, and repeat until the
+codeword space is exhausted or nothing saves bytes.
+
+Savings model, in stream bits (section 3.1.3's cost accounting):
+
+    savings(e) = uses * (L * U - C_k) - 32 * L
+
+where ``L`` is the entry length in instructions, ``U`` the encoding's
+per-instruction stream cost (32 bits, 36 for the nibble scheme),
+``C_k`` the bit size of the next free codeword slot, and ``32 * L`` the
+dictionary storage for the entry.
+
+The loop uses a lazy max-heap: entry priorities only ever decrease
+(occurrences get destroyed by other replacements; codeword slots only
+grow), so a popped entry whose recomputed priority is unchanged is the
+true maximum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.candidates import Candidate, enumerate_candidates
+from repro.core.dictionary import Dictionary, DictionaryEntry
+from repro.core.encodings import Encoding
+from repro.linker.program import Program
+
+
+@dataclass
+class Replacement:
+    """One chosen occurrence: ``length`` instructions at ``position``."""
+
+    position: int
+    entry_words: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.entry_words)
+
+
+@dataclass
+class GreedyResult:
+    """Output of dictionary construction."""
+
+    dictionary: Dictionary
+    replacements: list[Replacement] = field(default_factory=list)
+    # Savings actually achieved per selection step, in stream bits —
+    # used by the Figure 7 analysis.
+    step_savings_bits: list[int] = field(default_factory=list)
+
+    def covered_positions(self) -> set[int]:
+        covered = set()
+        for rep in self.replacements:
+            covered.update(range(rep.position, rep.position + rep.length))
+        return covered
+
+
+def _valid_occurrences(candidate: Candidate, covered: list[bool]) -> list[int]:
+    """Non-overlapping occurrences not destroyed by earlier picks."""
+    chosen: list[int] = []
+    last_end = -1
+    length = candidate.length
+    for position in candidate.positions:
+        if position < last_end:
+            continue  # overlaps a previous occurrence of the same entry
+        if any(covered[position : position + length]):
+            continue
+        chosen.append(position)
+        last_end = position + length
+    return chosen
+
+
+def build_dictionary(
+    program: Program,
+    encoding: Encoding,
+    max_entry_len: int = 4,
+    max_codewords: int | None = None,
+    position_weights: list[int] | None = None,
+) -> GreedyResult:
+    """Run the greedy algorithm over ``program``.
+
+    ``max_codewords`` defaults to the encoding's capacity.
+
+    ``position_weights`` switches the objective from static size to
+    weighted benefit: occurrence at position ``p`` counts
+    ``position_weights[p]`` times (e.g. its dynamic execution count, to
+    minimize fetch traffic instead of ROM size — the profile-guided
+    variant explored by the ``ext_dynamic`` experiment).  The entry's
+    dictionary storage still counts once.
+    """
+    capacity = min(
+        encoding.capacity, max_codewords if max_codewords is not None else 1 << 30
+    )
+    candidates = enumerate_candidates(program, max_entry_len=max_entry_len)
+    covered = [False] * len(program.text)
+
+    unc = encoding.instruction_bits
+
+    def occurrence_weight(positions: list[int]) -> int:
+        if position_weights is None:
+            return len(positions)
+        return sum(max(position_weights[p], 0) for p in positions)
+
+    def savings_bits(candidate: Candidate, weight: int, rank: int) -> int:
+        length = candidate.length
+        return weight * (length * unc - encoding.codeword_bits(rank)) - 32 * length
+
+    # Initial heap: priority computed with the cheapest (rank 0) slot.
+    heap: list[tuple[int, tuple[int, ...]]] = []
+    for key, candidate in candidates.items():
+        weight = occurrence_weight(_valid_occurrences(candidate, covered))
+        priority = savings_bits(candidate, weight, 0)
+        if priority > 0:
+            heap.append((-priority, key))
+    heapq.heapify(heap)
+
+    chosen_entries: list[tuple[tuple[int, ...], int]] = []  # (words, uses)
+    replacements: list[Replacement] = []
+    step_savings: list[int] = []
+
+    while heap and len(chosen_entries) < capacity:
+        rank = len(chosen_entries)
+        neg_priority, key = heapq.heappop(heap)
+        candidate = candidates[key]
+        occurrences = _valid_occurrences(candidate, covered)
+        current = savings_bits(candidate, occurrence_weight(occurrences), rank)
+        if current != -neg_priority:
+            if current > 0:
+                heapq.heappush(heap, (-current, key))
+            continue
+        if current <= 0:
+            break
+        # Accept: this is the true maximum.
+        chosen_entries.append((key, len(occurrences)))
+        step_savings.append(current)
+        for position in occurrences:
+            replacements.append(Replacement(position, key))
+            for index in range(position, position + candidate.length):
+                covered[index] = True
+
+    # Rank the dictionary by static usage so the most frequent entries
+    # receive the shortest codewords (paper section 3.1.3).
+    order = sorted(
+        range(len(chosen_entries)),
+        key=lambda i: (-chosen_entries[i][1], chosen_entries[i][0]),
+    )
+    dictionary = Dictionary(
+        [
+            DictionaryEntry(words=chosen_entries[i][0], uses=chosen_entries[i][1])
+            for i in order
+        ]
+    )
+    replacements.sort(key=lambda rep: rep.position)
+    return GreedyResult(
+        dictionary=dictionary,
+        replacements=replacements,
+        step_savings_bits=step_savings,
+    )

@@ -1,0 +1,181 @@
+"""Persistent compressed-executable images.
+
+A :class:`CompressedImage` is the self-contained artifact a compressed
+program ROM would hold: the encoding identity, the dictionary, the
+compressed instruction stream, the (jump-table-patched) data image, and
+the entry point.  It can be serialized to bytes (``RCIM`` container),
+reloaded, and executed by the compressed simulator with no access to
+the original :class:`~repro.linker.program.Program` — which is exactly
+the deployment story of the paper's section 3.3 processor.
+
+Container layout (all integers big-endian):
+
+=========  ======================================================
+field      contents
+=========  ======================================================
+magic      ``b"RCIM"``
+version    u8 (currently 1)
+name       u8 length + utf-8 bytes
+encoding   u8 length + utf-8 name ('baseline'/'onebyte'/'nibble')
+maxcw      u32 encoding max_codewords
+entry      u32 entry unit address
+units      u32 total stream units
+text_base  u32
+dict       u16 entry count, then per entry: u8 length + u32 words
+stream     u32 byte length + bytes
+data       u32 byte length + bytes
+=========  ======================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.compressor import CompressedProgram
+from repro.core.dictionary import Dictionary, DictionaryEntry
+from repro.core.encodings import Encoding, make_encoding
+from repro.errors import CompressionError
+
+MAGIC = b"RCIM"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompressedImage:
+    """A self-contained compressed executable."""
+
+    name: str
+    encoding_name: str
+    max_codewords: int
+    dictionary: Dictionary
+    stream: bytes
+    total_units: int
+    entry_unit: int
+    text_base: int
+    data_image: bytes
+
+    # ------------------------------------------------------------------
+    def encoding(self) -> Encoding:
+        return make_encoding(self.encoding_name, self.max_codewords)
+
+    @property
+    def stream_bytes(self) -> int:
+        return len(self.stream)
+
+    @property
+    def dictionary_bytes(self) -> int:
+        return self.dictionary.size_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stream_bytes + self.dictionary_bytes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_compressed(cls, compressed: CompressedProgram) -> "CompressedImage":
+        """Capture a compressor result as a standalone image."""
+        program = compressed.program
+        encoding = compressed.encoding
+        return cls(
+            name=program.name,
+            encoding_name=encoding.name,
+            max_codewords=encoding.capacity,
+            dictionary=compressed.dictionary,
+            stream=compressed.stream,
+            total_units=compressed.total_units(),
+            entry_unit=compressed.index_to_unit[program.entry_index],
+            text_base=program.text_base,
+            data_image=bytes(compressed.data_image),
+        )
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack(">B", VERSION)
+        for text in (self.name, self.encoding_name):
+            encoded = text.encode("utf-8")
+            if len(encoded) > 255:
+                raise CompressionError(f"name too long: {text!r}")
+            out += struct.pack(">B", len(encoded))
+            out += encoded
+        out += struct.pack(
+            ">IIII",
+            self.max_codewords,
+            self.entry_unit,
+            self.total_units,
+            self.text_base,
+        )
+        out += struct.pack(">H", len(self.dictionary))
+        for entry in self.dictionary.entries:
+            out += struct.pack(">BI", len(entry.words), entry.uses)
+            for word in entry.words:
+                out += struct.pack(">I", word)
+        out += struct.pack(">I", len(self.stream))
+        out += self.stream
+        out += struct.pack(">I", len(self.data_image))
+        out += self.data_image
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompressedImage":
+        view = _Cursor(blob)
+        if view.take(4) != MAGIC:
+            raise CompressionError("not a compressed image (bad magic)")
+        version = view.u8()
+        if version != VERSION:
+            raise CompressionError(f"unsupported image version {version}")
+        name = view.take(view.u8()).decode("utf-8")
+        encoding_name = view.take(view.u8()).decode("utf-8")
+        max_codewords, entry_unit, total_units, text_base = (
+            view.u32(), view.u32(), view.u32(), view.u32(),
+        )
+        entries = []
+        for _ in range(view.u16()):
+            length = view.u8()
+            uses = view.u32()
+            words = tuple(view.u32() for _ in range(length))
+            entries.append(DictionaryEntry(words=words, uses=uses))
+        stream = view.take(view.u32())
+        data_image = view.take(view.u32())
+        if view.remaining():
+            raise CompressionError("trailing bytes in image")
+        return cls(
+            name=name,
+            encoding_name=encoding_name,
+            max_codewords=max_codewords,
+            dictionary=Dictionary(entries),
+            stream=stream,
+            total_units=total_units,
+            entry_unit=entry_unit,
+            text_base=text_base,
+            data_image=data_image,
+        )
+
+
+class _Cursor:
+    """Minimal big-endian deserialization cursor."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._blob):
+            raise CompressionError("truncated image")
+        chunk = self._blob[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def remaining(self) -> int:
+        return len(self._blob) - self._pos

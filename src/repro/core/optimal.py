@@ -1,0 +1,155 @@
+"""Optimal replacement and near-optimal dictionary search.
+
+The paper (footnote 1, citing [Storer77]) notes that choosing the
+dictionary for maximum compression is NP-complete and that "greedy
+algorithms are often near-optimal in practice".  This module makes that
+claim testable on small programs:
+
+* :func:`optimal_replacement` — given a *fixed* dictionary, compute the
+  minimum-size token stream by dynamic programming (the replacement
+  subproblem is solvable exactly, unlike dictionary selection);
+* :func:`exhaustive_dictionary` — brute-force the dictionary choice
+  over the most promising candidates (exponential; only for tiny
+  programs and small candidate pools).
+
+The ``ext_greedy_gap`` experiment uses these to measure how far the
+greedy heuristic lands from optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.candidates import enumerate_candidates
+from repro.core.encodings import Encoding
+from repro.linker.program import Program
+
+
+@dataclass(frozen=True)
+class ReplacementPlan:
+    """Outcome of exact replacement for one dictionary choice."""
+
+    stream_bits: int
+    dictionary_bits: int
+    used_entries: tuple[tuple[int, ...], ...]
+
+    @property
+    def total_bits(self) -> int:
+        return self.stream_bits + self.dictionary_bits
+
+
+def optimal_replacement(
+    program: Program,
+    dictionary: list[tuple[int, ...]],
+    encoding: Encoding,
+    max_entry_len: int = 4,
+) -> ReplacementPlan:
+    """Minimum-stream-bits replacement for a fixed dictionary (DP).
+
+    ``best[i]`` = minimal bits to encode instructions ``i..n``; at each
+    position we either escape the instruction or apply any dictionary
+    entry whose occurrence starts here.  Codeword sizes use each
+    entry's rank in ``dictionary`` order (caller orders by frequency).
+    Only entries actually used are charged dictionary storage.
+    """
+    candidates = enumerate_candidates(program, max_entry_len=max_entry_len)
+    n = len(program.text)
+    # occurrence_at[i] = list of (entry_index, length)
+    occurrence_at: dict[int, list[tuple[int, int]]] = {}
+    for entry_index, entry in enumerate(dictionary):
+        candidate = candidates.get(entry)
+        if candidate is None:
+            continue
+        for position in candidate.positions:
+            occurrence_at.setdefault(position, []).append(
+                (entry_index, len(entry))
+            )
+
+    unc = encoding.instruction_bits
+    INF = float("inf")
+    best: list[float] = [INF] * (n + 1)
+    choice: list[tuple[int, int] | None] = [None] * (n + 1)
+    best[n] = 0.0
+    for i in range(n - 1, -1, -1):
+        best[i] = best[i + 1] + unc
+        choice[i] = None
+        for entry_index, length in occurrence_at.get(i, ()):
+            cost = encoding.codeword_bits(entry_index) + best[i + length]
+            if cost < best[i]:
+                best[i] = cost
+                choice[i] = (entry_index, length)
+
+    used: set[int] = set()
+    i = 0
+    while i < n:
+        picked = choice[i]
+        if picked is None:
+            i += 1
+        else:
+            used.add(picked[0])
+            i += picked[1]
+
+    dictionary_bits = sum(32 * len(dictionary[j]) for j in used)
+    return ReplacementPlan(
+        stream_bits=int(best[0]),
+        dictionary_bits=dictionary_bits,
+        used_entries=tuple(dictionary[j] for j in sorted(used)),
+    )
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Best dictionary found by exhaustive search."""
+
+    plan: ReplacementPlan
+    dictionary: tuple[tuple[int, ...], ...]
+    subsets_tried: int
+
+
+def exhaustive_dictionary(
+    program: Program,
+    encoding: Encoding,
+    max_entry_len: int = 4,
+    pool_size: int = 12,
+    max_entries: int | None = None,
+) -> SearchResult:
+    """Try every subset of the ``pool_size`` most promising candidates.
+
+    Candidates are pre-ranked by their standalone savings potential.
+    Exponential in ``pool_size`` — intended for programs of at most a
+    few hundred instructions.
+    """
+    candidates = enumerate_candidates(program, max_entry_len=max_entry_len)
+    unc = encoding.instruction_bits
+    cheapest = encoding.codeword_bits(0)
+
+    def potential(candidate) -> int:
+        return (
+            len(candidate.positions) * (candidate.length * unc - cheapest)
+            - 32 * candidate.length
+        )
+
+    pool = sorted(candidates.values(), key=potential, reverse=True)[:pool_size]
+    pool_keys = [candidate.words for candidate in pool]
+
+    best_plan: ReplacementPlan | None = None
+    best_dictionary: tuple[tuple[int, ...], ...] = ()
+    tried = 0
+    limit = max_entries if max_entries is not None else len(pool_keys)
+    for count in range(0, limit + 1):
+        for subset in combinations(pool_keys, count):
+            # Order by (descending) occurrence count so short codewords
+            # go to frequent entries, as the encodings assume.
+            ordered = sorted(
+                subset, key=lambda key: -len(candidates[key].positions)
+            )
+            plan = optimal_replacement(
+                program, list(ordered), encoding, max_entry_len
+            )
+            tried += 1
+            if best_plan is None or plan.total_bits < best_plan.total_bits:
+                best_plan = plan
+                best_dictionary = tuple(ordered)
+    assert best_plan is not None
+    return SearchResult(best_plan, best_dictionary, tried)

@@ -1,0 +1,61 @@
+"""Static instruction-encoding redundancy analysis (paper Figure 1).
+
+The motivation for the whole technique: compiled programs reuse a small
+number of instruction bit patterns heavily.  ``encoding_redundancy``
+measures, for one program, what fraction of all static instructions
+have an encoding that appears exactly once vs. multiple times, plus the
+coverage of the most frequent distinct encodings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.linker.program import Program
+
+
+@dataclass(frozen=True)
+class RedundancyProfile:
+    """Figure 1 metrics for one program."""
+
+    name: str
+    total_instructions: int
+    distinct_encodings: int
+    instructions_with_unique_encoding: int
+
+    @property
+    def unique_fraction(self) -> float:
+        """Fraction of the program that is single-use encodings."""
+        if not self.total_instructions:
+            return 0.0
+        return self.instructions_with_unique_encoding / self.total_instructions
+
+    @property
+    def repeated_fraction(self) -> float:
+        """Fraction of the program whose encoding repeats elsewhere."""
+        return 1.0 - self.unique_fraction
+
+
+def encoding_redundancy(program: Program) -> RedundancyProfile:
+    """Compute the Figure 1 metrics."""
+    words = program.words()
+    counts = Counter(words)
+    unique = sum(1 for word in words if counts[word] == 1)
+    return RedundancyProfile(
+        name=program.name,
+        total_instructions=len(words),
+        distinct_encodings=len(counts),
+        instructions_with_unique_encoding=unique,
+    )
+
+
+def coverage_of_top_fraction(program: Program, fraction: float) -> float:
+    """What share of the program the most frequent ``fraction`` of
+    distinct encodings accounts for (the paper's "1% of the most
+    frequent instruction words account for 30% of the go benchmark")."""
+    words = program.words()
+    counts = Counter(words).most_common()
+    take = max(1, int(len(counts) * fraction))
+    covered = sum(count for _, count in counts[:take])
+    return covered / len(words) if words else 0.0

@@ -1,0 +1,77 @@
+"""Token stream: the compressed program before serialization.
+
+After greedy selection, .text becomes a sequence of tokens — codeword
+references interspersed with uncompressed instructions (paper Figure
+2).  Tokens carry enough provenance (original instruction index, branch
+target) for the branch patcher to re-derive every offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dictionary import Dictionary
+from repro.core.greedy import GreedyResult
+from repro.errors import CompressionError
+from repro.isa.instruction import Instruction
+from repro.linker.program import Program
+
+
+@dataclass
+class Token:
+    """One item of the compressed instruction stream."""
+
+    kind: str  # 'ins' | 'cw'
+    instruction: Instruction | None = None  # for 'ins'
+    orig_index: int | None = None  # first original index covered
+    length: int = 1  # original instructions covered
+    rank: int | None = None  # for 'cw'
+    target_index: int | None = None  # branch target (original index)
+    token_target: int | None = None  # branch target (token index; relaxation)
+    address: int = -1  # alignment units, assigned by layout
+    size_units: int = 0
+
+    @property
+    def is_branch_token(self) -> bool:
+        return self.kind == "ins" and (
+            self.target_index is not None or self.token_target is not None
+        )
+
+
+def build_tokens(
+    program: Program, result: GreedyResult, dictionary: Dictionary
+) -> list[Token]:
+    """Interleave codeword references with uncompressed instructions."""
+    rank_by_words = {entry.words: rank for rank, entry in enumerate(dictionary.entries)}
+    starts = {rep.position: rep for rep in result.replacements}
+    tokens: list[Token] = []
+    index = 0
+    n = len(program.text)
+    while index < n:
+        rep = starts.get(index)
+        if rep is not None:
+            tokens.append(
+                Token(
+                    kind="cw",
+                    orig_index=index,
+                    length=rep.length,
+                    rank=rank_by_words[rep.entry_words],
+                )
+            )
+            index += rep.length
+            continue
+        ti = program.text[index]
+        tokens.append(
+            Token(
+                kind="ins",
+                instruction=ti.instruction,
+                orig_index=index,
+                length=1,
+                target_index=ti.target_index,
+            )
+        )
+        index += 1
+    covered = sum(token.length for token in tokens)
+    if covered != n:
+        raise CompressionError(f"token stream covers {covered} of {n} instructions")
+    return tokens

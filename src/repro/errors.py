@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors (``TypeError``,
+``KeyError`` from their own code, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad field value, unknown form)."""
+
+
+class DecodingError(ReproError):
+    """A 32-bit word does not decode to a known instruction."""
+
+
+class AssemblerError(ReproError):
+    """Assembly text could not be parsed or resolved."""
+
+
+class CompileError(ReproError):
+    """MiniC source failed to compile."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LinkError(ReproError):
+    """Object files could not be linked into a program."""
+
+
+class CompressionError(ReproError):
+    """The compressor was misconfigured or hit an internal inconsistency."""
+
+
+class BranchRangeError(CompressionError):
+    """A branch offset could not be patched and no spill strategy applied."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator hit an illegal state (bad PC, unknown opcode)."""
+
+
+class DecompressionError(SimulationError):
+    """The compressed-fetch engine saw an invalid codeword or stream."""

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Every module exposes ``run(scale)`` returning structured rows and
+``render(rows)`` returning the text table.  :data:`REGISTRY` maps
+experiment ids to their implementations; ``repro-experiments`` (see
+:mod:`cli`) runs them from the command line, and each has a matching
+pytest-benchmark target under ``benchmarks/``.
+"""
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["REGISTRY", "run_experiment"]

@@ -1,0 +1,64 @@
+"""Command-line entry point: ``repro-experiments [ids...] [--scale X]``.
+
+Runs the requested experiments (default: all of them, in paper order)
+and prints their tables, regenerating the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY
+
+_PAPER_ORDER = [
+    "fig1", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "fig8",
+    "fig9", "fig11", "table3", "ext_baselines", "ext_prologue", "ext_fetch",
+    "ext_icache", "ext_canon", "ext_greedy_gap", "ext_optlevel",
+    "ext_dynamic", "ext_encoding_search", "ext_thumb", "ext_speed",
+    "ext_ccrp", "ext_shared_dict", "ext_dict_content",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=[],
+        help=f"experiment ids (default: all). Known: {', '.join(_PAPER_ORDER)}",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (1.0 = ~1/8 of SPEC CINT95 sizes)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in _PAPER_ORDER:
+            print(f"{experiment_id:15s} {REGISTRY[experiment_id].title}")
+        return 0
+
+    ids = args.ids or _PAPER_ORDER
+    for experiment_id in ids:
+        if experiment_id not in REGISTRY:
+            print(f"unknown experiment {experiment_id!r}", file=sys.stderr)
+            return 2
+        start = time.time()
+        print(REGISTRY[experiment_id].run_and_render(args.scale))
+        print(f"[{experiment_id} took {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

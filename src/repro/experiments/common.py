@@ -1,0 +1,47 @@
+"""Shared helpers for experiment modules."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+from repro.linker.program import Program
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+
+def default_scale() -> float:
+    """Suite scale, overridable via REPRO_SCALE (tests use small scales)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def suite_programs(scale: float | None = None) -> dict[str, Program]:
+    """The eight benchmarks at the requested scale (cached upstream)."""
+    if scale is None:
+        scale = default_scale()
+    return {name: build_benchmark(name, scale) for name in BENCHMARK_NAMES}
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table in the style of the paper's tables."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.1f}%"

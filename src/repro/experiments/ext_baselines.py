@@ -1,0 +1,65 @@
+"""Extension: head-to-head against the related-work schemes.
+
+Places the paper's encodings alongside reimplementations of the
+comparison points from sections 2.3 and 2.4: CCRP-style Huffman over
+bytes (with line-refill + LAT overhead), Liao's call-dictionary with
+1- and 2-word codewords, and the software mini-subroutine transform.
+Expected ordering: nibble < baseline <= Liao-1 < mini-subroutine, and
+CCRP's whole-text Huffman sits near the baseline while its line-mode
+padding + LAT costs push it well above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import ccrp_compress, huffman_compress_bytes, liao_compress, minisub_compress
+from repro.core import BaselineEncoding, NibbleEncoding, compress
+from repro.experiments.common import pct, render_table, suite_programs
+
+TITLE = "Extension: dictionary compression vs related-work schemes"
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    nibble: float
+    baseline: float
+    liao1: float
+    liao2: float
+    minisub: float
+    huffman: float
+    ccrp_line: float
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        text = program.text_bytes()
+        rows.append(
+            Row(
+                name=name,
+                nibble=compress(program, NibbleEncoding()).compression_ratio,
+                baseline=compress(program, BaselineEncoding()).compression_ratio,
+                liao1=liao_compress(program, 1).compression_ratio,
+                liao2=liao_compress(program, 2).compression_ratio,
+                minisub=minisub_compress(program).compression_ratio,
+                huffman=huffman_compress_bytes(text).compressed_bytes / len(text),
+                ccrp_line=ccrp_compress(text).compressed_bytes / len(text),
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench", "nibble", "baseline", "liao-1", "liao-2", "minisub",
+         "huffman", "ccrp-line"],
+        [
+            (row.name, pct(row.nibble), pct(row.baseline), pct(row.liao1),
+             pct(row.liao2), pct(row.minisub), pct(row.huffman),
+             pct(row.ccrp_line))
+            for row in rows
+        ],
+        title=TITLE,
+    )

@@ -1,0 +1,81 @@
+"""Extension: CCRP measured end to end (paper section 2.3).
+
+Runs the actual CCRP codec (line-granular Huffman + LAT) against the
+dictionary method on both axes the paper argues about:
+
+* **size** — CCRP pays per-line padding and a LAT; the dictionary
+  method pays its dictionary but no LAT (branches are re-patched);
+* **decode work** — on every refill CCRP's decoder walks Huffman bits
+  serially, while a codeword is "a constant time table lookup"; we
+  count CCRP's decoded bits per 1k instructions next to the dictionary
+  machine's codeword expansions per 1k instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.ccrp_codec import ccrp_decode_all, ccrp_encode, ccrp_fetch_stats
+from repro.core import NibbleEncoding, compress
+from repro.experiments.common import pct, render_table, suite_programs
+from repro.machine.compressed_sim import CompressedSimulator
+
+TITLE = "Extension: CCRP (line Huffman + LAT) vs dictionary, size and decode work"
+CACHE_SIZE = 1024
+LINE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    nibble_ratio: float
+    ccrp_ratio: float
+    ccrp_decode_bits_per_ki: float
+    dict_expansions_per_ki: float
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        text = program.text_bytes()
+        image = ccrp_encode(text, LINE_BYTES)
+        if ccrp_decode_all(image) != text:  # pragma: no cover - codec check
+            raise AssertionError(f"{name}: CCRP codec round-trip failed")
+        stats = ccrp_fetch_stats(program, CACHE_SIZE, LINE_BYTES)
+
+        compressed = compress(program, NibbleEncoding())
+        simulator = CompressedSimulator(compressed)
+        simulator.run()
+        expansions_per_ki = (
+            1000.0
+            * simulator.stats.codeword_expansions
+            / max(simulator.stats.instructions_issued, 1)
+        )
+        rows.append(
+            Row(
+                name=name,
+                nibble_ratio=compressed.compression_ratio,
+                ccrp_ratio=image.compression_ratio,
+                ccrp_decode_bits_per_ki=stats.decode_bits_per_kilo_instruction,
+                dict_expansions_per_ki=expansions_per_ki,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench", "nibble ratio", "ccrp ratio", "ccrp bits/1k insn",
+         "dict expansions/1k insn"],
+        [
+            (
+                row.name,
+                pct(row.nibble_ratio),
+                pct(row.ccrp_ratio),
+                f"{row.ccrp_decode_bits_per_ki:.1f}",
+                f"{row.dict_expansions_per_ki:.1f}",
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

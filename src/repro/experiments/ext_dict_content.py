@@ -1,0 +1,50 @@
+"""Extension: what the dictionary actually contains.
+
+The paper's Figures 6/7 count entries by *length*; this experiment
+classifies them by the *kind of work* their instructions do — address
+formation, register moves, constants, memory access, compares, returns,
+ALU — weighted by each entry's contribution (uses × length).  It makes
+the section 1.1 story concrete: the compressible fabric of compiled
+code is the SDTS boilerplate around the computation, not the
+computation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import NibbleEncoding, compress
+from repro.core.analysis import analyze_dictionary
+from repro.experiments.common import pct, render_table, suite_programs
+
+TITLE = "Extension: dictionary content mix (nibble, weighted by uses x length)"
+CLASSES = (
+    "address", "move", "constant", "memory", "compare", "alu",
+    "return", "branch", "system",
+)
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    mix: dict[str, float]
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        compressed = compress(program, NibbleEncoding())
+        report = analyze_dictionary(name, compressed.dictionary)
+        rows.append(Row(name, report.class_mix_by_savings()))
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench"] + list(CLASSES),
+        [
+            tuple([row.name] + [pct(row.mix.get(cls, 0.0)) for cls in CLASSES])
+            for row in rows
+        ],
+        title=TITLE,
+    )

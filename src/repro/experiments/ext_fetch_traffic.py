@@ -1,0 +1,73 @@
+"""Extension: fetch-path traffic of the compressed processor.
+
+The paper's section 5 plans to "explore the performance aspects" of
+compression; [Chen97b] argues smaller programs reduce instruction-fetch
+bandwidth.  This experiment runs each benchmark on both simulators and
+compares bytes fetched from program memory per instruction issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import NibbleEncoding, compress
+from repro.experiments.common import render_table, suite_programs
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.simulator import run_program
+
+TITLE = "Extension: fetch traffic, uncompressed vs compressed (nibble)"
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    instructions_issued: int
+    uncompressed_fetch_bytes: int
+    compressed_fetch_bytes: float
+    codeword_expansions: int
+
+    @property
+    def traffic_ratio(self) -> float:
+        return self.compressed_fetch_bytes / self.uncompressed_fetch_bytes
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        reference = run_program(program)
+        compressed = compress(program, NibbleEncoding())
+        simulator = CompressedSimulator(compressed)
+        result = simulator.run()
+        if result.output_text != reference.output_text:
+            raise AssertionError(f"{name}: compressed run diverged")
+        rows.append(
+            Row(
+                name=name,
+                instructions_issued=simulator.stats.instructions_issued,
+                uncompressed_fetch_bytes=4 * reference.steps,
+                compressed_fetch_bytes=simulator.stats.bytes_fetched(
+                    compressed.encoding.alignment_bits
+                ),
+                codeword_expansions=simulator.stats.codeword_expansions,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench", "issued", "fetch bytes (uncomp)", "fetch bytes (comp)",
+         "traffic ratio", "cw expansions"],
+        [
+            (
+                row.name,
+                row.instructions_issued,
+                row.uncompressed_fetch_bytes,
+                f"{row.compressed_fetch_bytes:.0f}",
+                f"{row.traffic_ratio:.2f}",
+                row.codeword_expansions,
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

@@ -1,0 +1,87 @@
+"""Extension: interaction of compiler optimization and compression.
+
+The paper compiled at -O2 without inlining/unrolling because those
+"tend to increase code size".  This experiment asks the complementary
+question: how does *disabling* optimization interact with compression?
+Unoptimized code is bigger but more stereotyped, so it compresses
+harder — does compression close the O0/O2 size gap?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import compile_and_link
+from repro.compiler.driver import CompileOptions
+from repro.core import NibbleEncoding, compress
+from repro.experiments.common import default_scale, pct, render_table
+from repro.workloads import BENCHMARK_NAMES, benchmark_source
+
+TITLE = "Extension: optimization level vs compression (nibble encoding)"
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    o2_text: int
+    o0_text: int
+    o2_compressed: int
+    o0_compressed: int
+
+    @property
+    def text_inflation(self) -> float:
+        return self.o0_text / self.o2_text
+
+    @property
+    def compressed_inflation(self) -> float:
+        return self.o0_compressed / self.o2_compressed
+
+    @property
+    def o0_ratio(self) -> float:
+        return self.o0_compressed / self.o0_text
+
+    @property
+    def o2_ratio(self) -> float:
+        return self.o2_compressed / self.o2_text
+
+
+def run(scale: float | None = None) -> list[Row]:
+    if scale is None:
+        scale = default_scale()
+    rows = []
+    for name in BENCHMARK_NAMES:
+        source = benchmark_source(name, scale)
+        o2 = compile_and_link(source, name=name)
+        o0 = compile_and_link(
+            source, name=name, options=CompileOptions(opt_level=0)
+        )
+        rows.append(
+            Row(
+                name=name,
+                o2_text=o2.text_size,
+                o0_text=o0.text_size,
+                o2_compressed=compress(o2, NibbleEncoding()).compressed_bytes,
+                o0_compressed=compress(o0, NibbleEncoding()).compressed_bytes,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench", "O2 text", "O0 text", "O0/O2 text", "O2 ratio", "O0 ratio",
+         "O0/O2 compressed"],
+        [
+            (
+                row.name,
+                row.o2_text,
+                row.o0_text,
+                f"{row.text_inflation:.2f}x",
+                pct(row.o2_ratio),
+                pct(row.o0_ratio),
+                f"{row.compressed_inflation:.2f}x",
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

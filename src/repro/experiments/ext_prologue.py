@@ -1,0 +1,78 @@
+"""Extension: standardized prologue/epilogue ablation (paper section 5).
+
+The paper proposes that the compiler could standardize the function
+prologue (always save all callee-saved registers) so that every
+prologue compresses to a single codeword, trading pre-compression size
+for compressibility.  This experiment compiles each benchmark both
+ways and compares post-compression sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import NibbleEncoding, compress
+from repro.experiments.common import default_scale, pct, render_table
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+TITLE = "Extension: standardized prologue/epilogue ablation (nibble encoding)"
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    normal_text_bytes: int
+    standard_text_bytes: int
+    normal_compressed: int
+    standard_compressed: int
+
+    @property
+    def normal_ratio(self) -> float:
+        return self.normal_compressed / self.normal_text_bytes
+
+    @property
+    def standard_ratio(self) -> float:
+        # Ratio against the *normal* original size: did the trade pay
+        # off end to end?
+        return self.standard_compressed / self.normal_text_bytes
+
+
+def run(scale: float | None = None) -> list[Row]:
+    if scale is None:
+        scale = default_scale()
+    rows = []
+    for name in BENCHMARK_NAMES:
+        normal = build_benchmark(name, scale)
+        standard = build_benchmark(name, scale, standardize_prologue=True)
+        rows.append(
+            Row(
+                name=name,
+                normal_text_bytes=normal.text_size,
+                standard_text_bytes=standard.text_size,
+                normal_compressed=compress(normal, NibbleEncoding()).compressed_bytes,
+                standard_compressed=compress(
+                    standard, NibbleEncoding()
+                ).compressed_bytes,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench", "text (normal)", "text (std)", "compressed (normal)",
+         "compressed (std)", "ratio normal", "ratio std"],
+        [
+            (
+                row.name,
+                row.normal_text_bytes,
+                row.standard_text_bytes,
+                row.normal_compressed,
+                row.standard_compressed,
+                pct(row.normal_ratio),
+                pct(row.standard_ratio),
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

@@ -1,0 +1,68 @@
+"""Extension: execution-time cost of compression vs bus width.
+
+The paper: compression targets systems "where execution speed can be
+traded for compression", and section 5 plans to explore the
+performance aspects.  Using the timing model of
+:mod:`repro.machine.timing`, this experiment estimates cycles for the
+same dynamic instruction stream on both processors across instruction
+bus widths of 1, 2, and 4 bytes/cycle.
+
+Expected crossover: with a narrow (1-byte) bus the compressed machine
+is *faster* (it moves far fewer bytes); with a 4-byte bus it pays the
+dictionary-expansion latency and runs a few percent slower — the trade
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import NibbleEncoding, compress
+from repro.experiments.common import render_table, suite_programs
+from repro.machine.timing import TimingParameters, time_compressed, time_uncompressed
+
+TITLE = "Extension: cycle estimate vs instruction-bus width (nibble encoding)"
+BUS_WIDTHS = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    # bus width -> (uncompressed cycles, compressed cycles)
+    cycles: dict[int, tuple[float, float]]
+
+    def speedup(self, bus: int) -> float:
+        uncompressed, compressed = self.cycles[bus]
+        return uncompressed / compressed
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        compressed = compress(program, NibbleEncoding())
+        per_bus = {}
+        for bus in BUS_WIDTHS:
+            params = TimingParameters(bus_bytes=bus, expand_latency=1)
+            plain = time_uncompressed(program, params)
+            packed = time_compressed(compressed, params)
+            per_bus[bus] = (plain.cycles, packed.cycles)
+        rows.append(Row(name, per_bus))
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    headers = ["bench"]
+    for bus in BUS_WIDTHS:
+        headers += [f"{bus}B unc", f"{bus}B cmp", f"{bus}B speedup"]
+    table = []
+    for row in rows:
+        cells = [row.name]
+        for bus in BUS_WIDTHS:
+            uncompressed, compressed = row.cycles[bus]
+            cells += [
+                f"{uncompressed:.0f}",
+                f"{compressed:.0f}",
+                f"{row.speedup(bus):.2f}x",
+            ]
+        table.append(tuple(cells))
+    return render_table(headers, table, title=TITLE)

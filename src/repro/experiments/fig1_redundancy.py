@@ -1,0 +1,68 @@
+"""Figure 1: distinct instruction encodings as a share of the program.
+
+Paper claim: on average less than 20% of a program's instructions have
+a bit-pattern encoding used exactly once; a small number of encodings
+are highly reused (for go, the top 1% of distinct words cover ~30% of
+the program and the top 10% cover ~66%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profile import coverage_of_top_fraction, encoding_redundancy
+from repro.experiments.common import pct, render_table, suite_programs
+
+TITLE = "Figure 1: distinct instruction encodings as % of program"
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    instructions: int
+    distinct_multi_pct: float  # distinct encodings used >1x, as % of program
+    distinct_once_pct: float  # distinct encodings used exactly 1x
+    unique_instruction_pct: float  # instructions whose encoding is unique
+    top1_coverage: float
+    top10_coverage: float
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        profile = encoding_redundancy(program)
+        once = profile.instructions_with_unique_encoding
+        multi = profile.distinct_encodings - once
+        total = profile.total_instructions
+        rows.append(
+            Row(
+                name=name,
+                instructions=total,
+                distinct_multi_pct=multi / total,
+                distinct_once_pct=once / total,
+                unique_instruction_pct=profile.unique_fraction,
+                top1_coverage=coverage_of_top_fraction(program, 0.01),
+                top10_coverage=coverage_of_top_fraction(program, 0.10),
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench", "insns", "distinct>1 %", "distinct=1 %", "unique-insn %",
+         "top1% cover", "top10% cover"],
+        [
+            (
+                row.name,
+                row.instructions,
+                pct(row.distinct_multi_pct),
+                pct(row.distinct_once_pct),
+                pct(row.unique_instruction_pct),
+                pct(row.top1_coverage),
+                pct(row.top10_coverage),
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

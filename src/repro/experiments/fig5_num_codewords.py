@@ -1,0 +1,50 @@
+"""Figure 5: effect of the number of codewords on compression.
+
+Baseline encoding, entries up to 4 instructions, sweeping the codeword
+budget.  Paper claims: the ratio improves monotonically with dictionary
+size until the maximum useful codeword count is reached; dictionary
+size is the single most important parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import BaselineEncoding, compress
+from repro.experiments.common import pct, render_table, suite_programs
+
+TITLE = "Figure 5: compression ratio vs number of codewords (baseline)"
+CODEWORD_BUDGETS = (16, 64, 256, 1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    ratios: dict[int, float]
+
+
+def run(scale: float | None = None) -> list[Row]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        ratios = {}
+        for budget in CODEWORD_BUDGETS:
+            compressed = compress(
+                program,
+                BaselineEncoding(),
+                max_entry_len=4,
+                max_codewords=budget,
+            )
+            ratios[budget] = compressed.compression_ratio
+        rows.append(Row(name, ratios))
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    return render_table(
+        ["bench"] + [str(n) for n in CODEWORD_BUDGETS],
+        [
+            tuple([row.name] + [pct(row.ratios[n]) for n in CODEWORD_BUDGETS])
+            for row in rows
+        ],
+        title=TITLE,
+    )

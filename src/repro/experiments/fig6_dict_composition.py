@@ -1,0 +1,61 @@
+"""Figure 6: composition of the dictionary by entry length (ijpeg).
+
+Baseline compression extended to entries of up to 8 instructions,
+sweeping dictionary size.  Paper claims: 48%–80% of dictionary entries
+hold a single instruction, and the proportion of short entries grows
+with dictionary size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import BaselineEncoding, compress
+from repro.experiments.common import pct, render_table, suite_programs
+
+TITLE = "Figure 6: dictionary composition by entry length (ijpeg, entries <= 8)"
+DICT_SIZES = (16, 64, 256, 1024, 4096)
+BENCH = "ijpeg"
+
+
+@dataclass(frozen=True)
+class Row:
+    dict_size: int
+    entries: int
+    length_fractions: dict[int, float]  # entry length -> fraction of entries
+
+
+def run(scale: float | None = None) -> list[Row]:
+    program = suite_programs(scale)[BENCH]
+    rows = []
+    for size in DICT_SIZES:
+        compressed = compress(
+            program, BaselineEncoding(), max_entry_len=8, max_codewords=size
+        )
+        histogram = compressed.dictionary.length_histogram()
+        total = max(1, len(compressed.dictionary))
+        rows.append(
+            Row(
+                dict_size=size,
+                entries=len(compressed.dictionary),
+                length_fractions={
+                    length: count / total for length, count in histogram.items()
+                },
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    lengths = sorted({length for row in rows for length in row.length_fractions})
+    return render_table(
+        ["dict size", "entries"] + [f"len {n}" for n in lengths],
+        [
+            tuple(
+                [row.dict_size, row.entries]
+                + [pct(row.length_fractions.get(n, 0.0)) for n in lengths]
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

@@ -1,0 +1,46 @@
+"""Figure 9: composition of the compressed program.
+
+Baseline, 8192 codewords, entries up to 4 instructions: the compressed
+program decomposed into uncompressed instruction bytes, codeword index
+bytes, codeword escape bytes, and dictionary bytes.  Paper claim: with
+8192 codewords ~40% of the compressed program bytes are codewords, so
+~20% of the final size is pure escape-byte overhead — the observation
+that motivates the nibble-aligned encoding.
+"""
+
+from __future__ import annotations
+
+from repro.core import BaselineEncoding, compress
+from repro.core.stats import CompressionStats, collect_stats
+from repro.experiments.common import pct, render_table, suite_programs
+
+TITLE = "Figure 9: composition of compressed program (baseline, 8192 codewords)"
+
+
+def run(scale: float | None = None) -> list[CompressionStats]:
+    rows = []
+    for name, program in suite_programs(scale).items():
+        compressed = compress(program, BaselineEncoding(8192), max_entry_len=4)
+        rows.append(collect_stats(compressed))
+    return rows
+
+
+def render(rows: list[CompressionStats]) -> str:
+    table_rows = []
+    for stats in rows:
+        fractions = stats.composition_fractions()
+        table_rows.append(
+            (
+                stats.name,
+                pct(stats.compression_ratio),
+                pct(fractions["uncompressed_instructions"]),
+                pct(fractions["codeword_index"]),
+                pct(fractions["codeword_escape"]),
+                pct(fractions["dictionary"]),
+            )
+        )
+    return render_table(
+        ["bench", "ratio", "uncompressed", "cw index", "cw escape", "dictionary"],
+        table_rows,
+        title=TITLE,
+    )

@@ -1,0 +1,93 @@
+"""Registry of all experiments, keyed by table/figure id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+
+from repro.experiments import (
+    ext_baselines,
+    ext_canon,
+    ext_ccrp,
+    ext_dict_content,
+    ext_dynamic,
+    ext_encoding_search,
+    ext_fetch_traffic,
+    ext_greedy_gap,
+    ext_icache,
+    ext_optlevel,
+    ext_prologue,
+    ext_shared_dict,
+    ext_speed,
+    ext_thumb,
+    fig1_redundancy,
+    fig4_entry_size,
+    fig5_num_codewords,
+    fig6_dict_composition,
+    fig7_bytes_saved,
+    fig8_small_dicts,
+    fig9_composition,
+    fig11_vs_compress,
+    table1_branch_offsets,
+    table2_max_codewords,
+    table3_prologue,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    id: str
+    module: ModuleType
+
+    @property
+    def title(self) -> str:
+        return self.module.TITLE
+
+    def run(self, scale: float | None = None):
+        return self.module.run(scale)
+
+    def render(self, rows) -> str:
+        return self.module.render(rows)
+
+    def run_and_render(self, scale: float | None = None) -> str:
+        return self.render(self.run(scale))
+
+
+REGISTRY: dict[str, Experiment] = {
+    exp.id: exp
+    for exp in (
+        Experiment("fig1", fig1_redundancy),
+        Experiment("table1", table1_branch_offsets),
+        Experiment("fig4", fig4_entry_size),
+        Experiment("fig5", fig5_num_codewords),
+        Experiment("table2", table2_max_codewords),
+        Experiment("fig6", fig6_dict_composition),
+        Experiment("fig7", fig7_bytes_saved),
+        Experiment("fig8", fig8_small_dicts),
+        Experiment("fig9", fig9_composition),
+        Experiment("fig11", fig11_vs_compress),
+        Experiment("table3", table3_prologue),
+        Experiment("ext_baselines", ext_baselines),
+        Experiment("ext_prologue", ext_prologue),
+        Experiment("ext_fetch", ext_fetch_traffic),
+        Experiment("ext_icache", ext_icache),
+        Experiment("ext_canon", ext_canon),
+        Experiment("ext_greedy_gap", ext_greedy_gap),
+        Experiment("ext_optlevel", ext_optlevel),
+        Experiment("ext_dynamic", ext_dynamic),
+        Experiment("ext_encoding_search", ext_encoding_search),
+        Experiment("ext_thumb", ext_thumb),
+        Experiment("ext_speed", ext_speed),
+        Experiment("ext_ccrp", ext_ccrp),
+        Experiment("ext_shared_dict", ext_shared_dict),
+        Experiment("ext_dict_content", ext_dict_content),
+    )
+}
+
+
+def run_experiment(experiment_id: str, scale: float | None = None) -> str:
+    """Run one experiment by id and return its rendered table."""
+    if experiment_id not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return REGISTRY[experiment_id].run_and_render(scale)

@@ -1,0 +1,61 @@
+"""Full-report renderer: every experiment into one document.
+
+``repro-experiments --output report.txt`` (or
+``python -m repro.experiments.report``) regenerates the complete
+evaluation — the measured side of EXPERIMENTS.md — in one run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.registry import REGISTRY
+
+PAPER_ORDER = [
+    "fig1", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "fig8",
+    "fig9", "fig11", "table3",
+]
+EXTENSION_ORDER = [
+    "ext_baselines", "ext_prologue", "ext_fetch", "ext_icache", "ext_canon",
+    "ext_greedy_gap", "ext_optlevel", "ext_dynamic", "ext_encoding_search",
+    "ext_thumb", "ext_speed", "ext_ccrp", "ext_shared_dict",
+    "ext_dict_content",
+]
+
+
+def generate_report(scale: float = 1.0, ids: list[str] | None = None) -> str:
+    """Run experiments and return the full text report."""
+    selected = ids if ids is not None else PAPER_ORDER + EXTENSION_ORDER
+    sections = [
+        "repro — measured results "
+        f"(scale {scale}; {len(selected)} experiments)",
+        "=" * 64,
+        "",
+    ]
+    for experiment_id in selected:
+        experiment = REGISTRY[experiment_id]
+        start = time.time()
+        sections.append(experiment.run_and_render(scale))
+        sections.append(f"[{experiment_id}: {time.time() - start:.1f}s]")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args(argv)
+    report = generate_report(args.scale)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Table 1: usage of bits in branch offset fields.
+
+For each benchmark: the static number of PC-relative branches and how
+many of them lack the spare offset-field bits to address targets at
+2-byte, 1-byte, and 4-bit resolution.  Paper claim: most branches do
+not use the full range of their offset field, so re-scaling offsets to
+codeword granularity rarely overflows.
+"""
+
+from __future__ import annotations
+
+from repro.core.branch_patch import OffsetUsageRow, offset_usage
+from repro.experiments.common import render_table, suite_programs
+
+TITLE = "Table 1: usage of bits in branch offset field"
+
+
+def run(scale: float | None = None) -> list[OffsetUsageRow]:
+    return [offset_usage(program) for program in suite_programs(scale).values()]
+
+
+def render(rows: list[OffsetUsageRow]) -> str:
+    return render_table(
+        ["bench", "PC-rel branches", "no 2B res", "%", "no 1B res", "%",
+         "no 4b res", "%"],
+        [
+            (
+                row.name,
+                row.static_branches,
+                row.too_narrow_2byte,
+                f"{row.percent(row.too_narrow_2byte):.2f}",
+                row.too_narrow_1byte,
+                f"{row.percent(row.too_narrow_1byte):.2f}",
+                row.too_narrow_4bit,
+                f"{row.percent(row.too_narrow_4bit):.2f}",
+            )
+            for row in rows
+        ],
+        title=TITLE,
+    )

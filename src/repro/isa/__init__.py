@@ -1,0 +1,42 @@
+"""PowerPC instruction-set substrate.
+
+This package implements a bit-accurate subset of the 32-bit PowerPC
+architecture: instruction forms, encoding and decoding, an assembler and
+a disassembler.  The compression experiments in :mod:`repro.core` operate
+on the 32-bit instruction words produced here, and rely on
+:data:`repro.isa.opcodes.ILLEGAL_PRIMARY_OPCODES` for their escape-byte
+space (paper section 4.1).
+"""
+
+from repro.isa.assembler import Assembler, assemble_line, assemble_source
+from repro.isa.disassembler import disassemble, disassemble_words
+from repro.isa.instruction import Instruction, decode, encode
+from repro.isa.opcodes import (
+    ILLEGAL_PRIMARY_OPCODES,
+    INSTRUCTION_SPECS,
+    escape_bytes,
+    is_illegal_word,
+    spec_for,
+)
+from repro.isa.registers import CR_FIELDS, GPR_COUNT, LR, CTR, reg_name
+
+__all__ = [
+    "Assembler",
+    "assemble_line",
+    "assemble_source",
+    "disassemble",
+    "disassemble_words",
+    "Instruction",
+    "decode",
+    "encode",
+    "ILLEGAL_PRIMARY_OPCODES",
+    "INSTRUCTION_SPECS",
+    "escape_bytes",
+    "is_illegal_word",
+    "spec_for",
+    "CR_FIELDS",
+    "GPR_COUNT",
+    "LR",
+    "CTR",
+    "reg_name",
+]

@@ -1,0 +1,265 @@
+"""Two-pass text assembler for the PowerPC subset.
+
+Supports labels, canonical mnemonics from :mod:`repro.isa.opcodes`, and
+the usual extended mnemonics (``li``, ``mr``, ``blr``, ``beq`` …) that
+GCC-era PowerPC assembly uses.  Branch targets may be labels or literal
+instruction-granularity offsets.
+
+The compiler does not go through text — it builds
+:class:`~repro.isa.instruction.Instruction` objects directly — but the
+assembler makes tests and examples readable and provides the inverse of
+the disassembler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.isa import registers
+from repro.isa.fields import OperandKind
+from repro.isa.instruction import Instruction, make
+from repro.isa.opcodes import SPEC_BY_MNEMONIC
+
+# CR bit indices within a field, used by conditional extended mnemonics.
+_LT, _GT, _EQ = 0, 1, 2
+
+# name -> (BO, cr_bit, branch_if_true)
+_COND_BRANCHES = {
+    "blt": (12, _LT),
+    "bgt": (12, _GT),
+    "beq": (12, _EQ),
+    "bge": (4, _LT),
+    "ble": (4, _GT),
+    "bne": (4, _EQ),
+}
+
+
+@dataclass
+class _PendingBranch:
+    """A branch whose target label is resolved in pass two."""
+
+    index: int
+    mnemonic: str
+    values: list
+    target_slot: int
+    label: str
+
+
+@dataclass(frozen=True)
+class AssembledUnit:
+    """Result of assembling a source text."""
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int]  # label -> instruction index
+
+    @property
+    def words(self) -> tuple[int, ...]:
+        return tuple(ins.encode() for ins in self.instructions)
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer operand: {token!r}") from exc
+
+
+def _parse_operands(text: str) -> list[str]:
+    """Split an operand list on commas, keeping ``D(rA)`` intact."""
+    out = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        out.append(current.strip())
+    return out
+
+
+class Assembler:
+    """Accumulates source lines; ``finish`` resolves labels and encodes."""
+
+    def __init__(self) -> None:
+        self._instructions: list[Instruction | None] = []
+        self._labels: dict[str, int] = {}
+        self._pending: list[_PendingBranch] = []
+
+    def add_line(self, line: str) -> None:
+        """Process one line: optional ``label:`` prefix, then an instruction."""
+        line = line.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            return
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier() and not label.startswith("."):
+                raise AssemblerError(f"bad label: {label!r}")
+            if label in self._labels:
+                raise AssemblerError(f"duplicate label: {label!r}")
+            self._labels[label] = len(self._instructions)
+            line = rest.strip()
+        if not line:
+            return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        self._emit(mnemonic, _parse_operands(operand_text))
+
+    def _emit(self, mnemonic: str, tokens: list[str]) -> None:
+        mnemonic, tokens = _expand_extended(mnemonic, tokens)
+        spec = SPEC_BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise AssemblerError(f"unknown mnemonic: {mnemonic!r}")
+        if len(tokens) != len(spec.operands):
+            raise AssemblerError(
+                f"{mnemonic} expects {len(spec.operands)} operands, got {len(tokens)}"
+            )
+        values: list = []
+        pending_label: tuple[int, str] | None = None
+        try:
+            values, pending_label = self._parse_operand_values(spec, tokens)
+        except ValueError as exc:
+            raise AssemblerError(str(exc)) from exc
+        index = len(self._instructions)
+        if pending_label is None:
+            self._instructions.append(make(mnemonic, *values))
+        else:
+            slot, label = pending_label
+            self._instructions.append(None)
+            self._pending.append(_PendingBranch(index, mnemonic, values, slot, label))
+
+    def _parse_operand_values(self, spec, tokens):
+        values: list = []
+        pending_label: tuple[int, str] | None = None
+        for slot, (op, token) in enumerate(zip(spec.operands, tokens)):
+            if op.kind is OperandKind.GPR:
+                values.append(registers.parse_reg(token))
+            elif op.kind is OperandKind.CRF:
+                values.append(registers.parse_crf(token))
+            elif op.kind in (OperandKind.SIMM, OperandKind.UIMM, OperandKind.UINT):
+                values.append(_parse_int(token))
+            elif op.kind is OperandKind.SPR:
+                values.append(_parse_spr(token))
+            elif op.kind is OperandKind.DISP_GPR:
+                if not token.endswith(")") or "(" not in token:
+                    raise AssemblerError(f"bad memory operand: {token!r}")
+                disp_text, _, base_text = token[:-1].partition("(")
+                values.append((_parse_int(disp_text), registers.parse_reg(base_text)))
+            elif op.kind is OperandKind.REL_TARGET:
+                stripped = token.lstrip("+-")
+                if stripped and (stripped.isdigit() or stripped.lower().startswith("0x")):
+                    values.append(_parse_int(token))
+                else:
+                    values.append(0)
+                    pending_label = (slot, token)
+            else:  # pragma: no cover - spec table is closed
+                raise AssemblerError(f"unhandled operand kind {op.kind}")
+        return values, pending_label
+
+    def finish(self) -> AssembledUnit:
+        """Resolve labels and return the encoded unit."""
+        for branch in self._pending:
+            if branch.label not in self._labels:
+                raise AssemblerError(f"undefined label: {branch.label!r}")
+            offset = self._labels[branch.label] - branch.index
+            branch.values[branch.target_slot] = offset
+            self._instructions[branch.index] = make(branch.mnemonic, *branch.values)
+        instructions = []
+        for ins in self._instructions:
+            assert ins is not None
+            instructions.append(ins)
+        return AssembledUnit(tuple(instructions), dict(self._labels))
+
+
+def _parse_spr(token: str) -> int:
+    token = token.strip().lower()
+    named = {"xer": registers.XER, "lr": registers.LR, "ctr": registers.CTR}
+    if token in named:
+        return named[token]
+    return _parse_int(token)
+
+
+def _expand_extended(mnemonic: str, tokens: list[str]) -> tuple[str, list[str]]:
+    """Rewrite an extended mnemonic into its canonical form."""
+    if mnemonic == "li":
+        return "addi", [tokens[0], "r0", tokens[1]]
+    if mnemonic == "lis":
+        return "addis", [tokens[0], "r0", tokens[1]]
+    if mnemonic == "la":
+        return "addi", tokens
+    if mnemonic == "mr":
+        return "or", [tokens[0], tokens[1], tokens[1]]
+    if mnemonic == "not":
+        return "nor", [tokens[0], tokens[1], tokens[1]]
+    if mnemonic == "nop":
+        return "ori", ["r0", "r0", "0"]
+    if mnemonic == "blr":
+        return "bclr", ["20", "0"]
+    if mnemonic == "bctr":
+        return "bcctr", ["20", "0"]
+    if mnemonic == "bctrl":
+        return "bcctrl", ["20", "0"]
+    if mnemonic == "mflr":
+        return "mfspr", [tokens[0], "lr"]
+    if mnemonic == "mtlr":
+        return "mtspr", ["lr", tokens[0]]
+    if mnemonic == "mfctr":
+        return "mfspr", [tokens[0], "ctr"]
+    if mnemonic == "mtctr":
+        return "mtspr", ["ctr", tokens[0]]
+    if mnemonic == "slwi":
+        # slwi rA,rS,n == rlwinm rA,rS,n,0,31-n
+        n = _parse_int(tokens[2])
+        return "rlwinm", [tokens[0], tokens[1], str(n), "0", str(31 - n)]
+    if mnemonic == "srwi":
+        # srwi rA,rS,n == rlwinm rA,rS,32-n,n,31
+        n = _parse_int(tokens[2])
+        return "rlwinm", [tokens[0], tokens[1], str((32 - n) % 32), str(n), "31"]
+    if mnemonic == "clrlwi":
+        # clrlwi rA,rS,n == rlwinm rA,rS,0,n,31
+        return "rlwinm", [tokens[0], tokens[1], "0", tokens[2], "31"]
+    if mnemonic == "bdnz":
+        # Decrement CTR, branch if CTR != 0.
+        return "bc", ["16", "0", tokens[0]]
+    if mnemonic in _COND_BRANCHES:
+        bo, bit = _COND_BRANCHES[mnemonic]
+        if len(tokens) == 2:
+            crf = registers.parse_crf(tokens[0])
+            target = tokens[1]
+        else:
+            crf = 0
+            target = tokens[0]
+        return "bc", [str(bo), str(crf * 4 + bit), target]
+    if mnemonic in ("cmpwi", "cmplwi") and len(tokens) == 2:
+        return mnemonic, ["cr0"] + tokens
+    if mnemonic in ("cmpw", "cmplw") and len(tokens) == 2:
+        return mnemonic, ["cr0"] + tokens
+    return mnemonic, tokens
+
+
+def assemble_line(line: str) -> Instruction:
+    """Assemble a single label-free instruction line."""
+    asm = Assembler()
+    asm.add_line(line)
+    unit = asm.finish()
+    if len(unit.instructions) != 1:
+        raise AssemblerError(f"expected exactly one instruction in {line!r}")
+    return unit.instructions[0]
+
+
+def assemble_source(source: str) -> AssembledUnit:
+    """Assemble a multi-line source text with labels."""
+    asm = Assembler()
+    for line in source.splitlines():
+        asm.add_line(line)
+    return asm.finish()

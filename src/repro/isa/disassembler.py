@@ -1,0 +1,135 @@
+"""Disassembler: 32-bit words back to readable assembly text.
+
+Produces the same extended mnemonics the assembler accepts (``li``,
+``mr``, ``blr``, ``beq`` …) so that ``assemble(disassemble(w)) == w``
+round-trips — a property the test suite checks exhaustively with
+hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.isa import registers
+from repro.isa.fields import OperandKind
+from repro.isa.instruction import Instruction, decode
+
+_COND_NAMES = {
+    (12, 0): "blt",
+    (12, 1): "bgt",
+    (12, 2): "beq",
+    (4, 0): "bge",
+    (4, 1): "ble",
+    (4, 2): "bne",
+}
+
+_SPR_NAMES = {registers.XER: "xer", registers.LR: "lr", registers.CTR: "ctr"}
+
+
+def _format_target(raw_offset: int, index: int | None, base: int = 0) -> str:
+    """Format a branch target: absolute index when known, else raw offset."""
+    if index is not None:
+        return f"{(index + raw_offset) * 4 + base:#x}"
+    return f"{raw_offset:+d}" if raw_offset else "+0"
+
+
+def format_instruction(
+    ins: Instruction, index: int | None = None, base_address: int = 0
+) -> str:
+    """Render one instruction.  ``index`` (instruction position) lets
+    branch targets print as absolute byte addresses like the paper's
+    Figure 2 listing; ``base_address`` offsets them (e.g. a text base)."""
+    extended = _extended_form(ins, index, base_address)
+    if extended is not None:
+        return extended
+    parts = []
+    for op, value in zip(ins.spec.operands, ins.values):
+        if op.kind is OperandKind.GPR:
+            parts.append(registers.reg_name(value))
+        elif op.kind is OperandKind.CRF:
+            parts.append(registers.crf_name(value))
+        elif op.kind is OperandKind.DISP_GPR:
+            disp, base = value
+            parts.append(f"{disp}({registers.reg_name(base)})")
+        elif op.kind is OperandKind.REL_TARGET:
+            parts.append(_format_target(value, index, base_address))
+        elif op.kind is OperandKind.SPR:
+            parts.append(_SPR_NAMES.get(value, str(value)))
+        else:
+            parts.append(str(value))
+    if parts:
+        return f"{ins.mnemonic} {','.join(parts)}"
+    return ins.mnemonic
+
+
+def _extended_form(
+    ins: Instruction, index: int | None, base_address: int = 0
+) -> str | None:
+    """Return an extended-mnemonic rendering when one applies."""
+    name = ins.mnemonic
+    if name == "addi" and ins.operand("rA") == 0:
+        return f"li {registers.reg_name(ins.operand('rT'))},{ins.operand('SI')}"
+    if name == "addis" and ins.operand("rA") == 0:
+        return f"lis {registers.reg_name(ins.operand('rT'))},{ins.operand('SI')}"
+    if name == "or" and ins.operand("rS") == ins.operand("rB"):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+        if ra == rs == 0:
+            return None  # leave `or r0,r0,r0` alone; nop is ori
+        return f"mr {registers.reg_name(ra)},{registers.reg_name(rs)}"
+    if name == "ori" and ins.values == (0, 0, 0):
+        return "nop"
+    if name == "bclr" and ins.values == (20, 0):
+        return "blr"
+    if name == "bcctr" and ins.values == (20, 0):
+        return "bctr"
+    if name == "bcctrl" and ins.values == (20, 0):
+        return "bctrl"
+    if name == "mfspr":
+        spr = ins.operand("SPR")
+        if spr == registers.LR:
+            return f"mflr {registers.reg_name(ins.operand('rT'))}"
+        if spr == registers.CTR:
+            return f"mfctr {registers.reg_name(ins.operand('rT'))}"
+    if name == "mtspr":
+        spr = ins.operand("SPR")
+        if spr == registers.LR:
+            return f"mtlr {registers.reg_name(ins.operand('rS'))}"
+        if spr == registers.CTR:
+            return f"mtctr {registers.reg_name(ins.operand('rS'))}"
+    if name == "rlwinm":
+        ra = registers.reg_name(ins.operand("rA"))
+        rs = registers.reg_name(ins.operand("rS"))
+        sh, mb, me = ins.operand("SH"), ins.operand("MB"), ins.operand("ME")
+        if sh == 0 and me == 31 and mb > 0:
+            return f"clrlwi {ra},{rs},{mb}"
+        if me == 31 - sh and mb == 0 and sh > 0:
+            return f"slwi {ra},{rs},{sh}"
+        if sh > 0 and mb == 32 - sh and me == 31:
+            return f"srwi {ra},{rs},{32 - sh}"
+        return None
+    if name == "bc" and ins.operand("BO") == 16 and ins.operand("BI") == 0:
+        return f"bdnz {_format_target(ins.operand('target'), index, base_address)}"
+    if name == "bc":
+        key = (ins.operand("BO"), ins.operand("BI") % 4)
+        if key in _COND_NAMES:
+            crf = ins.operand("BI") // 4
+            target = _format_target(ins.operand("target"), index, base_address)
+            if crf:
+                return f"{_COND_NAMES[key]} {registers.crf_name(crf)},{target}"
+            return f"{_COND_NAMES[key]} {target}"
+    return None
+
+
+def disassemble(word: int, index: int | None = None) -> str:
+    """Disassemble a single 32-bit word."""
+    return format_instruction(decode(word), index)
+
+
+def disassemble_words(words, base_index: int = 0) -> list[str]:
+    """Disassemble a word sequence; unknown words print as ``.word``."""
+    out = []
+    for i, word in enumerate(words):
+        try:
+            out.append(disassemble(word, base_index + i))
+        except DecodingError:
+            out.append(f".word {word:#010x}")
+    return out

@@ -1,0 +1,83 @@
+"""Register model for the PowerPC subset.
+
+PowerPC has 32 general-purpose registers, 8 condition-register fields of
+4 bits each, and special-purpose registers, of which we model LR (link
+register, SPR 8) and CTR (count register, SPR 9).
+
+The ABI roles below follow the System V PowerPC ELF ABI that GCC used for
+the paper's benchmarks: r1 is the stack pointer, r3–r10 carry arguments
+and r3 the return value, r31 downwards are callee-saved.
+"""
+
+from __future__ import annotations
+
+GPR_COUNT = 32
+CR_FIELDS = 8
+
+# Special-purpose register numbers (as used by mtspr/mfspr).
+XER = 1
+LR = 8
+CTR = 9
+
+SPR_NAMES = {XER: "xer", LR: "lr", CTR: "ctr"}
+
+# ABI register roles.
+STACK_POINTER = 1
+TOC_POINTER = 2
+FIRST_ARG = 3
+LAST_ARG = 10
+RETURN_VALUE = 3
+FIRST_CALLEE_SAVED = 14
+SCRATCH = 0  # r0: prologue/epilogue scratch, not allocatable
+
+# CR bit offsets within a 4-bit CR field.
+CR_LT = 0
+CR_GT = 1
+CR_EQ = 2
+CR_SO = 3
+
+
+def reg_name(number: int) -> str:
+    """Render a GPR number as assembly text (``r5``)."""
+    if not 0 <= number < GPR_COUNT:
+        raise ValueError(f"GPR number {number} out of range")
+    return f"r{number}"
+
+
+def crf_name(number: int) -> str:
+    """Render a CR field number as assembly text (``cr1``)."""
+    if not 0 <= number < CR_FIELDS:
+        raise ValueError(f"CR field {number} out of range")
+    return f"cr{number}"
+
+
+def parse_reg(text: str) -> int:
+    """Parse ``r5`` (or ``sp`` for r1) into a GPR number."""
+    text = text.strip().lower()
+    if text == "sp":
+        return STACK_POINTER
+    if text.startswith("r") and text[1:].isdigit():
+        number = int(text[1:])
+        if 0 <= number < GPR_COUNT:
+            return number
+    raise ValueError(f"bad register name: {text!r}")
+
+
+def parse_crf(text: str) -> int:
+    """Parse ``cr1`` into a CR field number."""
+    text = text.strip().lower()
+    if text.startswith("cr") and text[2:].isdigit():
+        number = int(text[2:])
+        if 0 <= number < CR_FIELDS:
+            return number
+    raise ValueError(f"bad condition register field: {text!r}")
+
+
+def callee_saved() -> range:
+    """GPRs the callee must preserve across calls (r14–r31)."""
+    return range(FIRST_CALLEE_SAVED, GPR_COUNT)
+
+
+def argument_regs() -> range:
+    """GPRs used to pass the first eight integer arguments (r3–r10)."""
+    return range(FIRST_ARG, LAST_ARG + 1)

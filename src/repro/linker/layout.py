@@ -1,0 +1,224 @@
+"""Static linking: object modules -> Program.
+
+Mirrors the paper's setup ("Linking was done statically so that the
+libraries are included in the results"): application modules and the
+runtime library are laid out into one .text section, symbols resolved,
+branch offsets encoded at word granularity, and jump tables materialized
+in .data with absolute code addresses.
+"""
+
+from __future__ import annotations
+
+from repro import bitutils
+from repro.errors import LinkError
+from repro.isa.fields import OperandKind
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import SPEC_BY_MNEMONIC
+from repro.linker.objfile import AsmOp, DataItem, FunctionUnit, ObjectModule
+from repro.linker.program import (
+    DATA_BASE,
+    TEXT_BASE,
+    JumpTableSlot,
+    Program,
+    TextInstruction,
+)
+
+ENTRY_SYMBOL = "_start"
+
+
+def _ha(address: int) -> int:
+    """High-adjusted 16 bits: pairs with a sign-extending low half."""
+    return ((address + 0x8000) >> 16) & 0xFFFF
+
+
+def _lo(address: int) -> int:
+    """Signed low 16 bits (pairs with :func:`_ha`)."""
+    return bitutils.sign_extend(address & 0xFFFF, 16)
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def link(modules: list[ObjectModule], name: str = "a.out") -> Program:
+    """Resolve symbols across ``modules`` and produce a linked Program.
+
+    The function named ``_start`` becomes the entry point and is placed
+    first.  Raises :class:`~repro.errors.LinkError` on duplicate or
+    undefined symbols and on out-of-range branch offsets.
+    """
+    functions: list[FunctionUnit] = []
+    data_items: list[DataItem] = []
+    for module in modules:
+        functions.extend(module.functions)
+        data_items.extend(module.data)
+
+    by_name: dict[str, FunctionUnit] = {}
+    for fn in functions:
+        if fn.name in by_name:
+            raise LinkError(f"duplicate function symbol {fn.name!r}")
+        by_name[fn.name] = fn
+    if ENTRY_SYMBOL not in by_name:
+        raise LinkError(f"no entry symbol {ENTRY_SYMBOL!r}")
+    ordered = [by_name[ENTRY_SYMBOL]] + [f for f in functions if f.name != ENTRY_SYMBOL]
+
+    # Pass 1: assign every function a base instruction index.
+    func_base: dict[str, int] = {}
+    cursor = 0
+    for fn in ordered:
+        func_base[fn.name] = cursor
+        cursor += len(fn.ops)
+    total_instructions = cursor
+
+    # Data layout.
+    data_image = bytearray()
+    data_addr: dict[str, int] = {}
+    for item in data_items:
+        if item.symbol in data_addr or item.symbol in func_base:
+            raise LinkError(f"duplicate data symbol {item.symbol!r}")
+        offset = _align(len(data_image), item.align)
+        data_image.extend(b"\x00" * (offset - len(data_image)))
+        data_addr[item.symbol] = DATA_BASE + offset
+        payload = item.initial + b"\x00" * (item.size - len(item.initial))
+        data_image.extend(payload)
+
+    symbols: dict[str, int] = {
+        fn_name: TEXT_BASE + 4 * base for fn_name, base in func_base.items()
+    }
+    symbols.update(data_addr)
+
+    # Pass 2: encode instructions with resolved targets.
+    text: list[TextInstruction] = []
+    for fn in ordered:
+        base = func_base[fn.name]
+        for local_index, op in enumerate(fn.ops):
+            index = base + local_index
+            target_index = None
+            values = list(op.values)
+            if op.target is not None:
+                target_index = _resolve_target(op, fn, func_base, by_name)
+                slot = _rel_target_slot(op.mnemonic)
+                offset = target_index - index
+                _check_branch_range(op.mnemonic, offset, fn.name)
+                values[slot] = offset
+            if op.hi_symbol is not None:
+                values = _apply_hi(op, values, op.hi_symbol, data_addr, fn.name)
+            if op.lo_symbol is not None:
+                values = _apply_lo(op, values, op.lo_symbol, op.lo_addend, data_addr, fn.name)
+            instruction = Instruction(SPEC_BY_MNEMONIC[op.mnemonic], tuple(values))
+            text.append(
+                TextInstruction(
+                    instruction=instruction,
+                    role=op.role,
+                    function=fn.name,
+                    is_library=fn.is_library,
+                    target_index=target_index,
+                )
+            )
+
+    # Jump-table slots: write absolute code addresses into .data.
+    slots: list[JumpTableSlot] = []
+    for item in data_items:
+        item_offset = data_addr[item.symbol] - DATA_BASE
+        for word_index, (func_name, label) in sorted(item.code_labels.items()):
+            if func_name not in by_name:
+                raise LinkError(f"jump table {item.symbol}: unknown function {func_name!r}")
+            fn = by_name[func_name]
+            if label not in fn.labels:
+                raise LinkError(f"jump table {item.symbol}: unknown label {label!r}")
+            target_index = func_base[func_name] + fn.labels[label]
+            byte_offset = item_offset + 4 * word_index
+            if byte_offset + 4 > len(data_image):
+                raise LinkError(f"jump table {item.symbol}: slot outside object")
+            address = TEXT_BASE + 4 * target_index
+            data_image[byte_offset : byte_offset + 4] = address.to_bytes(4, "big")
+            slots.append(JumpTableSlot(byte_offset, target_index))
+
+    if total_instructions != len(text):  # pragma: no cover - internal invariant
+        raise LinkError("layout size mismatch")
+    program = Program(
+        name=name,
+        text=text,
+        data_image=data_image,
+        symbols=symbols,
+        jump_table_slots=slots,
+        entry_index=func_base[ENTRY_SYMBOL],
+    )
+    program.check_consistency()
+    return program
+
+
+def _resolve_target(
+    op: AsmOp,
+    fn: FunctionUnit,
+    func_base: dict[str, int],
+    by_name: dict[str, FunctionUnit],
+) -> int:
+    assert op.target is not None
+    if op.target in fn.labels:
+        return func_base[fn.name] + fn.labels[op.target]
+    if op.target in by_name:
+        return func_base[op.target]
+    raise LinkError(f"{fn.name}: undefined branch target {op.target!r}")
+
+
+def _rel_target_slot(mnemonic: str) -> int:
+    spec = SPEC_BY_MNEMONIC[mnemonic]
+    for slot, operand in enumerate(spec.operands):
+        if operand.kind is OperandKind.REL_TARGET:
+            return slot
+    raise LinkError(f"{mnemonic} has no relative target operand")
+
+
+def _check_branch_range(mnemonic: str, offset: int, function: str) -> None:
+    spec = SPEC_BY_MNEMONIC[mnemonic]
+    for operand in spec.operands:
+        if operand.kind is OperandKind.REL_TARGET:
+            if not bitutils.fits_signed(offset, operand.field.width):
+                raise LinkError(
+                    f"{function}: {mnemonic} offset {offset} exceeds "
+                    f"{operand.field.width}-bit field"
+                )
+
+
+def _apply_hi(
+    op: AsmOp, values: list, symbol: str, data_addr: dict[str, int], function: str
+) -> list:
+    if symbol not in data_addr:
+        raise LinkError(f"{function}: undefined data symbol {symbol!r}")
+    address = data_addr[symbol] + op.lo_addend if op.lo_symbol is None else data_addr[symbol]
+    # @ha always pairs with a signed low half that includes the addend.
+    full = data_addr[symbol] + op.lo_addend
+    values = list(values)
+    values[_immediate_slot(op.mnemonic)] = bitutils.sign_extend(_ha(full), 16)
+    return values
+
+
+def _apply_lo(
+    op: AsmOp,
+    values: list,
+    symbol: str,
+    addend: int,
+    data_addr: dict[str, int],
+    function: str,
+) -> list:
+    if symbol not in data_addr:
+        raise LinkError(f"{function}: undefined data symbol {symbol!r}")
+    low = _lo(data_addr[symbol] + addend)
+    spec = SPEC_BY_MNEMONIC[op.mnemonic]
+    values = list(values)
+    for slot, operand in enumerate(spec.operands):
+        if operand.kind is OperandKind.DISP_GPR:
+            _, base = values[slot]
+            values[slot] = (low, base)
+            return values
+    values[_immediate_slot(op.mnemonic)] = low
+    return values
+
+
+def _immediate_slot(mnemonic: str) -> int:
+    spec = SPEC_BY_MNEMONIC[mnemonic]
+    for slot, operand in enumerate(spec.operands):
+        if operand.kind in (OperandKind.SIMM, OperandKind.UIMM):
+            return slot
+    raise LinkError(f"{mnemonic} has no immediate operand for relocation")

@@ -1,0 +1,167 @@
+"""The linked Program: the unit the compressor and simulator consume.
+
+A :class:`Program` is a flat list of :class:`TextInstruction` (the .text
+section, one 32-bit PowerPC instruction each), a data image, a symbol
+table, and the list of jump-table slots in .data that hold code
+addresses.  Addresses are byte addresses; instruction *indices* are the
+natural unit for analysis, with ``address = text_base + 4 * index`` in
+the uncompressed program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import bitutils
+from repro.linker.objfile import InsnRole
+from repro.isa.instruction import Instruction
+
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x0040_0000
+STACK_TOP = 0x0080_0000
+
+
+@dataclass(frozen=True)
+class TextInstruction:
+    """One laid-out instruction.
+
+    ``target_index`` is set for PC-relative branches (the absolute index
+    of the destination instruction); the encoded offset field is kept
+    consistent by the linker and re-derived by the branch patcher after
+    compression.
+    """
+
+    instruction: Instruction
+    role: InsnRole
+    function: str
+    is_library: bool
+    target_index: int | None = None
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instruction.mnemonic
+
+    @property
+    def word(self) -> int:
+        return self.instruction.encode()
+
+    @property
+    def is_relative_branch(self) -> bool:
+        return self.instruction.spec.is_relative_branch
+
+    def retarget(self, raw_offset: int) -> "TextInstruction":
+        """Return a copy with the branch offset field replaced."""
+        return replace(
+            self, instruction=self.instruction.replace_operand("target", raw_offset)
+        )
+
+
+@dataclass(frozen=True)
+class JumpTableSlot:
+    """A word in .data that must hold the address of a text instruction."""
+
+    data_offset: int  # byte offset within the data image
+    target_index: int  # text instruction it points at
+
+
+@dataclass
+class Program:
+    """A fully linked executable image."""
+
+    name: str
+    text: list[TextInstruction]
+    data_image: bytearray
+    symbols: dict[str, int]  # name -> byte address (text or data)
+    jump_table_slots: list[JumpTableSlot] = field(default_factory=list)
+    entry_index: int = 0
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+
+    # ------------------------------------------------------------------
+    # Size and content accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.text)
+
+    _words_cache: list[int] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def words(self) -> list[int]:
+        """The 32-bit instruction words of .text, in order (cached —
+        a linked Program's text is never mutated in place)."""
+        if self._words_cache is None:
+            self._words_cache = [ti.word for ti in self.text]
+        return self._words_cache
+
+    def text_bytes(self) -> bytes:
+        """The .text section as bytes (big-endian, as in ROM)."""
+        return bitutils.words_to_bytes(self.words())
+
+    @property
+    def text_size(self) -> int:
+        """Static program size in bytes — the paper's 'original size'."""
+        return 4 * len(self.text)
+
+    def address_of(self, index: int) -> int:
+        """Byte address of the instruction at ``index``."""
+        return self.text_base + 4 * index
+
+    def index_of_address(self, address: int) -> int:
+        """Inverse of :meth:`address_of`; raises for misaligned/bad PCs."""
+        offset = address - self.text_base
+        if offset % 4 or not 0 <= offset < self.text_size:
+            raise ValueError(f"address {address:#x} is not a text instruction")
+        return offset // 4
+
+    # ------------------------------------------------------------------
+    # Control-flow metadata used by the compressor
+    # ------------------------------------------------------------------
+    def branch_target_indices(self) -> set[int]:
+        """Indices that some branch or jump-table slot can reach."""
+        targets = {slot.target_index for slot in self.jump_table_slots}
+        for ti in self.text:
+            if ti.target_index is not None:
+                targets.add(ti.target_index)
+        # Function entry points are reachable via bl symbol resolution;
+        # those branches carry target_index too, so nothing extra needed,
+        # but the entry point itself must stay addressable.
+        targets.add(self.entry_index)
+        return targets
+
+    def function_ranges(self) -> dict[str, tuple[int, int]]:
+        """Map function name -> [start, end) index range."""
+        ranges: dict[str, tuple[int, int]] = {}
+        start = 0
+        for i, ti in enumerate(self.text):
+            if i and ti.function != self.text[i - 1].function:
+                ranges[self.text[start].function] = (start, i)
+                start = i
+        if self.text:
+            ranges[self.text[start].function] = (start, len(self.text))
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Validate branch offsets against target indices.
+
+        The linker encodes every relative branch's offset field as
+        ``target_index - index`` (word granularity).  This asserts the
+        invariant holds, so the compressor can trust ``target_index``.
+        """
+        for index, ti in enumerate(self.text):
+            if ti.target_index is None:
+                continue
+            raw = ti.instruction.operand("target")
+            expected = ti.target_index - index
+            if raw != expected:
+                raise AssertionError(
+                    f"{self.name}[{index}] {ti.mnemonic}: offset {raw} != "
+                    f"target {ti.target_index} - {index}"
+                )
+            if not 0 <= ti.target_index < len(self.text):
+                raise AssertionError(
+                    f"{self.name}[{index}]: target index {ti.target_index} out of range"
+                )

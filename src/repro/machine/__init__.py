@@ -1,0 +1,47 @@
+"""Machine substrate: functional PowerPC-subset simulation.
+
+Two execution front ends share one execution core
+(:mod:`repro.machine.executor`):
+
+* :class:`~repro.machine.simulator.Simulator` fetches 32-bit words from
+  an uncompressed :class:`~repro.linker.program.Program`;
+* :class:`~repro.machine.compressed_sim.CompressedSimulator` fetches
+  codewords from a compressed image, expands them through the
+  dictionary in its decode stage (paper Figure 3), and issues the
+  original instructions.
+
+The integration tests run every workload through both and require
+identical architectural results — the paper's correctness claim.
+"""
+
+from repro.machine.memory import Memory
+from repro.machine.state import MachineState
+from repro.machine.simulator import (
+    RunResult,
+    Simulator,
+    profile_program,
+    run_program,
+)
+from repro.machine.compressed_sim import CompressedSimulator, run_compressed
+from repro.machine.icache import InstructionCache, attach_to_simulator
+from repro.machine.timing import TimingParameters, time_compressed, time_uncompressed
+from repro.machine.trace import trace_compressed, trace_program, traces_equivalent
+
+__all__ = [
+    "Memory",
+    "MachineState",
+    "RunResult",
+    "Simulator",
+    "profile_program",
+    "run_program",
+    "CompressedSimulator",
+    "run_compressed",
+    "InstructionCache",
+    "attach_to_simulator",
+    "TimingParameters",
+    "time_compressed",
+    "time_uncompressed",
+    "trace_compressed",
+    "trace_program",
+    "traces_equivalent",
+]

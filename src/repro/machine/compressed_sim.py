@@ -1,0 +1,201 @@
+"""Execution of compressed programs (paper section 3.3, Figure 3).
+
+The program counter addresses the compressed stream in *alignment
+units* (2 bytes for the baseline encoding, 1 nibble for the
+nibble-aligned scheme); an intra-item micro-PC steps through dictionary
+expansions.  LR, CTR, and jump-table slots hold
+``text_base + unit_address`` values, matching what the branch patcher
+wrote (section 3.2.1).
+
+Fetch statistics (units fetched from program memory, dictionary
+expansions) support the paper's future-work question about the
+performance of the compressed fetch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compressor import CompressedProgram
+from repro.errors import DecompressionError, SimulationError
+from repro.machine.decompressor import FetchItem, StreamDecoder
+from repro.machine.executor import CONTROL_MNEMONICS, execute_data
+from repro.machine.memory import Memory
+from repro.machine.simulator import HALT_ADDRESS, RunResult, branch_decision, do_syscall
+from repro.machine.state import MachineState
+
+
+@dataclass
+class FetchStats:
+    """Front-end traffic counters."""
+
+    units_fetched: int = 0
+    codeword_expansions: int = 0
+    instructions_issued: int = 0
+    escaped_instructions: int = 0
+
+    def bytes_fetched(self, alignment_bits: int) -> float:
+        return self.units_fetched * alignment_bits / 8.0
+
+
+class CompressedSimulator:
+    """Interprets a compressed program image.
+
+    Construct from an in-memory compressor result (``compressed=``) or
+    from a standalone :class:`~repro.core.image.CompressedImage`
+    (``image=``) — the simulator only ever sees what a real compressed
+    ROM would hold.
+    """
+
+    def __init__(
+        self,
+        compressed: CompressedProgram | None = None,
+        *,
+        image=None,
+        max_steps: int = 50_000_000,
+    ):
+        if (compressed is None) == (image is None):
+            raise ValueError("pass exactly one of compressed= or image=")
+        if compressed is not None:
+            self.name = compressed.program.name
+            stream = compressed.stream
+            dictionary = compressed.dictionary
+            encoding = compressed.encoding
+            total_units = compressed.total_units()
+            entry_unit = compressed.index_to_unit[compressed.program.entry_index]
+            text_base = compressed.program.text_base
+            data_image = compressed.data_image
+        else:
+            self.name = image.name
+            stream = image.stream
+            dictionary = image.dictionary
+            encoding = image.encoding()
+            total_units = image.total_units
+            entry_unit = image.entry_unit
+            text_base = image.text_base
+            data_image = image.data_image
+        self.compressed = compressed
+        self.max_steps = max_steps
+        decoder = StreamDecoder(stream, dictionary, encoding, total_units)
+        self.items: list[FetchItem] = decoder.decode_all()
+        self.item_at_address: dict[int, int] = {
+            item.address: index for index, item in enumerate(self.items)
+        }
+        self.state = MachineState()
+        self.memory = Memory(data_image)
+        self.stats = FetchStats()
+        self.fetch_hook = None  # optional callable(byte_address, size_units)
+        self._alignment_bits = encoding.alignment_bits
+        self.item_index = self.item_at_address[entry_unit]
+        self.micro = 0
+        self.state.lr = HALT_ADDRESS
+        self._text_base = text_base
+
+    @classmethod
+    def from_image(cls, image, max_steps: int = 50_000_000) -> "CompressedSimulator":
+        """Run a deserialized :class:`CompressedImage`."""
+        return cls(image=image, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    def _item(self) -> FetchItem:
+        return self.items[self.item_index]
+
+    def _next_item_address(self) -> int:
+        item = self._item()
+        return self._text_base + item.address + item.size_units
+
+    def _goto_unit(self, unit: int) -> None:
+        index = self.item_at_address.get(unit)
+        if index is None:
+            raise DecompressionError(
+                f"branch to unit {unit} lands inside an encoded item"
+            )
+        self.item_index = index
+        self.micro = 0
+
+    def _goto_address(self, address: int) -> None:
+        if address == HALT_ADDRESS:
+            self.state.halted = True
+            return
+        self._goto_unit(address - self._text_base)
+
+    def _advance(self) -> None:
+        item = self._item()
+        if self.micro + 1 < len(item.instructions):
+            self.micro += 1
+        else:
+            self.item_index += 1
+            self.micro = 0
+            if self.item_index >= len(self.items):
+                raise SimulationError("fell off the end of the compressed stream")
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        item = self._item()
+        if self.micro == 0:
+            self.stats.units_fetched += item.size_units
+            if item.is_codeword:
+                self.stats.codeword_expansions += 1
+            else:
+                self.stats.escaped_instructions += 1
+            if self.fetch_hook is not None:
+                byte_address = (item.address * self._alignment_bits) // 8
+                self.fetch_hook(byte_address, item.size_units)
+        ins = item.instructions[self.micro]
+        self.stats.instructions_issued += 1
+        name = ins.mnemonic
+        if name not in CONTROL_MNEMONICS:
+            execute_data(ins, self.state, self.memory)
+            self._advance()
+            return
+        self.state.steps += 1
+        if name in ("b", "bl"):
+            if name == "bl":
+                self.state.lr = self._next_item_address()
+            self._goto_unit(item.address + ins.operand("target"))
+        elif name in ("bc", "bcl"):
+            if name == "bcl":
+                self.state.lr = self._next_item_address()
+            taken = branch_decision(self.state, ins.operand("BO"), ins.operand("BI"))
+            if taken:
+                self._goto_unit(item.address + ins.operand("target"))
+            else:
+                self._advance()
+        elif name == "bclr":
+            taken = branch_decision(self.state, ins.operand("BO"), ins.operand("BI"))
+            if taken:
+                self._goto_address(self.state.lr)
+            else:
+                self._advance()
+        elif name in ("bcctr", "bcctrl"):
+            taken = branch_decision(self.state, ins.operand("BO"), ins.operand("BI"))
+            if name == "bcctrl":
+                self.state.lr = self._next_item_address()
+            if taken:
+                self._goto_address(self.state.ctr)
+            else:
+                self._advance()
+        elif name == "sc":
+            do_syscall(self.state)
+            if not self.state.halted:
+                self._advance()
+        else:  # pragma: no cover - CONTROL_MNEMONICS is closed
+            raise SimulationError(f"unhandled control instruction {name}")
+
+    def run(self) -> RunResult:
+        while not self.state.halted:
+            if self.state.steps >= self.max_steps:
+                raise SimulationError(
+                    f"{self.name}: exceeded {self.max_steps} steps"
+                )
+            self.step()
+        return RunResult(self.state, self.state.steps, self.stats.instructions_issued)
+
+
+def run_compressed(
+    compressed: CompressedProgram, max_steps: int = 50_000_000
+) -> RunResult:
+    """Simulate a compressed program image from entry to halt."""
+    return CompressedSimulator(compressed, max_steps=max_steps).run()

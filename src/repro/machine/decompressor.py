@@ -1,0 +1,100 @@
+"""The dictionary fetch/decode engine (paper Figure 3).
+
+``StreamDecoder`` walks the *serialized* compressed byte stream — not
+the compressor's internal token list — exactly as the modified fetch
+stage of a compressed-program processor would: peek at the next
+alignment unit, classify it as escape/codeword, expand codewords
+through the dictionary, and hand decoded PowerPC instructions to the
+core.
+
+Decoding the whole stream once up front models the static predecode a
+hardware table lookup performs; the result maps every unit address to
+the item starting there, so branches can be validated to land only on
+item boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import bitutils
+from repro.core.dictionary import Dictionary
+from repro.core.encodings import Encoding
+from repro.errors import DecompressionError
+from repro.isa.instruction import Instruction, decode
+
+
+@dataclass(frozen=True)
+class FetchItem:
+    """One decoded stream item.
+
+    ``instructions`` holds a single decoded instruction for an escape
+    item, or the full dictionary expansion for a codeword.
+    """
+
+    address: int  # unit address of the item's first unit
+    size_units: int
+    is_codeword: bool
+    rank: int | None
+    instructions: tuple[Instruction, ...]
+
+
+class StreamDecoder:
+    """Decodes a compressed text stream against its dictionary."""
+
+    def __init__(
+        self,
+        stream: bytes,
+        dictionary: Dictionary,
+        encoding: Encoding,
+        total_units: int,
+    ) -> None:
+        self.stream = stream
+        self.dictionary = dictionary
+        self.encoding = encoding
+        self.total_units = total_units
+        # Pre-decode dictionary entries once (the on-chip dictionary RAM).
+        self._entries: list[tuple[Instruction, ...]] = [
+            tuple(decode(word) for word in entry.words)
+            for entry in dictionary.entries
+        ]
+
+    def decode_all(self) -> list[FetchItem]:
+        """Decode the full stream into items with unit addresses."""
+        reader = bitutils.BitReader(self.stream)
+        items: list[FetchItem] = []
+        address = 0
+        while address < self.total_units:
+            kind, payload = self.encoding.read_item(reader)
+            if kind == "cw":
+                if payload >= len(self._entries):
+                    raise DecompressionError(
+                        f"codeword {payload} at unit {address} exceeds "
+                        f"dictionary of {len(self._entries)} entries"
+                    )
+                size_bits = self.encoding.codeword_bits(payload)
+                items.append(
+                    FetchItem(
+                        address=address,
+                        size_units=self.encoding.units(size_bits),
+                        is_codeword=True,
+                        rank=payload,
+                        instructions=self._entries[payload],
+                    )
+                )
+            else:
+                items.append(
+                    FetchItem(
+                        address=address,
+                        size_units=self.encoding.instruction_units(),
+                        is_codeword=False,
+                        rank=None,
+                        instructions=(decode(payload),),
+                    )
+                )
+            address += items[-1].size_units
+        if address != self.total_units:
+            raise DecompressionError(
+                f"stream decoded to {address} units, expected {self.total_units}"
+            )
+        return items

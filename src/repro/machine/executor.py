@@ -1,0 +1,356 @@
+"""Execution semantics for the non-control instructions.
+
+Shared by the uncompressed and compressed simulators: everything except
+branches and ``sc`` is position-independent, so one executor serves
+both fetch engines.
+"""
+
+from __future__ import annotations
+
+from repro import bitutils
+from repro.errors import SimulationError
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.machine.memory import Memory
+from repro.machine.state import MachineState
+
+CONTROL_MNEMONICS = frozenset(
+    {"b", "bl", "bc", "bcl", "bclr", "bcctr", "bcctrl", "sc"}
+)
+
+
+def _ea(state: MachineState, disp: int, base: int) -> int:
+    """Effective address: RA=0 reads as zero (PowerPC D-form rule)."""
+    return bitutils.u32((state.read(base) if base else 0) + disp)
+
+
+def execute_data(ins: Instruction, state: MachineState, mem: Memory) -> None:
+    """Execute one non-control instruction, updating state and memory."""
+    name = ins.mnemonic
+    handler = _HANDLERS.get(name)
+    if handler is None:
+        raise SimulationError(f"no semantics for {name!r}")
+    handler(ins, state, mem)
+    state.steps += 1
+
+
+# ---------------------------------------------------------------------------
+# D-form arithmetic / logic
+# ---------------------------------------------------------------------------
+def _addi(ins, state, mem):
+    ra = ins.operand("rA")
+    base = state.read_signed(ra) if ra else 0
+    state.write(ins.operand("rT"), base + ins.operand("SI"))
+
+
+def _addis(ins, state, mem):
+    ra = ins.operand("rA")
+    base = state.read_signed(ra) if ra else 0
+    state.write(ins.operand("rT"), base + (ins.operand("SI") << 16))
+
+
+def _mulli(ins, state, mem):
+    state.write(
+        ins.operand("rT"), state.read_signed(ins.operand("rA")) * ins.operand("SI")
+    )
+
+
+def _subfic(ins, state, mem):
+    state.write(
+        ins.operand("rT"), ins.operand("SI") - state.read_signed(ins.operand("rA"))
+    )
+
+
+def _ori(ins, state, mem):
+    state.write(ins.operand("rA"), state.read(ins.operand("rS")) | ins.operand("UI"))
+
+
+def _oris(ins, state, mem):
+    state.write(
+        ins.operand("rA"), state.read(ins.operand("rS")) | (ins.operand("UI") << 16)
+    )
+
+
+def _xori(ins, state, mem):
+    state.write(ins.operand("rA"), state.read(ins.operand("rS")) ^ ins.operand("UI"))
+
+
+def _xoris(ins, state, mem):
+    state.write(
+        ins.operand("rA"), state.read(ins.operand("rS")) ^ (ins.operand("UI") << 16)
+    )
+
+
+def _andi_dot(ins, state, mem):
+    result = state.read(ins.operand("rS")) & ins.operand("UI")
+    state.write(ins.operand("rA"), result)
+    signed = bitutils.s32(result)
+    state.set_cr_field(0, signed < 0, signed > 0, signed == 0)
+
+
+def _andis_dot(ins, state, mem):
+    result = state.read(ins.operand("rS")) & (ins.operand("UI") << 16)
+    state.write(ins.operand("rA"), result)
+    signed = bitutils.s32(result)
+    state.set_cr_field(0, signed < 0, signed > 0, signed == 0)
+
+
+# ---------------------------------------------------------------------------
+# Compares
+# ---------------------------------------------------------------------------
+def _cmpwi(ins, state, mem):
+    state.compare_signed(
+        ins.operand("crfD"), state.read_signed(ins.operand("rA")), ins.operand("SI")
+    )
+
+
+def _cmplwi(ins, state, mem):
+    state.compare_unsigned(
+        ins.operand("crfD"), state.read(ins.operand("rA")), ins.operand("UI")
+    )
+
+
+def _cmpw(ins, state, mem):
+    state.compare_signed(
+        ins.operand("crfD"),
+        state.read_signed(ins.operand("rA")),
+        state.read_signed(ins.operand("rB")),
+    )
+
+
+def _cmplw(ins, state, mem):
+    state.compare_unsigned(
+        ins.operand("crfD"), state.read(ins.operand("rA")), state.read(ins.operand("rB"))
+    )
+
+
+# ---------------------------------------------------------------------------
+# XO-form arithmetic
+# ---------------------------------------------------------------------------
+def _add(ins, state, mem):
+    state.write(
+        ins.operand("rT"),
+        state.read_signed(ins.operand("rA")) + state.read_signed(ins.operand("rB")),
+    )
+
+
+def _subf(ins, state, mem):
+    state.write(
+        ins.operand("rT"),
+        state.read_signed(ins.operand("rB")) - state.read_signed(ins.operand("rA")),
+    )
+
+
+def _neg(ins, state, mem):
+    state.write(ins.operand("rT"), -state.read_signed(ins.operand("rA")))
+
+
+def _mullw(ins, state, mem):
+    state.write(
+        ins.operand("rT"),
+        state.read_signed(ins.operand("rA")) * state.read_signed(ins.operand("rB")),
+    )
+
+
+def _divw(ins, state, mem):
+    state.write(
+        ins.operand("rT"),
+        _divw_value(
+            state.read_signed(ins.operand("rA")), state.read_signed(ins.operand("rB"))
+        ),
+    )
+
+
+def _divw_value(a: int, b: int) -> int:
+    return _divw_impl(a, b)
+
+
+def _divw_impl(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    if a == -(1 << 31) and b == -1:
+        return -(1 << 31)
+    return bitutils.cdiv(a, b)
+
+
+def _divwu(ins, state, mem):
+    a = state.read(ins.operand("rA"))
+    b = state.read(ins.operand("rB"))
+    state.write(ins.operand("rT"), a // b if b else 0)
+
+
+# ---------------------------------------------------------------------------
+# X-form logic and shifts
+# ---------------------------------------------------------------------------
+def _and(ins, state, mem):
+    state.write(
+        ins.operand("rA"), state.read(ins.operand("rS")) & state.read(ins.operand("rB"))
+    )
+
+
+def _or(ins, state, mem):
+    state.write(
+        ins.operand("rA"), state.read(ins.operand("rS")) | state.read(ins.operand("rB"))
+    )
+
+
+def _xor(ins, state, mem):
+    state.write(
+        ins.operand("rA"), state.read(ins.operand("rS")) ^ state.read(ins.operand("rB"))
+    )
+
+
+def _nor(ins, state, mem):
+    state.write(
+        ins.operand("rA"),
+        ~(state.read(ins.operand("rS")) | state.read(ins.operand("rB"))),
+    )
+
+
+def _slw(ins, state, mem):
+    amount = state.read(ins.operand("rB")) & 0x3F
+    value = 0 if amount > 31 else state.read(ins.operand("rS")) << amount
+    state.write(ins.operand("rA"), value)
+
+
+def _srw(ins, state, mem):
+    amount = state.read(ins.operand("rB")) & 0x3F
+    value = 0 if amount > 31 else state.read(ins.operand("rS")) >> amount
+    state.write(ins.operand("rA"), value)
+
+
+def _sraw(ins, state, mem):
+    amount = state.read(ins.operand("rB")) & 0x3F
+    signed = state.read_signed(ins.operand("rS"))
+    if amount > 31:
+        amount = 31
+    state.write(ins.operand("rA"), signed >> amount)
+
+
+def _srawi(ins, state, mem):
+    state.write(
+        ins.operand("rA"), state.read_signed(ins.operand("rS")) >> ins.operand("SH")
+    )
+
+
+def _rlwinm(ins, state, mem):
+    rotated = bitutils.rotl32(state.read(ins.operand("rS")), ins.operand("SH"))
+    mb, me = ins.operand("MB"), ins.operand("ME")
+    if mb <= me:
+        mask = (bitutils.mask(me - mb + 1)) << (31 - me)
+    else:  # wrapped mask
+        mask = bitutils.WORD_MASK ^ ((bitutils.mask(mb - me - 1)) << (31 - mb + 1))
+    state.write(ins.operand("rA"), rotated & mask)
+
+
+def _extsb(ins, state, mem):
+    state.write(
+        ins.operand("rA"), bitutils.sign_extend(state.read(ins.operand("rS")) & 0xFF, 8)
+    )
+
+
+def _extsh(ins, state, mem):
+    state.write(
+        ins.operand("rA"),
+        bitutils.sign_extend(state.read(ins.operand("rS")) & 0xFFFF, 16),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+def _load(size: int, update: bool = False, signed: bool = False):
+    def handler(ins, state, mem):
+        disp, base = ins.operand("D(rA)")
+        address = _ea(state, disp, base)
+        value = mem.load(address, size)
+        if signed:
+            value = bitutils.u32(bitutils.sign_extend(value, 8 * size))
+        state.write(ins.operand("rT"), value)
+        if update:
+            state.write(base, address)
+
+    return handler
+
+
+def _store(size: int, update: bool = False):
+    def handler(ins, state, mem):
+        disp, base = ins.operand("D(rA)")
+        address = _ea(state, disp, base)
+        mem.store(address, size, state.read(ins.operand("rS")))
+        if update:
+            state.write(base, address)
+
+    return handler
+
+
+# ---------------------------------------------------------------------------
+# Special registers
+# ---------------------------------------------------------------------------
+def _mfspr(ins, state, mem):
+    spr = ins.operand("SPR")
+    if spr == registers.LR:
+        state.write(ins.operand("rT"), state.lr)
+    elif spr == registers.CTR:
+        state.write(ins.operand("rT"), state.ctr)
+    else:
+        raise SimulationError(f"mfspr: unsupported SPR {spr}")
+
+
+def _mtspr(ins, state, mem):
+    spr = ins.operand("SPR")
+    value = state.read(ins.operand("rS"))
+    if spr == registers.LR:
+        state.lr = value
+    elif spr == registers.CTR:
+        state.ctr = value
+    else:
+        raise SimulationError(f"mtspr: unsupported SPR {spr}")
+
+
+_HANDLERS = {
+    "addi": _addi,
+    "addis": _addis,
+    "mulli": _mulli,
+    "subfic": _subfic,
+    "ori": _ori,
+    "oris": _oris,
+    "xori": _xori,
+    "xoris": _xoris,
+    "andi.": _andi_dot,
+    "andis.": _andis_dot,
+    "cmpwi": _cmpwi,
+    "cmplwi": _cmplwi,
+    "cmpw": _cmpw,
+    "cmplw": _cmplw,
+    "add": _add,
+    "subf": _subf,
+    "neg": _neg,
+    "mullw": _mullw,
+    "divw": _divw,
+    "divwu": _divwu,
+    "and": _and,
+    "or": _or,
+    "xor": _xor,
+    "nor": _nor,
+    "slw": _slw,
+    "srw": _srw,
+    "sraw": _sraw,
+    "srawi": _srawi,
+    "rlwinm": _rlwinm,
+    "extsb": _extsb,
+    "extsh": _extsh,
+    "lwz": _load(4),
+    "lwzu": _load(4, update=True),
+    "lbz": _load(1),
+    "lbzu": _load(1, update=True),
+    "lhz": _load(2),
+    "lha": _load(2, signed=True),
+    "stw": _store(4),
+    "stwu": _store(4, update=True),
+    "stb": _store(1),
+    "stbu": _store(1, update=True),
+    "sth": _store(2),
+    "mfspr": _mfspr,
+    "mtspr": _mtspr,
+}

@@ -1,0 +1,96 @@
+"""Instruction-cache model.
+
+The paper's introduction motivates compression for high-performance
+systems too: "Reducing program size is one way to reduce instruction
+cache misses" [Chen97b], and the companion TR [Chen97a] studies exactly
+that.  This module provides a set-associative I-cache with true-LRU
+replacement that plugs into either simulator's ``fetch_hook``, so the
+``ext_icache`` experiment can compare miss rates for the same dynamic
+instruction stream fetched uncompressed (4 bytes/instruction) and
+compressed (sub-instruction codewords, denser lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class InstructionCache:
+    """Set-associative cache with true LRU replacement.
+
+    ``access(byte_address)`` touches the line containing the address
+    and returns True on hit.  Multi-line fetches (an item straddling a
+    line boundary) should call :meth:`access_range`.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 32, assoc: int = 2):
+        if not (_is_power_of_two(size_bytes) and _is_power_of_two(line_bytes)):
+            raise SimulationError("cache and line sizes must be powers of two")
+        if size_bytes < line_bytes * assoc:
+            raise SimulationError("cache smaller than one set")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (line_bytes * assoc)
+        # Each set is an ordered list of tags, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, byte_address: int) -> bool:
+        line = byte_address // self.line_bytes
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return False
+
+    def access_range(self, byte_address: int, size_bytes: int) -> None:
+        """Touch every line the [address, address+size) range covers."""
+        first = byte_address // self.line_bytes
+        last = (byte_address + max(size_bytes, 1) - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            self.access(line * self.line_bytes)
+
+
+def attach_to_simulator(simulator, cache: InstructionCache, alignment_bits: int = 32):
+    """Wire ``cache`` into a simulator's fetch hook.
+
+    ``alignment_bits`` is the unit size the simulator reports fetch
+    sizes in (32 for the plain simulator's whole instructions, the
+    encoding's alignment for the compressed one).
+    """
+
+    def hook(byte_address: int, size_units: int) -> None:
+        size_bytes = max(1, (size_units * alignment_bits) // 8)
+        cache.access_range(byte_address, size_bytes)
+
+    simulator.fetch_hook = hook
+    return cache

@@ -1,0 +1,44 @@
+"""Byte-addressable data memory (big-endian, like PowerPC)."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.linker.program import DATA_BASE, STACK_TOP
+
+
+class Memory:
+    """Flat memory covering [DATA_BASE, STACK_TOP).
+
+    .text is not mapped: the programs this toolchain produces never
+    load from the text section (jump tables live in .data), which is
+    exactly the property that lets the compressed-program processor
+    keep only compressed bytes in instruction memory.
+    """
+
+    def __init__(self, data_image: bytes | bytearray = b"") -> None:
+        self.base = DATA_BASE
+        self.limit = STACK_TOP
+        self._bytes = bytearray(self.limit - self.base)
+        self._bytes[: len(data_image)] = data_image
+
+    def _offset(self, address: int, size: int) -> int:
+        if not self.base <= address <= self.limit - size:
+            raise SimulationError(
+                f"memory access at {address:#x} (size {size}) out of range"
+            )
+        return address - self.base
+
+    def load(self, address: int, size: int) -> int:
+        """Zero-extended load of 1, 2, or 4 bytes."""
+        offset = self._offset(address, size)
+        return int.from_bytes(self._bytes[offset : offset + size], "big")
+
+    def store(self, address: int, size: int, value: int) -> None:
+        offset = self._offset(address, size)
+        self._bytes[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "big"
+        )
+
+    def snapshot_data(self, length: int) -> bytes:
+        """Copy of the first ``length`` bytes of the data segment."""
+        return bytes(self._bytes[:length])

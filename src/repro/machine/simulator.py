@@ -1,0 +1,159 @@
+"""Functional simulator for uncompressed programs.
+
+The program counter is an instruction index; LR and CTR hold byte
+addresses exactly as the real machine would (``bl`` stores the return
+address, jump tables supply ``bctr`` targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.linker.program import Program
+from repro.machine.executor import CONTROL_MNEMONICS, execute_data
+from repro.machine.memory import Memory
+from repro.machine.state import MachineState
+
+# LR sentinel meaning "return from the outermost frame" — halts.
+HALT_ADDRESS = 0xFFFF_FFFC
+
+SYSCALL_EXIT = 0
+SYSCALL_PUT_INT = 1
+SYSCALL_PUT_CHAR = 2
+
+
+def branch_decision(state: MachineState, bo: int, bi: int) -> bool:
+    """PowerPC BO/BI branch condition, including CTR decrement."""
+    if not bo & 0b00100:
+        state.ctr = (state.ctr - 1) & 0xFFFFFFFF
+    ctr_ok = bool(bo & 0b00100) or ((state.ctr != 0) != bool(bo & 0b00010))
+    cond_ok = bool(bo & 0b10000) or (state.cr_bit(bi) == ((bo >> 3) & 1))
+    return ctr_ok and cond_ok
+
+
+def do_syscall(state: MachineState) -> None:
+    """Dispatch ``sc`` on r0; see :mod:`repro.compiler.runtime`."""
+    code = state.read(0)
+    if code == SYSCALL_EXIT:
+        state.halted = True
+        state.exit_code = state.read_signed(3)
+    elif code == SYSCALL_PUT_INT:
+        state.output.append(("int", state.read_signed(3)))
+    elif code == SYSCALL_PUT_CHAR:
+        state.output.append(("char", state.read(3) & 0xFF))
+    else:
+        raise SimulationError(f"unknown syscall {code}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of a program run."""
+
+    state: MachineState
+    steps: int
+    instructions_fetched: int
+
+    @property
+    def output_text(self) -> str:
+        return self.state.output_text()
+
+    @property
+    def exit_code(self) -> int:
+        return self.state.exit_code
+
+
+class Simulator:
+    """Interprets a linked, uncompressed Program."""
+
+    def __init__(self, program: Program, max_steps: int = 50_000_000) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.state = MachineState()
+        self.memory = Memory(program.data_image)
+        self.pc = program.entry_index
+        self.state.lr = HALT_ADDRESS
+        self.fetch_hook = None  # optional callable(byte_address, size_units)
+
+    # ------------------------------------------------------------------
+    def _link_address(self) -> int:
+        return self.program.address_of(self.pc + 1)
+
+    def _to_index(self, address: int) -> int:
+        if address == HALT_ADDRESS:
+            self.state.halted = True
+            return self.pc
+        try:
+            return self.program.index_of_address(address)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction."""
+        if not 0 <= self.pc < len(self.program.text):
+            raise SimulationError(f"PC index {self.pc} out of .text")
+        if self.fetch_hook is not None:
+            self.fetch_hook(self.program.address_of(self.pc), 1)
+        ins = self.program.text[self.pc].instruction
+        name = ins.mnemonic
+        if name not in CONTROL_MNEMONICS:
+            execute_data(ins, self.state, self.memory)
+            self.pc += 1
+            return
+        self.state.steps += 1
+        if name in ("b", "bl"):
+            if name == "bl":
+                self.state.lr = self._link_address()
+            self.pc += ins.operand("target")
+        elif name in ("bc", "bcl"):
+            if name == "bcl":
+                self.state.lr = self._link_address()
+            taken = branch_decision(self.state, ins.operand("BO"), ins.operand("BI"))
+            self.pc = self.pc + ins.operand("target") if taken else self.pc + 1
+        elif name == "bclr":
+            taken = branch_decision(self.state, ins.operand("BO"), ins.operand("BI"))
+            self.pc = self._to_index(self.state.lr) if taken else self.pc + 1
+        elif name in ("bcctr", "bcctrl"):
+            taken = branch_decision(self.state, ins.operand("BO"), ins.operand("BI"))
+            if name == "bcctrl":
+                self.state.lr = self._link_address()
+            self.pc = self._to_index(self.state.ctr) if taken else self.pc + 1
+        elif name == "sc":
+            do_syscall(self.state)
+            self.pc += 1
+        else:  # pragma: no cover - CONTROL_MNEMONICS is closed
+            raise SimulationError(f"unhandled control instruction {name}")
+
+    def run(self) -> RunResult:
+        """Run until halt or the step budget is exhausted."""
+        while not self.state.halted:
+            if self.state.steps >= self.max_steps:
+                raise SimulationError(
+                    f"{self.program.name}: exceeded {self.max_steps} steps"
+                )
+            self.step()
+        return RunResult(self.state, self.state.steps, self.state.steps)
+
+
+def run_program(program: Program, max_steps: int = 50_000_000) -> RunResult:
+    """Convenience: simulate ``program`` from its entry point to halt."""
+    return Simulator(program, max_steps=max_steps).run()
+
+
+def profile_program(program: Program, max_steps: int = 50_000_000) -> list[int]:
+    """Run ``program`` and return per-instruction execution counts.
+
+    The profile feeds the compressor's ``position_weights`` objective
+    (profile-guided dictionary selection for fetch traffic).
+    """
+    counts = [0] * len(program.text)
+
+    simulator = Simulator(program, max_steps=max_steps)
+
+    def hook(byte_address: int, size_units: int) -> None:
+        counts[program.index_of_address(byte_address)] += 1
+
+    simulator.fetch_hook = hook
+    simulator.run()
+    return counts

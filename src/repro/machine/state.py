@@ -1,0 +1,70 @@
+"""Architectural state: GPRs, CR, LR, CTR, and the output channel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import bitutils
+from repro.linker.program import STACK_TOP
+
+# CR bit positions within a 4-bit field.
+LT, GT, EQ, SO = 0, 1, 2, 3
+
+
+@dataclass
+class MachineState:
+    """Registers and program status.
+
+    GPRs hold unsigned 32-bit values; helpers convert signedness.  LR
+    and CTR hold whatever the active fetch engine uses as a code
+    address (byte addresses uncompressed, alignment units compressed).
+    """
+
+    gpr: list[int] = field(default_factory=lambda: [0] * 32)
+    cr: int = 0  # 32 bits, field 0 at the MSB end
+    lr: int = 0
+    ctr: int = 0
+    halted: bool = False
+    exit_code: int = 0
+    output: list[tuple[str, int]] = field(default_factory=list)
+    steps: int = 0
+
+    def __post_init__(self) -> None:
+        self.gpr[1] = STACK_TOP - 64  # initial stack pointer
+
+    # ------------------------------------------------------------------
+    def read(self, register: int) -> int:
+        return self.gpr[register]
+
+    def read_signed(self, register: int) -> int:
+        return bitutils.s32(self.gpr[register])
+
+    def write(self, register: int, value: int) -> None:
+        self.gpr[register] = bitutils.u32(value)
+
+    # ------------------------------------------------------------------
+    def set_cr_field(self, crf: int, lt: bool, gt: bool, eq: bool) -> None:
+        bits = (lt << 3) | (gt << 2) | (eq << 1)
+        shift = 28 - 4 * crf
+        self.cr = (self.cr & ~(0xF << shift)) | (bits << shift)
+
+    def cr_bit(self, bit_index: int) -> int:
+        """CR bit numbered from the MSB end (PowerPC BI convention)."""
+        return (self.cr >> (31 - bit_index)) & 1
+
+    def compare_signed(self, crf: int, a: int, b: int) -> None:
+        self.set_cr_field(crf, a < b, a > b, a == b)
+
+    def compare_unsigned(self, crf: int, a: int, b: int) -> None:
+        self.set_cr_field(crf, a < b, a > b, a == b)
+
+    # ------------------------------------------------------------------
+    def output_text(self) -> str:
+        """Render the output channel as text (ints in decimal)."""
+        parts = []
+        for kind, value in self.output:
+            if kind == "int":
+                parts.append(str(value))
+            else:
+                parts.append(chr(value & 0xFF))
+        return "".join(parts)

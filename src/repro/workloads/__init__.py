@@ -1,0 +1,33 @@
+"""Synthetic SPEC CINT95-like workload suite.
+
+The paper measures static compression of the eight SPEC CINT95 integer
+benchmarks compiled with GCC -O2 for PowerPC.  Those binaries are not
+redistributable, so this package builds the closest synthetic
+equivalent: eight MiniC programs — one per CINT95 benchmark, with a
+hand-written algorithmic core matching the original's character plus
+procedurally generated (seeded, deterministic) supporting code —
+compiled through :mod:`repro.compiler`.
+
+What the substitution preserves (see DESIGN.md section 2): the static
+instruction-encoding redundancy that drives every result in the paper
+comes from template-driven code generation, which our toolchain shares
+with GCC; program sizes are scaled to roughly 1/8 of the originals so
+pure-Python analysis stays fast, and all reported numbers are
+size-normalized ratios.
+"""
+
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    build_benchmark,
+    build_suite,
+    benchmark_source,
+    clear_cache,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_suite",
+    "benchmark_source",
+    "clear_cache",
+]

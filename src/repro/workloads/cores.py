@@ -1,0 +1,574 @@
+"""Hand-written algorithmic cores for the eight synthetic benchmarks.
+
+Each core is genuine MiniC code in the spirit of its SPEC CINT95
+namesake (a dictionary compressor for ``compress``, an expression
+compiler for ``gcc``, a board evaluator for ``go``, …).  Every core
+exposes ``<name>_core()`` returning a deterministic checksum, which the
+benchmark's ``main`` prints — the integration tests compare this output
+between uncompressed and compressed execution.
+"""
+
+COMPRESS_CORE = """
+// LZW-flavoured dictionary compressor over a synthetic text buffer.
+char cmp_input[256];
+int cmp_dict_prefix[288];
+int cmp_dict_char[288];
+int cmp_out_codes[256];
+int cmp_out_len;
+
+void cmp_fill_input() {
+    int i;
+    for (i = 0; i < 256; i = i + 1) {
+        cmp_input[i] = 97 + ((i * 7 + (i >> 3)) % 13);
+    }
+}
+
+int cmp_lookup(int next_code, int prefix, int c) {
+    int code;
+    for (code = 256; code < next_code; code = code + 1) {
+        if (cmp_dict_prefix[code] == prefix && cmp_dict_char[code] == c) {
+            return code;
+        }
+    }
+    return -1;
+}
+
+int compress_core() {
+    cmp_fill_input();
+    cmp_out_len = 0;
+    int next_code = 256;
+    int prefix = cmp_input[0];
+    int i;
+    for (i = 1; i < 256; i = i + 1) {
+        int c = cmp_input[i];
+        int code = cmp_lookup(next_code, prefix, c);
+        if (code >= 0) {
+            prefix = code;
+        } else {
+            cmp_out_codes[cmp_out_len] = prefix;
+            cmp_out_len = cmp_out_len + 1;
+            if (next_code < 288) {
+                cmp_dict_prefix[next_code] = prefix;
+                cmp_dict_char[next_code] = c;
+                next_code = next_code + 1;
+            }
+            prefix = c;
+        }
+    }
+    cmp_out_codes[cmp_out_len] = prefix;
+    cmp_out_len = cmp_out_len + 1;
+    int checksum = cmp_out_len * 1000;
+    for (i = 0; i < cmp_out_len; i = i + 1) {
+        checksum = checksum + cmp_out_codes[i] * (i + 1);
+    }
+    return checksum;
+}
+"""
+
+GCC_CORE = """
+// Expression compiler: tokenize, shunting-yard to RPN, emit + fold.
+char gcc_src[64] = "a+b*(c-d)/e+f*g-(h+a)*b";
+int gcc_rpn_op[64];
+int gcc_rpn_val[64];
+int gcc_rpn_len;
+int gcc_opstack[32];
+int gcc_emit_code[128];
+int gcc_emit_len;
+
+int gcc_precedence(int op) {
+    if (op == 42 || op == 47) { return 2; }  // * /
+    if (op == 43 || op == 45) { return 1; }  // + -
+    return 0;
+}
+
+int gcc_var_value(int name) {
+    return (name - 97) * 3 + 5;
+}
+
+void gcc_emit(int opcode, int operand) {
+    gcc_emit_code[gcc_emit_len] = opcode * 256 + (operand & 255);
+    gcc_emit_len = gcc_emit_len + 1;
+}
+
+int gcc_compile() {
+    int sp = 0;
+    gcc_rpn_len = 0;
+    int i = 0;
+    while (gcc_src[i] != 0) {
+        int c = gcc_src[i];
+        if (c >= 97 && c <= 122) {
+            gcc_rpn_op[gcc_rpn_len] = 0;
+            gcc_rpn_val[gcc_rpn_len] = c;
+            gcc_rpn_len = gcc_rpn_len + 1;
+        } else {
+            if (c == 40) {
+                gcc_opstack[sp] = c;
+                sp = sp + 1;
+            } else {
+                if (c == 41) {
+                    while (sp > 0 && gcc_opstack[sp - 1] != 40) {
+                        sp = sp - 1;
+                        gcc_rpn_op[gcc_rpn_len] = gcc_opstack[sp];
+                        gcc_rpn_len = gcc_rpn_len + 1;
+                    }
+                    if (sp > 0) { sp = sp - 1; }
+                } else {
+                    while (sp > 0 &&
+                           gcc_precedence(gcc_opstack[sp - 1]) >= gcc_precedence(c)) {
+                        sp = sp - 1;
+                        gcc_rpn_op[gcc_rpn_len] = gcc_opstack[sp];
+                        gcc_rpn_len = gcc_rpn_len + 1;
+                    }
+                    gcc_opstack[sp] = c;
+                    sp = sp + 1;
+                }
+            }
+        }
+        i = i + 1;
+    }
+    while (sp > 0) {
+        sp = sp - 1;
+        gcc_rpn_op[gcc_rpn_len] = gcc_opstack[sp];
+        gcc_rpn_len = gcc_rpn_len + 1;
+    }
+    return gcc_rpn_len;
+}
+
+int gcc_eval_stack[32];
+
+int gcc_core() {
+    gcc_emit_len = 0;
+    int rpn_length = gcc_compile();
+    int sp = 0;
+    int i;
+    for (i = 0; i < rpn_length; i = i + 1) {
+        if (gcc_rpn_op[i] == 0) {
+            gcc_emit(1, gcc_rpn_val[i]);  // PUSH var
+            gcc_eval_stack[sp] = gcc_var_value(gcc_rpn_val[i]);
+            sp = sp + 1;
+        } else {
+            gcc_emit(2, gcc_rpn_op[i]);  // ALU op
+            int b = gcc_eval_stack[sp - 1];
+            int a = gcc_eval_stack[sp - 2];
+            sp = sp - 2;
+            int r = 0;
+            switch (gcc_rpn_op[i]) {
+                case 42: r = a * b; break;
+                case 43: r = a + b; break;
+                case 45: r = a - b; break;
+                case 47: if (b != 0) { r = a / b; } break;
+                default: r = 0; break;
+            }
+            gcc_eval_stack[sp] = r;
+            sp = sp + 1;
+        }
+    }
+    int checksum = gcc_eval_stack[0] * 100 + gcc_emit_len;
+    for (i = 0; i < gcc_emit_len; i = i + 1) {
+        checksum = checksum ^ (gcc_emit_code[i] * (i + 3));
+    }
+    return checksum;
+}
+"""
+
+GO_CORE = """
+// 9x9 board evaluation: liberties, influence propagation, scoring.
+int go_board[81];
+int go_influence[81];
+
+void go_setup() {
+    int i;
+    for (i = 0; i < 81; i = i + 1) {
+        go_board[i] = 0;
+        go_influence[i] = 0;
+    }
+    for (i = 0; i < 81; i = i + 7) { go_board[i] = 1; }
+    for (i = 3; i < 81; i = i + 11) { go_board[i] = 2; }
+}
+
+int go_liberties(int position) {
+    int row = position / 9;
+    int col = position % 9;
+    int liberties = 0;
+    if (row > 0 && go_board[position - 9] == 0) { liberties = liberties + 1; }
+    if (row < 8 && go_board[position + 9] == 0) { liberties = liberties + 1; }
+    if (col > 0 && go_board[position - 1] == 0) { liberties = liberties + 1; }
+    if (col < 8 && go_board[position + 1] == 0) { liberties = liberties + 1; }
+    return liberties;
+}
+
+void go_spread() {
+    int position;
+    for (position = 0; position < 81; position = position + 1) {
+        int stone = go_board[position];
+        if (stone != 0) {
+            int weight = 8;
+            if (stone == 2) { weight = -8; }
+            int row = position / 9;
+            int col = position % 9;
+            go_influence[position] = go_influence[position] + weight * 2;
+            if (row > 0) { go_influence[position - 9] = go_influence[position - 9] + weight; }
+            if (row < 8) { go_influence[position + 9] = go_influence[position + 9] + weight; }
+            if (col > 0) { go_influence[position - 1] = go_influence[position - 1] + weight; }
+            if (col < 8) { go_influence[position + 1] = go_influence[position + 1] + weight; }
+        }
+    }
+}
+
+int go_core() {
+    go_setup();
+    int pass;
+    for (pass = 0; pass < 4; pass = pass + 1) { go_spread(); }
+    int score = 0;
+    int position;
+    for (position = 0; position < 81; position = position + 1) {
+        int stone = go_board[position];
+        if (stone == 1) { score = score + go_liberties(position); }
+        if (stone == 2) { score = score - go_liberties(position); }
+        if (go_influence[position] > 0) { score = score + 1; }
+    }
+    return score * 17 + 4000;
+}
+"""
+
+IJPEG_CORE = """
+// 8x8 integer DCT-like transform, quantization, zigzag RLE.
+int jpg_block[64];
+int jpg_quant[64];
+int jpg_zigzag_count;
+
+void jpg_fill() {
+    int row;
+    int col;
+    for (row = 0; row < 8; row = row + 1) {
+        for (col = 0; col < 8; col = col + 1) {
+            jpg_block[row * 8 + col] = (row * 13 + col * 7) % 64 - 32;
+            jpg_quant[row * 8 + col] = 1 + ((row + col) >> 1);
+        }
+    }
+}
+
+void jpg_transform_rows() {
+    int row;
+    for (row = 0; row < 8; row = row + 1) {
+        int base = row * 8;
+        int i;
+        for (i = 0; i < 4; i = i + 1) {
+            int a = jpg_block[base + i];
+            int b = jpg_block[base + 7 - i];
+            jpg_block[base + i] = a + b;
+            jpg_block[base + 7 - i] = (a - b) * (i + 1);
+        }
+    }
+}
+
+void jpg_transform_cols() {
+    int col;
+    for (col = 0; col < 8; col = col + 1) {
+        int i;
+        for (i = 0; i < 4; i = i + 1) {
+            int a = jpg_block[i * 8 + col];
+            int b = jpg_block[(7 - i) * 8 + col];
+            jpg_block[i * 8 + col] = (a + b) >> 1;
+            jpg_block[(7 - i) * 8 + col] = (a - b) >> 1;
+        }
+    }
+}
+
+void jpg_quantize() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        jpg_block[i] = jpg_block[i] / jpg_quant[i];
+    }
+}
+
+int ijpeg_core() {
+    jpg_fill();
+    jpg_transform_rows();
+    jpg_transform_cols();
+    jpg_quantize();
+    int zero_run = 0;
+    jpg_zigzag_count = 0;
+    int checksum = 0;
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        int v = jpg_block[i];
+        if (v == 0) {
+            zero_run = zero_run + 1;
+        } else {
+            checksum = checksum + v * (zero_run + 1) + i;
+            jpg_zigzag_count = jpg_zigzag_count + 1;
+            zero_run = 0;
+        }
+    }
+    return checksum * 3 + jpg_zigzag_count;
+}
+"""
+
+LI_CORE = """
+// Lisp-flavoured expression-tree builder and recursive evaluator.
+int li_op[128];
+int li_left[128];
+int li_right[128];
+int li_val[128];
+int li_next_node;
+
+int li_leaf(int value) {
+    int node = li_next_node;
+    li_next_node = li_next_node + 1;
+    li_op[node] = 0;
+    li_val[node] = value;
+    return node;
+}
+
+int li_node(int op, int left, int right) {
+    int node = li_next_node;
+    li_next_node = li_next_node + 1;
+    li_op[node] = op;
+    li_left[node] = left;
+    li_right[node] = right;
+    return node;
+}
+
+int li_build(int depth, int seed) {
+    if (depth <= 0) {
+        return li_leaf((seed % 19) - 9);
+    }
+    int op = 1 + (seed % 5);
+    int left = li_build(depth - 1, seed * 3 + 1);
+    int right = li_build(depth - 1, seed * 5 + 2);
+    return li_node(op, left, right);
+}
+
+int li_eval(int node) {
+    if (li_op[node] == 0) {
+        return li_val[node];
+    }
+    int a = li_eval(li_left[node]);
+    int b = li_eval(li_right[node]);
+    switch (li_op[node]) {
+        case 1: return a + b;
+        case 2: return a - b;
+        case 3: return a * b;
+        case 4: if (a < b) { return a; } return b;
+        case 5: if (a > b) { return a; } return b;
+        default: return 0;
+    }
+}
+
+int li_count_leaves(int node) {
+    if (li_op[node] == 0) { return 1; }
+    return li_count_leaves(li_left[node]) + li_count_leaves(li_right[node]);
+}
+
+int li_core() {
+    li_next_node = 0;
+    int tree = li_build(5, 7);
+    int value = li_eval(tree);
+    int leaves = li_count_leaves(tree);
+    li_next_node = 0;
+    int tree2 = li_build(4, 23);
+    int value2 = li_eval(tree2);
+    return value * 31 + value2 * 7 + leaves;
+}
+"""
+
+M88KSIM_CORE = """
+// Instruction-set simulator for a toy 16-register RISC.
+int m88_mem[128];
+int m88_regs[16];
+
+void m88_load() {
+    int i;
+    for (i = 0; i < 128; i = i + 1) {
+        m88_mem[i] = ((i % 12) << 8) | ((i * 5 + 3) & 255);
+    }
+    for (i = 0; i < 16; i = i + 1) {
+        m88_regs[i] = i * 3 + 1;
+    }
+}
+
+int m88ksim_core() {
+    m88_load();
+    int pc = 0;
+    int steps = 0;
+    while (steps < 500) {
+        int insn = m88_mem[pc & 127];
+        int op = (insn >> 8) & 15;
+        int rd = insn & 15;
+        int rs = (insn >> 4) & 15;
+        int imm = (insn >> 2) & 31;
+        switch (op) {
+            case 0: m88_regs[rd] = m88_regs[rs] + imm; break;
+            case 1: m88_regs[rd] = m88_regs[rs] - imm; break;
+            case 2: m88_regs[rd] = m88_regs[rs] ^ m88_regs[rd]; break;
+            case 3: m88_regs[rd] = (m88_regs[rs] << 1) & 0xffffff; break;
+            case 4: if (m88_regs[rd] > 0) { pc = pc + (imm & 7); } break;
+            case 5: m88_regs[rd] = m88_regs[rs] & imm; break;
+            case 6: m88_regs[rd] = m88_regs[rs] | imm; break;
+            case 7: m88_regs[rd] = imm; break;
+            case 8: m88_regs[rd] = (m88_regs[rs] * 3) & 0xffffff; break;
+            case 9: if (m88_regs[rd] == m88_regs[rs]) { pc = pc + 2; } break;
+            case 10: m88_regs[rd] = m88_regs[(rs + 1) & 15] >> 1; break;
+            case 11: m88_regs[rd] = m88_mem[m88_regs[rs] & 127] & 255; break;
+            default: break;
+        }
+        pc = pc + 1;
+        steps = steps + 1;
+    }
+    int checksum = 0;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        checksum = checksum * 3 + (m88_regs[i] & 1023);
+    }
+    return checksum & 0xffffff;
+}
+"""
+
+PERL_CORE = """
+// Glob-style pattern matcher plus a tiny variable store.
+char perl_text[64] = "the quick brown fox jumps over the lazy dog";
+char perl_pattern[16] = "*qu?ck*f?x*";
+int perl_var_keys[32];
+int perl_var_vals[32];
+int perl_var_count;
+
+int perl_match(int pattern_index, int text_index) {
+    int p = perl_pattern[pattern_index];
+    if (p == 0) {
+        if (perl_text[text_index] == 0) { return 1; }
+        return 0;
+    }
+    if (p == 42) {
+        if (perl_match(pattern_index + 1, text_index)) { return 1; }
+        if (perl_text[text_index] == 0) { return 0; }
+        return perl_match(pattern_index, text_index + 1);
+    }
+    if (perl_text[text_index] == 0) { return 0; }
+    if (p == 63 || p == perl_text[text_index]) {
+        return perl_match(pattern_index + 1, text_index + 1);
+    }
+    return 0;
+}
+
+int perl_hash_name(int a, int b) {
+    return ((a * 31 + b) & 0x7fffffff) % 97;
+}
+
+void perl_set_var(int key, int value) {
+    int i;
+    for (i = 0; i < perl_var_count; i = i + 1) {
+        if (perl_var_keys[i] == key) {
+            perl_var_vals[i] = value;
+            return;
+        }
+    }
+    if (perl_var_count < 32) {
+        perl_var_keys[perl_var_count] = key;
+        perl_var_vals[perl_var_count] = value;
+        perl_var_count = perl_var_count + 1;
+    }
+}
+
+int perl_get_var(int key) {
+    int i;
+    for (i = 0; i < perl_var_count; i = i + 1) {
+        if (perl_var_keys[i] == key) { return perl_var_vals[i]; }
+    }
+    return 0;
+}
+
+int perl_core() {
+    int matched = perl_match(0, 0);
+    perl_var_count = 0;
+    int i;
+    for (i = 0; i < 40; i = i + 1) {
+        int key = perl_hash_name(perl_text[i % 44], i);
+        perl_set_var(key, perl_get_var(key) + i);
+    }
+    int checksum = matched * 10000;
+    for (i = 0; i < perl_var_count; i = i + 1) {
+        checksum = checksum + perl_var_keys[i] ^ perl_var_vals[i];
+    }
+    return checksum + perl_var_count;
+}
+"""
+
+VORTEX_CORE = """
+// In-memory record store: sorted index, binary search, transactions.
+int vtx_ids[96];
+int vtx_balance[96];
+int vtx_flags[96];
+int vtx_count;
+
+int vtx_find(int id) {
+    int lo = 0;
+    int hi = vtx_count - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (vtx_ids[mid] == id) { return mid; }
+        if (vtx_ids[mid] < id) { lo = mid + 1; }
+        else { hi = mid - 1; }
+    }
+    return -1;
+}
+
+void vtx_insert(int id, int balance) {
+    int position = vtx_count;
+    while (position > 0 && vtx_ids[position - 1] > id) {
+        vtx_ids[position] = vtx_ids[position - 1];
+        vtx_balance[position] = vtx_balance[position - 1];
+        vtx_flags[position] = vtx_flags[position - 1];
+        position = position - 1;
+    }
+    vtx_ids[position] = id;
+    vtx_balance[position] = balance;
+    vtx_flags[position] = 1;
+    vtx_count = vtx_count + 1;
+}
+
+int vtx_transfer(int from_id, int to_id, int amount) {
+    int from_index = vtx_find(from_id);
+    int to_index = vtx_find(to_id);
+    if (from_index < 0 || to_index < 0) { return 0; }
+    if (vtx_balance[from_index] < amount) { return 0; }
+    vtx_balance[from_index] = vtx_balance[from_index] - amount;
+    vtx_balance[to_index] = vtx_balance[to_index] + amount;
+    return 1;
+}
+
+int vortex_core() {
+    vtx_count = 0;
+    int i;
+    for (i = 0; i < 60; i = i + 1) {
+        vtx_insert((i * 37) % 191, 100 + i * 3);
+    }
+    int completed = 0;
+    for (i = 0; i < 120; i = i + 1) {
+        int from_id = (i * 37) % 191;
+        int to_id = ((i + 7) * 37) % 191;
+        completed = completed + vtx_transfer(from_id, to_id, (i % 9) + 1);
+    }
+    int total = 0;
+    int flagged = 0;
+    for (i = 0; i < vtx_count; i = i + 1) {
+        total = total + vtx_balance[i];
+        if (vtx_balance[i] > 120) {
+            vtx_flags[i] = 2;
+            flagged = flagged + 1;
+        }
+    }
+    return total * 5 + completed * 11 + flagged;
+}
+"""
+
+CORES = {
+    "compress": (COMPRESS_CORE, "compress_core"),
+    "gcc": (GCC_CORE, "gcc_core"),
+    "go": (GO_CORE, "go_core"),
+    "ijpeg": (IJPEG_CORE, "ijpeg_core"),
+    "li": (LI_CORE, "li_core"),
+    "m88ksim": (M88KSIM_CORE, "m88ksim_core"),
+    "perl": (PERL_CORE, "perl_core"),
+    "vortex": (VORTEX_CORE, "vortex_core"),
+}

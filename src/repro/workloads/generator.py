@@ -1,0 +1,371 @@
+"""Procedural MiniC code generator.
+
+Emits deterministic (seeded) function bodies in a handful of shapes that
+mirror the kinds of code a C compiler sees in the SPEC CINT95 suite:
+array scans, table updates, state-machine switches, decision ladders,
+expression kernels, string scans, hash mixers, and call dispatchers.
+Each benchmark's :class:`Profile` weights these shapes differently so
+that, for example, the synthetic ``m88ksim`` is switch-heavy while the
+synthetic ``ijpeg`` is loop/multiply-heavy.
+
+Generated functions call each other and the runtime library, so the
+emitted call graph — and hence prologue/epilogue density, Table 3 —
+resembles real programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Shape weights and size parameters for one synthetic benchmark."""
+
+    name: str
+    seed: int
+    target_instructions: int
+    # Relative weights for each generator shape.
+    weights: dict[str, float] = field(
+        default_factory=lambda: {
+            "scan_loop": 2.0,
+            "table_update": 1.5,
+            "state_machine": 1.0,
+            "decision_ladder": 1.5,
+            "math_kernel": 1.5,
+            "string_scan": 1.0,
+            "hash_mix": 1.0,
+            "dispatcher": 0.8,
+        }
+    )
+    int_arrays: int = 6
+    char_arrays: int = 2
+    scalars: int = 6
+    # Loop bound used when scanning arrays; arrays themselves vary in
+    # size (up to array_spread) so the data segment spans many 64KB
+    # pages and @ha relocations take many distinct values, as in real
+    # statically linked programs.
+    array_size: int = 64
+    array_spread: int = 8192
+    # Average machine instructions one generated function compiles to;
+    # calibrated empirically (see tests/workloads/test_generator.py).
+    instructions_per_function: float = 40.0
+
+
+_BIN_OPS = ["+", "-", "^", "|", "&"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class CodeWriter:
+    """Tiny indenting source writer."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._indent = 0
+
+    def line(self, text: str = "") -> None:
+        self._lines.append("    " * self._indent + text if text else "")
+
+    def open(self, text: str) -> None:
+        self.line(text + " {")
+        self._indent += 1
+
+    def close(self) -> None:
+        self._indent -= 1
+        self.line("}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class FunctionFactory:
+    """Generates one benchmark's worth of synthetic functions."""
+
+    def __init__(self, profile: Profile) -> None:
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.functions: list[str] = []  # generated function names, in order
+        self.prefix = f"f_{profile.name}"
+        self._shape_table: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Global data
+    # ------------------------------------------------------------------
+    def emit_globals(self, out: CodeWriter) -> None:
+        p = self.profile
+        sizes = [p.array_size, p.array_size * 4, p.array_size * 16, p.array_spread]
+        for i in range(p.scalars):
+            out.line(f"int gv_{p.name}_{i};")
+        for i in range(p.int_arrays):
+            size = max(p.array_size, sizes[self.rng.randrange(len(sizes))])
+            out.line(f"int ga_{p.name}_{i}[{size}];")
+        for i in range(p.char_arrays):
+            size = max(p.array_size, sizes[self.rng.randrange(len(sizes))] // 4)
+            out.line(f"char gc_{p.name}_{i}[{size}];")
+        out.line()
+
+    def scalar(self) -> str:
+        return f"gv_{self.profile.name}_{self.rng.randrange(self.profile.scalars)}"
+
+    def int_array(self) -> str:
+        return f"ga_{self.profile.name}_{self.rng.randrange(self.profile.int_arrays)}"
+
+    def char_array(self) -> str:
+        return f"gc_{self.profile.name}_{self.rng.randrange(self.profile.char_arrays)}"
+
+    # ------------------------------------------------------------------
+    # Expression fragments
+    # ------------------------------------------------------------------
+    def _const(self, lo: int = 1, hi: int = 64) -> str:
+        return str(self.rng.randrange(lo, hi))
+
+    def _binop(self) -> str:
+        return self.rng.choice(_BIN_OPS)
+
+    def _cmp(self) -> str:
+        return self.rng.choice(_CMP_OPS)
+
+    def _callee(self) -> str | None:
+        """A previously generated function usable as a callee."""
+        if not self.functions or self.rng.random() < 0.4:
+            return None
+        return self.rng.choice(self.functions[-24:])
+
+    def _runtime_call(self, a: str, b: str) -> str:
+        name = self.rng.choice(["min", "max", "abs", "gcd", "clamp"])
+        if name == "abs":
+            return f"abs({a} - {b})"
+        if name == "clamp":
+            return f"clamp({a}, 0, {b} + 1)"
+        return f"{name}({a}, {b})"
+
+    # ------------------------------------------------------------------
+    # Function shapes
+    # ------------------------------------------------------------------
+    def gen_function(self) -> str:
+        shapes = list(self.profile.weights.items())
+        names = [s for s, _ in shapes]
+        weights = [w for _, w in shapes]
+        shape = self.rng.choices(names, weights=weights, k=1)[0]
+        index = len(self.functions)
+        name = f"{self.prefix}_{index}"
+        self._shape_table[name] = shape
+        out = CodeWriter()
+        getattr(self, f"_shape_{shape}")(out, name)
+        self.functions.append(name)
+        return out.text()
+
+    def _shape_scan_loop(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        array = self.int_array()
+        out.open(f"int {name}(int n, int seed)")
+        out.line(f"int acc = {self._const()};")
+        out.line("int i;")
+        bound = f"n & {self.profile.array_size - 1}"
+        out.open(f"for (i = 0; i < ({bound}); i = i + 1)")
+        out.line(f"int v = {array}[i];")
+        body_kind = rng.randrange(3)
+        if body_kind == 0:
+            out.line(f"acc = acc {self._binop()} (v {self._binop()} seed);")
+            out.open(f"if (acc {self._cmp()} {self._const(64, 4096)})")
+            out.line(f"acc = acc - {self._const()};")
+            out.close()
+        elif body_kind == 1:
+            out.line(f"acc = acc + {self._runtime_call('v', 'seed')};")
+            out.line(f"{array}[i] = v {self._binop()} acc;")
+        else:
+            out.open(f"if (v {self._cmp()} seed)")
+            out.line(f"acc = acc + v;")
+            out.close()
+            out.open("else")
+            out.line(f"acc = acc ^ (v >> {rng.randrange(1, 5)});")
+            out.close()
+        out.close()
+        callee = self._callee()
+        if callee is not None:
+            out.line(f"acc = acc + {self._call_expr(callee, 'acc', 1)};")
+        out.line(f"{self.scalar()} = acc;")
+        out.line("return acc;")
+        out.close()
+
+    def _shape_table_update(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        src = self.int_array()
+        dst = self.int_array()
+        out.open(f"int {name}(int n, int k)")
+        out.line("int i;")
+        out.line("int total = 0;")
+        stride = rng.choice([1, 2])
+        bound = self.profile.array_size
+        out.open(f"for (i = 0; i < {bound}; i = i + {stride})")
+        expr = rng.choice(
+            [
+                f"{src}[i] {self._binop()} k",
+                f"({src}[i] << {rng.randrange(1, 4)}) + k",
+                f"{src}[i] + {dst}[i]",
+                f"max({src}[i], k)",
+            ]
+        )
+        out.line(f"{dst}[i] = {expr};")
+        out.line(f"total = total + {dst}[i];")
+        out.close()
+        out.line(f"{self.scalar()} = total;")
+        out.line("return total;")
+        out.close()
+
+    def _shape_state_machine(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        ncases = rng.randrange(4, 11)
+        scalar = self.scalar()
+        out.open(f"int {name}(int state, int input)")
+        out.open("switch (state)")
+        for case in range(ncases):
+            out.line(f"case {case}:")
+            action = rng.randrange(4)
+            if action == 0:
+                out.line(f"    state = input & {self._const(1, 16)};")
+            elif action == 1:
+                out.line(f"    state = state + {self._const(1, 4)};")
+            elif action == 2:
+                out.line(f"    {scalar} = {scalar} + input;")
+                out.line(f"    state = {rng.randrange(ncases)};")
+            else:
+                out.line(f"    state = (input >> {rng.randrange(1, 4)}) & 7;")
+            out.line("    break;")
+        out.line("default:")
+        out.line("    state = 0;")
+        out.line("    break;")
+        out.close()
+        out.line(f"return state % {ncases};")
+        out.close()
+
+    def _shape_decision_ladder(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        depth = rng.randrange(3, 7)
+        out.open(f"int {name}(int a, int b, int c)")
+        for level in range(depth):
+            threshold = self._const(0, 128)
+            var = rng.choice(["a", "b", "c", "a + b", "b - c"])
+            out.open(f"if ({var} {self._cmp()} {threshold})")
+            result = rng.choice(
+                [
+                    f"return {self._const(0, 256)};",
+                    f"return a {self._binop()} {self._const()};",
+                    "return b - c;",
+                    f"return {self._runtime_call('a', 'b')};",
+                ]
+            )
+            out.line(result)
+            out.close()
+        callee = self._callee()
+        if callee is not None and rng.random() < 0.5:
+            out.line(f"return {self._call_expr(callee, 'a', rng.randrange(8))};")
+        else:
+            out.line(f"return (a + b + c) & {self._const(15, 255)};")
+        out.close()
+
+    def _shape_math_kernel(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        out.open(f"int {name}(int x, int y)")
+        temps = rng.randrange(3, 7)
+        prev = ["x", "y"]
+        for t in range(temps):
+            a = rng.choice(prev)
+            b = rng.choice(prev)
+            expr = rng.choice(
+                [
+                    f"{a} * {self._const(2, 12)} + {b}",
+                    f"({a} {self._binop()} {b}) >> {rng.randrange(1, 4)}",
+                    f"{a} % {self._const(3, 17)} + {b}",
+                    f"{a} / {self._const(2, 9)} - {b}",
+                    f"{self._runtime_call(a, b)}",
+                ]
+            )
+            out.line(f"int t{t} = {expr};")
+            prev.append(f"t{t}")
+        out.line(f"{self.scalar()} = t{temps - 1};")
+        out.line(f"return t{temps - 1} {self._binop()} t{rng.randrange(temps)};")
+        out.close()
+
+    def _shape_string_scan(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        array = self.char_array()
+        out.open(f"int {name}(int n, int needle)")
+        out.line("int count = 0;")
+        out.line("int i;")
+        bound = self.profile.array_size
+        out.open(f"for (i = 0; i < {bound}; i = i + 1)")
+        out.line(f"int c = {array}[i];")
+        kind = rng.randrange(3)
+        if kind == 0:
+            out.open("if (c == (needle & 255))")
+            out.line("count = count + 1;")
+            out.close()
+        elif kind == 1:
+            out.open(f"if (c >= {rng.randrange(48, 65)} && c <= {rng.randrange(90, 123)})")
+            out.line("count = count + 1;")
+            out.close()
+            out.line(f"{array}[i] = (c + n) & 255;")
+        else:
+            out.line(f"count = count + ((c >> {rng.randrange(1, 4)}) & 1);")
+        out.close()
+        out.line("return count;")
+        out.close()
+
+    def _shape_hash_mix(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        out.open(f"int {name}(int key)")
+        out.line(f"int h = key ^ {self._const(1, 0x7FFF)};")
+        rounds = rng.randrange(2, 5)
+        for _ in range(rounds):
+            shift = rng.randrange(1, 16)
+            op = rng.choice(["+", "^"])
+            direction = rng.choice(["<<", ">>"])
+            out.line(f"h = h {op} ((h {direction} {shift}) & 0x7fffffff);")
+            out.line(f"h = h & 0x7fffffff;")
+        table = self.int_array()
+        out.line(f"return {table}[h & {self.profile.array_size - 1}] ^ h;")
+        out.close()
+
+    def _shape_dispatcher(self, out: CodeWriter, name: str) -> None:
+        rng = self.rng
+        pool = list(self.functions[-40:])
+        rng.shuffle(pool)
+        callees = pool[: rng.randrange(2, 6)]
+        out.open(f"int {name}(int selector, int arg)")
+        out.line("int result = 0;")
+        if not callees:
+            out.line(f"result = arg * {self._const(2, 9)};")
+        for position, callee in enumerate(callees):
+            out.open(f"if ((selector & {1 << position}) != 0)")
+            out.line(f"result = result + {self._call_expr(callee, 'arg', position)};")
+            out.close()
+        out.line(f"{self.scalar()} = result;")
+        out.line("return result;")
+        out.close()
+
+    # ------------------------------------------------------------------
+    def _arity(self, name: str) -> int:
+        """All shapes take 1-3 int args; arity is determined by shape."""
+        return _ARITY_BY_SHAPE[self._shape_table[name]]
+
+    def _call_expr(self, callee: str, arg: str, salt: int) -> str:
+        arity = self._arity(callee)
+        if arity == 1:
+            return f"{callee}({arg} + {salt})"
+        if arity == 2:
+            return f"{callee}({arg} & 31, {salt})"
+        return f"{callee}({arg} & 15, {salt}, {arg} >> 1)"
+
+
+_ARITY_BY_SHAPE = {
+    "scan_loop": 2,
+    "table_update": 2,
+    "state_machine": 2,
+    "decision_ladder": 3,
+    "math_kernel": 2,
+    "string_scan": 2,
+    "hash_mix": 1,
+    "dispatcher": 2,
+}

@@ -1,0 +1,193 @@
+"""Assembly of the eight synthetic CINT95-like benchmarks.
+
+Sizes are scaled to roughly 1/8 of the SPEC CINT95 binaries the paper
+measured (see the paper's Table 1 static branch counts for the relative
+ordering: gcc largest, then vortex, perl, go, m88ksim, ijpeg, li,
+compress smallest).  ``build_suite(scale=...)`` lets tests shrink the
+suite further.
+
+Programs are deterministic: same name + scale -> identical binary.
+Compiled programs are cached per process because most experiments sweep
+parameters over the same eight programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.compiler import compile_and_link
+from repro.compiler.driver import CompileOptions
+from repro.linker.program import Program
+from repro.workloads.cores import CORES
+from repro.workloads.generator import CodeWriter, FunctionFactory, Profile
+
+# Target static instruction counts at scale=1.0 (about 1/8 of the SPEC
+# CINT95 binaries, preserving the suite's relative size ordering).
+_TARGETS = {
+    "compress": 2_600,
+    "gcc": 26_000,
+    "go": 8_200,
+    "ijpeg": 6_400,
+    "li": 4_300,
+    "m88ksim": 5_800,
+    "perl": 12_000,
+    "vortex": 16_000,
+}
+
+# Shape-weight personalities per benchmark.
+_PERSONALITIES: dict[str, dict[str, float]] = {
+    "compress": {
+        "scan_loop": 2.5, "table_update": 1.0, "state_machine": 0.3,
+        "decision_ladder": 0.5, "math_kernel": 1.0, "string_scan": 2.0,
+        "hash_mix": 3.0, "dispatcher": 0.3,
+    },
+    "gcc": {
+        "scan_loop": 1.0, "table_update": 1.0, "state_machine": 2.5,
+        "decision_ladder": 2.5, "math_kernel": 1.5, "string_scan": 1.0,
+        "hash_mix": 0.5, "dispatcher": 1.5,
+    },
+    "go": {
+        "scan_loop": 2.5, "table_update": 2.5, "state_machine": 0.5,
+        "decision_ladder": 2.0, "math_kernel": 1.0, "string_scan": 0.2,
+        "hash_mix": 0.3, "dispatcher": 0.7,
+    },
+    "ijpeg": {
+        "scan_loop": 2.5, "table_update": 3.0, "state_machine": 0.2,
+        "decision_ladder": 0.6, "math_kernel": 2.0, "string_scan": 0.2,
+        "hash_mix": 0.4, "dispatcher": 0.5,
+    },
+    "li": {
+        "scan_loop": 0.8, "table_update": 0.6, "state_machine": 1.5,
+        "decision_ladder": 2.0, "math_kernel": 1.0, "string_scan": 0.8,
+        "hash_mix": 0.5, "dispatcher": 2.0,
+    },
+    "m88ksim": {
+        "scan_loop": 1.0, "table_update": 1.5, "state_machine": 3.0,
+        "decision_ladder": 1.0, "math_kernel": 1.0, "string_scan": 0.3,
+        "hash_mix": 0.8, "dispatcher": 1.0,
+    },
+    "perl": {
+        "scan_loop": 0.8, "table_update": 0.6, "state_machine": 2.0,
+        "decision_ladder": 1.5, "math_kernel": 0.8, "string_scan": 3.0,
+        "hash_mix": 1.5, "dispatcher": 1.0,
+    },
+    "vortex": {
+        "scan_loop": 1.5, "table_update": 2.0, "state_machine": 1.0,
+        "decision_ladder": 2.0, "math_kernel": 0.8, "string_scan": 0.8,
+        "hash_mix": 1.0, "dispatcher": 2.5,
+    },
+}
+
+BENCHMARK_NAMES: tuple[str, ...] = (
+    "compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex",
+)
+
+# Fixed compile cost of runtime library + core + main, calibrated by
+# measurement (see tests/workloads); the factory fills the remainder
+# with generated functions.
+_BASE_INSTRUCTIONS = 700
+_SEED_BASE = 0x5EED
+
+
+def benchmark_profile(name: str, scale: float = 1.0) -> Profile:
+    """The generation profile for one benchmark at a given scale."""
+    if name not in _TARGETS:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}")
+    target = max(int(_TARGETS[name] * scale), _BASE_INSTRUCTIONS + 200)
+    return Profile(
+        name=name,
+        seed=_SEED_BASE + BENCHMARK_NAMES.index(name),
+        target_instructions=target,
+        weights=dict(_PERSONALITIES[name]),
+        int_arrays=4 + BENCHMARK_NAMES.index(name) % 4,
+        char_arrays=2,
+        scalars=6,
+    )
+
+
+def benchmark_source(name: str, scale: float = 1.0) -> str:
+    """Generate the full MiniC source text for one benchmark."""
+    profile = benchmark_profile(name, scale)
+    core_source, core_entry = CORES[name]
+    factory = FunctionFactory(profile)
+
+    out = CodeWriter()
+    factory.emit_globals(out)
+    out.line(core_source)
+
+    function_budget = max(
+        0,
+        round(
+            (profile.target_instructions - _BASE_INSTRUCTIONS)
+            / profile.instructions_per_function
+        ),
+    )
+    bodies = [factory.gen_function() for _ in range(function_budget)]
+    for body in bodies:
+        out.line(body)
+
+    _emit_main(out, factory, core_entry)
+    return out.text()
+
+
+def _emit_main(out: CodeWriter, factory: FunctionFactory, core_entry: str) -> None:
+    """main(): seed globals, run the core, sample generated functions,
+    print a deterministic checksum."""
+    profile = factory.profile
+    out.open("void main()")
+    out.line("int i;")
+    for index in range(profile.int_arrays):
+        array = f"ga_{profile.name}_{index}"
+        out.open(f"for (i = 0; i < {profile.array_size}; i = i + 1)")
+        out.line(f"{array}[i] = (i * {17 + 2 * index} + {index + 3}) & 1023;")
+        out.close()
+    for index in range(profile.char_arrays):
+        array = f"gc_{profile.name}_{index}"
+        out.open(f"for (i = 0; i < {profile.array_size}; i = i + 1)")
+        out.line(f"{array}[i] = 32 + ((i * {7 + index}) & 63);")
+        out.close()
+    out.line(f"int core_result = {core_entry}();")
+    out.line("print_int(core_result);")
+    out.line("print_nl();")
+    out.line("int check = core_result;")
+    # Call a deterministic sample of the generated functions.
+    rng = random.Random(profile.seed ^ 0xABCD)
+    sample = factory.functions[:: max(1, len(factory.functions) // 96)][:96]
+    for position, fn in enumerate(sample):
+        arg = rng.randrange(0, 63)
+        out.line(f"check = check ^ {factory._call_expr(fn, str(arg), position & 7)};")
+    out.line("print_int(check);")
+    out.line("print_nl();")
+    out.close()
+
+
+_PROGRAM_CACHE: dict[tuple[str, float, bool], Program] = {}
+
+
+def build_benchmark(
+    name: str,
+    scale: float = 1.0,
+    standardize_prologue: bool = False,
+) -> Program:
+    """Compile one synthetic benchmark to a linked Program (cached)."""
+    key = (name, scale, standardize_prologue)
+    if key not in _PROGRAM_CACHE:
+        source = benchmark_source(name, scale)
+        options = CompileOptions()
+        if standardize_prologue:
+            options = CompileOptions(
+                codegen=replace(options.codegen, standardize_prologue=True)
+            )
+        _PROGRAM_CACHE[key] = compile_and_link(source, name=name, options=options)
+    return _PROGRAM_CACHE[key]
+
+
+def build_suite(scale: float = 1.0) -> dict[str, Program]:
+    """Compile the full eight-benchmark suite."""
+    return {name: build_benchmark(name, scale) for name in BENCHMARK_NAMES}
+
+
+def clear_cache() -> None:
+    """Drop cached programs (tests that tweak generation use this)."""
+    _PROGRAM_CACHE.clear()

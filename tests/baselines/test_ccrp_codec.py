@@ -1,0 +1,80 @@
+"""Executable CCRP codec tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.ccrp_codec import (
+    CcrpImage,
+    ccrp_decode_all,
+    ccrp_decode_line,
+    ccrp_encode,
+    ccrp_fetch_stats,
+)
+from repro.errors import CompressionError
+
+
+class TestRoundTrip:
+    def test_full_text_roundtrip(self, tiny_program):
+        text = tiny_program.text_bytes()
+        image = ccrp_encode(text)
+        assert ccrp_decode_all(image) == text
+
+    def test_single_line_independent_decode(self, tiny_program):
+        text = tiny_program.text_bytes()
+        image = ccrp_encode(text)
+        # Decode a middle line without touching the others.
+        line = image.line_count // 2
+        expected = text[line * 32 : (line + 1) * 32]
+        assert ccrp_decode_line(image, line) == expected
+
+    def test_partial_final_line(self):
+        text = bytes(range(48))  # 1.5 lines of 32
+        image = ccrp_encode(text, line_bytes=32)
+        assert image.line_count == 2
+        assert ccrp_decode_line(image, 1) == text[32:]
+
+    def test_out_of_range_line(self, tiny_program):
+        image = ccrp_encode(tiny_program.text_bytes())
+        with pytest.raises(CompressionError):
+            ccrp_decode_line(image, image.line_count)
+
+    @given(st.binary(min_size=1, max_size=512), st.sampled_from([8, 16, 32]))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, data, line_bytes):
+        image = ccrp_encode(data, line_bytes)
+        assert ccrp_decode_all(image) == data
+
+
+class TestAccounting:
+    def test_lat_is_monotone(self, tiny_program):
+        image = ccrp_encode(tiny_program.text_bytes())
+        assert list(image.lat) == sorted(image.lat)
+        assert image.lat[0] == 0
+
+    def test_line_bits_sum_to_blob(self, tiny_program):
+        image = ccrp_encode(tiny_program.text_bytes())
+        total = sum(image.line_bits(i) for i in range(image.line_count))
+        assert total == 8 * len(image.blob)
+
+    def test_size_includes_lat_and_table(self, tiny_program):
+        image = ccrp_encode(tiny_program.text_bytes())
+        assert image.compressed_bytes == (
+            len(image.blob) + 3 * image.line_count + 256
+        )
+
+    def test_compresses_instruction_bytes(self, ijpeg_small):
+        image = ccrp_encode(ijpeg_small.text_bytes())
+        assert image.compression_ratio < 1.0
+
+
+class TestFetchStats:
+    def test_misses_incur_decode_work(self, tiny_program):
+        stats = ccrp_fetch_stats(tiny_program, cache_size=256, line_bytes=32)
+        assert stats.cache_misses > 0
+        assert stats.decode_bits > 0
+        assert stats.instructions > 0
+
+    def test_bigger_cache_less_decode_work(self, ijpeg_small):
+        small = ccrp_fetch_stats(ijpeg_small, cache_size=256)
+        large = ccrp_fetch_stats(ijpeg_small, cache_size=4096)
+        assert large.decode_bits <= small.decode_bits

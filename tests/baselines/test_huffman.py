@@ -1,0 +1,77 @@
+"""Huffman / CCRP baseline tests."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.huffman import (
+    assign_codes,
+    ccrp_compress,
+    code_lengths,
+    huffman_compress_bytes,
+    huffman_roundtrip,
+)
+
+
+class TestCodeConstruction:
+    def test_single_symbol(self):
+        lengths = code_lengths(b"aaaa")
+        assert lengths == {ord("a"): 1}
+
+    def test_more_frequent_symbols_get_shorter_codes(self):
+        data = b"a" * 100 + b"b" * 10 + b"c" * 1
+        lengths = code_lengths(data)
+        assert lengths[ord("a")] <= lengths[ord("b")] <= lengths[ord("c")]
+
+    def test_kraft_inequality(self):
+        data = bytes(range(256)) * 3 + b"common" * 50
+        lengths = code_lengths(data)
+        kraft = sum(2 ** -length for length in lengths.values())
+        assert kraft <= 1.0 + 1e-9
+
+    def test_canonical_codes_are_prefix_free(self):
+        data = b"abracadabra" * 20
+        codes = assign_codes(code_lengths(data))
+        items = [(format(code, f"0{length}b")) for code, length in codes.values()]
+        for a in items:
+            for b in items:
+                if a != b:
+                    assert not b.startswith(a)
+
+    @given(st.binary(min_size=1, max_size=2048))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        assert huffman_roundtrip(data)
+
+    def test_payload_matches_entropy_bound(self):
+        data = b"aabbbcccc" * 100
+        result = huffman_compress_bytes(data)
+        counts = Counter(data)
+        import math
+
+        entropy_bits = sum(
+            -count * math.log2(count / len(data)) for count in counts.values()
+        )
+        assert result.payload_bits >= entropy_bits - 1e-6
+        assert result.payload_bits <= entropy_bits + len(data)  # +1 bit/sym
+
+
+class TestCcrpModel:
+    def test_line_mode_costs_more_than_whole_text(self, tiny_program):
+        data = tiny_program.text_bytes()
+        whole = huffman_compress_bytes(data)
+        lines = ccrp_compress(data, line_bytes=32)
+        assert lines.compressed_bytes > whole.compressed_bytes
+
+    def test_lat_overhead_scales_with_lines(self, tiny_program):
+        data = tiny_program.text_bytes()
+        small_lines = ccrp_compress(data, line_bytes=16)
+        big_lines = ccrp_compress(data, line_bytes=64)
+        assert small_lines.table_bytes > big_lines.table_bytes
+
+    def test_instruction_bytes_compress(self, ijpeg_small):
+        # On a realistically sized program the per-program table and LAT
+        # amortize and CCRP nets a reduction (paper section 2.3).
+        data = ijpeg_small.text_bytes()
+        result = ccrp_compress(data)
+        assert result.compressed_bytes < len(data)

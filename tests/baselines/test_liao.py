@@ -1,0 +1,37 @@
+"""Liao call-dictionary baseline tests."""
+
+import pytest
+
+from repro.baselines.liao import liao_compress
+from repro.core import BaselineEncoding, compress
+from repro.errors import CompressionError
+
+
+class TestLiao:
+    def test_compresses(self, tiny_program):
+        result = liao_compress(tiny_program, 1)
+        assert result.compressed_bytes < result.original_bytes
+        assert 0 < result.compression_ratio < 1
+
+    def test_codeword_words_validated(self, tiny_program):
+        with pytest.raises(CompressionError):
+            liao_compress(tiny_program, 3)
+
+    def test_two_word_codewords_do_worse(self, ijpeg_small):
+        one = liao_compress(ijpeg_small, 1)
+        two = liao_compress(ijpeg_small, 2)
+        assert one.compression_ratio <= two.compression_ratio
+
+    def test_worse_than_sub_instruction_codewords(self, ijpeg_small):
+        # The paper's core argument (sections 2.4, 4.1.1): whole-word
+        # codewords cannot compress single instructions, which carry
+        # about half the savings.
+        liao = liao_compress(ijpeg_small, 1)
+        ours = compress(ijpeg_small, BaselineEncoding())
+        assert ours.compression_ratio < liao.compression_ratio
+
+    def test_accounting_consistent(self, tiny_program):
+        result = liao_compress(tiny_program, 1)
+        assert result.compressed_bytes == result.stream_bytes + result.dictionary_bytes
+        assert result.entries > 0
+        assert result.replaced_occurrences >= result.entries

@@ -1,0 +1,59 @@
+"""LZW (Unix compress) tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.lzw import (
+    HEADER_BYTES,
+    LzwResult,
+    lzw_compress,
+    lzw_decompress,
+    unix_compress_size,
+)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert lzw_decompress(lzw_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert lzw_decompress(lzw_compress(b"x")) == b"x"
+
+    def test_repetitive_text(self):
+        data = b"abcabcabcabcabc" * 100
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_kwkwk_case(self):
+        # The classic pattern that exercises the code-not-yet-in-table path.
+        data = b"abababababab"
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_roundtrip_on_real_text_section(self, tiny_program):
+        data = tiny_program.text_bytes()
+        assert lzw_decompress(lzw_compress(data)) == data
+
+
+class TestSizes:
+    def test_repetitive_data_compresses(self):
+        data = b"the quick brown fox " * 200
+        assert unix_compress_size(data) < len(data) / 3
+
+    def test_random_ish_data_does_not_explode(self):
+        data = bytes((i * 197 + 13) & 0xFF for i in range(4096))
+        # Worst case ~2x from 16-bit codes on 8-bit-entropy input.
+        assert unix_compress_size(data) < 2 * len(data) + HEADER_BYTES
+
+    def test_codes_grow_from_nine_bits(self):
+        result = lzw_compress(b"ab")
+        assert result.payload_bits == 2 * 9
+
+    def test_header_counted(self):
+        assert unix_compress_size(b"") == HEADER_BYTES
+
+    def test_benchmark_text_compresses_well(self, tiny_program):
+        data = tiny_program.text_bytes()
+        assert unix_compress_size(data) < len(data)

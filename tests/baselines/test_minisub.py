@@ -1,0 +1,35 @@
+"""Mini-subroutine baseline tests."""
+
+from repro.baselines.liao import liao_compress
+from repro.baselines.minisub import _touches_lr, minisub_compress
+from repro.isa.assembler import assemble_line
+
+
+class TestLrSafety:
+    def test_call_instructions_excluded(self):
+        assert _touches_lr(assemble_line("bl +4").encode())
+        assert _touches_lr(assemble_line("blr").encode())
+        assert _touches_lr(assemble_line("bctrl").encode())
+
+    def test_lr_moves_excluded(self):
+        assert _touches_lr(assemble_line("mflr r0").encode())
+        assert _touches_lr(assemble_line("mtlr r0").encode())
+
+    def test_plain_instructions_allowed(self):
+        assert not _touches_lr(assemble_line("addi r3,r3,1").encode())
+        assert not _touches_lr(assemble_line("mtctr r12").encode())
+
+
+class TestMiniSub:
+    def test_compresses(self, ijpeg_small):
+        result = minisub_compress(ijpeg_small)
+        assert result.compressed_bytes < result.original_bytes
+        assert result.subroutines > 0
+        assert result.call_sites >= 2 * result.subroutines
+
+    def test_call_overhead_makes_it_weakest(self, ijpeg_small):
+        # Software-only abstraction pays one word per occurrence plus a
+        # blr per subroutine, so it trails the hardware call-dictionary.
+        mini = minisub_compress(ijpeg_small)
+        liao = liao_compress(ijpeg_small, 1)
+        assert liao.compression_ratio <= mini.compression_ratio + 0.02

@@ -1,0 +1,94 @@
+"""Thumb/MIPS16-style dense re-encoding model tests."""
+
+from repro.baselines.thumb16 import (
+    MODE_SWITCH_BYTES,
+    is_dense_encodable,
+    select_low_registers,
+    thumb16_model,
+)
+from repro.isa.assembler import assemble_line
+
+ALL_REGS = frozenset(range(32))
+LOW8 = frozenset(range(8))
+
+
+def ins(text):
+    return assemble_line(text)
+
+
+class TestEncodability:
+    def test_simple_rr_ops_encode(self):
+        assert is_dense_encodable(ins("add r3,r4,r5"), ALL_REGS)
+        assert is_dense_encodable(ins("mr r3,r4"), ALL_REGS)
+        assert is_dense_encodable(ins("blr"), ALL_REGS)
+
+    def test_register_constraint(self):
+        assert not is_dense_encodable(ins("add r3,r4,r29"), LOW8)
+        assert is_dense_encodable(ins("add r3,r4,r5"), LOW8)
+
+    def test_immediate_width_limits(self):
+        assert is_dense_encodable(ins("addi r3,r4,100"), ALL_REGS)
+        assert not is_dense_encodable(ins("addi r3,r4,5000"), ALL_REGS)
+        assert is_dense_encodable(ins("cmpwi r3,100"), ALL_REGS)
+        assert not is_dense_encodable(ins("cmpwi cr1,r3,1"), ALL_REGS)
+
+    def test_memory_offset_scaled_imm5(self):
+        assert is_dense_encodable(ins("lwz r3,124(r4)"), ALL_REGS)  # 31*4
+        assert not is_dense_encodable(ins("lwz r3,128(r4)"), ALL_REGS)
+        assert not is_dense_encodable(ins("lwz r3,2(r4)"), ALL_REGS)  # misaligned
+        assert is_dense_encodable(ins("lbz r3,31(r4)"), ALL_REGS)
+
+    def test_branch_range(self):
+        assert is_dense_encodable(ins("b +100"), ALL_REGS)
+        assert not is_dense_encodable(ins("b +2000"), ALL_REGS)
+        assert is_dense_encodable(ins("beq +30"), ALL_REGS)
+        assert not is_dense_encodable(ins("beq +200"), ALL_REGS)
+
+    def test_system_instructions_stay_wide(self):
+        assert not is_dense_encodable(ins("mflr r0"), ALL_REGS)
+        assert not is_dense_encodable(ins("mtlr r0"), ALL_REGS)
+
+    def test_shift_idioms_encode(self):
+        assert is_dense_encodable(ins("slwi r3,r4,2"), ALL_REGS)
+        assert is_dense_encodable(ins("srawi r3,r4,4"), ALL_REGS)
+        assert is_dense_encodable(ins("clrlwi r3,r4,24"), ALL_REGS)
+
+
+class TestLowRegisterSelection:
+    def test_picks_most_used(self, tiny_program):
+        low = select_low_registers(tiny_program, 8)
+        assert len(low) == 8
+        # r3 (arguments/return value) is the unavoidable hot register.
+        assert 3 in low
+
+    def test_count_respected(self, tiny_program):
+        assert len(select_low_registers(tiny_program, 4)) == 4
+
+
+class TestModel:
+    def test_model_reduces_size(self, ijpeg_small):
+        result = thumb16_model(ijpeg_small)
+        assert 0.5 < result.compression_ratio < 1.0
+        assert result.dense_instructions > 0
+        assert result.mode_switches >= 0
+
+    def test_recompiled_mode_is_denser(self, ijpeg_small):
+        reencode = thumb16_model(ijpeg_small)
+        recompiled = thumb16_model(ijpeg_small, assume_recompiled=True)
+        assert recompiled.compression_ratio < reencode.compression_ratio
+        assert recompiled.dense_fraction >= reencode.dense_fraction
+
+    def test_mode_switch_cost_respected(self, ijpeg_small):
+        # Lower bound: even with zero switches, size >= 2 bytes/insn.
+        result = thumb16_model(ijpeg_small)
+        assert result.compressed_bytes >= 2 * result.total_instructions
+        assert result.compressed_bytes >= (
+            2 * result.dense_instructions
+            + 4 * (result.total_instructions - result.dense_instructions)
+        )
+
+    def test_all_wide_program_costs_original_size(self, ijpeg_small):
+        # With an empty dense register set almost nothing encodes (only
+        # branch/blr-type register-free forms), so size stays near 4n.
+        result = thumb16_model(ijpeg_small, low_register_count=0)
+        assert result.compression_ratio > 0.85

@@ -1,0 +1,69 @@
+"""Compilation driver tests."""
+
+import pytest
+
+from repro.compiler import compile_and_link, compile_source
+from repro.compiler.driver import CompileOptions
+from repro.compiler.codegen import CodegenConfig
+from repro.errors import CompileError
+from repro.machine.simulator import run_program
+
+SOURCE = """
+int total;
+void main() {
+    int i;
+    for (i = 0; i < 5; i = i + 1) { total = total + i; }
+    print_int(total);
+}
+"""
+
+
+class TestDriver:
+    def test_main_required(self):
+        with pytest.raises(CompileError, match="main"):
+            compile_and_link("int helper() { return 1; }")
+
+    def test_runtime_functions_tagged_library(self):
+        module = compile_source(SOURCE)
+        by_name = {fn.name: fn for fn in module.functions}
+        assert by_name["print_int"].is_library
+        assert not by_name["main"].is_library
+
+    def test_runtime_can_be_excluded(self):
+        module = compile_source(
+            "int f(int x) { return x; }",
+            options=CompileOptions(include_runtime=False),
+        )
+        assert [fn.name for fn in module.functions] == ["f"]
+
+    def test_globals_become_data_items(self):
+        module = compile_source("int g = 7; int a[3] = {1, 2}; void main() { }")
+        symbols = {item.symbol: item for item in module.data}
+        assert symbols["g"].initial == (7).to_bytes(4, "big")
+        assert symbols["a"].size == 12
+        assert symbols["a"].initial == b"\x00\x00\x00\x01\x00\x00\x00\x02"
+
+    def test_char_initializer_bytes(self):
+        module = compile_source('char s[4] = "ab"; void main() { }')
+        item = next(i for i in module.data if i.symbol == "s")
+        assert item.initial == b"ab\x00"
+        assert item.align == 1
+
+    def test_opt_levels_agree_on_output(self):
+        o2 = compile_and_link(SOURCE, name="o2")
+        o0 = compile_and_link(
+            SOURCE, name="o0", options=CompileOptions(opt_level=0)
+        )
+        assert len(o0.text) >= len(o2.text)
+        assert run_program(o0).output_text == run_program(o2).output_text
+
+    def test_standardize_prologue_roundtrip(self):
+        options = CompileOptions(
+            codegen=CodegenConfig(standardize_prologue=True)
+        )
+        program = compile_and_link(SOURCE, name="std", options=options)
+        assert run_program(program).output_text == "10"
+
+    def test_compile_error_carries_line(self):
+        with pytest.raises(CompileError, match="line 3"):
+            compile_and_link("void main() {\n int x = 1;\n x = y;\n}")

@@ -1,0 +1,357 @@
+"""End-to-end language semantics: compile MiniC, run, check output.
+
+These tests pin the C-like semantics of every operator and statement by
+observing actual simulated execution — the strongest check that the
+lexer/parser/lowering/optimizer/regalloc/codegen stack is sound.
+"""
+
+import pytest
+
+from repro.compiler import compile_and_link
+from repro.machine.simulator import run_program
+
+
+def run_main(body, prelude=""):
+    source = f"{prelude}\nvoid main() {{ {body} }}"
+    program = compile_and_link(source, name="exec-test")
+    return run_program(program).output_text
+
+
+def returns(expression, prelude=""):
+    out = run_main(f"print_int({expression});", prelude)
+    return int(out)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 - 3 - 2", 5),
+            ("100 / 7", 14),
+            ("-100 / 7", -14),
+            ("100 % 7", 2),
+            ("-100 % 7", -2),
+            ("5 & 3", 1),
+            ("5 | 3", 7),
+            ("5 ^ 3", 6),
+            ("~0", -1),
+            ("-(3 + 4)", -7),
+            ("1 << 10", 1024),
+            ("-16 >> 2", -4),
+            ("2000000000 + 2000000000", -294967296),  # 32-bit wrap
+        ],
+    )
+    def test_expression(self, expr, expected):
+        assert returns(expr) == expected
+
+    def test_large_constants(self):
+        assert returns("0x7fffffff") == 2147483647
+        assert returns("1103515245") == 1103515245
+
+    def test_division_truncates_toward_zero_at_runtime(self):
+        # Computed from variables so the optimizer cannot fold it.
+        prelude = "int a; int b;"
+        out = run_main(
+            "a = 0 - 100; b = 7; print_int(a / b); __outc(32); print_int(a % b);",
+            prelude,
+        )
+        assert out == "-14 -2"
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("3 < 4", 1),
+            ("4 < 3", 0),
+            ("3 <= 3", 1),
+            ("3 == 3", 1),
+            ("3 != 3", 0),
+            ("-1 < 0", 1),
+            ("!(3 < 4)", 0),
+            ("!0", 1),
+        ],
+    )
+    def test_comparison_values(self, expr, expected):
+        prelude = "int x;"
+        # Route through a variable to exercise the runtime compare path.
+        assert returns(expr) == expected
+
+    def test_short_circuit_and(self):
+        prelude = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        """
+        out = run_main(
+            "calls = 0; if (0 && bump()) { } print_int(calls);", prelude
+        )
+        assert out == "0"
+
+    def test_short_circuit_or(self):
+        prelude = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        """
+        out = run_main(
+            "calls = 0; if (1 || bump()) { } print_int(calls);", prelude
+        )
+        assert out == "0"
+
+    def test_logical_value_materialization(self):
+        prelude = "int a;"
+        out = run_main("a = 5; print_int(a > 3 && a < 10);", prelude)
+        assert out == "1"
+
+
+class TestControlFlow:
+    def test_if_else_ladder(self):
+        prelude = """
+        int classify(int x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        """
+        out = run_main(
+            "print_int(classify(0-5)); print_int(classify(0)); print_int(classify(9));",
+            prelude,
+        )
+        assert out == "-101"
+
+    def test_while_loop(self):
+        out = run_main("int i = 0; int s = 0; while (i < 5) { s = s + i; i = i + 1; } print_int(s);")
+        assert out == "10"
+
+    def test_do_while_executes_at_least_once(self):
+        out = run_main("int i = 10; int n = 0; do { n = n + 1; } while (i < 5); print_int(n);")
+        assert out == "1"
+
+    def test_for_with_break_continue(self):
+        out = run_main(
+            "int s = 0; int i;"
+            "for (i = 0; i < 10; i = i + 1) {"
+            "  if (i == 3) { continue; }"
+            "  if (i == 6) { break; }"
+            "  s = s + i;"
+            "} print_int(s);"
+        )
+        assert out == "12"  # 0+1+2+4+5
+
+    def test_nested_loops_break_inner_only(self):
+        out = run_main(
+            "int n = 0; int i; int j;"
+            "for (i = 0; i < 3; i = i + 1) {"
+            "  for (j = 0; j < 10; j = j + 1) {"
+            "    if (j == 2) { break; }"
+            "    n = n + 1;"
+            "  }"
+            "} print_int(n);"
+        )
+        assert out == "6"
+
+    def test_ternary(self):
+        prelude = "int a;"
+        out = run_main("a = 7; print_int(a > 5 ? 100 : 200);", prelude)
+        assert out == "100"
+
+
+class TestSwitch:
+    DENSE = """
+    int pick(int x) {
+        switch (x) {
+            case 0: return 10;
+            case 1: return 11;
+            case 2: return 12;
+            case 3: return 13;
+            case 4: return 14;
+            default: return -1;
+        }
+    }
+    """
+
+    def test_dense_switch_uses_jump_table(self):
+        program = compile_and_link(
+            self.DENSE + "void main() { print_int(pick(3)); }", name="sw"
+        )
+        mnemonics = {ti.mnemonic for ti in program.text if ti.function == "pick"}
+        assert "bcctr" in mnemonics, "dense switch should compile to a jump table"
+        assert len(program.jump_table_slots) >= 5
+
+    def test_dense_switch_values(self):
+        out = run_main(
+            "int i; for (i = 0 - 1; i < 6; i = i + 1) { print_int(pick(i)); __outc(32); }",
+            self.DENSE,
+        )
+        assert out == "-1 10 11 12 13 14 -1 "
+
+    def test_sparse_switch_compare_chain(self):
+        prelude = """
+        int pick(int x) {
+            switch (x) {
+                case 1: return 100;
+                case 50: return 200;
+                case 1000: return 300;
+            }
+            return -1;
+        }
+        """
+        program = compile_and_link(
+            prelude + "void main() { print_int(pick(50)); }", name="sw2"
+        )
+        mnemonics = {ti.mnemonic for ti in program.text if ti.function == "pick"}
+        assert "bcctr" not in mnemonics
+        out = run_main(
+            "print_int(pick(1)); print_int(pick(50)); print_int(pick(1000)); print_int(pick(2));",
+            prelude,
+        )
+        assert out == "100200300-1"
+
+    def test_fallthrough(self):
+        prelude = """
+        int count(int x) {
+            int n = 0;
+            switch (x) {
+                case 2: n = n + 1;
+                case 1: n = n + 1;
+                case 0: n = n + 1;
+            }
+            return n;
+        }
+        """
+        out = run_main("print_int(count(2)); print_int(count(1)); print_int(count(0));", prelude)
+        assert out == "321"
+
+
+class TestArraysAndGlobals:
+    def test_global_scalar_read_write(self):
+        out = run_main("g = 5; g = g * 3; print_int(g);", "int g;")
+        assert out == "15"
+
+    def test_int_array_indexing(self):
+        prelude = "int a[8];"
+        out = run_main(
+            "int i; for (i = 0; i < 8; i = i + 1) { a[i] = i * i; } print_int(a[5]);",
+            prelude,
+        )
+        assert out == "25"
+
+    def test_char_array_byte_semantics(self):
+        prelude = "char c[4];"
+        out = run_main("c[0] = 300; print_int(c[0]);", prelude)
+        assert out == "44"  # 300 & 0xff
+
+    def test_initializers(self):
+        prelude = 'int a[4] = {7, 8}; char s[8] = "ab"; int g = -3;'
+        out = run_main(
+            "print_int(a[0] + a[1] + a[2]); print_int(s[1]); print_int(g);",
+            prelude,
+        )
+        assert out == "1598-3"
+
+    def test_array_parameter_read_write(self):
+        prelude = """
+        int buf[8];
+        void fill(int a[], int n, int v) {
+            int i;
+            for (i = 0; i < n; i = i + 1) { a[i] = v + i; }
+        }
+        """
+        out = run_main("fill(buf, 8, 100); print_int(buf[7]);", prelude)
+        assert out == "107"
+
+    def test_char_array_parameter(self):
+        prelude = """
+        char text[8] = "hello";
+        int first(char s[]) { return s[0]; }
+        """
+        assert returns("first(text)", prelude) == 104
+
+    def test_compound_assign_on_array_element(self):
+        prelude = "int a[4];"
+        out = run_main("a[2] = 10; a[2] += 5; a[2] *= 2; print_int(a[2]);", prelude)
+        assert out == "30"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        prelude = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        """
+        assert returns("fact(10)", prelude) == 3628800
+
+    def test_mutual_recursion(self):
+        prelude = """
+        int is_odd(int n);
+        """
+        # MiniC has no prototypes; define in order instead.
+        prelude = """
+        int is_even_helper(int n, int parity) {
+            if (n == 0) { return parity; }
+            return is_even_helper(n - 1, 1 - parity);
+        }
+        """
+        assert returns("is_even_helper(10, 1)", prelude) == 1
+
+    def test_eight_arguments(self):
+        prelude = """
+        int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + b + c + d + e + f + g + h;
+        }
+        """
+        assert returns("sum8(1, 2, 3, 4, 5, 6, 7, 8)", prelude) == 36
+
+    def test_deep_call_chain_preserves_locals(self):
+        prelude = """
+        int leaf(int x) { return x * 2; }
+        int mid(int x) {
+            int keep = x + 1;
+            int r = leaf(x);
+            return keep + r;
+        }
+        """
+        assert returns("mid(10)", prelude) == 31
+
+    def test_void_function_call(self):
+        prelude = """
+        int g;
+        void set_g(int v) { g = v; }
+        """
+        out = run_main("set_g(9); print_int(g);", prelude)
+        assert out == "9"
+
+    def test_fall_off_end_returns_zero(self):
+        prelude = "int f(int x) { if (x > 0) { return 7; } }"
+        assert returns("f(0 - 1)", prelude) == 0
+
+
+class TestRuntimeLibrary:
+    def test_print_int_negative(self):
+        assert run_main("print_int(0 - 12345);") == "-12345"
+
+    def test_print_str(self):
+        assert run_main("print_str(m);", 'char m[8] = "ok!";') == "ok!"
+
+    def test_library_functions(self):
+        out = run_main(
+            "print_int(abs(0 - 9)); print_int(min(3, 5)); print_int(max(3, 5));"
+            "print_int(gcd(12, 18)); print_int(ipow(2, 10)); print_int(popcount(255));"
+        )
+        assert out == "935610248"
+
+    def test_sort_and_sum(self):
+        prelude = "int a[6] = {5, 2, 9, 1, 7, 3};"
+        out = run_main(
+            "sort_i(a, 6); print_int(a[0]); print_int(a[5]); print_int(sum_i(a, 6));",
+            prelude,
+        )
+        assert out == "1927"
+
+    def test_rand_is_deterministic(self):
+        out1 = run_main("srand(7); print_int(rand()); print_int(rand());")
+        out2 = run_main("srand(7); print_int(rand()); print_int(rand());")
+        assert out1 == out2

@@ -1,0 +1,64 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.compiler.lexer import tokenize
+from repro.errors import CompileError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while whileish")
+        assert [t.kind for t in tokens[:-1]] == ["kw", "ident", "kw", "ident"]
+
+    def test_decimal_and_hex_numbers(self):
+        tokens = tokenize("42 0x2a 0")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 0]
+
+    def test_char_literals(self):
+        tokens = tokenize("'a' '\\n' '\\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize('"hi\\n"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "hi\n"
+
+    def test_operators_longest_match(self):
+        assert texts("a <<= b >> c >= d") == ["a", "<<=", "b", ">>", "c", ">=", "d"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_comments(self):
+        assert texts("a // comment\nb /* multi\nline */ c") == ["a", "b", "c"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* forever")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a $ b")
+
+    def test_bad_escape(self):
+        with pytest.raises(CompileError):
+            tokenize("'\\q'")

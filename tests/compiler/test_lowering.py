@@ -1,0 +1,184 @@
+"""Direct IR-shape tests for AST lowering."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.lowering import lower_unit
+from repro.compiler.parser import parse
+from repro.compiler.semantics import check
+from repro.errors import CompileError
+
+
+def lower(source):
+    unit = parse(source)
+    info = check(unit)
+    return {fn.name: fn for fn in lower_unit(unit, info)}
+
+
+def ops_of(fn, kind):
+    return [instr for instr in fn.instrs if isinstance(instr, kind)]
+
+
+class TestExpressions:
+    def test_immediates_stay_immediate(self):
+        fn = lower("int f(int x) { return x + 3; }")["f"]
+        adds = ops_of(fn, ir.Bin)
+        assert adds and adds[0].b == ir.Imm(3)
+
+    def test_commutative_imm_moves_right(self):
+        fn = lower("int f(int x) { return 3 + x; }")["f"]
+        adds = ops_of(fn, ir.Bin)
+        assert adds[0].op == "add"
+        assert isinstance(adds[0].a, ir.VReg)
+        assert adds[0].b == ir.Imm(3)
+
+    def test_compare_fuses_into_cbr(self):
+        fn = lower("int f(int x) { if (x < 3) { return 1; } return 0; }")["f"]
+        cbrs = ops_of(fn, ir.CBr)
+        assert len(cbrs) == 1
+        # Condition inverted to branch around the then-block.
+        assert cbrs[0].op == "ge"
+        assert cbrs[0].b == ir.Imm(3)
+        assert not ops_of(fn, ir.CmpSet)
+
+    def test_compare_as_value_uses_cmpset(self):
+        fn = lower("int f(int x, int y) { return x < y; }")["f"]
+        assert len(ops_of(fn, ir.CmpSet)) == 1
+
+    def test_imm_on_left_of_compare_swaps(self):
+        fn = lower("int f(int x) { if (3 < x) { return 1; } return 0; }")["f"]
+        cbr = ops_of(fn, ir.CBr)[0]
+        # 3 < x becomes x > 3 (then inverted to x <= 3 for the skip).
+        assert cbr.b == ir.Imm(3)
+        assert cbr.op == "le"
+
+
+class TestShortCircuit:
+    def test_and_emits_two_branches(self):
+        fn = lower(
+            "int f(int a, int b) { if (a && b) { return 1; } return 0; }"
+        )["f"]
+        assert len(ops_of(fn, ir.CBr)) == 2
+
+    def test_logical_value_materializes_zero_one(self):
+        fn = lower("int f(int a, int b) { return a && b; }")["f"]
+        copies = [
+            c for c in ops_of(fn, ir.Copy)
+            if c.src in (ir.Imm(0), ir.Imm(1))
+        ]
+        assert len(copies) >= 2
+
+
+class TestMemory:
+    def test_global_scalar_uses_loadsym(self):
+        fn = lower("int g; int f() { return g; }")["f"]
+        loads = ops_of(fn, ir.LoadSym)
+        assert loads and loads[0].symbol == "g" and loads[0].index is None
+
+    def test_global_array_uses_indexed_loadsym(self):
+        fn = lower("int a[8]; int f(int i) { return a[i]; }")["f"]
+        loads = ops_of(fn, ir.LoadSym)
+        assert loads[0].scale == 4 and loads[0].size == 4
+
+    def test_char_array_scale_one(self):
+        fn = lower("char s[8]; int f(int i) { return s[i]; }")["f"]
+        loads = ops_of(fn, ir.LoadSym)
+        assert loads[0].scale == 1 and loads[0].size == 1
+
+    def test_array_param_uses_loadidx(self):
+        fn = lower("int f(int v[], int i) { return v[i]; }")["f"]
+        assert ops_of(fn, ir.LoadIdx)
+        assert not ops_of(fn, ir.LoadSym)
+
+    def test_array_argument_materializes_address(self):
+        source = """
+        int a[8];
+        int g(int v[]) { return v[0]; }
+        int f() { return g(a); }
+        """
+        fn = lower(source)["f"]
+        addrs = ops_of(fn, ir.AddrOf)
+        assert addrs and addrs[0].symbol == "a"
+
+    def test_compound_array_assign_reuses_index(self):
+        fn = lower("int a[8]; void f(int i) { a[i] += 2; }")["f"]
+        load = ops_of(fn, ir.LoadSym)[0]
+        store = ops_of(fn, ir.StoreSym)[0]
+        assert load.index == store.index  # same pinned vreg
+
+    def test_assign_to_array_param_rejected(self):
+        with pytest.raises(CompileError, match="array"):
+            lower("void f(int v[]) { v = v; }")
+
+
+class TestControlLowering:
+    def test_while_shape(self):
+        fn = lower("void f(int n) { while (n > 0) { n = n - 1; } }")["f"]
+        labels = ops_of(fn, ir.Label)
+        branches = ops_of(fn, ir.Br)
+        assert len(labels) >= 2  # head + exit
+        assert any(isinstance(i, ir.CBr) for i in fn.instrs)
+        assert branches  # back edge
+
+    def test_switch_lowered_to_ir_switch(self):
+        source = """
+        void f(int x) {
+            switch (x) { case 1: break; case 2: break; default: break; }
+        }
+        """
+        fn = lower(source)["f"]
+        switches = ops_of(fn, ir.Switch)
+        assert len(switches) == 1
+        assert sorted(v for v, _ in switches[0].cases) == [1, 2]
+
+    def test_implicit_return_appended(self):
+        fn = lower("void f() { }")["f"]
+        assert isinstance(fn.instrs[-1], ir.Ret)
+        assert fn.instrs[-1].src is None
+
+    def test_int_function_implicit_return_zero(self):
+        fn = lower("int f(int x) { if (x) { return 1; } }")["f"]
+        rets = ops_of(fn, ir.Ret)
+        assert rets[-1].src == ir.Imm(0)
+
+    def test_break_targets_innermost_loop(self):
+        source = """
+        void f() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) {
+                    if (j == 1) { break; }
+                }
+            }
+        }
+        """
+        fn = lower(source)["f"]
+        # Two loops + the break: at least three distinct branch targets.
+        targets = {i.target for i in fn.instrs if isinstance(i, (ir.Br, ir.CBr))}
+        assert len(targets) >= 3
+
+
+class TestCalls:
+    def test_void_call_has_no_dest(self):
+        source = """
+        void g(int x) { }
+        void f() { g(1); }
+        """
+        fn = lower(source)["f"]
+        calls = ops_of(fn, ir.Call)
+        assert calls[0].dest is None
+
+    def test_value_call_gets_dest(self):
+        source = """
+        int g(int x) { return x; }
+        int f() { return g(1) + 2; }
+        """
+        fn = lower(source)["f"]
+        calls = ops_of(fn, ir.Call)
+        assert calls[0].dest is not None
+
+    def test_builtin_out_lowered(self):
+        fn = lower("void f(int x) { __out(x); __outc(10); __halt(); }")["f"]
+        assert len(ops_of(fn, ir.Out)) == 1
+        assert len(ops_of(fn, ir.OutC)) == 1
+        assert len(ops_of(fn, ir.Halt)) == 1

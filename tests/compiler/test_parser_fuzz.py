@@ -1,0 +1,73 @@
+"""Parser/checker robustness: malformed input must fail cleanly.
+
+Whatever garbage arrives, the front end may only raise
+:class:`~repro.errors.CompileError` — never an internal exception.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.lexer import tokenize
+from repro.compiler.parser import parse
+from repro.compiler.semantics import check
+from repro.errors import CompileError
+
+_TOKENS = st.sampled_from(
+    [
+        "int", "char", "void", "if", "else", "while", "for", "return",
+        "switch", "case", "default", "break", "continue", "do",
+        "x", "y", "main", "f", "0", "1", "42", "'a'", '"s"',
+        "+", "-", "*", "/", "%", "=", "==", "<", ">", "&&", "||",
+        "(", ")", "{", "}", "[", "]", ";", ",", ":", "?", "!", "~",
+    ]
+)
+
+
+class TestLexerRobustness:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_arbitrary_text_lexes_or_raises_compile_error(self, text):
+        try:
+            tokens = tokenize(text)
+        except CompileError:
+            return
+        assert tokens[-1].kind == "eof"
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=50)
+    def test_binary_soup(self, blob):
+        try:
+            tokenize(blob.decode("latin-1"))
+        except CompileError:
+            pass
+
+
+class TestParserRobustness:
+    @given(st.lists(_TOKENS, max_size=40))
+    @settings(max_examples=300)
+    def test_token_soup_never_crashes(self, tokens):
+        source = " ".join(tokens)
+        try:
+            unit = parse(source)
+        except CompileError:
+            return
+        # If it parsed, semantic checking must also fail cleanly or pass.
+        try:
+            check(unit)
+        except CompileError:
+            pass
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=30)
+    def test_deeply_nested_expressions(self, depth):
+        expr = "(" * depth + "1" + ")" * depth
+        unit = parse(f"int f() {{ return {expr}; }}")
+        check(unit)
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(CompileError):
+            parse("void f() { if (1) {")
+
+    def test_statement_where_declaration_expected(self):
+        with pytest.raises(CompileError):
+            parse("return 3;")

@@ -1,0 +1,108 @@
+"""Semantic checker tests."""
+
+import pytest
+
+from repro.compiler.parser import parse
+from repro.compiler.semantics import check
+from repro.errors import CompileError
+
+
+def check_source(source):
+    return check(parse(source))
+
+
+class TestSymbols:
+    def test_valid_program(self):
+        info = check_source("int g; int f(int x) { return x + g; }")
+        assert "g" in info.globals
+        assert "f" in info.functions
+
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check_source("int f() { return y; }")
+
+    def test_global_redefinition(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check_source("int g; int g;")
+
+    def test_function_shadows_global_rejected(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check_source("int f; int f() { return 0; }")
+
+    def test_local_shadowing_allowed_across_scopes(self):
+        check_source("int f(int x) { { int y = 1; } { int y = 2; } return x; }")
+
+    def test_local_redefinition_same_scope(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check_source("int f() { int a = 1; int a = 2; return a; }")
+
+    def test_builtin_name_collision(self):
+        with pytest.raises(CompileError):
+            check_source("int __out(int x) { return x; }")
+
+
+class TestTypes:
+    def test_array_used_as_value_rejected(self):
+        with pytest.raises(CompileError, match="array"):
+            check_source("int a[4]; int f() { return a + 1; }")
+
+    def test_indexing_non_array_rejected(self):
+        with pytest.raises(CompileError, match="not an array"):
+            check_source("int g; int f() { return g[0]; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CompileError):
+            check_source("int a[4]; int b[4]; void f() { a = b; }")
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError, match="expects"):
+            check_source("int f(int x) { return x; } int g() { return f(); }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            check_source("int f() { return missing(); }")
+
+    def test_array_argument_checked(self):
+        check_source(
+            "int a[4]; int f(int v[]) { return v[0]; } int g() { return f(a); }"
+        )
+        with pytest.raises(CompileError, match="array"):
+            check_source("int f(int v[]) { return v[0]; } int g() { return f(1); }")
+
+    def test_char_array_not_accepted_for_int_array(self):
+        with pytest.raises(CompileError):
+            check_source(
+                "char c[4]; int f(int v[]) { return v[0]; } int g() { return f(c); }"
+            )
+
+    def test_array_param_passed_through(self):
+        check_source(
+            "int f(int v[]) { return v[0]; } int g(int w[]) { return f(w); }"
+        )
+
+
+class TestControl:
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break"):
+            check_source("void f() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue"):
+            check_source("void f() { continue; }")
+
+    def test_break_inside_switch_allowed(self):
+        check_source("void f(int x) { switch (x) { case 1: break; } }")
+
+    def test_continue_inside_switch_only_rejected(self):
+        with pytest.raises(CompileError, match="continue"):
+            check_source("void f(int x) { switch (x) { case 1: continue; } }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(CompileError, match="void"):
+            check_source("void f() { return 3; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CompileError, match="value"):
+            check_source("int f() { return; }")

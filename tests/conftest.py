@@ -1,0 +1,50 @@
+"""Shared fixtures: compiled programs are expensive, so cache them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_and_link
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+# A small scale keeps the full test suite fast while preserving every
+# structural property the assertions check.
+TEST_SCALE = 0.3
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """The eight benchmarks at test scale (session-cached)."""
+    return {name: build_benchmark(name, TEST_SCALE) for name in BENCHMARK_NAMES}
+
+
+@pytest.fixture(scope="session")
+def ijpeg_small(small_suite):
+    return small_suite["ijpeg"]
+
+
+TINY_SOURCE = """
+int acc;
+int table[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+
+int weigh(int x, int y) {
+    if (x > y) { return x - y; }
+    return y - x;
+}
+
+void main() {
+    int i;
+    acc = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        acc = acc + weigh(table[i], i);
+    }
+    print_int(acc);
+    print_nl();
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def tiny_program():
+    """A minimal but complete linked program (with runtime library)."""
+    return compile_and_link(TINY_SOURCE, name="tiny")

@@ -1,0 +1,70 @@
+"""Dictionary content-analysis tests."""
+
+from repro.core import NibbleEncoding, compress
+from repro.core.analysis import analyze_dictionary, classify_instruction
+from repro.isa.assembler import assemble_line
+
+
+def word(text):
+    return assemble_line(text).encode()
+
+
+class TestClassification:
+    def test_address_formation(self):
+        assert classify_instruction(word("lis r11,64")) == "address"
+
+    def test_constants_and_moves(self):
+        assert classify_instruction(word("li r3,5")) == "constant"
+        assert classify_instruction(word("mr r4,r3")) == "move"
+        assert classify_instruction(word("nop")) == "move"
+
+    def test_memory_and_compares(self):
+        assert classify_instruction(word("lwz r3,4(r9)")) == "memory"
+        assert classify_instruction(word("stb r3,0(r9)")) == "memory"
+        assert classify_instruction(word("cmpwi r3,0")) == "compare"
+
+    def test_control_classes(self):
+        assert classify_instruction(word("blr")) == "return"
+        assert classify_instruction(word("bctr")) == "branch"
+        assert classify_instruction(word("sc")) == "system"
+        assert classify_instruction(word("mflr r0")) == "system"
+
+    def test_alu_default(self):
+        assert classify_instruction(word("add r3,r4,r5")) == "alu"
+        assert classify_instruction(word("addi r3,r4,1")) == "alu"
+        assert classify_instruction(word("slwi r3,r4,2")) == "alu"
+
+
+class TestDictionaryReport:
+    def test_mix_sums_to_one(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        report = analyze_dictionary("tiny", compressed.dictionary)
+        mix = report.class_mix_by_savings()
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_every_entry_classified(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        report = analyze_dictionary("tiny", compressed.dictionary)
+        assert len(report.entries) == len(compressed.dictionary)
+        for entry in report.entries:
+            assert len(entry.classes) == len(entry.words)
+
+    def test_top_entries_sorted_by_uses(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        report = analyze_dictionary("tiny", compressed.dictionary)
+        top = report.top_entries(5)
+        uses = [entry.uses for entry in top]
+        assert uses == sorted(uses, reverse=True)
+
+    def test_boilerplate_dominates(self, ijpeg_small):
+        # The paper's section 1.1 story: compressible code is the SDTS
+        # boilerplate (addresses, moves, memory, returns, constants),
+        # not the arithmetic itself.
+        compressed = compress(ijpeg_small, NibbleEncoding())
+        report = analyze_dictionary("ijpeg", compressed.dictionary)
+        mix = report.class_mix_by_savings()
+        boilerplate = sum(
+            mix.get(cls, 0.0)
+            for cls in ("address", "move", "constant", "memory", "return")
+        )
+        assert boilerplate > 0.5

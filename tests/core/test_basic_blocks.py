@@ -1,0 +1,77 @@
+"""Basic-block segmentation tests."""
+
+from repro.compiler import compile_and_link
+from repro.core.basic_blocks import block_id_map, block_ranges, leader_flags
+
+
+SOURCE = """
+int g;
+int f(int x) {
+    if (x > 0) { g = g + x; }
+    return g;
+}
+void main() { print_int(f(3)); }
+"""
+
+
+class TestLeaders:
+    def test_entry_is_leader(self, tiny_program):
+        flags = leader_flags(tiny_program)
+        assert flags[tiny_program.entry_index]
+
+    def test_branch_targets_are_leaders(self, tiny_program):
+        flags = leader_flags(tiny_program)
+        for target in tiny_program.branch_target_indices():
+            assert flags[target]
+
+    def test_instruction_after_branch_is_leader(self, tiny_program):
+        flags = leader_flags(tiny_program)
+        for index, ti in enumerate(tiny_program.text[:-1]):
+            if ti.instruction.spec.is_branch:
+                assert flags[index + 1], f"after branch at {index}"
+
+    def test_function_starts_are_leaders(self, tiny_program):
+        flags = leader_flags(tiny_program)
+        for start, _ in tiny_program.function_ranges().values():
+            assert flags[start]
+
+    def test_jump_table_targets_are_leaders(self):
+        program = compile_and_link(
+            """
+            int pick(int x) {
+                switch (x) {
+                    case 0: return 1;
+                    case 1: return 2;
+                    case 2: return 3;
+                    case 3: return 4;
+                    default: return 0;
+                }
+            }
+            void main() { print_int(pick(2)); }
+            """,
+            name="jt",
+        )
+        assert program.jump_table_slots
+        flags = leader_flags(program)
+        for slot in program.jump_table_slots:
+            assert flags[slot.target_index]
+
+
+class TestRanges:
+    def test_ranges_partition_program(self, tiny_program):
+        ranges = block_ranges(tiny_program)
+        covered = []
+        for start, end in ranges:
+            assert start < end
+            covered.extend(range(start, end))
+        assert covered == list(range(len(tiny_program.text)))
+
+    def test_no_branch_inside_block(self, tiny_program):
+        for start, end in block_ranges(tiny_program):
+            for index in range(start, end - 1):
+                assert not tiny_program.text[index].instruction.spec.is_branch
+
+    def test_block_id_map_matches_ranges(self, tiny_program):
+        block_of = block_id_map(tiny_program)
+        for block_id, (start, end) in enumerate(block_ranges(tiny_program)):
+            assert all(block_of[i] == block_id for i in range(start, end))

@@ -1,0 +1,135 @@
+"""Branch patching tests: layout, offset rewrite, relaxation, Table 1."""
+
+import pytest
+
+from repro.core import BaselineEncoding, NibbleEncoding, compress
+from repro.core.branch_patch import (
+    layout,
+    offset_usage,
+    patch_branches,
+)
+from repro.core.replace import Token
+from repro.errors import BranchRangeError
+from repro.isa.instruction import make
+
+
+def ins_token(mnemonic, *values, target_index=None):
+    return Token(
+        kind="ins",
+        instruction=make(mnemonic, *values),
+        orig_index=None,
+        target_index=target_index,
+    )
+
+
+class TestLayout:
+    def test_addresses_are_cumulative(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        address = 0
+        for token in compressed.tokens:
+            assert token.address == address
+            address += token.size_units
+
+    def test_index_map_points_at_token_starts(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        token_starts = {t.address for t in compressed.tokens}
+        for unit in compressed.index_to_unit.values():
+            assert unit in token_starts
+
+
+class TestOffsetPatching:
+    def test_branch_offsets_are_unit_scaled(self, tiny_program):
+        for encoding in (BaselineEncoding(), NibbleEncoding()):
+            compressed = compress(tiny_program, encoding)
+            for token in compressed.tokens:
+                if not token.is_branch_token:
+                    continue
+                offset = token.instruction.operand("target")
+                target_unit = token.address + offset
+                assert target_unit in {t.address for t in compressed.tokens}
+
+    def test_jump_tables_hold_unit_addresses(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        program = tiny_program
+        for slot in program.jump_table_slots:
+            raw = int.from_bytes(
+                compressed.data_image[slot.data_offset : slot.data_offset + 4],
+                "big",
+            )
+            unit = raw - program.text_base
+            assert unit == compressed.index_to_unit[slot.target_index]
+
+
+class TestRelaxation:
+    def _far_branch_tokens(self, distance):
+        """A bc whose target sits ``distance`` filler instructions away."""
+        tokens = [ins_token("bc", 12, 2, 0, target_index=distance)]
+        for index in range(1, distance + 1):
+            filler = Token(
+                kind="ins",
+                instruction=make("addi", 3, 3, 1),
+                orig_index=index,
+            )
+            tokens.append(filler)
+        tokens[0].target_index = distance  # last filler's orig_index
+        return tokens
+
+    def test_in_range_branch_untouched(self):
+        tokens = self._far_branch_tokens(10)
+        patched, _, relaxations = patch_branches(tokens, BaselineEncoding())
+        assert relaxations == 0
+        assert patched[0].instruction.mnemonic == "bc"
+
+    def test_out_of_range_branch_relaxed(self):
+        # BD field: 14 bits signed -> +/-8191 units; baseline units are
+        # 2 bytes, one instruction = 2 units, so ~5000 instructions is
+        # out of range.
+        tokens = self._far_branch_tokens(5000)
+        patched, _, relaxations = patch_branches(tokens, BaselineEncoding())
+        assert relaxations == 1
+        # The bc inverted over an unconditional b.
+        assert patched[0].instruction.mnemonic == "bc"
+        assert patched[0].instruction.operand("BO") == 4  # inverted from 12
+        assert patched[1].instruction.mnemonic == "b"
+        # Semantics check: the inverted bc skips just past the b.
+        skip_offset = patched[0].instruction.operand("target")
+        assert skip_offset == patched[0].size_units + patched[1].size_units
+        # The b reaches the original target.
+        target_unit = patched[1].address + patched[1].instruction.operand("target")
+        assert target_unit == patched[-1].address
+
+    def test_unconditional_out_of_range_raises(self):
+        # A b cannot be relaxed further; force failure with a tiny field
+        # by targeting something absurdly far under the nibble encoding.
+        token = ins_token("bc", 16, 0, 0)  # bdnz: invertible
+        token.token_target = 0
+        # bdnz inversion exists, so craft an uninvertible BO instead.
+        bad = ins_token("bc", 20, 0, 0)  # BO=20: branch-always
+        bad.target_index = 60000
+        tokens = [bad]
+        for index in range(1, 60001):
+            tokens.append(
+                Token(kind="ins", instruction=make("addi", 3, 3, 1), orig_index=index)
+            )
+        with pytest.raises(BranchRangeError):
+            patch_branches(tokens, BaselineEncoding())
+
+
+class TestOffsetUsage:
+    def test_table1_counts(self, small_suite):
+        for name, program in small_suite.items():
+            row = offset_usage(program)
+            assert row.static_branches > 0
+            # Monotonic: finer resolution needs more bits.
+            assert row.too_narrow_2byte <= row.too_narrow_1byte
+            assert row.too_narrow_1byte <= row.too_narrow_4bit
+            # Paper's point: the vast majority of branches have slack.
+            assert row.percent(row.too_narrow_4bit) < 5.0
+
+    def test_branch_fraction_reasonable(self, small_suite):
+        # SPEC-like code: roughly 10-25% of static instructions are
+        # PC-relative branches.
+        for name, program in small_suite.items():
+            row = offset_usage(program)
+            fraction = row.static_branches / len(program.text)
+            assert 0.05 < fraction < 0.35, name

@@ -1,0 +1,56 @@
+"""Candidate enumeration tests."""
+
+from repro.core.basic_blocks import block_id_map
+from repro.core.candidates import compressible_flags, enumerate_candidates
+
+
+class TestEnumeration:
+    def test_candidates_occur_at_least_twice(self, tiny_program):
+        for candidate in enumerate_candidates(tiny_program).values():
+            assert len(candidate.positions) >= 2
+
+    def test_positions_match_program_words(self, tiny_program):
+        words = tiny_program.words()
+        for candidate in enumerate_candidates(tiny_program).values():
+            for position in candidate.positions:
+                window = tuple(words[position : position + candidate.length])
+                assert window == candidate.words
+
+    def test_max_entry_len_respected(self, tiny_program):
+        for max_len in (1, 2, 4, 8):
+            candidates = enumerate_candidates(tiny_program, max_entry_len=max_len)
+            assert all(c.length <= max_len for c in candidates.values())
+
+    def test_no_relative_branches_in_candidates(self, tiny_program):
+        allowed = compressible_flags(tiny_program)
+        for candidate in enumerate_candidates(tiny_program).values():
+            for position in candidate.positions:
+                for index in range(position, position + candidate.length):
+                    assert allowed[index]
+
+    def test_candidates_stay_within_basic_blocks(self, tiny_program):
+        block_of = block_id_map(tiny_program)
+        for candidate in enumerate_candidates(tiny_program).values():
+            for position in candidate.positions:
+                blocks = {
+                    block_of[i]
+                    for i in range(position, position + candidate.length)
+                }
+                assert len(blocks) == 1
+
+    def test_relative_branch_words_never_appear(self, tiny_program):
+        from repro.isa.instruction import decode
+
+        for candidate in enumerate_candidates(tiny_program).values():
+            for word in candidate.words:
+                assert not decode(word).spec.is_relative_branch
+
+    def test_single_instruction_candidates_exist(self, tiny_program):
+        # The paper's key point vs Liao: single instructions are the
+        # most frequent patterns and must be candidates.
+        candidates = enumerate_candidates(tiny_program)
+        singles = [c for c in candidates.values() if c.length == 1]
+        assert singles
+        # The most frequent candidate overall should be a single.
+        best = max(candidates.values(), key=lambda c: len(c.positions))
+        assert best.length == 1

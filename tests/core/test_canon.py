@@ -1,0 +1,64 @@
+"""Register-canonicalization analysis tests."""
+
+from repro.core import BaselineEncoding
+from repro.core.canon import analyze, canonical_words
+from repro.isa.assembler import assemble_line
+
+
+def words(*lines):
+    return tuple(assemble_line(line).encode() for line in lines)
+
+
+class TestCanonicalForm:
+    def test_renaming_merges_isomorphic_sequences(self):
+        a = words("add r5,r6,r7", "mr r6,r5")
+        b = words("add r9,r10,r11", "mr r10,r9")
+        assert canonical_words(a) == canonical_words(b)
+
+    def test_different_opcodes_stay_distinct(self):
+        a = words("add r5,r6,r7")
+        b = words("subf r5,r6,r7")
+        assert canonical_words(a) != canonical_words(b)
+
+    def test_different_immediates_stay_distinct(self):
+        a = words("addi r5,r6,1")
+        b = words("addi r5,r6,2")
+        assert canonical_words(a) != canonical_words(b)
+
+    def test_register_pattern_preserved(self):
+        # rT == rA has a different data-flow shape than rT != rA.
+        same = words("add r5,r5,r6")
+        different = words("add r5,r6,r7")
+        assert canonical_words(same) != canonical_words(different)
+
+    def test_r0_and_r1_never_renamed(self):
+        # li is addi rT,r0(=zero),imm; sp-relative loads use r1.
+        sequence = words("li r9,5", "lwz r9,8(r1)")
+        canon = canonical_words(sequence)
+        rebuilt = words("li r3,5", "lwz r3,8(r1)")
+        assert canon == rebuilt
+
+    def test_idempotent(self):
+        sequence = words("add r29,r30,r31", "stw r29,4(r30)")
+        once = canonical_words(sequence)
+        assert canonical_words(once) == once
+
+    def test_memory_base_registers_renamed(self):
+        a = words("lwz r5,4(r20)")
+        b = words("lwz r9,4(r22)")
+        assert canonical_words(a) == canonical_words(b)
+
+
+class TestAnalysis:
+    def test_report_shape(self, tiny_program):
+        report = analyze(tiny_program, BaselineEncoding())
+        assert report.distinct_canonical <= report.distinct_exact
+        assert report.merge_factor >= 1.0
+        assert report.rescued_occurrences >= 0
+        assert report.extra_savings_bound_bytes >= 0
+
+    def test_real_program_has_headroom(self, ijpeg_small):
+        # Compiled code always has renaming headroom (paper section 5).
+        report = analyze(ijpeg_small, BaselineEncoding())
+        assert report.merge_factor > 1.1
+        assert report.rescued_occurrences > 0

@@ -1,0 +1,104 @@
+"""End-to-end compressor tests and size-accounting invariants."""
+
+import pytest
+
+from repro.core import (
+    BaselineEncoding,
+    NibbleEncoding,
+    OneByteEncoding,
+    compress,
+)
+from repro.core.stats import collect_stats
+
+
+class TestCompressionBasics:
+    @pytest.mark.parametrize(
+        "encoding_factory",
+        [BaselineEncoding, NibbleEncoding, lambda: OneByteEncoding(32)],
+    )
+    def test_compression_saves_space(self, tiny_program, encoding_factory):
+        compressed = compress(tiny_program, encoding_factory())
+        assert compressed.compressed_bytes < compressed.original_bytes
+        assert 0.0 < compressed.compression_ratio < 1.0
+
+    def test_stream_verifies_bit_exactly(self, tiny_program):
+        for encoding in (BaselineEncoding(), NibbleEncoding(), OneByteEncoding(16)):
+            compressed = compress(tiny_program, encoding)
+            compressed.verify_stream()  # raises on any mismatch
+
+    def test_stream_length_matches_units(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        expected_bits = compressed.total_units() * 4
+        assert len(compressed.stream) == (expected_bits + 7) // 8
+
+    def test_dictionary_counted_in_ratio(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        assert (
+            compressed.compressed_bytes
+            == compressed.stream_bytes + compressed.dictionary_bytes
+        )
+        assert compressed.dictionary_bytes > 0
+
+    def test_deterministic(self, tiny_program):
+        first = compress(tiny_program, BaselineEncoding())
+        second = compress(tiny_program, BaselineEncoding())
+        assert first.stream == second.stream
+        assert [e.words for e in first.dictionary.entries] == [
+            e.words for e in second.dictionary.entries
+        ]
+
+
+class TestEncodingComparisons:
+    def test_nibble_beats_baseline(self, tiny_program):
+        baseline = compress(tiny_program, BaselineEncoding())
+        nibble = compress(tiny_program, NibbleEncoding())
+        assert nibble.compression_ratio < baseline.compression_ratio
+
+    def test_more_codewords_never_hurt(self, ijpeg_small):
+        ratios = [
+            compress(
+                ijpeg_small, BaselineEncoding(), max_codewords=budget
+            ).compression_ratio
+            for budget in (16, 128, 1024, 8192)
+        ]
+        for tighter, looser in zip(ratios, ratios[1:]):
+            assert looser <= tighter + 1e-9
+
+    def test_small_dictionary_limits(self, tiny_program):
+        compressed = compress(tiny_program, OneByteEncoding(8))
+        assert len(compressed.dictionary) <= 8
+        assert compressed.dictionary_bytes <= 8 * 16  # <= 4 insns/entry
+
+
+class TestStats:
+    def test_composition_sums_to_one(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        stats = collect_stats(compressed)
+        fractions = stats.composition_fractions()
+        total = sum(fractions.values())
+        # Stream byte padding can leave a sliver unaccounted.
+        assert 0.98 <= total <= 1.0 + 1e-9
+
+    def test_escape_plus_index_equals_codeword_bits(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        stats = collect_stats(compressed)
+        expected = sum(
+            compressed.encoding.codeword_bits(t.rank)
+            for t in compressed.tokens
+            if t.kind == "cw"
+        )
+        assert stats.codeword_index_bits + stats.codeword_escape_bits == expected
+
+    def test_entry_length_histogram_matches_dictionary(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding(), max_entry_len=8)
+        stats = collect_stats(compressed)
+        assert sum(stats.entry_length_histogram.values()) == len(
+            compressed.dictionary
+        )
+
+    def test_stats_ratio_matches_compressor(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        stats = collect_stats(compressed)
+        assert stats.compression_ratio == pytest.approx(
+            compressed.compression_ratio
+        )

@@ -1,0 +1,148 @@
+"""Codeword encoding tests, including the Figure 10 nibble layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import bitutils
+from repro.core.encodings import (
+    BaselineEncoding,
+    NibbleEncoding,
+    OneByteEncoding,
+    make_encoding,
+)
+from repro.errors import CompressionError
+from repro.isa.opcodes import escape_bytes
+
+
+class TestBaseline:
+    def test_capacity_and_sizes(self):
+        encoding = BaselineEncoding()
+        assert encoding.capacity == 8192
+        assert encoding.codeword_bits(0) == 16
+        assert encoding.codeword_bits(8191) == 16
+        assert encoding.alignment_bits == 16
+        assert encoding.instruction_bits == 32
+
+    def test_escape_byte_is_illegal_opcode(self):
+        encoding = BaselineEncoding()
+        writer = bitutils.BitWriter()
+        encoding.write_codeword(writer, 0)
+        first_byte = writer.getvalue()[0]
+        assert first_byte in escape_bytes()
+
+    def test_codeword_roundtrip_all_escape_groups(self):
+        encoding = BaselineEncoding()
+        for rank in (0, 255, 256, 511, 4095, 8191):
+            writer = bitutils.BitWriter()
+            encoding.write_codeword(writer, rank)
+            reader = bitutils.BitReader(writer.getvalue())
+            assert encoding.read_item(reader) == ("cw", rank)
+
+    def test_instruction_passthrough(self):
+        encoding = BaselineEncoding()
+        writer = bitutils.BitWriter()
+        encoding.write_instruction(writer, 0x38610008)
+        reader = bitutils.BitReader(writer.getvalue())
+        assert encoding.read_item(reader) == ("ins", 0x38610008)
+
+    def test_capacity_validation(self):
+        with pytest.raises(CompressionError):
+            BaselineEncoding(8193)
+        with pytest.raises(CompressionError):
+            BaselineEncoding().codeword_bits(8192)
+
+
+class TestOneByte:
+    def test_codewords_are_escape_bytes(self):
+        encoding = OneByteEncoding(32)
+        for rank in range(32):
+            writer = bitutils.BitWriter()
+            encoding.write_codeword(writer, rank)
+            assert writer.getvalue()[0] == escape_bytes()[rank]
+
+    def test_roundtrip(self):
+        encoding = OneByteEncoding(32)
+        for rank in (0, 7, 15, 31):
+            writer = bitutils.BitWriter()
+            encoding.write_codeword(writer, rank)
+            reader = bitutils.BitReader(writer.getvalue())
+            assert encoding.read_item(reader) == ("cw", rank)
+
+    def test_at_most_32_codewords(self):
+        with pytest.raises(CompressionError):
+            OneByteEncoding(33)
+
+
+class TestNibble:
+    def test_figure10_band_sizes(self):
+        encoding = NibbleEncoding()
+        assert encoding.capacity == 8 + 64 + 512 + 4096 == 4680
+        assert encoding.codeword_bits(0) == 4
+        assert encoding.codeword_bits(7) == 4
+        assert encoding.codeword_bits(8) == 8
+        assert encoding.codeword_bits(71) == 8
+        assert encoding.codeword_bits(72) == 12
+        assert encoding.codeword_bits(583) == 12
+        assert encoding.codeword_bits(584) == 16
+        assert encoding.codeword_bits(4679) == 16
+
+    def test_uncompressed_instruction_costs_36_bits(self):
+        encoding = NibbleEncoding()
+        assert encoding.instruction_bits == 36
+        writer = bitutils.BitWriter()
+        encoding.write_instruction(writer, 0x38610008)
+        assert writer.bit_length == 36
+        # First nibble is the escape value 15.
+        assert writer.getvalue()[0] >> 4 == 15
+
+    @pytest.mark.parametrize("rank", [0, 7, 8, 42, 71, 72, 300, 583, 584, 2000, 4679])
+    def test_codeword_roundtrip(self, rank):
+        encoding = NibbleEncoding()
+        writer = bitutils.BitWriter()
+        encoding.write_codeword(writer, rank)
+        assert writer.bit_length == encoding.codeword_bits(rank)
+        reader = bitutils.BitReader(writer.getvalue())
+        assert encoding.read_item(reader) == ("cw", rank)
+
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("cw"), st.integers(0, 4679)),
+            st.tuples(st.just("ins"), st.integers(0, 0xFFFFFFFF)),
+        ),
+        min_size=1, max_size=40,
+    ))
+    def test_mixed_stream_roundtrip(self, items):
+        encoding = NibbleEncoding()
+        writer = bitutils.BitWriter()
+        for kind, payload in items:
+            if kind == "cw":
+                encoding.write_codeword(writer, payload)
+            else:
+                encoding.write_instruction(writer, payload)
+        reader = bitutils.BitReader(writer.getvalue())
+        for kind, payload in items:
+            assert encoding.read_item(reader) == (kind, payload)
+
+
+class TestUnits:
+    def test_units_conversion(self):
+        encoding = NibbleEncoding()
+        assert encoding.instruction_units() == 9
+        assert encoding.codeword_units(0) == 1
+        assert encoding.codeword_units(584) == 4
+        baseline = BaselineEncoding()
+        assert baseline.instruction_units() == 2
+        assert baseline.codeword_units(0) == 1
+
+    def test_misaligned_bits_rejected(self):
+        with pytest.raises(CompressionError):
+            BaselineEncoding().units(24)
+
+
+class TestFactory:
+    def test_make_encoding(self):
+        assert make_encoding("baseline").name == "baseline"
+        assert make_encoding("onebyte", 8).capacity == 8
+        assert make_encoding("nibble").capacity == 4680
+        with pytest.raises(CompressionError):
+            make_encoding("huffman")

@@ -1,0 +1,83 @@
+"""Greedy dictionary-builder tests."""
+
+from repro.core import BaselineEncoding, NibbleEncoding
+from repro.core.greedy import build_dictionary
+
+
+class TestSelection:
+    def test_replacements_do_not_overlap(self, tiny_program):
+        result = build_dictionary(tiny_program, BaselineEncoding())
+        seen = set()
+        for rep in result.replacements:
+            span = set(range(rep.position, rep.position + rep.length))
+            assert not span & seen
+            seen |= span
+
+    def test_replacements_match_program_words(self, tiny_program):
+        words = tiny_program.words()
+        result = build_dictionary(tiny_program, BaselineEncoding())
+        for rep in result.replacements:
+            window = tuple(words[rep.position : rep.position + rep.length])
+            assert window == rep.entry_words
+
+    def test_every_dictionary_entry_is_used(self, tiny_program):
+        result = build_dictionary(tiny_program, BaselineEncoding())
+        used = {rep.entry_words for rep in result.replacements}
+        for entry in result.dictionary.entries:
+            assert entry.words in used
+            assert entry.uses >= 1
+
+    def test_dictionary_ranked_by_usage(self, tiny_program):
+        result = build_dictionary(tiny_program, NibbleEncoding())
+        uses = [entry.uses for entry in result.dictionary.entries]
+        assert uses == sorted(uses, reverse=True)
+
+    def test_max_codewords_respected(self, tiny_program):
+        result = build_dictionary(
+            tiny_program, BaselineEncoding(), max_codewords=5
+        )
+        assert len(result.dictionary) <= 5
+
+    def test_every_selection_saved_bytes(self, tiny_program):
+        result = build_dictionary(tiny_program, BaselineEncoding())
+        assert all(savings > 0 for savings in result.step_savings_bits)
+
+    def test_greedy_savings_non_increasing(self, tiny_program):
+        result = build_dictionary(tiny_program, BaselineEncoding())
+        savings = result.step_savings_bits
+        assert savings == sorted(savings, reverse=True)
+
+    def test_baseline_needs_three_uses_for_singles(self, tiny_program):
+        # savings = u*(32-16) - 32 > 0 requires u >= 3 for 1-instruction
+        # entries under the baseline encoding.
+        result = build_dictionary(
+            tiny_program, BaselineEncoding(), max_entry_len=1
+        )
+        assert all(entry.uses >= 3 for entry in result.dictionary.entries)
+
+    def test_nibble_compresses_pairs(self, tiny_program):
+        # Under the nibble scheme even two uses of a single instruction
+        # pay off: 2*(36-4) - 32 = 32 bits.
+        result = build_dictionary(tiny_program, NibbleEncoding(), max_entry_len=1)
+        assert any(entry.uses == 2 for entry in result.dictionary.entries)
+
+
+class TestEntryLengthEffects:
+    def test_longer_entries_allowed_up_to_limit(self, ijpeg_small):
+        result = build_dictionary(
+            ijpeg_small, BaselineEncoding(), max_entry_len=8
+        )
+        lengths = {entry.length for entry in result.dictionary.entries}
+        assert max(lengths) > 1
+        assert max(lengths) <= 8
+
+    def test_compression_improves_with_entry_length_to_four(self, ijpeg_small):
+        # The paper's Figure 4 shape, at the greedy-savings level.
+        def total_savings(max_len):
+            result = build_dictionary(
+                ijpeg_small, BaselineEncoding(), max_entry_len=max_len
+            )
+            return sum(result.step_savings_bits)
+
+        assert total_savings(2) > total_savings(1)
+        assert total_savings(4) >= total_savings(2)

@@ -1,0 +1,69 @@
+"""Profile-guided (weighted) greedy objective tests."""
+
+from repro.core import NibbleEncoding, compress
+from repro.core.greedy import build_dictionary
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.simulator import profile_program, run_program
+
+
+class TestProfile:
+    def test_profile_counts_match_steps(self, tiny_program):
+        counts = profile_program(tiny_program)
+        reference = run_program(tiny_program)
+        assert sum(counts) == reference.steps
+        assert counts[tiny_program.entry_index] >= 1
+
+    def test_cold_code_has_zero_count(self, tiny_program):
+        counts = profile_program(tiny_program)
+        # The runtime links many functions main never calls (gcd, ipow…).
+        ranges = tiny_program.function_ranges()
+        start, end = ranges["gcd"]
+        assert all(counts[i] == 0 for i in range(start, end))
+
+
+class TestWeightedObjective:
+    def test_uniform_weights_match_unweighted(self, tiny_program):
+        encoding = NibbleEncoding()
+        plain = build_dictionary(tiny_program, encoding)
+        uniform = build_dictionary(
+            tiny_program, encoding,
+            position_weights=[1] * len(tiny_program.text),
+        )
+        assert [e.words for e in plain.dictionary.entries] == [
+            e.words for e in uniform.dictionary.entries
+        ]
+
+    def test_weighted_build_still_executes_correctly(self, tiny_program):
+        profile = profile_program(tiny_program)
+        compressed = compress(
+            tiny_program, NibbleEncoding(), position_weights=profile
+        )
+        compressed.verify_stream()
+        result = CompressedSimulator(compressed).run()
+        assert result.output_text == run_program(tiny_program).output_text
+
+    def test_traffic_objective_reduces_fetch_bytes(self, ijpeg_small):
+        profile = profile_program(ijpeg_small)
+        encoding_bits = NibbleEncoding().alignment_bits
+
+        def fetch_bytes(compressed):
+            simulator = CompressedSimulator(compressed)
+            simulator.run()
+            return simulator.stats.bytes_fetched(encoding_bits)
+
+        size_optimized = compress(ijpeg_small, NibbleEncoding())
+        traffic_optimized = compress(
+            ijpeg_small, NibbleEncoding(), position_weights=profile
+        )
+        assert fetch_bytes(traffic_optimized) <= fetch_bytes(size_optimized)
+
+    def test_size_objective_wins_on_size(self, ijpeg_small):
+        profile = profile_program(ijpeg_small)
+        size_optimized = compress(ijpeg_small, NibbleEncoding())
+        traffic_optimized = compress(
+            ijpeg_small, NibbleEncoding(), position_weights=profile
+        )
+        assert (
+            size_optimized.compression_ratio
+            <= traffic_optimized.compression_ratio + 1e-9
+        )

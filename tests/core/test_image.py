@@ -1,0 +1,67 @@
+"""Compressed-image container tests."""
+
+import pytest
+
+from repro.core import BaselineEncoding, NibbleEncoding, compress
+from repro.core.image import CompressedImage
+from repro.errors import CompressionError
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.simulator import run_program
+
+
+@pytest.fixture(scope="module")
+def image(tiny_program):
+    compressed = compress(tiny_program, NibbleEncoding())
+    return CompressedImage.from_compressed(compressed)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self, image):
+        again = CompressedImage.from_bytes(image.to_bytes())
+        assert again == image
+
+    def test_magic_checked(self):
+        with pytest.raises(CompressionError, match="magic"):
+            CompressedImage.from_bytes(b"NOPE" + b"\x00" * 40)
+
+    def test_truncation_detected(self, image):
+        blob = image.to_bytes()
+        with pytest.raises(CompressionError, match="truncated"):
+            CompressedImage.from_bytes(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_detected(self, image):
+        with pytest.raises(CompressionError, match="trailing"):
+            CompressedImage.from_bytes(image.to_bytes() + b"xx")
+
+    def test_version_checked(self, image):
+        blob = bytearray(image.to_bytes())
+        blob[4] = 99
+        with pytest.raises(CompressionError, match="version"):
+            CompressedImage.from_bytes(bytes(blob))
+
+    def test_sizes_reported(self, image, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        assert image.stream_bytes == len(compressed.stream)
+        assert image.dictionary_bytes == compressed.dictionary_bytes
+
+
+class TestExecutionFromImage:
+    @pytest.mark.parametrize("encoding_factory", [BaselineEncoding, NibbleEncoding])
+    def test_image_runs_identically(self, tiny_program, encoding_factory):
+        reference = run_program(tiny_program)
+        compressed = compress(tiny_program, encoding_factory())
+        image = CompressedImage.from_compressed(compressed)
+        blob = image.to_bytes()
+        # Full deployment path: bytes -> image -> simulator.
+        loaded = CompressedImage.from_bytes(blob)
+        simulator = CompressedSimulator.from_image(loaded)
+        result = simulator.run()
+        assert result.output_text == reference.output_text
+        assert result.exit_code == reference.exit_code
+
+    def test_constructor_requires_exactly_one_source(self, tiny_program, image):
+        compressed = compress(tiny_program, NibbleEncoding())
+        with pytest.raises(ValueError):
+            CompressedSimulator(compressed, image=image)
+        with pytest.raises(ValueError):
+            CompressedSimulator()

@@ -1,0 +1,85 @@
+"""Property tests on token-stream layout invariants.
+
+Random token streams (codewords of random ranks interleaved with
+instructions) must lay out into a gapless, ordered address space under
+every encoding — the invariant every branch offset in a compressed
+program depends on.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.branch_patch import layout
+from repro.core.encodings import BaselineEncoding, NibbleEncoding, OneByteEncoding
+from repro.core.replace import Token
+from repro.isa.instruction import make
+
+_ENCODINGS = st.sampled_from(
+    [BaselineEncoding(), NibbleEncoding(), OneByteEncoding(32)]
+)
+
+
+@st.composite
+def _token_streams(draw):
+    encoding = draw(_ENCODINGS)
+    count = draw(st.integers(1, 60))
+    tokens = []
+    orig_index = 0
+    for _ in range(count):
+        if draw(st.booleans()):
+            rank = draw(st.integers(0, min(encoding.capacity, 32) - 1))
+            length = draw(st.integers(1, 4))
+            tokens.append(
+                Token(kind="cw", orig_index=orig_index, length=length, rank=rank)
+            )
+            orig_index += length
+        else:
+            tokens.append(
+                Token(
+                    kind="ins",
+                    instruction=make("addi", 3, 3, 1),
+                    orig_index=orig_index,
+                )
+            )
+            orig_index += 1
+    return encoding, tokens
+
+
+class TestLayoutInvariants:
+    @given(_token_streams())
+    def test_addresses_are_gapless_and_ordered(self, case):
+        encoding, tokens = case
+        layout(tokens, encoding)
+        address = 0
+        for token in tokens:
+            assert token.address == address
+            assert token.size_units > 0
+            address += token.size_units
+
+    @given(_token_streams())
+    def test_index_map_covers_every_token_start(self, case):
+        encoding, tokens = case
+        index_to_unit = layout(tokens, encoding)
+        for token in tokens:
+            assert index_to_unit[token.orig_index] == token.address
+
+    @given(_token_streams())
+    def test_sizes_match_encoding_tables(self, case):
+        encoding, tokens = case
+        layout(tokens, encoding)
+        for token in tokens:
+            if token.kind == "cw":
+                assert token.size_units == encoding.codeword_units(token.rank)
+            else:
+                assert token.size_units == encoding.instruction_units()
+
+    @given(_token_streams())
+    def test_total_units_equals_bit_sum(self, case):
+        encoding, tokens = case
+        layout(tokens, encoding)
+        total_bits = sum(
+            encoding.codeword_bits(t.rank) if t.kind == "cw"
+            else encoding.instruction_bits
+            for t in tokens
+        )
+        total_units = sum(t.size_units for t in tokens)
+        assert total_units * encoding.alignment_bits == total_bits

@@ -1,0 +1,24 @@
+"""Redundancy profile (Figure 1) tests."""
+
+from repro.core.profile import coverage_of_top_fraction, encoding_redundancy
+
+
+class TestRedundancyProfile:
+    def test_fractions_sum_to_one(self, tiny_program):
+        profile = encoding_redundancy(tiny_program)
+        assert profile.unique_fraction + profile.repeated_fraction == 1.0
+
+    def test_counts_consistent(self, tiny_program):
+        profile = encoding_redundancy(tiny_program)
+        assert profile.total_instructions == len(tiny_program.text)
+        assert 0 < profile.distinct_encodings <= profile.total_instructions
+        assert (
+            profile.instructions_with_unique_encoding <= profile.distinct_encodings
+        )
+
+    def test_coverage_monotonic_in_fraction(self, tiny_program):
+        c1 = coverage_of_top_fraction(tiny_program, 0.01)
+        c10 = coverage_of_top_fraction(tiny_program, 0.10)
+        c100 = coverage_of_top_fraction(tiny_program, 1.0)
+        assert c1 <= c10 <= c100
+        assert c100 == 1.0

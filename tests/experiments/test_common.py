@@ -1,0 +1,38 @@
+"""Experiment-infrastructure tests."""
+
+import os
+
+from repro.experiments.common import default_scale, pct, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header_rule(self):
+        out = render_table(
+            ["name", "value"],
+            [("a", 1), ("long-name", 22)],
+            title="T",
+        )
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert set(lines[2]) == {"-"}
+        # Columns align: every row is the same width or shorter.
+        assert lines[3].endswith(" 1")
+        assert lines[4].endswith("22")
+
+    def test_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"
+        assert pct(0.123456) == "12.3%"
+
+
+class TestDefaultScale:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert default_scale() == 0.25
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale() == 1.0

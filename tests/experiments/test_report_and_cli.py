@@ -1,0 +1,38 @@
+"""Report renderer and repro-experiments CLI tests."""
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.experiments.registry import REGISTRY
+from repro.experiments.report import EXTENSION_ORDER, PAPER_ORDER, generate_report
+
+
+class TestReport:
+    def test_all_registered_ids_covered_by_report_order(self):
+        assert set(PAPER_ORDER + EXTENSION_ORDER) == set(REGISTRY)
+
+    def test_generate_report_subset(self, small_suite):
+        report = generate_report(scale=0.3, ids=["table3"])
+        assert "prologue" in report
+        assert "[table3:" in report
+
+    def test_report_header_mentions_scale(self, small_suite):
+        report = generate_report(scale=0.3, ids=["table1"])
+        assert "scale 0.3" in report
+
+
+class TestExperimentsCli:
+    def test_list_prints_all(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        printed = capsys.readouterr().out
+        for experiment_id in REGISTRY:
+            assert experiment_id in printed
+
+    def test_unknown_id_fails(self, capsys):
+        assert experiments_main(["no_such_experiment"]) == 2
+
+    def test_runs_requested_experiment(self, small_suite, capsys):
+        assert experiments_main(["table3", "--scale", "0.3"]) == 0
+        printed = capsys.readouterr().out
+        assert "Table 3" in printed
+        assert "[table3 took" in printed

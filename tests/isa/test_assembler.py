@@ -1,0 +1,115 @@
+"""Assembler tests: syntax, extended mnemonics, labels."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble_line, assemble_source
+
+
+class TestBasicSyntax:
+    def test_three_register_form(self):
+        assert assemble_line("add r3,r4,r5").encode() == 0x7C642A14
+
+    def test_memory_operand(self):
+        ins = assemble_line("lwz r9,4(r28)")
+        assert ins.operand("D(rA)") == (4, 28)
+
+    def test_negative_displacement(self):
+        ins = assemble_line("stwu r1,-32(r1)")
+        assert ins.operand("D(rA)") == (-32, 1)
+
+    def test_hex_immediates(self):
+        assert assemble_line("ori r3,r3,0xff").operand("UI") == 0xFF
+
+    def test_comments_ignored(self):
+        unit = assemble_source("add r3,r4,r5 # comment\n; full line comment\n")
+        assert len(unit.instructions) == 1
+
+    def test_sp_alias(self):
+        assert assemble_line("addi r3,sp,8").operand("rA") == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("frobnicate r1,r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("add r3,r4")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("add r3,r4,r32")
+
+
+class TestExtendedMnemonics:
+    @pytest.mark.parametrize(
+        "text,canonical",
+        [
+            ("li r5,-1", "addi"),
+            ("lis r5,16", "addis"),
+            ("mr r31,r3", "or"),
+            ("nop", "ori"),
+            ("blr", "bclr"),
+            ("bctr", "bcctr"),
+            ("bctrl", "bcctrl"),
+            ("mflr r0", "mfspr"),
+            ("mtctr r12", "mtspr"),
+            ("slwi r4,r4,2", "rlwinm"),
+            ("srwi r4,r4,2", "rlwinm"),
+            ("clrlwi r11,r9,24", "rlwinm"),
+            ("not r3,r4", "nor"),
+        ],
+    )
+    def test_expansion(self, text, canonical):
+        assert assemble_line(text).mnemonic == canonical
+
+    def test_conditional_branch_with_cr_field(self):
+        ins = assemble_line("ble cr1,+3")
+        assert ins.mnemonic == "bc"
+        assert ins.operand("BO") == 4
+        assert ins.operand("BI") == 5  # cr1, GT bit
+
+    def test_conditional_branch_default_cr0(self):
+        ins = assemble_line("beq +2")
+        assert ins.operand("BI") == 2
+
+    def test_cmpwi_implicit_cr0(self):
+        assert assemble_line("cmpwi r3,5").operand("crfD") == 0
+
+    def test_slwi_encoding_matches_manual(self):
+        # slwi r4,r4,2 == rlwinm r4,r4,2,0,29
+        ins = assemble_line("slwi r4,r4,2")
+        assert (ins.operand("SH"), ins.operand("MB"), ins.operand("ME")) == (2, 0, 29)
+
+
+class TestLabels:
+    def test_forward_and_backward_branches(self):
+        unit = assemble_source(
+            """
+            start:  addi r3,r0,0
+            loop:   addi r3,r3,1
+                    cmpwi r3,10
+                    blt loop
+                    b done
+                    nop
+            done:   blr
+            """
+        )
+        assert unit.labels["start"] == 0
+        assert unit.labels["loop"] == 1
+        # blt loop: from index 3 back to 1.
+        assert unit.instructions[3].operand("target") == -2
+        # b done: from index 4 to 6.
+        assert unit.instructions[4].operand("target") == 2
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble_source("b nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble_source("a: nop\na: nop")
+
+    def test_multiple_labels_one_line(self):
+        unit = assemble_source("a: b2: nop")
+        assert unit.labels["a"] == unit.labels["b2"] == 0

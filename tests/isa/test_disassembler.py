@@ -1,0 +1,70 @@
+"""Disassembler tests, including the asm -> disasm -> asm round trip."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble_line
+from repro.isa.disassembler import disassemble, disassemble_words
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import INSTRUCTION_SPECS
+from repro.isa.fields import OperandKind
+
+
+class TestFormatting:
+    def test_known_forms(self):
+        assert disassemble(0x7C0802A6) == "mflr r0"
+        assert disassemble(0x4E800020) == "blr"
+        assert disassemble(0x552B063E) == "clrlwi r11,r9,24"
+        assert disassemble(0x38A0FFFF) == "li r5,-1"
+        assert disassemble(0x60000000) == "nop"
+
+    def test_branch_with_index_shows_absolute_target(self):
+        # b +4 instructions from index 10 -> byte address (10+4)*4.
+        word = assemble_line("b +4").encode()
+        assert disassemble(word, index=10) == "b 0x38"
+
+    def test_unknown_word_prints_as_data(self):
+        out = disassemble_words([0x00000000])
+        assert out == [".word 0x00000000"]
+
+    def test_conditional_with_cr_field(self):
+        word = assemble_line("bgt cr1,-7").encode()
+        assert disassemble(word) == "bgt cr1,-7"
+
+
+def _operand_strategy(op):
+    if op.kind is OperandKind.GPR:
+        return st.integers(0, 31)
+    if op.kind is OperandKind.CRF:
+        return st.integers(0, 7)
+    if op.kind is OperandKind.SIMM or op.kind is OperandKind.REL_TARGET:
+        lo = -(1 << (op.field.width - 1))
+        return st.integers(lo, -lo - 1)
+    if op.kind in (OperandKind.UIMM, OperandKind.UINT):
+        return st.integers(0, (1 << op.field.width) - 1)
+    if op.kind is OperandKind.SPR:
+        return st.sampled_from([8, 9])
+    if op.kind is OperandKind.DISP_GPR:
+        return st.tuples(st.integers(-32768, 32767), st.integers(0, 31))
+    raise AssertionError(op.kind)
+
+
+@st.composite
+def _random_instruction(draw):
+    spec = draw(st.sampled_from(INSTRUCTION_SPECS))
+    values = []
+    for op in spec.operands:
+        value = draw(_operand_strategy(op))
+        # bc BO values: restrict to the forms the assembler can re-parse.
+        if spec.mnemonic in ("bc", "bcl", "bclr", "bcctr", "bcctrl") and op.name == "BO":
+            value = draw(st.sampled_from([4, 12, 16, 20]))
+        values.append(value)
+    return Instruction(spec, tuple(values))
+
+
+class TestRoundTrip:
+    @given(_random_instruction())
+    def test_disassemble_then_assemble(self, ins):
+        word = ins.encode()
+        text = disassemble(word)
+        again = assemble_line(text)
+        assert again.encode() == word

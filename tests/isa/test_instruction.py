@@ -1,0 +1,100 @@
+"""Encode/decode tests, including an exhaustive property round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.fields import OperandKind
+from repro.isa.instruction import Instruction, decode, make
+from repro.isa.opcodes import INSTRUCTION_SPECS
+
+
+KNOWN_ENCODINGS = {
+    # (mnemonic, operands) -> expected word (from PowerPC references)
+    ("addi", (3, 1, 8)): 0x38610008,
+    ("stwu", (1, (-32, 1))): 0x9421FFE0,
+    ("mfspr", (0, 8)): 0x7C0802A6,  # mflr r0
+    ("mtspr", (8, 0)): 0x7C0803A6,  # mtlr r0
+    ("bclr", (20, 0)): 0x4E800020,  # blr
+    ("sc", ()): 0x44000002,
+    ("add", (3, 4, 5)): 0x7C642A14,
+    ("or", (31, 3, 3)): 0x7C7F1B78,  # mr r31,r3
+    ("rlwinm", (11, 9, 0, 24, 31)): 0x552B063E,  # clrlwi r11,r9,24
+    ("lbz", (9, (0, 28))): 0x893C0000,
+    ("stb", (18, (0, 28))): 0x9A5C0000,
+}
+
+
+class TestKnownEncodings:
+    @pytest.mark.parametrize("key,expected", sorted(KNOWN_ENCODINGS.items(),
+                                                    key=lambda kv: str(kv[0])))
+    def test_encode_matches_reference(self, key, expected):
+        mnemonic, values = key
+        assert make(mnemonic, *values).encode() == expected
+
+    @pytest.mark.parametrize("key,word", sorted(KNOWN_ENCODINGS.items(),
+                                                key=lambda kv: str(kv[0])))
+    def test_decode_matches_reference(self, key, word):
+        mnemonic, values = key
+        ins = decode(word)
+        assert ins.mnemonic == mnemonic
+        assert ins.values == values
+
+
+class TestOperandAccess:
+    def test_operand_by_name(self):
+        ins = make("addi", 3, 1, 8)
+        assert ins.operand("rT") == 3
+        assert ins.operand("rA") == 1
+        assert ins.operand("SI") == 8
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(KeyError):
+            make("addi", 3, 1, 8).operand("rB")
+
+    def test_replace_operand(self):
+        ins = make("b", 100)
+        assert ins.replace_operand("target", -5).operand("target") == -5
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(EncodingError):
+            make("addi", 3, 1)
+
+    def test_out_of_range_immediate_rejected(self):
+        with pytest.raises(EncodingError):
+            make("addi", 3, 1, 40000).encode()
+
+
+def _operand_strategy(op):
+    if op.kind is OperandKind.GPR:
+        return st.integers(0, 31)
+    if op.kind is OperandKind.CRF:
+        return st.integers(0, 7)
+    if op.kind is OperandKind.SIMM or op.kind is OperandKind.REL_TARGET:
+        lo = -(1 << (op.field.width - 1))
+        return st.integers(lo, -lo - 1)
+    if op.kind is OperandKind.UIMM:
+        return st.integers(0, (1 << op.field.width) - 1)
+    if op.kind is OperandKind.UINT:
+        return st.integers(0, (1 << op.field.width) - 1)
+    if op.kind is OperandKind.SPR:
+        return st.sampled_from([1, 8, 9])
+    if op.kind is OperandKind.DISP_GPR:
+        return st.tuples(st.integers(-32768, 32767), st.integers(0, 31))
+    raise AssertionError(op.kind)
+
+
+@st.composite
+def _random_instruction(draw):
+    spec = draw(st.sampled_from(INSTRUCTION_SPECS))
+    values = tuple(draw(_operand_strategy(op)) for op in spec.operands)
+    return Instruction(spec, values)
+
+
+class TestEncodeDecodeProperty:
+    @given(_random_instruction())
+    def test_roundtrip(self, ins):
+        word = ins.encode()
+        again = decode(word)
+        assert again.mnemonic == ins.mnemonic
+        assert again.values == ins.values

@@ -1,0 +1,72 @@
+"""Tests for the opcode tables and the illegal-opcode escape space."""
+
+import pytest
+
+from repro.errors import DecodingError
+from repro.isa import opcodes
+from repro.isa.fields import OPCD
+
+
+class TestIllegalOpcodes:
+    def test_exactly_eight_illegal_opcodes(self):
+        # The paper's escape-byte construction depends on this count.
+        assert len(opcodes.ILLEGAL_PRIMARY_OPCODES) == 8
+
+    def test_thirty_two_escape_bytes(self):
+        escapes = opcodes.escape_bytes()
+        assert len(escapes) == 32
+        assert len(set(escapes)) == 32
+
+    def test_escape_bytes_decode_to_illegal_opcodes(self):
+        for byte in opcodes.escape_bytes():
+            assert (byte >> 2) in opcodes.ILLEGAL_PRIMARY_OPCODES
+
+    def test_no_spec_uses_an_illegal_opcode(self):
+        for spec in opcodes.INSTRUCTION_SPECS:
+            primary = dict(spec.fixed)[OPCD]
+            assert primary not in opcodes.ILLEGAL_PRIMARY_OPCODES, spec.mnemonic
+
+    def test_is_illegal_word(self):
+        assert opcodes.is_illegal_word(0x00000000)  # opcode 0
+        assert not opcodes.is_illegal_word(0x38610008)  # addi
+
+
+class TestSpecTable:
+    def test_mnemonics_unique(self):
+        names = [spec.mnemonic for spec in opcodes.INSTRUCTION_SPECS]
+        assert len(names) == len(set(names))
+
+    def test_spec_lookup(self):
+        assert opcodes.spec_for("addi").mnemonic == "addi"
+        with pytest.raises(KeyError):
+            opcodes.spec_for("no_such_op")
+
+    def test_branch_classification(self):
+        assert opcodes.spec_for("b").is_relative_branch
+        assert opcodes.spec_for("bc").is_relative_branch
+        assert not opcodes.spec_for("bclr").is_relative_branch
+        assert opcodes.spec_for("bclr").is_branch
+        assert opcodes.spec_for("sc").is_branch
+        assert not opcodes.spec_for("addi").is_branch
+        assert opcodes.spec_for("bl").is_call
+
+    def test_decode_known_words(self):
+        # Reference encodings from the PowerPC architecture manual.
+        assert opcodes.decode_spec(0x7C0802A6).mnemonic == "mfspr"  # mflr r0
+        assert opcodes.decode_spec(0x4E800020).mnemonic == "bclr"  # blr
+        assert opcodes.decode_spec(0x44000002).mnemonic == "sc"
+        assert opcodes.decode_spec(0x9421FFE0).mnemonic == "stwu"
+
+    def test_decode_illegal_opcode_raises(self):
+        with pytest.raises(DecodingError):
+            opcodes.decode_spec(0x00000000)
+
+    def test_decode_unknown_extended_opcode_raises(self):
+        # Opcode 31 with an extended opcode we do not implement.
+        word = (31 << 26) | (1023 << 1)
+        with pytest.raises(DecodingError):
+            opcodes.decode_spec(word)
+
+    def test_every_spec_word_decodes_to_itself(self):
+        for spec in opcodes.INSTRUCTION_SPECS:
+            assert opcodes.decode_spec(spec.match).mnemonic == spec.mnemonic

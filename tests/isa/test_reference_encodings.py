@@ -1,0 +1,105 @@
+"""Broad table of reference encodings from the PowerPC architecture.
+
+Each word below was produced by cross-checking against the instruction
+format definitions of the PowerPC architecture manual (primary opcode,
+extended opcode, field placement).  This pins the encoder bit-for-bit
+across the whole implemented subset — the property every compression
+result in this repository ultimately rests on.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble_line
+from repro.isa.disassembler import disassemble
+
+# (assembly, expected word)
+REFERENCE = [
+    # D-form arithmetic
+    ("addi r1,r2,3", 0x38220003),
+    ("addi r31,r31,-1", 0x3BFFFFFF),
+    ("addis r5,r0,1", 0x3CA00001),
+    ("mulli r3,r4,7", 0x1C640007),
+    ("subfic r3,r4,10", 0x2064000A),
+    # D-form logical (note rS in the RT slot, rA as destination)
+    ("ori r0,r0,0", 0x60000000),
+    ("ori r3,r4,0xffff", 0x6083FFFF),
+    ("oris r3,r4,1", 0x64830001),
+    ("xori r3,r4,255", 0x688300FF),
+    ("xoris r3,r4,255", 0x6C8300FF),
+    ("andi. r3,r4,15", 0x7083000F),
+    ("andis. r3,r4,15", 0x7483000F),
+    # compares
+    ("cmpwi cr0,r3,0", 0x2C030000),
+    ("cmpwi cr7,r3,-1", 0x2F83FFFF),
+    ("cmplwi cr1,r0,8", 0x28800008),
+    ("cmpw cr0,r3,r4", 0x7C032000),
+    ("cmplw cr0,r3,r4", 0x7C032040),
+    # memory
+    ("lwz r1,0(r1)", 0x80210000),
+    ("lwz r9,4(r28)", 0x813C0004),
+    ("lwzu r9,4(r28)", 0x853C0004),
+    ("lbz r9,0(r28)", 0x893C0000),
+    ("lbzu r9,1(r28)", 0x8D3C0001),
+    ("lhz r5,6(r7)", 0xA0A70006),
+    ("lha r5,6(r7)", 0xA8A70006),
+    ("stw r0,20(r1)", 0x90010014),
+    ("stwu r1,-32(r1)", 0x9421FFE0),
+    ("stb r18,0(r28)", 0x9A5C0000),
+    ("stbu r18,1(r28)", 0x9E5C0001),
+    ("sth r5,6(r7)", 0xB0A70006),
+    # branches
+    ("b +1", 0x48000004),
+    ("b -1", 0x4BFFFFFC),
+    ("bl +100", 0x48000191),
+    ("beq +2", 0x41820008),
+    ("bne +2", 0x40820008),
+    ("blt -4", 0x4180FFF0),
+    ("bge +3", 0x4080000C),
+    ("bgt cr1,-7", 0x4185FFE4),
+    ("ble cr1,+3", 0x4085000C),
+    ("bdnz -4", 0x4200FFF0),
+    ("blr", 0x4E800020),
+    ("bctr", 0x4E800420),
+    ("bctrl", 0x4E800421),
+    ("sc", 0x44000002),
+    # opcode-31 arithmetic (XO-form)
+    ("add r3,r4,r5", 0x7C642A14),
+    ("subf r3,r4,r5", 0x7C642850),
+    ("neg r3,r4", 0x7C6400D0),
+    ("mullw r3,r3,r4", 0x7C6321D6),
+    ("divw r3,r3,r4", 0x7C6323D6),
+    ("divwu r3,r3,r4", 0x7C632396),
+    # opcode-31 logical/shift (X-form; rS in RT slot)
+    ("and r3,r4,r5", 0x7C832838),
+    ("or r3,r4,r5", 0x7C832B78),
+    ("mr r31,r3", 0x7C7F1B78),
+    ("xor r3,r4,r5", 0x7C832A78),
+    ("nor r3,r4,r5", 0x7C8328F8),
+    ("slw r3,r4,r5", 0x7C832830),
+    ("srw r3,r4,r5", 0x7C832C30),
+    ("sraw r3,r4,r5", 0x7C832E30),
+    ("srawi r3,r4,4", 0x7C832670),
+    ("extsb r3,r4", 0x7C830774),
+    ("extsh r3,r4", 0x7C830734),
+    # M-form
+    ("clrlwi r11,r9,24", 0x552B063E),
+    ("slwi r4,r4,2", 0x5484103A),
+    ("srwi r4,r4,2", 0x5484F0BE),
+    ("rlwinm r3,r4,5,6,20", 0x548329A8),
+    # special registers
+    ("mflr r0", 0x7C0802A6),
+    ("mtlr r0", 0x7C0803A6),
+    ("mfctr r12", 0x7D8902A6),
+    ("mtctr r12", 0x7D8903A6),
+]
+
+
+@pytest.mark.parametrize("text,expected", REFERENCE, ids=[t for t, _ in REFERENCE])
+def test_reference_encoding(text, expected):
+    assert assemble_line(text).encode() == expected
+
+
+@pytest.mark.parametrize("text,word", REFERENCE, ids=[t for t, _ in REFERENCE])
+def test_reference_decodes_back(text, word):
+    # Disassemble then re-assemble: identical word.
+    assert assemble_line(disassemble(word)).encode() == word

@@ -1,0 +1,161 @@
+"""Linker tests: symbol resolution, relocation, jump tables, errors."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.linker.layout import link
+from repro.linker.objfile import AsmOp, DataItem, FunctionUnit, ObjectModule
+from repro.linker.program import DATA_BASE, TEXT_BASE
+
+
+def start_unit():
+    unit = FunctionUnit("_start")
+    unit.add(AsmOp("bl", (0,), target="main"))
+    unit.add(AsmOp("addi", (0, 0, 0)))
+    unit.add(AsmOp("sc", ()))
+    return unit
+
+
+def main_unit(extra_ops=()):
+    unit = FunctionUnit("main")
+    for op in extra_ops:
+        unit.add(op)
+    unit.add(AsmOp("bclr", (20, 0)))
+    return unit
+
+
+class TestSymbolResolution:
+    def test_entry_placed_first(self):
+        module = ObjectModule("m", functions=[main_unit(), start_unit()])
+        program = link([module])
+        assert program.entry_index == 0
+        assert program.text[0].function == "_start"
+
+    def test_missing_entry(self):
+        module = ObjectModule("m", functions=[main_unit()])
+        with pytest.raises(LinkError, match="_start"):
+            link([module])
+
+    def test_duplicate_function(self):
+        module = ObjectModule("m", functions=[start_unit(), main_unit(), main_unit()])
+        with pytest.raises(LinkError, match="duplicate"):
+            link([module])
+
+    def test_undefined_call_target(self):
+        unit = FunctionUnit("main")
+        unit.add(AsmOp("bl", (0,), target="nowhere"))
+        unit.add(AsmOp("bclr", (20, 0)))
+        module = ObjectModule("m", functions=[start_unit(), unit])
+        with pytest.raises(LinkError, match="undefined"):
+            link([module])
+
+    def test_cross_function_call_offset(self):
+        module = ObjectModule("m", functions=[start_unit(), main_unit()])
+        program = link([module])
+        bl = program.text[0]
+        assert bl.target_index == 3  # main starts after the 3 _start ops
+        assert bl.instruction.operand("target") == 3
+
+    def test_symbols_have_addresses(self):
+        module = ObjectModule("m", functions=[start_unit(), main_unit()])
+        program = link([module])
+        assert program.symbols["_start"] == TEXT_BASE
+        assert program.symbols["main"] == TEXT_BASE + 12
+
+
+class TestLocalLabels:
+    def test_backward_branch(self):
+        unit = FunctionUnit("main")
+        unit.place_label("top")
+        unit.add(AsmOp("addi", (3, 3, 1)))
+        unit.add(AsmOp("b", (0,), target="top"))
+        unit.add(AsmOp("bclr", (20, 0)))
+        module = ObjectModule("m", functions=[start_unit(), unit])
+        program = link([module])
+        branch = program.text[4]
+        assert branch.instruction.operand("target") == -1
+
+
+class TestData:
+    def test_data_layout_and_alignment(self):
+        module = ObjectModule(
+            "m",
+            functions=[start_unit(), main_unit()],
+            data=[
+                DataItem("bytes", size=3, align=1, initial=b"ab"),
+                DataItem("word", size=4, align=4, initial=(42).to_bytes(4, "big")),
+            ],
+        )
+        program = link([module])
+        assert program.symbols["bytes"] == DATA_BASE
+        assert program.symbols["word"] == DATA_BASE + 4  # aligned past 3 bytes
+        assert program.data_image[4:8] == (42).to_bytes(4, "big")
+
+    def test_duplicate_data_symbol(self):
+        module = ObjectModule(
+            "m",
+            functions=[start_unit(), main_unit()],
+            data=[DataItem("x", 4), DataItem("x", 4)],
+        )
+        with pytest.raises(LinkError, match="duplicate"):
+            link([module])
+
+    def test_hi_lo_relocation(self):
+        unit = FunctionUnit("main")
+        unit.add(AsmOp("addis", (9, 0, 0), hi_symbol="obj"))
+        unit.add(AsmOp("lwz", (3, (0, 9)), lo_symbol="obj"))
+        unit.add(AsmOp("bclr", (20, 0)))
+        module = ObjectModule(
+            "m", functions=[start_unit(), unit], data=[DataItem("obj", 4)]
+        )
+        program = link([module])
+        addis = program.text[3].instruction
+        lwz = program.text[4].instruction
+        high = addis.operand("SI")
+        low, base = lwz.operand("D(rA)")
+        assert ((high << 16) + low) & 0xFFFFFFFF == program.symbols["obj"]
+
+    def test_jump_table_slots_patched(self):
+        unit = FunctionUnit("main")
+        unit.place_label("L0")
+        unit.add(AsmOp("addi", (3, 0, 0)))
+        unit.place_label("L1")
+        unit.add(AsmOp("addi", (3, 0, 1)))
+        unit.add(AsmOp("bclr", (20, 0)))
+        table = DataItem(
+            "jt", size=8, align=4,
+            code_labels={0: ("main", "L0"), 1: ("main", "L1")},
+        )
+        module = ObjectModule("m", functions=[start_unit(), unit], data=[table])
+        program = link([module])
+        slot0 = int.from_bytes(program.data_image[0:4], "big")
+        slot1 = int.from_bytes(program.data_image[4:8], "big")
+        assert slot0 == program.address_of(3)
+        assert slot1 == program.address_of(4)
+        assert len(program.jump_table_slots) == 2
+
+    def test_unknown_jump_table_label(self):
+        table = DataItem("jt", size=4, code_labels={0: ("main", "nope")})
+        module = ObjectModule(
+            "m", functions=[start_unit(), main_unit()], data=[table]
+        )
+        with pytest.raises(LinkError, match="unknown label"):
+            link([module])
+
+
+class TestConsistency:
+    def test_check_consistency_accepts_linked_program(self, tiny_program):
+        tiny_program.check_consistency()
+
+    def test_branch_target_indices_cover_entry(self, tiny_program):
+        targets = tiny_program.branch_target_indices()
+        assert tiny_program.entry_index in targets
+
+    def test_address_round_trip(self, tiny_program):
+        for index in (0, 1, len(tiny_program.text) - 1):
+            address = tiny_program.address_of(index)
+            assert tiny_program.index_of_address(address) == index
+
+    def test_misaligned_address_rejected(self, tiny_program):
+        with pytest.raises(ValueError):
+            tiny_program.index_of_address(TEXT_BASE + 2)

@@ -1,0 +1,52 @@
+"""Program-container behaviour tests."""
+
+from repro import bitutils
+from repro.linker.program import DATA_BASE, STACK_TOP, TEXT_BASE
+
+
+class TestLayoutConstants:
+    def test_memory_map_is_disjoint(self):
+        # .text below .data below the stack; the data memory covers
+        # [DATA_BASE, STACK_TOP) only.
+        assert TEXT_BASE < DATA_BASE < STACK_TOP
+
+    def test_data_base_fixed_independent_of_text(self, tiny_program):
+        # Compression shrinks .text; data addresses must not depend on
+        # its size (DESIGN.md: code addresses never live in immediates).
+        assert tiny_program.data_base == DATA_BASE
+
+
+class TestAccessors:
+    def test_text_size_is_4n(self, tiny_program):
+        assert tiny_program.text_size == 4 * len(tiny_program.text)
+
+    def test_text_bytes_matches_words(self, tiny_program):
+        data = tiny_program.text_bytes()
+        assert bitutils.bytes_to_words(data) == tiny_program.words()
+
+    def test_words_cached_and_stable(self, tiny_program):
+        first = tiny_program.words()
+        second = tiny_program.words()
+        assert first is second  # cached: linked text never mutates
+
+    def test_function_ranges_partition_text(self, tiny_program):
+        ranges = sorted(tiny_program.function_ranges().values())
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == len(tiny_program.text)
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+
+    def test_every_function_named_once(self, tiny_program):
+        ranges = tiny_program.function_ranges()
+        assert {"_start", "main", "weigh"} <= set(ranges)
+        for name, (start, end) in ranges.items():
+            assert all(
+                ti.function == name for ti in tiny_program.text[start:end]
+            )
+
+    def test_library_flags(self, tiny_program):
+        ranges = tiny_program.function_ranges()
+        start, end = ranges["print_int"]
+        assert all(ti.is_library for ti in tiny_program.text[start:end])
+        start, end = ranges["main"]
+        assert not any(ti.is_library for ti in tiny_program.text[start:end])

@@ -1,0 +1,71 @@
+"""Compressed-program processor tests."""
+
+import pytest
+
+from repro.core import BaselineEncoding, NibbleEncoding, OneByteEncoding, compress
+from repro.machine.compressed_sim import CompressedSimulator, run_compressed
+from repro.machine.simulator import run_program
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "encoding_factory",
+        [BaselineEncoding, NibbleEncoding, lambda: OneByteEncoding(32)],
+    )
+    def test_output_identical_to_uncompressed(self, tiny_program, encoding_factory):
+        reference = run_program(tiny_program)
+        compressed = compress(tiny_program, encoding_factory())
+        result = run_compressed(compressed)
+        assert result.output_text == reference.output_text
+        assert result.exit_code == reference.exit_code
+
+    def test_same_instruction_count_executed(self, tiny_program):
+        # Compression never changes the dynamic instruction sequence
+        # (when no branch was relaxed).
+        reference = run_program(tiny_program)
+        compressed = compress(tiny_program, NibbleEncoding())
+        assert compressed.relaxations == 0
+        result = run_compressed(compressed)
+        assert result.steps == reference.steps
+
+
+class TestFetchStats:
+    def test_fetch_traffic_reduced(self, tiny_program):
+        reference = run_program(tiny_program)
+        compressed = compress(tiny_program, NibbleEncoding())
+        simulator = CompressedSimulator(compressed)
+        simulator.run()
+        uncompressed_bytes = 4 * reference.steps
+        compressed_bytes = simulator.stats.bytes_fetched(
+            compressed.encoding.alignment_bits
+        )
+        assert compressed_bytes < uncompressed_bytes
+
+    def test_codeword_expansions_counted(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        simulator = CompressedSimulator(compressed)
+        simulator.run()
+        assert simulator.stats.codeword_expansions > 0
+        assert (
+            simulator.stats.instructions_issued
+            >= simulator.stats.codeword_expansions
+            + simulator.stats.escaped_instructions
+        )
+
+
+class TestAddressing:
+    def test_entry_point_reachable(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        simulator = CompressedSimulator(compressed)
+        entry_unit = compressed.index_to_unit[tiny_program.entry_index]
+        assert simulator.items[simulator.item_index].address == entry_unit
+
+    def test_branch_into_item_interior_rejected(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        simulator = CompressedSimulator(compressed)
+        # Find an item wider than one unit and aim inside it.
+        wide = next(i for i in simulator.items if i.size_units > 1)
+        from repro.errors import DecompressionError
+
+        with pytest.raises(DecompressionError):
+            simulator._goto_unit(wide.address + 1)

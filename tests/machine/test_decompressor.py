@@ -1,0 +1,72 @@
+"""Stream decoder tests: the compressed fetch engine."""
+
+import pytest
+
+from repro.core import BaselineEncoding, NibbleEncoding, compress
+from repro.errors import DecompressionError
+from repro.machine.decompressor import StreamDecoder
+
+
+def decode_items(compressed):
+    decoder = StreamDecoder(
+        compressed.stream,
+        compressed.dictionary,
+        compressed.encoding,
+        compressed.total_units(),
+    )
+    return decoder.decode_all()
+
+
+class TestStreamDecoding:
+    @pytest.mark.parametrize("encoding_factory", [BaselineEncoding, NibbleEncoding])
+    def test_items_match_tokens(self, tiny_program, encoding_factory):
+        compressed = compress(tiny_program, encoding_factory())
+        items = decode_items(compressed)
+        assert len(items) == len(compressed.tokens)
+        for item, token in zip(items, compressed.tokens):
+            assert item.address == token.address
+            assert item.size_units == token.size_units
+            assert item.is_codeword == (token.kind == "cw")
+            if token.kind == "cw":
+                assert item.rank == token.rank
+
+    def test_codeword_expansion_matches_original_words(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        words = tiny_program.words()
+        for item, token in zip(decode_items(compressed), compressed.tokens):
+            if item.is_codeword:
+                expanded = tuple(ins.encode() for ins in item.instructions)
+                original = tuple(
+                    words[token.orig_index : token.orig_index + token.length]
+                )
+                assert expanded == original
+
+    def test_escaped_instructions_decode(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        for item in decode_items(compressed):
+            if not item.is_codeword:
+                assert len(item.instructions) == 1
+
+    def test_bad_codeword_rank_rejected(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        # Truncate the dictionary so stream codewords dangle.
+        from repro.core.dictionary import Dictionary
+
+        broken = Dictionary(compressed.dictionary.entries[:1])
+        decoder = StreamDecoder(
+            compressed.stream, broken, compressed.encoding, compressed.total_units()
+        )
+        if len(compressed.dictionary) > 1:
+            with pytest.raises(DecompressionError):
+                decoder.decode_all()
+
+    def test_wrong_total_units_detected(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        decoder = StreamDecoder(
+            compressed.stream,
+            compressed.dictionary,
+            compressed.encoding,
+            compressed.total_units() + 1,
+        )
+        with pytest.raises((DecompressionError, EOFError)):
+            decoder.decode_all()

@@ -1,0 +1,188 @@
+"""Per-instruction semantics tests against the execution core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import bitutils
+from repro.isa.assembler import assemble_line
+from repro.machine.executor import execute_data
+from repro.machine.memory import Memory
+from repro.machine.state import MachineState
+from repro.linker.program import DATA_BASE
+
+
+def run(lines, setup=None):
+    state = MachineState()
+    memory = Memory()
+    if setup:
+        setup(state, memory)
+    for line in lines:
+        execute_data(assemble_line(line), state, memory)
+    return state, memory
+
+
+class TestArithmetic:
+    def test_addi_signed(self):
+        state, _ = run(["li r3,10", "addi r4,r3,-3"])
+        assert state.read_signed(4) == 7
+
+    def test_addi_ra_zero_means_literal_zero(self):
+        state, _ = run(["li r5,123", "addi r3,r0,7"],
+                       setup=lambda s, m: s.write(0, 999))
+        assert state.read(3) == 7
+
+    def test_addis(self):
+        state, _ = run(["lis r3,4", "ori r3,r3,0x10"])
+        assert state.read(3) == 0x40010
+
+    def test_subf_operand_order(self):
+        # subf rT,rA,rB computes rB - rA.
+        state, _ = run(["li r4,3", "li r5,10", "subf r3,r4,r5"])
+        assert state.read_signed(3) == 7
+
+    def test_neg_and_overflow(self):
+        state, _ = run(["lis r4,-32768", "neg r3,r4"])  # r4 = 0x80000000
+        assert state.read(3) == 0x80000000  # negation wraps
+
+    def test_mullw_wraps(self):
+        state, _ = run(["lis r4,1", "lis r5,1", "mullw r3,r4,r5"])
+        assert state.read(3) == 0  # 2^16 * 2^16 mod 2^32
+
+    @pytest.mark.parametrize("a,b,q", [(7, 2, 3), (-7, 2, -3), (7, -2, -3)])
+    def test_divw_truncates(self, a, b, q):
+        state, _ = run(
+            [f"li r4,{a}", f"li r5,{b}", "divw r3,r4,r5"]
+        )
+        assert state.read_signed(3) == q
+
+    def test_divw_by_zero_defined_as_zero(self):
+        state, _ = run(["li r4,5", "li r5,0", "divw r3,r4,r5"])
+        assert state.read(3) == 0
+
+    def test_mulli(self):
+        state, _ = run(["li r4,-3", "mulli r3,r4,100"])
+        assert state.read_signed(3) == -300
+
+
+class TestLogicAndShifts:
+    def test_logical_ops(self):
+        state, _ = run(
+            ["li r4,0x0f0f", "li r5,0x00ff",
+             "and r3,r4,r5", "or r6,r4,r5", "xor r7,r4,r5", "nor r8,r4,r5"]
+        )
+        assert state.read(3) == 0x000F
+        assert state.read(6) == 0x0FFF
+        assert state.read(7) == 0x0FF0
+        assert state.read(8) == 0xFFFFF000
+
+    def test_slw_srw_large_amounts(self):
+        state, _ = run(["li r4,1", "li r5,33", "slw r3,r4,r5", "srw r6,r4,r5"])
+        assert state.read(3) == 0  # shift >31 yields zero
+        assert state.read(6) == 0
+
+    def test_sraw_preserves_sign(self):
+        state, _ = run(["li r4,-16", "li r5,2", "sraw r3,r4,r5"])
+        assert state.read_signed(3) == -4
+
+    def test_srawi(self):
+        state, _ = run(["li r4,-1", "srawi r3,r4,31"])
+        assert state.read_signed(3) == -1
+
+    def test_rlwinm_mask_forms(self):
+        state, _ = run(["li r4,0x1234", "slwi r3,r4,4", "srwi r5,r4,4",
+                        "clrlwi r6,r4,24"])
+        assert state.read(3) == 0x12340
+        assert state.read(5) == 0x123
+        assert state.read(6) == 0x34
+
+    def test_rlwinm_wrapped_mask(self):
+        # rlwinm with MB > ME produces a wrapped mask.
+        state, _ = run(["li r4,-1", "rlwinm r3,r4,0,31,0"])
+        assert state.read(3) == 0x80000001
+
+    def test_extsb_extsh(self):
+        state, _ = run(["li r4,0x80", "extsb r3,r4",
+                        "li r5,0x8000", "extsh r6,r5"])
+        assert state.read_signed(3) == -128
+        assert state.read_signed(6) == -32768
+
+    def test_andi_dot_sets_cr0(self):
+        state, _ = run(["li r4,0xf0", "andi. r3,r4,0x0f"])
+        assert state.read(3) == 0
+        assert state.cr_bit(2) == 1  # EQ
+
+
+class TestCompares:
+    def test_cmpwi_signed(self):
+        state, _ = run(["li r4,-1", "cmpwi cr1,r4,0"])
+        assert state.cr_bit(4) == 1  # cr1 LT
+
+    def test_cmplwi_unsigned(self):
+        state, _ = run(["li r4,-1", "cmplwi cr1,r4,0"])
+        assert state.cr_bit(4 + 1) == 1  # cr1 GT: 0xffffffff > 0 unsigned
+
+    def test_cmpw_registers(self):
+        state, _ = run(["li r4,5", "li r5,5", "cmpw r4,r5"])
+        assert state.cr_bit(2) == 1  # cr0 EQ
+
+
+class TestMemoryAccess:
+    def test_load_store_word(self):
+        def setup(state, memory):
+            state.write(9, DATA_BASE)
+
+        state, memory = run(
+            ["li r3,-2", "stw r3,8(r9)", "lwz r4,8(r9)"], setup
+        )
+        assert state.read(4) == 0xFFFFFFFE
+
+    def test_byte_zero_extension(self):
+        def setup(state, memory):
+            state.write(9, DATA_BASE)
+            memory.store(DATA_BASE, 1, 0xFF)
+
+        state, _ = run(["lbz r3,0(r9)"], setup)
+        assert state.read(3) == 0xFF  # not sign-extended
+
+    def test_lha_sign_extends(self):
+        def setup(state, memory):
+            state.write(9, DATA_BASE)
+            memory.store(DATA_BASE, 2, 0x8000)
+
+        state, _ = run(["lha r3,0(r9)"], setup)
+        assert state.read_signed(3) == -32768
+
+    def test_stwu_updates_base(self):
+        def setup(state, memory):
+            state.write(1, DATA_BASE + 64)
+
+        state, memory = run(["li r3,7", "stwu r3,-16(r1)"], setup)
+        assert state.read(1) == DATA_BASE + 48
+        assert memory.load(DATA_BASE + 48, 4) == 7
+
+
+class TestSpecialRegisters:
+    def test_lr_ctr_moves(self):
+        state, _ = run(["li r3,100", "mtlr r3", "li r4,200", "mtctr r4",
+                        "mflr r5", "mfctr r6"])
+        assert state.read(5) == 100
+        assert state.read(6) == 200
+
+
+class TestPropertySemantics:
+    @given(a=st.integers(-(1 << 31), (1 << 31) - 1),
+           b=st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_addi_matches_wrapped_addition(self, a, b):
+        state = MachineState()
+        state.write(4, a)
+        execute_data(assemble_line(f"addi r3,r4,{b}"), state, Memory())
+        assert state.read(3) == bitutils.u32(a + b)
+
+    @given(value=st.integers(0, 0xFFFFFFFF), sh=st.integers(0, 31))
+    def test_slwi_matches_shift(self, value, sh):
+        if sh == 0:
+            return  # slwi 0 is not a valid rlwinm form
+        state = MachineState()
+        state.write(4, value)
+        execute_data(assemble_line(f"slwi r3,r4,{sh}"), state, Memory())
+        assert state.read(3) == bitutils.u32(value << sh)

@@ -1,0 +1,78 @@
+"""Instruction-cache model tests."""
+
+import pytest
+
+from repro.core import NibbleEncoding, compress
+from repro.errors import SimulationError
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.icache import InstructionCache, attach_to_simulator
+from repro.machine.simulator import Simulator
+
+
+class TestCacheMechanics:
+    def test_cold_miss_then_hit(self):
+        cache = InstructionCache(256, line_bytes=32, assoc=2)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x101C)  # same 32-byte line
+
+    def test_distinct_lines_miss_separately(self):
+        cache = InstructionCache(256, line_bytes=32, assoc=2)
+        assert not cache.access(0x1000)
+        assert not cache.access(0x1020)
+
+    def test_lru_eviction_order(self):
+        # Direct-mapped-per-2-ways, 2 sets: lines mapping to set 0.
+        cache = InstructionCache(128, line_bytes=32, assoc=2)
+        sets = cache.num_sets
+        stride = 32 * sets
+        a, b, c = 0, stride, 2 * stride  # all in set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now most recent
+        cache.access(c)  # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_access_range_spanning_lines(self):
+        cache = InstructionCache(256, line_bytes=32, assoc=2)
+        cache.access_range(30, 8)  # crosses a line boundary
+        assert cache.stats.accesses == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            InstructionCache(100, line_bytes=32)
+        with pytest.raises(SimulationError):
+            InstructionCache(32, line_bytes=32, assoc=4)
+
+    def test_miss_rate(self):
+        cache = InstructionCache(256, line_bytes=32, assoc=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+
+
+class TestSimulatorIntegration:
+    def test_plain_simulator_feeds_cache(self, tiny_program):
+        simulator = Simulator(tiny_program)
+        cache = attach_to_simulator(
+            simulator, InstructionCache(512, 16, 2), 32
+        )
+        simulator.run()
+        assert cache.stats.accesses >= simulator.state.steps
+
+    def test_compressed_stream_has_fewer_misses(self, tiny_program):
+        # Denser code -> fewer lines -> fewer misses for the same
+        # dynamic instruction stream (the [Chen97a] effect).
+        plain = Simulator(tiny_program)
+        plain_cache = attach_to_simulator(plain, InstructionCache(128, 16, 2), 32)
+        plain.run()
+
+        compressed = compress(tiny_program, NibbleEncoding())
+        packed = CompressedSimulator(compressed)
+        packed_cache = attach_to_simulator(
+            packed, InstructionCache(128, 16, 2),
+            compressed.encoding.alignment_bits,
+        )
+        packed.run()
+        assert packed_cache.stats.misses <= plain_cache.stats.misses

@@ -1,0 +1,47 @@
+"""Data-memory tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.linker.program import DATA_BASE, STACK_TOP
+from repro.machine.memory import Memory
+
+
+class TestMemory:
+    def test_initial_image_loaded(self):
+        memory = Memory(b"\x01\x02\x03\x04")
+        assert memory.load(DATA_BASE, 4) == 0x01020304
+
+    def test_uninitialized_reads_zero(self):
+        memory = Memory()
+        assert memory.load(DATA_BASE + 100, 4) == 0
+
+    def test_store_load_roundtrip_sizes(self):
+        memory = Memory()
+        memory.store(DATA_BASE, 4, 0xDEADBEEF)
+        assert memory.load(DATA_BASE, 4) == 0xDEADBEEF
+        memory.store(DATA_BASE + 8, 1, 0x1FF)  # truncates to a byte
+        assert memory.load(DATA_BASE + 8, 1) == 0xFF
+        memory.store(DATA_BASE + 12, 2, 0xABCD)
+        assert memory.load(DATA_BASE + 12, 2) == 0xABCD
+
+    def test_big_endian_byte_order(self):
+        memory = Memory()
+        memory.store(DATA_BASE, 4, 0x11223344)
+        assert memory.load(DATA_BASE, 1) == 0x11
+        assert memory.load(DATA_BASE + 3, 1) == 0x44
+
+    def test_out_of_range_below(self):
+        memory = Memory()
+        with pytest.raises(SimulationError):
+            memory.load(DATA_BASE - 4, 4)
+
+    def test_out_of_range_above(self):
+        memory = Memory()
+        with pytest.raises(SimulationError):
+            memory.load(STACK_TOP - 2, 4)
+
+    def test_stack_region_usable(self):
+        memory = Memory()
+        memory.store(STACK_TOP - 64, 4, 7)
+        assert memory.load(STACK_TOP - 64, 4) == 7

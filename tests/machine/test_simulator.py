@@ -1,0 +1,61 @@
+"""Uncompressed simulator tests: control flow, syscalls, limits."""
+
+import pytest
+
+from repro.compiler import compile_and_link
+from repro.errors import SimulationError
+from repro.machine.simulator import Simulator, branch_decision, run_program
+from repro.machine.state import MachineState
+
+
+class TestBranchDecision:
+    def test_branch_always(self):
+        assert branch_decision(MachineState(), 20, 0)
+
+    def test_branch_if_true(self):
+        state = MachineState()
+        state.compare_signed(0, 1, 2)  # LT set
+        assert branch_decision(state, 12, 0)
+        assert not branch_decision(state, 12, 1)
+
+    def test_branch_if_false(self):
+        state = MachineState()
+        state.compare_signed(0, 1, 2)
+        assert not branch_decision(state, 4, 0)
+        assert branch_decision(state, 4, 1)
+
+    def test_bdnz_decrements_and_tests(self):
+        state = MachineState()
+        state.ctr = 2
+        assert branch_decision(state, 16, 0)  # ctr 2 -> 1, branch
+        assert state.ctr == 1
+        assert not branch_decision(state, 16, 0)  # ctr 1 -> 0, fall through
+        assert state.ctr == 0
+
+
+class TestRunning:
+    def test_tiny_program_output(self, tiny_program):
+        result = run_program(tiny_program)
+        assert result.state.halted
+        # sum over |table[i] - i| for the fixture's table.
+        assert result.output_text == "60\n"
+
+    def test_step_budget_enforced(self, tiny_program):
+        with pytest.raises(SimulationError, match="exceeded"):
+            run_program(tiny_program, max_steps=10)
+
+    def test_exit_code_is_r3(self):
+        program = compile_and_link(
+            "int main() { return 42; }", name="exit-test"
+        )
+        assert run_program(program).exit_code == 42
+
+    def test_pc_leaving_text_detected(self, tiny_program):
+        simulator = Simulator(tiny_program)
+        simulator.pc = len(tiny_program.text) + 5
+        with pytest.raises(SimulationError):
+            simulator.step()
+
+    def test_steps_counted(self, tiny_program):
+        result = run_program(tiny_program)
+        assert result.steps > len(tiny_program.text) / 4

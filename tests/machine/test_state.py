@@ -1,0 +1,50 @@
+"""Machine-state tests: registers, CR fields, output channel."""
+
+from repro.linker.program import STACK_TOP
+from repro.machine.state import MachineState
+
+
+class TestRegisters:
+    def test_stack_pointer_initialized(self):
+        state = MachineState()
+        assert state.read(1) == STACK_TOP - 64
+
+    def test_writes_wrap_to_32_bits(self):
+        state = MachineState()
+        state.write(3, -1)
+        assert state.read(3) == 0xFFFFFFFF
+        assert state.read_signed(3) == -1
+
+    def test_write_overflow_wraps(self):
+        state = MachineState()
+        state.write(3, 1 << 33)
+        assert state.read(3) == 0
+
+
+class TestConditionRegister:
+    def test_compare_sets_lt_gt_eq(self):
+        state = MachineState()
+        state.compare_signed(0, 1, 2)
+        assert state.cr_bit(0) == 1  # LT
+        assert state.cr_bit(1) == 0  # GT
+        assert state.cr_bit(2) == 0  # EQ
+        state.compare_signed(0, 2, 2)
+        assert state.cr_bit(2) == 1
+
+    def test_cr_fields_independent(self):
+        state = MachineState()
+        state.compare_signed(0, 1, 2)  # cr0: LT
+        state.compare_signed(1, 5, 2)  # cr1: GT
+        assert state.cr_bit(0) == 1
+        assert state.cr_bit(4 + 1) == 1  # cr1 GT bit is CR bit 5
+        state.compare_signed(1, 2, 2)
+        assert state.cr_bit(0) == 1, "cr0 must survive a cr1 update"
+
+
+class TestOutput:
+    def test_output_text_formats_ints_and_chars(self):
+        state = MachineState()
+        state.output.append(("int", -42))
+        state.output.append(("char", 10))
+        state.output.append(("char", 65))
+        assert state.output_text() == "-42\nA"

@@ -1,0 +1,56 @@
+"""Fetch-timing model tests."""
+
+import pytest
+
+from repro.core import NibbleEncoding, compress
+from repro.machine.timing import TimingParameters, time_compressed, time_uncompressed
+
+
+@pytest.fixture(scope="module")
+def compressed_tiny(tiny_program):
+    return compress(tiny_program, NibbleEncoding())
+
+
+class TestUncompressedTiming:
+    def test_wide_bus_one_cycle_per_instruction(self, tiny_program):
+        estimate = time_uncompressed(tiny_program, TimingParameters(bus_bytes=4))
+        assert estimate.cpi == 1.0
+
+    def test_narrow_bus_scales_linearly(self, tiny_program):
+        one = time_uncompressed(tiny_program, TimingParameters(bus_bytes=1))
+        four = time_uncompressed(tiny_program, TimingParameters(bus_bytes=4))
+        assert one.cycles == 4 * four.cycles
+        assert one.instructions == four.instructions
+
+
+class TestCompressedTiming:
+    def test_narrow_bus_favors_compression(self, tiny_program, compressed_tiny):
+        params = TimingParameters(bus_bytes=1)
+        plain = time_uncompressed(tiny_program, params)
+        packed = time_compressed(compressed_tiny, params)
+        assert packed.cycles < plain.cycles
+
+    def test_wide_bus_pays_expansion_latency(self, tiny_program, compressed_tiny):
+        params = TimingParameters(bus_bytes=4, expand_latency=1)
+        plain = time_uncompressed(tiny_program, params)
+        packed = time_compressed(compressed_tiny, params)
+        assert packed.cycles > plain.cycles
+
+    def test_zero_latency_wide_bus_near_parity(self, tiny_program, compressed_tiny):
+        params = TimingParameters(bus_bytes=4, expand_latency=0)
+        plain = time_uncompressed(tiny_program, params)
+        packed = time_compressed(compressed_tiny, params)
+        # Escape items fetch 4.5 bytes (2 bus cycles vs 1 issue) while
+        # codeword items are cheaper: the ratio stays under 2x.
+        assert 0.5 < packed.cycles / plain.cycles < 2.0
+
+    def test_instruction_counts_match(self, tiny_program, compressed_tiny):
+        params = TimingParameters()
+        plain = time_uncompressed(tiny_program, params)
+        packed = time_compressed(compressed_tiny, params)
+        assert plain.instructions == packed.instructions
+
+    def test_expand_latency_monotone(self, compressed_tiny):
+        cheap = time_compressed(compressed_tiny, TimingParameters(expand_latency=0))
+        costly = time_compressed(compressed_tiny, TimingParameters(expand_latency=3))
+        assert costly.cycles > cheap.cycles

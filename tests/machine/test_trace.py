@@ -1,0 +1,35 @@
+"""Execution tracer tests."""
+
+from repro.core import NibbleEncoding, compress
+from repro.machine.trace import trace_compressed, trace_program, traces_equivalent
+
+
+class TestTracing:
+    def test_trace_starts_at_entry(self, tiny_program):
+        entries = trace_program(tiny_program, limit=3)
+        assert entries[0].text.startswith("bl")  # _start: bl main
+        assert entries[0].position == 0
+
+    def test_trace_limit_respected(self, tiny_program):
+        assert len(trace_program(tiny_program, limit=10)) == 10
+
+    def test_full_trace_length_matches_steps(self, tiny_program):
+        from repro.machine.simulator import run_program
+
+        steps = run_program(tiny_program).steps
+        entries = trace_program(tiny_program, limit=10**9)
+        assert len(entries) == steps
+
+    def test_compressed_trace_marks_codewords(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        entries = trace_compressed(compressed, limit=200)
+        assert any("cw#" in entry.location for entry in entries)
+
+    def test_traces_equivalent(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        assert traces_equivalent(tiny_program, compressed, limit=500)
+
+    def test_entry_renders(self, tiny_program):
+        entry = trace_program(tiny_program, limit=1)[0]
+        rendered = str(entry)
+        assert "0x" in rendered and "bl" in rendered

@@ -1,0 +1,172 @@
+"""Unit and property tests for repro.bitutils."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import bitutils
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert bitutils.mask(0) == 0
+
+    def test_small_widths(self):
+        assert bitutils.mask(1) == 1
+        assert bitutils.mask(8) == 0xFF
+        assert bitutils.mask(32) == 0xFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bitutils.mask(-1)
+
+
+class TestExtractDeposit:
+    def test_primary_opcode_field(self):
+        # addi r3,r1,8 == 0x38610008; primary opcode is 14.
+        assert bitutils.extract(0x38610008, 0, 6) == 14
+
+    def test_deposit_then_extract(self):
+        word = bitutils.deposit(0, 6, 5, 21)
+        assert bitutils.extract(word, 6, 5) == 21
+
+    def test_deposit_overwrites_only_field(self):
+        word = bitutils.deposit(0xFFFFFFFF, 8, 8, 0)
+        assert word == 0xFF00FFFF
+
+    def test_out_of_range_field_rejected(self):
+        with pytest.raises(ValueError):
+            bitutils.extract(0, 30, 4)
+        with pytest.raises(ValueError):
+            bitutils.deposit(0, 0, 6, 64)
+
+    @given(
+        start=st.integers(0, 31),
+        word=st.integers(0, 0xFFFFFFFF),
+        value=st.integers(0, 0xFFFFFFFF),
+    )
+    def test_roundtrip_property(self, start, word, value):
+        width = 32 - start
+        value &= bitutils.mask(width)
+        deposited = bitutils.deposit(word, start, width, value)
+        assert bitutils.extract(deposited, start, width) == value
+
+
+class TestSignedness:
+    def test_sign_extend_negative(self):
+        assert bitutils.sign_extend(0xFFFF, 16) == -1
+        assert bitutils.sign_extend(0x8000, 16) == -32768
+
+    def test_sign_extend_positive(self):
+        assert bitutils.sign_extend(0x7FFF, 16) == 32767
+
+    def test_to_twos_complement_range_check(self):
+        assert bitutils.to_twos_complement(-1, 16) == 0xFFFF
+        with pytest.raises(ValueError):
+            bitutils.to_twos_complement(32768, 16)
+        with pytest.raises(ValueError):
+            bitutils.to_twos_complement(-32769, 16)
+
+    @given(st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_twos_complement_roundtrip(self, value):
+        assert bitutils.sign_extend(bitutils.to_twos_complement(value, 16), 16) == value
+
+    def test_fits_signed_boundaries(self):
+        assert bitutils.fits_signed(-8192, 14)
+        assert bitutils.fits_signed(8191, 14)
+        assert not bitutils.fits_signed(8192, 14)
+        assert not bitutils.fits_signed(-8193, 14)
+
+
+class TestCArithmetic:
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -3, -1),
+            (7, -2, -3, 1),
+            (-7, -2, 3, -1),
+            (100, 7, 14, 2),
+            (-100, 7, -14, -2),
+        ],
+    )
+    def test_truncating_division(self, a, b, q, r):
+        assert bitutils.cdiv(a, b) == q
+        assert bitutils.cmod(a, b) == r
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            bitutils.cdiv(1, 0)
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1), st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_division_identity(self, a, b):
+        if b == 0:
+            return
+        assert bitutils.cdiv(a, b) * b + bitutils.cmod(a, b) == a
+
+
+class TestRotate:
+    def test_rotl_identity(self):
+        assert bitutils.rotl32(0x12345678, 0) == 0x12345678
+        assert bitutils.rotl32(0x12345678, 32) == 0x12345678
+
+    def test_rotl_known(self):
+        assert bitutils.rotl32(0x80000000, 1) == 1
+        assert bitutils.rotl32(1, 4) == 16
+
+
+class TestWordsBytes:
+    def test_big_endian_serialization(self):
+        assert bitutils.words_to_bytes([0x38610008]) == b"\x38\x61\x00\x08"
+
+    def test_roundtrip(self):
+        words = [0, 1, 0xFFFFFFFF, 0x12345678]
+        assert bitutils.bytes_to_words(bitutils.words_to_bytes(words)) == words
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            bitutils.bytes_to_words(b"\x00\x01\x02")
+
+
+class TestBitStreams:
+    def test_writer_pads_to_byte(self):
+        writer = bitutils.BitWriter()
+        writer.write(0b101, 3)
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_writer_rejects_oversized_value(self):
+        writer = bitutils.BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_reader_eof(self):
+        reader = bitutils.BitReader(b"\xff")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_peek_does_not_advance(self):
+        reader = bitutils.BitReader(b"\xa5")
+        assert reader.peek(4) == 0xA
+        assert reader.read(4) == 0xA
+        assert reader.read(4) == 0x5
+
+    def test_seek(self):
+        reader = bitutils.BitReader(b"\xa5\x5a")
+        reader.seek_bit(8)
+        assert reader.read(8) == 0x5A
+
+    @given(st.lists(st.tuples(st.integers(1, 24), st.integers(0, (1 << 24) - 1)),
+                    min_size=0, max_size=64))
+    def test_writer_reader_roundtrip(self, fields):
+        writer = bitutils.BitWriter()
+        expected = []
+        for width, value in fields:
+            value &= bitutils.mask(width)
+            writer.write(value, width)
+            expected.append((width, value))
+        reader = bitutils.BitReader(writer.getvalue())
+        for width, value in expected:
+            assert reader.read(width) == value
+
+    def test_iter_nibbles(self):
+        assert list(bitutils.iter_nibbles(b"\xa5\x3c")) == [0xA, 0x5, 0x3, 0xC]

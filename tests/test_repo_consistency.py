@@ -1,0 +1,69 @@
+"""Repository-level consistency checks.
+
+Keeps the three-way mapping DESIGN.md promises — experiment id ↔
+experiment module ↔ benchmark target — from drifting as the repo grows.
+"""
+
+from pathlib import Path
+
+from repro.experiments import REGISTRY
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Experiments whose bench target lives under a differently named file.
+_BENCH_FILE_OF = {
+    "ext_fetch": "test_ext_fetch_traffic.py",
+}
+# Covered by spec tests / examples instead of a bench (Figure 10 is an
+# encoding definition; Figure 2 is the quickstart's worked example).
+_NO_BENCH = set()
+
+
+class TestExperimentBenchMapping:
+    def test_every_experiment_has_a_bench_target(self):
+        bench_files = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+        for experiment_id in REGISTRY:
+            if experiment_id in _NO_BENCH:
+                continue
+            if experiment_id in _BENCH_FILE_OF:
+                assert _BENCH_FILE_OF[experiment_id] in bench_files
+                continue
+            exact = f"test_{experiment_id}.py"
+            prefix = f"test_{experiment_id}_"
+            assert exact in bench_files or any(
+                name.startswith(prefix) for name in bench_files
+            ), experiment_id
+
+    def test_every_experiment_renders(self):
+        # TITLE and render() exist and are wired for every module.
+        for experiment_id, experiment in REGISTRY.items():
+            assert experiment.title, experiment_id
+            assert callable(experiment.module.run), experiment_id
+            assert callable(experiment.module.render), experiment_id
+
+    def test_experiment_ids_match_module_names(self):
+        for experiment_id, experiment in REGISTRY.items():
+            module_name = experiment.module.__name__.rsplit(".", 1)[-1]
+            assert module_name.startswith(experiment_id.split("_")[0]) or (
+                experiment_id.startswith("ext") and module_name.startswith("ext")
+            ), (experiment_id, module_name)
+
+
+class TestDocumentation:
+    def test_design_md_mentions_every_extension(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for experiment_id in REGISTRY:
+            if experiment_id.startswith("ext_"):
+                assert experiment_id in text, experiment_id
+
+    def test_experiments_md_covers_paper_artifacts(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for artifact in ("Figure 1", "Table 1", "Figure 4", "Figure 5",
+                         "Table 2", "Figure 6", "Figure 7", "Figure 8",
+                         "Figure 9", "Figure 10", "Figure 11", "Table 3"):
+            assert artifact in text, artifact
+
+    def test_examples_listed_in_readme_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in readme, example.name

@@ -1,0 +1,86 @@
+"""repro-compress CLI tests."""
+
+import pytest
+
+from repro.tools.compress_cli import main
+
+SOURCE = """
+int values[12];
+void main() {
+    int i;
+    for (i = 0; i < 12; i = i + 1) { values[i] = i * 3; }
+    print_int(sum_i(values, 12));
+    print_nl();
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestBuildRunInfo:
+    def test_build_writes_image(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.rcim"
+        assert main(["build", str(source_file), "-o", str(out)]) == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+
+    def test_run_produces_program_output(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.rcim"
+        main(["build", str(source_file), "-o", str(out)])
+        capsys.readouterr()
+        main(["run", str(out)])
+        printed = capsys.readouterr().out
+        assert printed.strip() == "198"  # sum of 0,3,...,33
+
+    def test_info_reports_sections(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.rcim"
+        main(["build", str(source_file), "-o", str(out), "--encoding",
+              "baseline"])
+        capsys.readouterr()
+        main(["info", str(out)])
+        printed = capsys.readouterr().out
+        assert "encoding:    baseline" in printed
+        assert "dictionary:" in printed
+
+    def test_info_dictionary_dump(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.rcim"
+        main(["build", str(source_file), "-o", str(out)])
+        capsys.readouterr()
+        main(["info", str(out), "--dictionary"])
+        printed = capsys.readouterr().out
+        assert "#   0:" in printed
+
+    def test_ratio_benchmark_mode(self, capsys):
+        assert main(["ratio", "--benchmark", "compress", "--scale", "0.3"]) == 0
+        printed = capsys.readouterr().out
+        assert "compress:" in printed and "codewords" in printed
+
+    def test_disasm_source_listing(self, source_file, capsys):
+        assert main(["disasm", str(source_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "main:" in printed
+        assert "_start:" in printed
+        assert "blr" in printed
+
+    def test_disasm_image_listing(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.rcim"
+        main(["build", str(source_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["disasm", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "CW#" in printed
+        assert "unit" in printed
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["build"])
+
+    def test_encoding_choices_enforced(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["build", str(source_file), "--encoding", "zip"])

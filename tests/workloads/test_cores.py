@@ -1,0 +1,437 @@
+"""Reference-model validation of the benchmark cores.
+
+Each hand-written MiniC core is re-implemented here in plain Python;
+the simulated PowerPC execution must produce the same checksum.  This
+is differential testing of the whole stack (compiler, linker,
+simulator) against an independent implementation of eight real
+algorithms — and it pins the cores' outputs against accidental
+workload drift.
+"""
+
+import pytest
+
+from repro.bitutils import cdiv, s32
+from repro.machine.simulator import run_program
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+SCALE = 0.3
+
+
+def core_checksum(name):
+    program = build_benchmark(name, SCALE)
+    output = run_program(program).output_text.strip().split("\n")
+    return int(output[0])
+
+
+# ---------------------------------------------------------------------------
+# Python reference models (ported line by line from workloads/cores.py)
+# ---------------------------------------------------------------------------
+def ref_compress():
+    cmp_input = [97 + ((i * 7 + (i >> 3)) % 13) for i in range(256)]
+    dict_prefix = [0] * 288
+    dict_char = [0] * 288
+    out_codes = []
+    next_code = 256
+    prefix = cmp_input[0]
+    for i in range(1, 256):
+        c = cmp_input[i]
+        code = -1
+        for probe in range(256, next_code):
+            if dict_prefix[probe] == prefix and dict_char[probe] == c:
+                code = probe
+                break
+        if code >= 0:
+            prefix = code
+        else:
+            out_codes.append(prefix)
+            if next_code < 288:
+                dict_prefix[next_code] = prefix
+                dict_char[next_code] = c
+                next_code += 1
+            prefix = c
+    out_codes.append(prefix)
+    checksum = len(out_codes) * 1000
+    for i, code in enumerate(out_codes):
+        checksum += code * (i + 1)
+    return checksum
+
+
+def ref_gcc():
+    src = "a+b*(c-d)/e+f*g-(h+a)*b"
+    prec = {42: 2, 47: 2, 43: 1, 45: 1}
+
+    rpn = []  # (op, val): op 0 = operand
+    stack = []
+    for ch in src:
+        c = ord(ch)
+        if 97 <= c <= 122:
+            rpn.append((0, c))
+        elif c == 40:
+            stack.append(c)
+        elif c == 41:
+            while stack and stack[-1] != 40:
+                rpn.append((stack.pop(), 0))
+            if stack:
+                stack.pop()
+        else:
+            while stack and prec.get(stack[-1], 0) >= prec.get(c, 0):
+                rpn.append((stack.pop(), 0))
+            stack.append(c)
+    while stack:
+        rpn.append((stack.pop(), 0))
+
+    emit = []
+    eval_stack = []
+    for op, val in rpn:
+        if op == 0:
+            emit.append(1 * 256 + (val & 255))
+            eval_stack.append((val - 97) * 3 + 5)
+        else:
+            emit.append(2 * 256 + (op & 255))
+            b = eval_stack.pop()
+            a = eval_stack.pop()
+            if op == 42:
+                r = s32(a * b)
+            elif op == 43:
+                r = s32(a + b)
+            elif op == 45:
+                r = s32(a - b)
+            elif op == 47:
+                r = cdiv(a, b) if b != 0 else 0  # C: truncate toward zero
+            else:
+                r = 0
+            eval_stack.append(r)
+    checksum = eval_stack[0] * 100 + len(emit)
+    for i, code in enumerate(emit):
+        checksum ^= code * (i + 3)
+    return checksum
+
+
+def ref_go():
+    board = [0] * 81
+    influence = [0] * 81
+    for i in range(0, 81, 7):
+        board[i] = 1
+    for i in range(3, 81, 11):
+        board[i] = 2
+
+    def liberties(position):
+        row, col = divmod(position, 9)
+        count = 0
+        if row > 0 and board[position - 9] == 0:
+            count += 1
+        if row < 8 and board[position + 9] == 0:
+            count += 1
+        if col > 0 and board[position - 1] == 0:
+            count += 1
+        if col < 8 and board[position + 1] == 0:
+            count += 1
+        return count
+
+    for _ in range(4):
+        for position in range(81):
+            stone = board[position]
+            if stone:
+                weight = 8 if stone == 1 else -8
+                row, col = divmod(position, 9)
+                influence[position] += weight * 2
+                if row > 0:
+                    influence[position - 9] += weight
+                if row < 8:
+                    influence[position + 9] += weight
+                if col > 0:
+                    influence[position - 1] += weight
+                if col < 8:
+                    influence[position + 1] += weight
+    score = 0
+    for position in range(81):
+        if board[position] == 1:
+            score += liberties(position)
+        if board[position] == 2:
+            score -= liberties(position)
+        if influence[position] > 0:
+            score += 1
+    return score * 17 + 4000
+
+
+def _sra(value, amount):
+    """Arithmetic shift right on a 32-bit signed value (like sraw)."""
+    return value >> amount  # Python ints are already arithmetic
+
+
+def ref_ijpeg():
+    block = [0] * 64
+    quant = [0] * 64
+    for row in range(8):
+        for col in range(8):
+            block[row * 8 + col] = (row * 13 + col * 7) % 64 - 32
+            quant[row * 8 + col] = 1 + ((row + col) >> 1)
+    for row in range(8):
+        base = row * 8
+        for i in range(4):
+            a = block[base + i]
+            b = block[base + 7 - i]
+            block[base + i] = a + b
+            block[base + 7 - i] = (a - b) * (i + 1)
+    for col in range(8):
+        for i in range(4):
+            a = block[i * 8 + col]
+            b = block[(7 - i) * 8 + col]
+            block[i * 8 + col] = _sra(a + b, 1)
+            block[(7 - i) * 8 + col] = _sra(a - b, 1)
+    for i in range(64):
+        q = quant[i]
+        v = block[i]
+        # C division truncates toward zero.
+        block[i] = abs(v) // q * (1 if v >= 0 else -1)
+    zero_run = 0
+    zigzag = 0
+    checksum = 0
+    for i in range(64):
+        v = block[i]
+        if v == 0:
+            zero_run += 1
+        else:
+            checksum += v * (zero_run + 1) + i
+            zigzag += 1
+            zero_run = 0
+    return checksum * 3 + zigzag
+
+
+def ref_li():
+    op = [0] * 128
+    left = [0] * 128
+    right = [0] * 128
+    val = [0] * 128
+    state = {"next": 0}
+
+    def leaf(value):
+        node = state["next"]
+        state["next"] += 1
+        op[node] = 0
+        val[node] = value
+        return node
+
+    def make(o, l, r):
+        node = state["next"]
+        state["next"] += 1
+        op[node] = o
+        left[node] = l
+        right[node] = r
+        return node
+
+    def build(depth, seed):
+        if depth <= 0:
+            return leaf((seed % 19) - 9)
+        o = 1 + (seed % 5)
+        l = build(depth - 1, seed * 3 + 1)
+        r = build(depth - 1, seed * 5 + 2)
+        return make(o, l, r)
+
+    def evaluate(node):
+        if op[node] == 0:
+            return val[node]
+        a = evaluate(left[node])
+        b = evaluate(right[node])
+        # MiniC arithmetic wraps at 32 bits on every operation.
+        if op[node] == 1:
+            return s32(a + b)
+        if op[node] == 2:
+            return s32(a - b)
+        if op[node] == 3:
+            return s32(a * b)
+        if op[node] == 4:
+            return a if a < b else b
+        if op[node] == 5:
+            return a if a > b else b
+        return 0
+
+    def count_leaves(node):
+        if op[node] == 0:
+            return 1
+        return count_leaves(left[node]) + count_leaves(right[node])
+
+    state["next"] = 0
+    tree = build(5, 7)
+    value = evaluate(tree)
+    leaves = count_leaves(tree)
+    state["next"] = 0
+    tree2 = build(4, 23)
+    value2 = evaluate(tree2)
+    return value * 31 + value2 * 7 + leaves
+
+
+def ref_m88ksim():
+    mem = [((i % 12) << 8) | ((i * 5 + 3) & 255) for i in range(128)]
+    regs = [i * 3 + 1 for i in range(16)]
+    pc = 0
+    for _ in range(500):
+        insn = mem[pc & 127]
+        op = (insn >> 8) & 15
+        rd = insn & 15
+        rs = (insn >> 4) & 15
+        imm = (insn >> 2) & 31
+        if op == 0:
+            regs[rd] = regs[rs] + imm
+        elif op == 1:
+            regs[rd] = regs[rs] - imm
+        elif op == 2:
+            regs[rd] = regs[rs] ^ regs[rd]
+        elif op == 3:
+            regs[rd] = (regs[rs] << 1) & 0xFFFFFF
+        elif op == 4:
+            if regs[rd] > 0:
+                pc = pc + (imm & 7)
+        elif op == 5:
+            regs[rd] = regs[rs] & imm
+        elif op == 6:
+            regs[rd] = regs[rs] | imm
+        elif op == 7:
+            regs[rd] = imm
+        elif op == 8:
+            regs[rd] = (regs[rs] * 3) & 0xFFFFFF
+        elif op == 9:
+            if regs[rd] == regs[rs]:
+                pc = pc + 2
+        elif op == 10:
+            regs[rd] = regs[(rs + 1) & 15] >> 1
+        elif op == 11:
+            regs[rd] = mem[regs[rs] & 127] & 255
+        pc += 1
+    checksum = 0
+    for i in range(16):
+        checksum = checksum * 3 + (regs[i] & 1023)
+    return checksum & 0xFFFFFF
+
+
+def ref_perl():
+    text = "the quick brown fox jumps over the lazy dog"
+    pattern = "*qu?ck*f?x*"
+
+    def char(s, i):
+        return ord(s[i]) if i < len(s) else 0
+
+    def match(pi, ti):
+        p = char(pattern, pi)
+        if p == 0:
+            return 1 if char(text, ti) == 0 else 0
+        if p == 42:
+            if match(pi + 1, ti):
+                return 1
+            if char(text, ti) == 0:
+                return 0
+            return match(pi, ti + 1)
+        if char(text, ti) == 0:
+            return 0
+        if p == 63 or p == char(text, ti):
+            return match(pi + 1, ti + 1)
+        return 0
+
+    keys = []
+    vals = []
+
+    def set_var(key, value):
+        for i, k in enumerate(keys):
+            if k == key:
+                vals[i] = value
+                return
+        if len(keys) < 32:
+            keys.append(key)
+            vals.append(value)
+
+    def get_var(key):
+        for i, k in enumerate(keys):
+            if k == key:
+                return vals[i]
+        return 0
+
+    matched = match(0, 0)
+    for i in range(40):
+        key = ((char(text, i % 44) * 31 + i) & 0x7FFFFFFF) % 97
+        set_var(key, get_var(key) + i)
+    checksum = matched * 10000
+    for i in range(len(keys)):
+        # MiniC precedence: '+' binds tighter than '^', like C.
+        checksum = (checksum + keys[i]) ^ vals[i]
+    return checksum + len(keys)
+
+
+def ref_vortex():
+    ids, balance, flags = [], [], []
+
+    def find(target):
+        lo, hi = 0, len(ids) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if ids[mid] == target:
+                return mid
+            if ids[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return -1
+
+    def insert(record_id, amount):
+        position = len(ids)
+        ids.append(0)
+        balance.append(0)
+        flags.append(0)
+        while position > 0 and ids[position - 1] > record_id:
+            ids[position] = ids[position - 1]
+            balance[position] = balance[position - 1]
+            flags[position] = flags[position - 1]
+            position -= 1
+        ids[position] = record_id
+        balance[position] = amount
+        flags[position] = 1
+
+    def transfer(from_id, to_id, amount):
+        from_index = find(from_id)
+        to_index = find(to_id)
+        if from_index < 0 or to_index < 0:
+            return 0
+        if balance[from_index] < amount:
+            return 0
+        balance[from_index] -= amount
+        balance[to_index] += amount
+        return 1
+
+    for i in range(60):
+        insert((i * 37) % 191, 100 + i * 3)
+    completed = 0
+    for i in range(120):
+        completed += transfer((i * 37) % 191, ((i + 7) * 37) % 191, (i % 9) + 1)
+    total = 0
+    flagged = 0
+    for i in range(len(ids)):
+        total += balance[i]
+        if balance[i] > 120:
+            flags[i] = 2
+            flagged += 1
+    return total * 5 + completed * 11 + flagged
+
+
+REFERENCE_MODELS = {
+    "compress": ref_compress,
+    "gcc": ref_gcc,
+    "go": ref_go,
+    "ijpeg": ref_ijpeg,
+    "li": ref_li,
+    "m88ksim": ref_m88ksim,
+    "perl": ref_perl,
+    "vortex": ref_vortex,
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_core_matches_python_reference(name):
+    assert core_checksum(name) == REFERENCE_MODELS[name]()
+
+
+def test_core_checksums_scale_invariant():
+    # The algorithmic core does not depend on the generated filler.
+    a = build_benchmark("li", 0.3)
+    b = build_benchmark("li", 0.5)
+    first = run_program(a).output_text.split("\n")[0]
+    second = run_program(b).output_text.split("\n")[0]
+    assert first == second

@@ -1,0 +1,74 @@
+"""Workload suite tests: determinism, sizes, execution, redundancy."""
+
+import pytest
+
+from repro.core.profile import encoding_redundancy
+from repro.machine.simulator import run_program
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    benchmark_source,
+    build_benchmark,
+)
+from repro.workloads.suite import _TARGETS, benchmark_profile
+
+TEST_SCALE = 0.3  # keep in sync with tests/conftest.py
+
+
+class TestGeneration:
+    def test_eight_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 8
+        assert BENCHMARK_NAMES[0] == "compress" and BENCHMARK_NAMES[-1] == "vortex"
+
+    def test_source_is_deterministic(self):
+        assert benchmark_source("li", 0.2) == benchmark_source("li", 0.2)
+
+    def test_different_benchmarks_differ(self):
+        assert benchmark_source("li", 0.2) != benchmark_source("go", 0.2)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_profile("nonesuch")
+
+    def test_relative_size_ordering(self, small_suite):
+        # The paper's suite ordering: gcc largest, compress smallest.
+        sizes = {name: len(program.text) for name, program in small_suite.items()}
+        assert max(sizes, key=sizes.get) == "gcc"
+        assert min(sizes, key=sizes.get) == "compress"
+
+    def test_sizes_near_targets(self, small_suite):
+        for name, program in small_suite.items():
+            target = max(_TARGETS[name] * TEST_SCALE, 900)
+            assert 0.5 * target <= len(program.text) <= 1.8 * target, name
+
+
+class TestExecution:
+    def test_all_benchmarks_run_to_completion(self, small_suite):
+        for name, program in small_suite.items():
+            result = run_program(program)
+            assert result.state.halted, name
+            # Two lines: core checksum and sampled checksum.
+            lines = result.output_text.strip().split("\n")
+            assert len(lines) == 2, name
+            int(lines[0])
+            int(lines[1])
+
+    def test_execution_is_deterministic(self, small_suite):
+        program = small_suite["li"]
+        assert run_program(program).output_text == run_program(program).output_text
+
+
+class TestRedundancy:
+    def test_figure1_property_holds(self, small_suite):
+        # Paper: on average, under 20% of instructions have single-use
+        # encodings.  (Small scales push this up slightly; allow 30%.)
+        fractions = [
+            encoding_redundancy(program).unique_fraction
+            for program in small_suite.values()
+        ]
+        average = sum(fractions) / len(fractions)
+        assert average < 0.30
+
+    def test_program_has_substantial_reuse(self, small_suite):
+        for name, program in small_suite.items():
+            profile = encoding_redundancy(program)
+            assert profile.distinct_encodings < 0.6 * profile.total_instructions, name
