@@ -1,0 +1,61 @@
+"""Extension bench: batch service throughput, cold vs. warm cache.
+
+Runs the full 8-workload suite across all three encodings through
+``repro.service`` twice against the same artifact cache.  The cold
+pass compiles and compresses everything; the warm pass must be served
+entirely from cache (>= 90% hit rate is the acceptance bar; we assert
+100%), bit-identical to the fresh artifacts, and measurably faster.
+"""
+
+import time
+
+from repro.experiments.common import suite_batch
+from repro.service import ArtifactCache, MetricsRegistry
+from repro.service.jobs import ENCODING_NAMES
+
+from conftest import run_once
+
+
+def _pass(cache, scale, registry):
+    start = time.perf_counter()
+    results = suite_batch(
+        ENCODING_NAMES, scale, cache=cache, processes=0, metrics=registry
+    )
+    return results, time.perf_counter() - start
+
+
+def test_ext_service(benchmark, bench_scale, tmp_path):
+    cache = ArtifactCache(tmp_path / "artifacts")
+    registry = MetricsRegistry()
+
+    cold_results, cold_seconds = run_once(
+        benchmark, _pass, cache, bench_scale, registry
+    )
+    warm_results, warm_seconds = _pass(cache, bench_scale, registry)
+
+    assert all(result.ok for result in cold_results)
+    assert all(result.ok for result in warm_results)
+    assert len(cold_results) == 24  # 8 workloads x 3 encodings
+
+    # Warm pass: 100% cache hits (acceptance bar: >= 90%).
+    hit_rate = sum(r.cache_hit for r in warm_results) / len(warm_results)
+    assert hit_rate >= 0.9
+    # Cached artifacts are bit-identical to the fresh ones.
+    for cold, warm in zip(cold_results, warm_results):
+        assert warm.blob == cold.blob
+        assert warm.image().to_bytes() == cold.blob
+
+    # The win the service exists for: warm >> cold throughput.
+    assert warm_seconds < cold_seconds / 5, (cold_seconds, warm_seconds)
+
+    print()
+    print(
+        f"cold: {cold_seconds:8.2f}s  "
+        f"({len(cold_results) / cold_seconds:6.2f} jobs/s)"
+    )
+    print(
+        f"warm: {warm_seconds:8.2f}s  "
+        f"({len(warm_results) / warm_seconds:6.2f} jobs/s)  "
+        f"speedup x{cold_seconds / warm_seconds:.0f}"
+    )
+    print(registry.report())

@@ -6,29 +6,42 @@ one of the synthetic CINT95 benchmarks, and prints a designer-facing
 recommendation table: for each instruction-memory budget, the cheapest
 configuration that fits.
 
+The sweep runs through the batch service (`repro.service`): each
+configuration is a CompressionJob keyed by program content + encoding
+parameters, so re-running the script (or widening the sweep) reuses
+cached artifacts instead of recompressing everything from scratch.
+
 Run:  python examples/design_space.py [benchmark] [--scale S]
+      [--cache-dir DIR | --no-cache] [--processes N]
 """
 
 import argparse
+import os
 
-from repro import BaselineEncoding, NibbleEncoding, OneByteEncoding, compress
 from repro.baselines import unix_compress_size
+from repro.service import ArtifactCache, CompressionJob, run_batch
 from repro.workloads import BENCHMARK_NAMES, build_benchmark
 
 
-def sweep(program):
-    """Yield (label, compressed) across the design space."""
+def sweep_jobs(program):
+    """Yield (label, job) across the design space."""
     for entries in (8, 16, 32):
-        yield f"1-byte codewords, {entries}-entry dict", compress(
-            program, OneByteEncoding(entries)
+        yield (
+            f"1-byte codewords, {entries}-entry dict",
+            CompressionJob(program=program, encoding="onebyte",
+                           max_codewords=entries),
         )
     for budget in (256, 1024, 4096, 8192):
-        yield f"2-byte codewords, {budget} codewords", compress(
-            program, BaselineEncoding(), max_codewords=budget
+        yield (
+            f"2-byte codewords, {budget} codewords",
+            CompressionJob(program=program, encoding="baseline",
+                           max_codewords=budget),
         )
     for budget in (584, 4680):
-        yield f"nibble codewords, {budget} codewords", compress(
-            program, NibbleEncoding(), max_codewords=budget
+        yield (
+            f"nibble codewords, {budget} codewords",
+            CompressionJob(program=program, encoding="nibble",
+                           max_codewords=budget),
         )
 
 
@@ -37,6 +50,11 @@ def main() -> None:
     parser.add_argument("benchmark", nargs="?", default="ijpeg",
                         choices=BENCHMARK_NAMES)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--cache-dir",
+                        default=os.environ.get("REPRO_CACHE_DIR",
+                                               ".repro-cache"))
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--processes", type=int, default=0)
     args = parser.parse_args()
 
     program = build_benchmark(args.benchmark, args.scale)
@@ -44,16 +62,29 @@ def main() -> None:
     print(f"{args.benchmark}: {len(program.text)} instructions, "
           f"{original} bytes uncompressed\n")
 
-    results = []
+    labels_and_jobs = list(sweep_jobs(program))
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    results = run_batch(
+        [job for _, job in labels_and_jobs],
+        cache=cache,
+        processes=args.processes,
+    )
+
+    rows = []
     print(f"{'configuration':38s} {'stream':>8s} {'dict':>7s} "
           f"{'total':>8s} {'ratio':>7s}")
-    for label, compressed in sweep(program):
-        results.append((label, compressed))
+    for (label, _), result in zip(labels_and_jobs, results):
+        if not result.ok:
+            print(f"{label:38s} FAILED: {result.error}")
+            continue
+        meta = result.meta
+        rows.append((label, meta))
+        hit = "  (cached)" if result.cache_hit else ""
         print(
-            f"{label:38s} {compressed.stream_bytes:7d}B "
-            f"{compressed.dictionary_bytes:6d}B "
-            f"{compressed.compressed_bytes:7d}B "
-            f"{compressed.compression_ratio:7.1%}"
+            f"{label:38s} {meta['stream_bytes']:7d}B "
+            f"{meta['dictionary_bytes']:6d}B "
+            f"{meta['compressed_bytes']:7d}B "
+            f"{meta['compressed_bytes'] / original:7.1%}{hit}"
         )
 
     lzw = unix_compress_size(program.text_bytes())
@@ -65,16 +96,17 @@ def main() -> None:
     for fraction in (0.8, 0.7, 0.6, 0.5, 0.45):
         budget = int(original * fraction)
         fitting = [
-            (label, c) for label, c in results if c.compressed_bytes <= budget
+            (label, meta) for label, meta in rows
+            if meta["compressed_bytes"] <= budget
         ]
         if not fitting:
             print(f"  <= {fraction:.0%} of original ({budget:6d}B): "
                   "no configuration fits")
             continue
-        label, best = min(fitting, key=lambda lc: lc[1].dictionary_bytes)
+        label, best = min(fitting, key=lambda lm: lm[1]["dictionary_bytes"])
         print(
             f"  <= {fraction:.0%} of original ({budget:6d}B): {label} "
-            f"(needs {best.dictionary_bytes}B of dictionary RAM)"
+            f"(needs {best['dictionary_bytes']}B of dictionary RAM)"
         )
 
 

@@ -15,7 +15,10 @@ The package provides the full stack the paper's evaluation needs:
   compressed (dictionary-expanding fetch stage),
 * :mod:`repro.baselines` — Unix compress (LZW), CCRP Huffman, Liao
   call-dictionary, mini-subroutines,
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.experiments` — one module per paper table/figure,
+* :mod:`repro.service` — batch compression as a service: content-
+  addressed artifact caching, a parallel worker pool, and pipeline
+  metrics (the ``repro-serve`` CLI).
 
 Quickstart::
 
@@ -39,18 +42,30 @@ from repro.core import (
     compress,
 )
 from repro.linker import Program, link
+from repro.service import (
+    ArtifactCache,
+    CompressionJob,
+    JobResult,
+    MetricsRegistry,
+    run_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compile_and_link",
     "compile_source",
+    "ArtifactCache",
     "BaselineEncoding",
     "CompressedProgram",
+    "CompressionJob",
     "Compressor",
+    "JobResult",
+    "MetricsRegistry",
     "NibbleEncoding",
     "OneByteEncoding",
     "compress",
+    "run_batch",
     "Program",
     "link",
     "__version__",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.compiler import ast_nodes as ast
 from repro.compiler.codegen import CodegenConfig, FunctionCodegen
 from repro.compiler.lowering import FunctionLowerer
@@ -100,8 +101,10 @@ def compile_and_link(
     The program must define ``main``; the runtime's ``_start`` calls it
     and halts.
     """
-    module = compile_source(source, module_name=name, options=options)
+    with observe.stage("compile"):
+        module = compile_source(source, module_name=name, options=options)
     if not any(fn.name == "main" for fn in module.functions):
         raise CompileError(f"{name}: program defines no main()")
     start_module = ObjectModule("crt0", functions=[make_start()])
-    return link([module, start_module], name=name)
+    with observe.stage("link"):
+        return link([module, start_module], name=name)

@@ -28,7 +28,14 @@ from repro.core.encodings import (
     OneByteEncoding,
     make_encoding,
 )
-from repro.core.image import CompressedImage
+from repro.core.image import (
+    CompressedImage,
+    ImageCapacityError,
+    ImageChecksumError,
+    ImageEncodingError,
+    ImageError,
+    ImageFormatError,
+)
 from repro.core.profile import encoding_redundancy
 from repro.core.stats import CompressionStats, collect_stats
 
@@ -45,6 +52,11 @@ __all__ = [
     "OneByteEncoding",
     "make_encoding",
     "CompressedImage",
+    "ImageCapacityError",
+    "ImageChecksumError",
+    "ImageEncodingError",
+    "ImageError",
+    "ImageFormatError",
     "encoding_redundancy",
     "CompressionStats",
     "collect_stats",

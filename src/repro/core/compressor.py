@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import bitutils
+from repro import bitutils, observe
 from repro.core.branch_patch import patch_branches, patch_jump_tables
 from repro.core.dictionary import Dictionary
 from repro.core.encodings import BaselineEncoding, Encoding
@@ -110,17 +110,22 @@ class Compressor:
 
     def compress(self, program: Program) -> CompressedProgram:
         encoding = self.encoding
-        greedy = build_dictionary(
-            program,
-            encoding,
-            max_entry_len=self.max_entry_len,
-            max_codewords=self.max_codewords,
-            position_weights=self.position_weights,
-        )
-        tokens = build_tokens(program, greedy, greedy.dictionary)
-        tokens, index_to_unit, relaxations = patch_branches(tokens, encoding)
-        stream = _serialize(tokens, encoding)
-        data_image = patch_jump_tables(program, index_to_unit)
+        with observe.stage("dict_build"):
+            greedy = build_dictionary(
+                program,
+                encoding,
+                max_entry_len=self.max_entry_len,
+                max_codewords=self.max_codewords,
+                position_weights=self.position_weights,
+            )
+        with observe.stage("tokenize"):
+            tokens = build_tokens(program, greedy, greedy.dictionary)
+        with observe.stage("branch_patch"):
+            tokens, index_to_unit, relaxations = patch_branches(tokens, encoding)
+        with observe.stage("serialize"):
+            stream = _serialize(tokens, encoding)
+        with observe.stage("jump_tables"):
+            data_image = patch_jump_tables(program, index_to_unit)
         compressed = CompressedProgram(
             program=program,
             encoding=encoding,

@@ -14,7 +14,8 @@ Container layout (all integers big-endian):
 field      contents
 =========  ======================================================
 magic      ``b"RCIM"``
-version    u8 (currently 1)
+version    u8 (currently 2)
+crc        u32 CRC-32 of every byte after this field
 name       u8 length + utf-8 bytes
 encoding   u8 length + utf-8 name ('baseline'/'onebyte'/'nibble')
 maxcw      u32 encoding max_codewords
@@ -25,11 +26,25 @@ dict       u16 entry count, then per entry: u8 length + u32 words
 stream     u32 byte length + bytes
 data       u32 byte length + bytes
 =========  ======================================================
+
+Deserialization failures are distinguished so callers (the CLI, the
+service cache) can react per cause.  All are
+:class:`~repro.errors.CompressionError` subclasses:
+
+* :class:`ImageFormatError` — the container structure is wrong: bad
+  magic, unsupported version, truncated field, or trailing bytes.
+* :class:`ImageChecksumError` — the structure parses but the payload
+  CRC does not match (a bit flip in the stream, dictionary, or data).
+* :class:`ImageEncodingError` — the encoding id names no known
+  codeword scheme.
+* :class:`ImageCapacityError` — the dictionary holds more entries
+  than the declared encoding can address.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.core.compressor import CompressedProgram
@@ -38,7 +53,27 @@ from repro.core.encodings import Encoding, make_encoding
 from repro.errors import CompressionError
 
 MAGIC = b"RCIM"
-VERSION = 1
+VERSION = 2
+
+
+class ImageError(CompressionError):
+    """Base class for ``.rcim`` container failures."""
+
+
+class ImageFormatError(ImageError):
+    """The container structure is malformed (magic/version/length)."""
+
+
+class ImageChecksumError(ImageError):
+    """The payload CRC does not match — the image bytes are corrupt."""
+
+
+class ImageEncodingError(ImageError):
+    """The image names an encoding this library does not provide."""
+
+
+class ImageCapacityError(ImageError):
+    """The dictionary exceeds the declared encoding's codeword space."""
 
 
 @dataclass(frozen=True)
@@ -91,43 +126,48 @@ class CompressedImage:
 
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        out = bytearray()
-        out += MAGIC
-        out += struct.pack(">B", VERSION)
+        payload = bytearray()
         for text in (self.name, self.encoding_name):
             encoded = text.encode("utf-8")
             if len(encoded) > 255:
                 raise CompressionError(f"name too long: {text!r}")
-            out += struct.pack(">B", len(encoded))
-            out += encoded
-        out += struct.pack(
+            payload += struct.pack(">B", len(encoded))
+            payload += encoded
+        payload += struct.pack(
             ">IIII",
             self.max_codewords,
             self.entry_unit,
             self.total_units,
             self.text_base,
         )
-        out += struct.pack(">H", len(self.dictionary))
+        payload += struct.pack(">H", len(self.dictionary))
         for entry in self.dictionary.entries:
-            out += struct.pack(">BI", len(entry.words), entry.uses)
+            payload += struct.pack(">BI", len(entry.words), entry.uses)
             for word in entry.words:
-                out += struct.pack(">I", word)
-        out += struct.pack(">I", len(self.stream))
-        out += self.stream
-        out += struct.pack(">I", len(self.data_image))
-        out += self.data_image
+                payload += struct.pack(">I", word)
+        payload += struct.pack(">I", len(self.stream))
+        payload += self.stream
+        payload += struct.pack(">I", len(self.data_image))
+        payload += self.data_image
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack(">B", VERSION)
+        out += struct.pack(">I", zlib.crc32(payload))
+        out += payload
         return bytes(out)
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CompressedImage":
         view = _Cursor(blob)
         if view.take(4) != MAGIC:
-            raise CompressionError("not a compressed image (bad magic)")
+            raise ImageFormatError("not a compressed image (bad magic)")
         version = view.u8()
         if version != VERSION:
-            raise CompressionError(f"unsupported image version {version}")
-        name = view.take(view.u8()).decode("utf-8")
-        encoding_name = view.take(view.u8()).decode("utf-8")
+            raise ImageFormatError(f"unsupported image version {version}")
+        crc = view.u32()
+        payload_start = view.position
+        name = view.take(view.u8()).decode("utf-8", errors="replace")
+        encoding_name = view.take(view.u8()).decode("utf-8", errors="replace")
         max_codewords, entry_unit, total_units, text_base = (
             view.u32(), view.u32(), view.u32(), view.u32(),
         )
@@ -140,7 +180,20 @@ class CompressedImage:
         stream = view.take(view.u32())
         data_image = view.take(view.u32())
         if view.remaining():
-            raise CompressionError("trailing bytes in image")
+            raise ImageFormatError("trailing bytes in image")
+        if zlib.crc32(blob[payload_start:]) != crc:
+            raise ImageChecksumError("image checksum mismatch (corrupt bytes)")
+        try:
+            encoding = make_encoding(encoding_name, max_codewords)
+        except CompressionError as exc:
+            raise ImageEncodingError(
+                f"image names unknown encoding {encoding_name!r}"
+            ) from exc
+        if len(entries) > encoding.capacity:
+            raise ImageCapacityError(
+                f"dictionary has {len(entries)} entries but encoding "
+                f"{encoding_name!r} addresses at most {encoding.capacity}"
+            )
         return cls(
             name=name,
             encoding_name=encoding_name,
@@ -161,9 +214,13 @@ class _Cursor:
         self._blob = blob
         self._pos = 0
 
+    @property
+    def position(self) -> int:
+        return self._pos
+
     def take(self, count: int) -> bytes:
         if self._pos + count > len(self._blob):
-            raise CompressionError("truncated image")
+            raise ImageFormatError("truncated image")
         chunk = self._blob[self._pos : self._pos + count]
         self._pos += count
         return chunk

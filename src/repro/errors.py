@@ -46,6 +46,10 @@ class BranchRangeError(CompressionError):
     """A branch offset could not be patched and no spill strategy applied."""
 
 
+class ServiceError(ReproError):
+    """The batch compression service failed (bad job spec, pool failure)."""
+
+
 class SimulationError(ReproError):
     """The machine simulator hit an illegal state (bad PC, unknown opcode)."""
 

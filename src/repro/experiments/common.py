@@ -21,6 +21,61 @@ def suite_programs(scale: float | None = None) -> dict[str, Program]:
     return {name: build_benchmark(name, scale) for name in BENCHMARK_NAMES}
 
 
+_SERVICE_CACHE = None
+
+
+def service_cache():
+    """The experiments' shared artifact cache, or ``None`` when disabled.
+
+    Set ``REPRO_CACHE_DIR`` to a directory to make repeated experiment
+    and batch runs reuse compressed artifacts across processes.  The
+    cache is process-memoized so every caller shares the LRU front.
+    """
+    global _SERVICE_CACHE
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    if _SERVICE_CACHE is None or str(_SERVICE_CACHE.root) != cache_dir:
+        from repro.service import ArtifactCache
+
+        _SERVICE_CACHE = ArtifactCache(cache_dir)
+    return _SERVICE_CACHE
+
+
+def suite_batch(
+    encodings: Sequence[str],
+    scale: float | None = None,
+    *,
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    processes: int = 0,
+    cache=None,
+    metrics=None,
+):
+    """Compress the suite through the service layer (cache-aware).
+
+    Returns the :class:`repro.service.JobResult` list in
+    ``benchmarks × encodings`` order.  When ``cache`` is omitted the
+    ``REPRO_CACHE_DIR`` cache (if configured) is used, so repeated
+    sweeps over the same suite hit warm artifacts instead of
+    recompiling and recompressing from scratch.
+    """
+    from repro.service import CompressionJob, run_batch
+
+    if scale is None:
+        scale = default_scale()
+    jobs = [
+        CompressionJob(benchmark=name, scale=scale, encoding=encoding)
+        for name in benchmarks
+        for encoding in encodings
+    ]
+    return run_batch(
+        jobs,
+        cache=cache if cache is not None else service_cache(),
+        processes=processes,
+        metrics=metrics,
+    )
+
+
 def render_table(
     headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
 ) -> str:

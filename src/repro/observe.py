@@ -1,0 +1,65 @@
+"""Stage-timing hooks for pipeline instrumentation.
+
+The library's hot paths (:mod:`repro.compiler.driver`,
+:mod:`repro.core.compressor`) wrap their phases in
+:func:`stage` blocks.  By default the context manager is a no-op —
+no clock is read, no state is kept — so the plain library path pays
+nothing and depends on nothing.  A consumer that wants per-stage wall
+times (the batch service's :class:`repro.service.metrics.MetricsRegistry`,
+a profiler, a test) installs a callback with :func:`set_stage_callback`
+and receives ``(stage_name, seconds)`` for every instrumented block.
+
+Stage names currently emitted:
+
+==================  ================================================
+name                where
+==================  ================================================
+``compile``         :func:`repro.compiler.driver.compile_and_link`
+``link``            :func:`repro.compiler.driver.compile_and_link`
+``dict_build``      :meth:`repro.core.compressor.Compressor.compress`
+``tokenize``        :meth:`repro.core.compressor.Compressor.compress`
+``branch_patch``    :meth:`repro.core.compressor.Compressor.compress`
+``serialize``       :meth:`repro.core.compressor.Compressor.compress`
+``jump_tables``     :meth:`repro.core.compressor.Compressor.compress`
+==================  ================================================
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+StageCallback = Callable[[str, float], None]
+
+_callback: StageCallback | None = None
+
+
+def set_stage_callback(callback: StageCallback | None) -> StageCallback | None:
+    """Install ``callback`` (or ``None`` to disable); returns the old one.
+
+    The callback applies process-wide; callers that install one
+    temporarily should restore the returned previous value.
+    """
+    global _callback
+    previous = _callback
+    _callback = callback
+    return previous
+
+
+def get_stage_callback() -> StageCallback | None:
+    return _callback
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time one pipeline stage if a callback is installed; else no-op."""
+    callback = _callback
+    if callback is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        callback(name, time.perf_counter() - start)

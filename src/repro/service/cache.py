@@ -1,0 +1,240 @@
+"""Content-addressed on-disk artifact store for compressed images.
+
+Layout: ``<root>/<key[:2]>/<key>.rcc`` where ``key`` is the job's
+SHA-256 content key (:meth:`repro.service.jobs.CompressionJob.content_key`).
+Each file is an ``RCC1`` envelope around the raw ``.rcim`` blob plus a
+small JSON metadata record (original size, instruction count, build
+wall time — whatever the producer wants to remember):
+
+=========  ====================================================
+field      contents
+=========  ====================================================
+magic      ``b"RCC1"``
+sha256     32 bytes over everything after this field
+meta       u32 length + UTF-8 JSON object
+blob       u32 length + ``.rcim`` bytes
+=========  ====================================================
+
+Guarantees:
+
+* **atomic writes** — entries are written to a temp file in the same
+  directory and ``os.replace``-d into place, so readers never observe
+  a half-written artifact, including across processes;
+* **corruption detection** — the envelope hash is verified on every
+  read; a mismatch (or truncation) raises
+  :class:`CacheCorruptionError`, and :meth:`ArtifactCache.get`
+  quarantines the bad file and reports a miss instead of crashing the
+  batch;
+* **LRU memory front** — the most recently used entries stay parsed
+  in memory (``memory_entries`` of them), so the hot path of a warm
+  batch never touches disk;
+* **size-budget eviction** — when ``max_disk_bytes`` is set, the
+  least recently *used* entries (by file mtime, refreshed on read)
+  are deleted until the store fits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.image import CompressedImage
+from repro.errors import ServiceError
+
+CACHE_MAGIC = b"RCC1"
+
+
+class CacheCorruptionError(ServiceError):
+    """A cache file failed its integrity check."""
+
+
+@dataclass
+class CacheEntry:
+    """One stored artifact: the raw image blob plus its metadata."""
+
+    key: str
+    blob: bytes
+    meta: dict = field(default_factory=dict)
+
+    def image(self) -> CompressedImage:
+        return CompressedImage.from_bytes(self.blob)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corruptions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corruptions": self.corruptions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def encode_entry(blob: bytes, meta: dict) -> bytes:
+    """Serialize one cache file (``RCC1`` envelope)."""
+    meta_bytes = json.dumps(meta, sort_keys=True).encode()
+    body = (
+        struct.pack(">I", len(meta_bytes))
+        + meta_bytes
+        + struct.pack(">I", len(blob))
+        + blob
+    )
+    return CACHE_MAGIC + hashlib.sha256(body).digest() + body
+
+
+def decode_entry(key: str, raw: bytes) -> CacheEntry:
+    """Parse + integrity-check one cache file."""
+    header = len(CACHE_MAGIC) + 32
+    if len(raw) < header or raw[:4] != CACHE_MAGIC:
+        raise CacheCorruptionError(f"cache entry {key}: bad envelope magic")
+    body = raw[header:]
+    if hashlib.sha256(body).digest() != raw[4:header]:
+        raise CacheCorruptionError(f"cache entry {key}: digest mismatch")
+    try:
+        meta_len = struct.unpack(">I", body[:4])[0]
+        meta = json.loads(body[4 : 4 + meta_len].decode())
+        offset = 4 + meta_len
+        blob_len = struct.unpack(">I", body[offset : offset + 4])[0]
+        blob = body[offset + 4 : offset + 4 + blob_len]
+        if len(blob) != blob_len:
+            raise ValueError("short blob")
+    except (ValueError, struct.error) as exc:
+        raise CacheCorruptionError(f"cache entry {key}: malformed body") from exc
+    return CacheEntry(key=key, blob=blob, meta=meta)
+
+
+class ArtifactCache:
+    """Content-addressed ``.rcim`` store with an in-memory LRU front."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_disk_bytes: int | None = None,
+        memory_entries: int = 64,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_disk_bytes = max_disk_bytes
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.rcc"
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._path(key).exists()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        """Fetch an entry, or ``None`` on miss (including quarantined
+        corruption)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = decode_entry(key, raw)
+        except CacheCorruptionError:
+            self.stats.corruptions += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        os.utime(path)  # refresh recency for LRU eviction
+        self._remember(entry)
+        self.stats.hits += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def put(self, key: str, blob: bytes, meta: dict | None = None) -> CacheEntry:
+        """Store an artifact atomically; returns the stored entry."""
+        entry = CacheEntry(key=key, blob=blob, meta=dict(meta or {}))
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = encode_entry(entry.blob, entry.meta)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".rcc"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        self._remember(entry)
+        self.stats.stores += 1
+        if self.max_disk_bytes is not None:
+            self._evict_to_budget(keep=path)
+        return entry
+
+    # ------------------------------------------------------------------
+    def _remember(self, entry: CacheEntry) -> None:
+        self._memory[entry.key] = entry
+        self._memory.move_to_end(entry.key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _files(self) -> list[Path]:
+        return [p for p in self.root.glob("*/*.rcc") if p.is_file()]
+
+    def disk_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._files())
+
+    def _evict_to_budget(self, keep: Path | None = None) -> None:
+        files = self._files()
+        total = sum(p.stat().st_size for p in files)
+        if total <= self.max_disk_bytes:
+            return
+        # Oldest-used first; never evict the entry just written.
+        files.sort(key=lambda p: p.stat().st_mtime)
+        for path in files:
+            if total <= self.max_disk_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            size = path.stat().st_size
+            path.unlink(missing_ok=True)
+            self._memory.pop(path.stem, None)
+            total -= size
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        for path in self._files():
+            path.unlink(missing_ok=True)
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._files())

@@ -1,0 +1,155 @@
+"""Job specifications for the batch compression service.
+
+A :class:`CompressionJob` names one unit of work — *compile this
+program (or take it prebuilt), compress it with these parameters,
+verify it, produce an* ``.rcim`` *image* — and derives a deterministic
+content key for the artifact cache.
+
+Cache-key derivation
+--------------------
+
+``content_key()`` is a SHA-256 over:
+
+* the *program content*: the linked program's text bytes, entry index,
+  bases, data image, and jump-table slots when a prebuilt
+  :class:`~repro.linker.program.Program` is given; the exact source
+  text for a MiniC source job; the ``(name, scale)`` pair for a
+  synthetic benchmark job (benchmark generation is deterministic, so
+  the pair pins the program bytes);
+* the *encoding parameters*: encoding name, ``max_codewords``,
+  ``max_entry_len``;
+* the *pipeline version*: :data:`PIPELINE_VERSION` plus the ``.rcim``
+  container version, bumped whenever the compressor or container
+  output changes shape.
+
+``verify`` is deliberately excluded — verification never changes the
+artifact, so verified and unverified runs share cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.compressor import CompressedProgram, compress
+from repro.core.encodings import make_encoding
+from repro.core.image import VERSION as IMAGE_VERSION
+from repro.core.image import CompressedImage
+from repro.errors import ServiceError
+from repro.linker.program import Program
+
+#: Bump when the compression pipeline changes output for identical
+#: inputs (new greedy tie-breaks, layout changes, ...), so stale cached
+#: artifacts are never served.
+PIPELINE_VERSION = 1
+
+ENCODING_NAMES = ("baseline", "onebyte", "nibble")
+
+
+@dataclass(frozen=True)
+class CompressionJob:
+    """One compile→compress→verify work item.
+
+    Exactly one of ``benchmark``, ``source``, or ``program`` must be
+    set.  ``scale`` only applies to benchmark jobs.
+    """
+
+    benchmark: str | None = None
+    scale: float = 1.0
+    source: str | None = None
+    program: Program | None = field(default=None, compare=False)
+    encoding: str = "nibble"
+    max_codewords: int | None = None
+    max_entry_len: int = 4
+    verify: bool = True
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        provided = [
+            kind
+            for kind, value in (
+                ("benchmark", self.benchmark),
+                ("source", self.source),
+                ("program", self.program),
+            )
+            if value is not None
+        ]
+        if len(provided) != 1:
+            raise ServiceError(
+                "a job needs exactly one of benchmark/source/program, "
+                f"got {provided or 'none'}"
+            )
+        if self.encoding not in ENCODING_NAMES:
+            raise ServiceError(
+                f"unknown encoding {self.encoding!r}; choose from {ENCODING_NAMES}"
+            )
+        if self.max_entry_len < 1:
+            raise ServiceError("max_entry_len must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Display name for tables and logs."""
+        if self.name:
+            return self.name
+        if self.benchmark:
+            return self.benchmark
+        if self.program is not None:
+            return self.program.name
+        return "<source>"
+
+    # ------------------------------------------------------------------
+    def content_key(self) -> str:
+        """Deterministic hex key for the artifact this job produces."""
+        digest = hashlib.sha256()
+        digest.update(b"repro.service.job/v1\0")
+        digest.update(
+            f"pipeline={PIPELINE_VERSION};image={IMAGE_VERSION};"
+            f"encoding={self.encoding};maxcw={self.max_codewords};"
+            f"maxlen={self.max_entry_len}\0".encode()
+        )
+        if self.program is not None:
+            _hash_program(digest, self.program)
+        elif self.source is not None:
+            digest.update(b"source\0")
+            digest.update(self.source.encode())
+        else:
+            digest.update(f"benchmark\0{self.benchmark}\0{self.scale!r}".encode())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    def build_program(self) -> Program:
+        """Produce the linked program this job compresses."""
+        if self.program is not None:
+            return self.program
+        if self.source is not None:
+            from repro.compiler import compile_and_link
+
+            return compile_and_link(self.source, name=self.name or "job")
+        from repro.workloads import build_benchmark
+
+        assert self.benchmark is not None
+        return build_benchmark(self.benchmark, self.scale)
+
+    def run(self) -> tuple[CompressedProgram, CompressedImage]:
+        """Execute the job in-process (no cache, no pool)."""
+        program = self.build_program()
+        encoding = make_encoding(self.encoding, self.max_codewords)
+        compressed = compress(
+            program, encoding, max_entry_len=self.max_entry_len
+        )
+        if self.verify:
+            compressed.verify_stream()
+        return compressed, CompressedImage.from_compressed(compressed)
+
+
+def _hash_program(digest: "hashlib._Hash", program: Program) -> None:
+    """Feed the content-bearing parts of a linked program into a hash."""
+    digest.update(b"program\0")
+    digest.update(struct.pack(">IIII", program.entry_index, program.text_base,
+                              program.data_base, len(program.text)))
+    digest.update(program.text_bytes())
+    digest.update(bytes(program.data_image))
+    for slot in program.jump_table_slots:
+        digest.update(struct.pack(">II", slot.data_offset, slot.target_index))

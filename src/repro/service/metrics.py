@@ -1,0 +1,217 @@
+"""Counters, timers, and histograms for the batch service.
+
+A :class:`MetricsRegistry` is a plain in-process collection of named
+instruments:
+
+* :class:`Counter` — a monotonically increasing integer (jobs
+  completed, cache hits, bytes saved);
+* :class:`Timer` — accumulated wall time plus an event count, with a
+  context-manager form (per-stage compile/compress timing);
+* :class:`Histogram` — fixed-boundary bucket counts (job latency
+  distribution).
+
+Registries serialize to plain dicts (:meth:`MetricsRegistry.as_dict`)
+so worker processes can ship their measurements back to the parent,
+which folds them in with :meth:`MetricsRegistry.merge`.  A registry can
+also :meth:`~MetricsRegistry.install` itself as the process-wide
+:mod:`repro.observe` stage callback, turning the compiler's and
+compressor's stage marks into ``stage.<name>`` timers; the library
+default remains a no-op when nothing is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+
+from repro import observe
+
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Timer:
+    """Accumulated seconds + event count."""
+
+    __slots__ = ("total_seconds", "count")
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.count += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+
+class Histogram:
+    """Cumulative-style histogram over fixed bucket boundaries.
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``;
+    the final slot counts overflows.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+        self.sum += value
+
+
+class MetricsRegistry:
+    """Named counters/timers/histograms with dict round-tripping."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._previous_callback: observe.StageCallback | None = None
+        self._installed = False
+
+    # -- instrument accessors (create on first use) --------------------
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def timer(self, name: str) -> Timer:
+        return self._timers.setdefault(name, Timer())
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(bounds))
+
+    # -- pipeline stage hook -------------------------------------------
+    def install(self, prefix: str = "stage.") -> None:
+        """Route :mod:`repro.observe` stage marks into ``<prefix><name>``
+        timers until :meth:`uninstall`."""
+        if self._installed:
+            return
+
+        def record(name: str, seconds: float) -> None:
+            self.timer(prefix + name).observe(seconds)
+
+        self._previous_callback = observe.set_stage_callback(record)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            observe.set_stage_callback(self._previous_callback)
+            self._previous_callback = None
+            self._installed = False
+
+    @contextmanager
+    def installed(self, prefix: str = "stage.") -> Iterator["MetricsRegistry"]:
+        self.install(prefix)
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    # -- serialization --------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value for name, counter in self._counters.items()
+            },
+            "timers": {
+                name: {"count": timer.count, "total_seconds": timer.total_seconds}
+                for name, timer in self._timers.items()
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "total": histogram.total,
+                    "sum": histogram.sum,
+                }
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, data in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.count += data["count"]
+            timer.total_seconds += data["total_seconds"]
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, data["bounds"])
+            if tuple(data["bounds"]) != histogram.bounds:
+                raise ValueError(f"histogram {name!r} bucket bounds differ")
+            for index, count in enumerate(data["counts"]):
+                histogram.counts[index] += count
+            histogram.total += data["total"]
+            histogram.sum += data["sum"]
+
+    # -- reporting -------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable multi-line summary, stable ordering."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name:<28s} {self._counters[name].value}")
+        if self._timers:
+            lines.append("timers (count, total, mean):")
+            for name in sorted(self._timers):
+                timer = self._timers[name]
+                lines.append(
+                    f"  {name:<28s} {timer.count:5d}  "
+                    f"{timer.total_seconds:8.3f}s  {timer.mean_seconds * 1e3:8.2f}ms"
+                )
+        if self._histograms:
+            lines.append("histograms:")
+            for name in sorted(self._histograms):
+                histogram = self._histograms[name]
+                buckets = "  ".join(
+                    f"<={bound:g}:{count}"
+                    for bound, count in zip(histogram.bounds, histogram.counts)
+                    if count
+                )
+                overflow = histogram.counts[-1]
+                if overflow:
+                    buckets += f"  >{histogram.bounds[-1]:g}:{overflow}"
+                lines.append(f"  {name} (n={histogram.total}): {buckets or '-'}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

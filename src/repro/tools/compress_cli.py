@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.compiler import compile_and_link
 from repro.core import compress
+from repro.errors import ReproError
 from repro.core.encodings import make_encoding
 from repro.core.image import CompressedImage
 from repro.isa.disassembler import format_instruction
@@ -200,7 +201,16 @@ def main(argv: list[str] | None = None) -> int:
     disasm.set_defaults(func=cmd_disasm)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Library failures (corrupt image, compile error, bad encoding)
+        # become a one-line diagnostic, not a traceback.
+        print(f"repro-compress: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-compress: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

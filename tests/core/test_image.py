@@ -1,9 +1,20 @@
 """Compressed-image container tests."""
 
+import dataclasses
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import BaselineEncoding, NibbleEncoding, compress
-from repro.core.image import CompressedImage
+from repro.core.image import (
+    CompressedImage,
+    ImageCapacityError,
+    ImageChecksumError,
+    ImageEncodingError,
+    ImageError,
+    ImageFormatError,
+)
 from repro.errors import CompressionError
 from repro.machine.compressed_sim import CompressedSimulator
 from repro.machine.simulator import run_program
@@ -43,6 +54,58 @@ class TestSerialization:
         compressed = compress(tiny_program, NibbleEncoding())
         assert image.stream_bytes == len(compressed.stream)
         assert image.dictionary_bytes == compressed.dictionary_bytes
+
+
+class TestFailurePaths:
+    """Each corruption class raises its own documented exception."""
+
+    def test_bit_flipped_stream_raises_checksum_error(self, image):
+        blob = bytearray(image.to_bytes())
+        # Flip one bit inside the stream body: the structure still
+        # parses (the stream is an opaque length-prefixed field), so
+        # only the payload CRC can catch it.
+        stream_offset = blob.rindex(image.stream)
+        blob[stream_offset + len(image.stream) // 2] ^= 0x10
+        with pytest.raises(ImageChecksumError, match="checksum"):
+            CompressedImage.from_bytes(bytes(blob))
+
+    def test_wrong_encoding_id_raises_encoding_error(self, image):
+        renamed = dataclasses.replace(image, encoding_name="zstd")
+        with pytest.raises(ImageEncodingError, match="unknown encoding"):
+            CompressedImage.from_bytes(renamed.to_bytes())
+
+    def test_oversized_dictionary_raises_capacity_error(self, image):
+        assert len(image.dictionary) > 2
+        shrunk = dataclasses.replace(
+            image, encoding_name="onebyte", max_codewords=2
+        )
+        with pytest.raises(ImageCapacityError, match="at most 2"):
+            CompressedImage.from_bytes(shrunk.to_bytes())
+
+    def test_failure_types_are_distinct_compression_errors(self):
+        kinds = (
+            ImageFormatError, ImageChecksumError,
+            ImageEncodingError, ImageCapacityError,
+        )
+        for kind in kinds:
+            assert issubclass(kind, ImageError)
+            assert issubclass(kind, CompressionError)
+        # No subclass relationships among the leaf kinds: callers can
+        # catch exactly one failure class.
+        for first in kinds:
+            for second in kinds:
+                if first is not second:
+                    assert not issubclass(first, second)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_single_bit_flip_is_rejected(self, image, data):
+        blob = bytearray(image.to_bytes())
+        position = data.draw(st.integers(0, len(blob) - 1))
+        bit = data.draw(st.integers(0, 7))
+        blob[position] ^= 1 << bit
+        with pytest.raises(ImageError):
+            CompressedImage.from_bytes(bytes(blob))
 
 
 class TestExecutionFromImage:

@@ -1,0 +1,113 @@
+"""Artifact cache tests: envelope integrity, LRU, eviction."""
+
+import os
+
+import pytest
+
+from repro.service import ArtifactCache, CacheCorruptionError
+from repro.service.cache import decode_entry, encode_entry
+
+
+def entry_blob(tag: bytes, size: int = 64) -> bytes:
+    return tag * size
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("ab" * 32, entry_blob(b"x"), {"original_bytes": 99})
+        entry = cache.get("ab" * 32)
+        assert entry is not None
+        assert entry.blob == entry_blob(b"x")
+        assert entry.meta == {"original_bytes": 99}
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("00" * 32) is None
+        assert cache.stats.misses == 1
+
+    def test_survives_process_boundary(self, tmp_path):
+        # A second cache instance over the same root sees the entry.
+        ArtifactCache(tmp_path).put("cd" * 32, entry_blob(b"y"), {})
+        fresh = ArtifactCache(tmp_path)
+        entry = fresh.get("cd" * 32)
+        assert entry is not None and entry.blob == entry_blob(b"y")
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("ef" * 32, entry_blob(b"z"), {})
+        assert "ef" * 32 in cache
+        assert "00" * 32 not in cache
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestIntegrity:
+    def test_envelope_roundtrip(self):
+        raw = encode_entry(b"blob", {"k": 1})
+        entry = decode_entry("k1", raw)
+        assert entry.blob == b"blob" and entry.meta == {"k": 1}
+
+    @pytest.mark.parametrize("position", [0, 10, 40, 60])
+    def test_bit_flip_detected(self, position):
+        raw = bytearray(encode_entry(b"blob-data-blob", {"k": 1}))
+        raw[position % len(raw)] ^= 0x40
+        with pytest.raises(CacheCorruptionError):
+            decode_entry("k1", bytes(raw))
+
+    def test_truncation_detected(self):
+        raw = encode_entry(b"blob-data-blob", {})
+        with pytest.raises(CacheCorruptionError):
+            decode_entry("k1", raw[: len(raw) - 3])
+
+    def test_corrupt_file_quarantined_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memory_entries=0)
+        key = "aa" * 32
+        cache.put(key, entry_blob(b"q"), {})
+        path = cache._path(key)
+        path.write_bytes(b"RCC1" + b"\x00" * 50)
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+        assert not path.exists()  # bad file removed so a rebuild can land
+
+
+class TestLruFront:
+    def test_memory_front_serves_without_disk(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memory_entries=4)
+        key = "bb" * 32
+        cache.put(key, entry_blob(b"m"), {})
+        cache._path(key).unlink()  # disk copy gone; memory front answers
+        assert cache.get(key) is not None
+
+    def test_memory_front_is_bounded(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memory_entries=2)
+        for index in range(4):
+            cache.put(f"{index:02d}" * 32, entry_blob(b"n"), {})
+        assert len(cache._memory) == 2
+
+
+class TestEviction:
+    def test_size_budget_evicts_least_recently_used(self, tmp_path):
+        blob = entry_blob(b"e", 256)
+        entry_size = len(encode_entry(blob, {}))
+        cache = ArtifactCache(
+            tmp_path, max_disk_bytes=entry_size * 2, memory_entries=0
+        )
+        keys = [f"{index:02d}" * 32 for index in range(3)]
+        for position, key in enumerate(keys):
+            cache.put(key, blob, {})
+            # Widen mtime spacing so LRU ordering is unambiguous.
+            os.utime(cache._path(key), (position, position))
+        cache.put("ff" * 32, blob, {})
+        assert cache.stats.evictions >= 1
+        assert cache.get(keys[0]) is None  # oldest went first
+        assert cache.get("ff" * 32) is not None  # newest kept
+
+    def test_no_budget_never_evicts(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for index in range(5):
+            cache.put(f"{index:02d}" * 32, entry_blob(b"w"), {})
+        assert cache.stats.evictions == 0
+        assert len(cache) == 5

@@ -1,0 +1,79 @@
+"""CompressionJob spec and content-key derivation tests."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import CompressionJob
+
+SOURCE_A = """
+void main() { print_int(7); print_nl(); }
+"""
+SOURCE_B = """
+void main() { print_int(8); print_nl(); }
+"""
+
+
+class TestValidation:
+    def test_exactly_one_input_required(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            CompressionJob()
+        with pytest.raises(ServiceError, match="exactly one"):
+            CompressionJob(benchmark="ijpeg", source=SOURCE_A)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ServiceError, match="encoding"):
+            CompressionJob(benchmark="ijpeg", encoding="zstd")
+
+    def test_bad_entry_len_rejected(self):
+        with pytest.raises(ServiceError, match="max_entry_len"):
+            CompressionJob(benchmark="ijpeg", max_entry_len=0)
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        a = CompressionJob(benchmark="ijpeg", scale=0.3)
+        b = CompressionJob(benchmark="ijpeg", scale=0.3)
+        assert a.content_key() == b.content_key()
+
+    def test_varies_with_every_encoding_parameter(self):
+        base = CompressionJob(source=SOURCE_A)
+        keys = {
+            base.content_key(),
+            CompressionJob(source=SOURCE_A, encoding="baseline").content_key(),
+            CompressionJob(source=SOURCE_A, max_codewords=64).content_key(),
+            CompressionJob(source=SOURCE_A, max_entry_len=2).content_key(),
+            CompressionJob(source=SOURCE_B).content_key(),
+        }
+        assert len(keys) == 5
+
+    def test_varies_with_benchmark_and_scale(self):
+        keys = {
+            CompressionJob(benchmark="ijpeg", scale=0.3).content_key(),
+            CompressionJob(benchmark="ijpeg", scale=0.4).content_key(),
+            CompressionJob(benchmark="li", scale=0.3).content_key(),
+        }
+        assert len(keys) == 3
+
+    def test_verify_flag_shares_artifacts(self):
+        verified = CompressionJob(source=SOURCE_A, verify=True)
+        unverified = CompressionJob(source=SOURCE_A, verify=False)
+        assert verified.content_key() == unverified.content_key()
+
+    def test_program_jobs_key_on_content(self, tiny_program):
+        a = CompressionJob(program=tiny_program)
+        b = CompressionJob(program=tiny_program, name="renamed")
+        assert a.content_key() == b.content_key()
+        assert a.content_key() != CompressionJob(source=SOURCE_A).content_key()
+
+
+class TestExecution:
+    def test_run_produces_verified_image(self, tiny_program):
+        job = CompressionJob(program=tiny_program, encoding="nibble")
+        compressed, image = job.run()
+        assert image.total_bytes == compressed.compressed_bytes
+        assert image.encoding_name == "nibble"
+
+    def test_label(self, tiny_program):
+        assert CompressionJob(benchmark="go").label == "go"
+        assert CompressionJob(source=SOURCE_A, name="fw").label == "fw"
+        assert CompressionJob(program=tiny_program).label == "tiny"

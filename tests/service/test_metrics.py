@@ -1,0 +1,102 @@
+"""Metrics registry tests: instruments, merge, stage hook."""
+
+import pytest
+
+from repro import observe
+from repro.service import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.counter("jobs").inc(4)
+        assert registry.counter("jobs").value == 5
+        with pytest.raises(ValueError):
+            registry.counter("jobs").inc(-1)
+
+    def test_timer(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        timer.observe(0.25)
+        timer.observe(0.75)
+        assert timer.count == 2
+        assert timer.total_seconds == pytest.approx(1.0)
+        assert timer.mean_seconds == pytest.approx(0.5)
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.timer("cm").time():
+            pass
+        assert registry.timer("cm").count == 1
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert histogram.total == 4
+        assert histogram.sum == pytest.approx(106.4)
+
+
+class TestSerialization:
+    def test_as_dict_merge_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs.completed").inc(3)
+        worker.timer("stage.compile").observe(1.5)
+        worker.histogram("job.seconds", bounds=(1.0,)).observe(0.5)
+
+        parent = MetricsRegistry()
+        parent.counter("jobs.completed").inc(1)
+        parent.merge(worker.as_dict())
+        parent.merge(worker.as_dict())
+        assert parent.counter("jobs.completed").value == 7
+        assert parent.timer("stage.compile").count == 2
+        assert parent.timer("stage.compile").total_seconds == pytest.approx(3.0)
+        assert parent.histogram("job.seconds", bounds=(1.0,)).total == 2
+
+    def test_report_names_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(2)
+        registry.timer("job.wall").observe(0.1)
+        registry.histogram("job.seconds").observe(0.01)
+        report = registry.report()
+        for text in ("cache.hits", "job.wall", "job.seconds"):
+            assert text in report
+
+    def test_empty_report(self):
+        assert "no metrics" in MetricsRegistry().report()
+
+
+class TestStageHook:
+    def test_install_routes_observe_stages(self):
+        registry = MetricsRegistry()
+        with registry.installed():
+            with observe.stage("compile"):
+                pass
+        assert registry.timer("stage.compile").count == 1
+        # Uninstalled: subsequent stages are not recorded.
+        with observe.stage("compile"):
+            pass
+        assert registry.timer("stage.compile").count == 1
+
+    def test_install_restores_previous_callback(self):
+        seen = []
+        previous = observe.set_stage_callback(
+            lambda name, seconds: seen.append(name)
+        )
+        try:
+            registry = MetricsRegistry()
+            with registry.installed():
+                pass
+            with observe.stage("after"):
+                pass
+            assert seen == ["after"]
+        finally:
+            observe.set_stage_callback(previous)
+
+    def test_library_default_is_noop(self):
+        assert observe.get_stage_callback() is None
+        with observe.stage("anything"):
+            pass  # must not raise, must not record

@@ -1,0 +1,165 @@
+"""Worker-pool tests: parity, caching, failure, crash retry, timeout.
+
+The crash/timeout tests monkeypatch :func:`repro.service.pool.execute_job`
+in the parent; the fork start method propagates the patch into workers.
+They are skipped on platforms whose default start method is not fork.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.service import ArtifactCache, CompressionJob, MetricsRegistry
+from repro.service import pool as pool_module
+from repro.service.pool import run_batch
+
+SOURCE = """
+int table[16];
+void main() {
+    int i;
+    for (i = 0; i < 16; i = i + 1) { table[i] = i * 7; }
+    print_int(sum_i(table, 16));
+    print_nl();
+}
+"""
+
+BAD_SOURCE = "void main() { this is not minic; }"
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="crash-injection tests need the fork start method",
+)
+
+
+def jobs_for(encodings=("baseline", "nibble")):
+    return [
+        CompressionJob(source=SOURCE, encoding=encoding, name="t")
+        for encoding in encodings
+    ]
+
+
+class TestInline:
+    def test_results_in_input_order(self):
+        results = run_batch(jobs_for(("nibble", "baseline", "onebyte")))
+        assert [r.job.encoding for r in results] == [
+            "nibble", "baseline", "onebyte",
+        ]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_job_failure_reported_not_raised(self):
+        registry = MetricsRegistry()
+        results = run_batch(
+            [CompressionJob(source=BAD_SOURCE)], metrics=registry
+        )
+        assert not results[0].ok
+        assert "CompileError" in results[0].error
+        assert registry.counter("jobs.failed").value == 1
+
+    def test_metrics_aggregated(self):
+        registry = MetricsRegistry()
+        run_batch(jobs_for(), metrics=registry)
+        assert registry.counter("jobs.completed").value == 2
+        assert registry.timer("stage.dict_build").count == 2
+        assert registry.counter("bytes.saved").value > 0
+
+
+class TestCaching:
+    def test_second_pass_hits_and_is_bit_identical(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cold = run_batch(jobs_for(), cache=cache)
+        warm = run_batch(jobs_for(), cache=cache)
+        assert all(not r.cache_hit for r in cold)
+        assert all(r.cache_hit for r in warm)
+        for before, after in zip(cold, warm):
+            assert before.blob == after.blob
+            assert before.meta == after.meta
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_cached_image_round_trips(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        run_batch(jobs_for(("nibble",)), cache=cache)
+        (warm,) = run_batch(jobs_for(("nibble",)), cache=cache)
+        image = warm.image()
+        assert image.encoding_name == "nibble"
+        assert image.total_bytes == warm.meta["compressed_bytes"]
+
+
+class TestParallel:
+    def test_pool_matches_inline_bit_for_bit(self, tmp_path):
+        inline = run_batch(jobs_for(("baseline", "onebyte", "nibble")))
+        cache = ArtifactCache(tmp_path)
+        pooled = run_batch(
+            jobs_for(("baseline", "onebyte", "nibble")),
+            cache=cache, processes=2,
+        )
+        for a, b in zip(inline, pooled):
+            assert a.ok and b.ok
+            assert a.blob == b.blob
+        # Warm pass over the pool-populated cache is also identical.
+        warm = run_batch(
+            jobs_for(("baseline", "onebyte", "nibble")),
+            cache=cache, processes=2,
+        )
+        assert all(r.cache_hit for r in warm)
+        assert [r.blob for r in warm] == [r.blob for r in pooled]
+
+    def test_pool_reports_job_failures(self):
+        results = run_batch(
+            [CompressionJob(source=BAD_SOURCE), *jobs_for(("nibble",))],
+            processes=2,
+        )
+        assert not results[0].ok and "CompileError" in results[0].error
+        assert results[0].attempts == 1  # deterministic failure: no retry
+        assert results[1].ok
+
+    def test_pool_merges_worker_metrics(self):
+        registry = MetricsRegistry()
+        run_batch(jobs_for(), processes=2, metrics=registry)
+        assert registry.counter("jobs.completed").value == 2
+        assert registry.timer("stage.dict_build").count == 2
+
+
+@fork_only
+class TestCrashAndTimeout:
+    def test_worker_crash_is_retried(self, tmp_path, monkeypatch):
+        marker = tmp_path / "crashed-once"
+        real = pool_module.execute_job
+
+        def crash_once(job):
+            if not marker.exists():
+                marker.write_text("x")
+                os._exit(17)
+            return real(job)
+
+        monkeypatch.setattr(pool_module, "execute_job", crash_once)
+        registry = MetricsRegistry()
+        results = run_batch(
+            jobs_for(("nibble",)), processes=1, retries=1, metrics=registry,
+        )
+        assert results[0].ok
+        assert results[0].attempts == 2
+        assert registry.counter("jobs.retries").value == 1
+
+    def test_crash_beyond_retry_budget_fails(self, monkeypatch):
+        monkeypatch.setattr(
+            pool_module, "execute_job", lambda job: os._exit(9)
+        )
+        results = run_batch(jobs_for(("nibble",)), processes=1, retries=1)
+        assert not results[0].ok
+        assert "crash" in results[0].error
+        assert results[0].attempts == 2
+
+    def test_timeout_terminates_and_fails(self, monkeypatch):
+        def hang(job):
+            time.sleep(60)
+
+        monkeypatch.setattr(pool_module, "execute_job", hang)
+        start = time.monotonic()
+        results = run_batch(
+            jobs_for(("nibble",)), processes=1, timeout=0.3, retries=0,
+        )
+        assert time.monotonic() - start < 10
+        assert not results[0].ok
+        assert "timed out" in results[0].error

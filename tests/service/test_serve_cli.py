@@ -1,0 +1,121 @@
+"""repro-serve CLI tests."""
+
+import json
+
+import pytest
+
+from repro.tools.serve_cli import load_manifest, main
+from repro.errors import ServiceError
+
+SOURCE = """
+int data[8];
+void main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) { data[i] = i + 1; }
+    print_int(sum_i(data, 8));
+    print_nl();
+}
+"""
+
+
+@pytest.fixture()
+def manifest(tmp_path):
+    (tmp_path / "fw.mc").write_text(SOURCE)
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps({
+        "defaults": {"encoding": "nibble"},
+        "jobs": [
+            {"source": "fw.mc"},
+            {"source": "fw.mc", "encoding": "onebyte", "name": "fw8"},
+        ],
+    }))
+    return path
+
+
+class TestManifest:
+    def test_loads_jobs_with_defaults(self, manifest):
+        jobs = load_manifest(manifest)
+        assert [job.encoding for job in jobs] == ["nibble", "onebyte"]
+        assert jobs[0].name == "fw"  # stem of the source file
+        assert jobs[1].name == "fw8"
+        assert "sum_i" in jobs[0].source
+
+    def test_unknown_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"jobs": [{"benchmark": "go", "zip": 9}]}))
+        with pytest.raises(ServiceError, match="unknown fields"):
+            load_manifest(path)
+
+    def test_missing_source_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"jobs": [{"source": "absent.mc"}]}))
+        with pytest.raises(ServiceError, match="cannot read"):
+            load_manifest(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ServiceError, match="cannot read manifest"):
+            load_manifest(path)
+
+
+class TestCli:
+    def run(self, manifest, tmp_path, *extra):
+        return main([
+            str(manifest), "--processes", "0",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ])
+
+    def test_batch_summary_and_metrics(self, manifest, tmp_path, capsys):
+        assert self.run(manifest, tmp_path) == 0
+        printed = capsys.readouterr().out
+        assert "2/2 jobs ok" in printed
+        assert "cache:" in printed
+        assert "per-stage wall time" in printed
+        assert "compile" in printed and "dict_build" in printed
+
+    def test_second_run_hits_cache(self, manifest, tmp_path, capsys):
+        self.run(manifest, tmp_path)
+        capsys.readouterr()
+        assert self.run(manifest, tmp_path) == 0
+        printed = capsys.readouterr().out
+        assert "2 cache hits" in printed
+        assert "(100%)" in printed
+
+    def test_repeat_reports_warm_pass(self, manifest, tmp_path, capsys):
+        assert self.run(manifest, tmp_path, "--repeat", "2") == 0
+        printed = capsys.readouterr().out
+        assert "=== pass 1/2 ===" in printed
+        assert "=== pass 2/2 ===" in printed
+        assert "2 cache hits" in printed
+
+    def test_full_metrics_report(self, manifest, tmp_path, capsys):
+        assert self.run(manifest, tmp_path, "--metrics") == 0
+        printed = capsys.readouterr().out
+        assert "counters:" in printed
+        assert "jobs.completed" in printed
+
+    def test_failing_job_sets_exit_code(self, tmp_path, capsys):
+        (tmp_path / "bad.mc").write_text("void main() { syntax error }")
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"jobs": [{"source": "bad.mc"}]}))
+        assert self.run(path, tmp_path) == 1
+        printed = capsys.readouterr().out
+        assert "FAILED" in printed
+
+    def test_bad_manifest_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main([str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "repro-serve: error:" in captured.err
+
+    def test_suite_subset(self, tmp_path, capsys):
+        code = main([
+            "--suite", "--benchmarks", "compress", "--encodings", "nibble",
+            "--scale", "0.3", "--processes", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "compress" in printed
+        assert "1/1 jobs ok" in printed

@@ -4,6 +4,8 @@ Keeps the three-way mapping DESIGN.md promises — experiment id ↔
 experiment module ↔ benchmark target — from drifting as the repo grows.
 """
 
+import importlib
+
 from pathlib import Path
 
 from repro.experiments import REGISTRY
@@ -49,6 +51,40 @@ class TestExperimentBenchMapping:
             ), (experiment_id, module_name)
 
 
+class TestPublicApi:
+    """``__all__`` stays truthful for every package with a public API."""
+
+    PACKAGES = ("repro", "repro.core", "repro.service", "repro.workloads")
+
+    def test_all_names_resolve(self):
+        for package_name in self.PACKAGES:
+            module = importlib.import_module(package_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{package_name}.{name}"
+
+    def test_all_has_no_duplicates(self):
+        for package_name in self.PACKAGES:
+            module = importlib.import_module(package_name)
+            assert len(set(module.__all__)) == len(module.__all__), package_name
+
+    def test_service_api_reexported_at_top_level(self):
+        import repro
+
+        for name in ("CompressionJob", "ArtifactCache", "run_batch",
+                     "MetricsRegistry", "JobResult"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_service_modules_exist(self):
+        for module_name in ("jobs", "cache", "pool", "metrics"):
+            importlib.import_module(f"repro.service.{module_name}")
+
+    def test_cli_entry_points_registered(self):
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        for script in ("repro-experiments", "repro-compress", "repro-serve"):
+            assert script in pyproject, script
+
+
 class TestDocumentation:
     def test_design_md_mentions_every_extension(self):
         text = (ROOT / "DESIGN.md").read_text()
@@ -67,3 +103,15 @@ class TestDocumentation:
         readme = (ROOT / "README.md").read_text()
         for example in (ROOT / "examples").glob("*.py"):
             assert example.name in readme, example.name
+
+    def test_service_doc_covers_subsystem(self):
+        text = (ROOT / "docs" / "service.md").read_text()
+        for topic in ("CompressionJob", "content key", "ArtifactCache",
+                      "run_batch", "repro-serve", "MetricsRegistry",
+                      "timeout", "eviction"):
+            assert topic in text, topic
+
+    def test_readme_documents_batch_service(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "repro-serve" in readme
+        assert "repro.service" in readme

@@ -84,3 +84,56 @@ class TestBuildRunInfo:
     def test_encoding_choices_enforced(self, source_file):
         with pytest.raises(SystemExit):
             main(["build", str(source_file), "--encoding", "zip"])
+
+
+class TestErrorHandling:
+    """Corrupt or missing inputs become one-line errors, not tracebacks."""
+
+    @pytest.fixture()
+    def image_file(self, source_file, tmp_path):
+        out = tmp_path / "prog.rcim"
+        main(["build", str(source_file), "-o", str(out)])
+        return out
+
+    @pytest.mark.parametrize("command", ["info", "run", "disasm"])
+    def test_truncated_image_is_one_line_error(
+        self, image_file, command, capsys
+    ):
+        blob = image_file.read_bytes()
+        image_file.write_bytes(blob[: len(blob) // 3])
+        assert main([command, str(image_file)]) == 2
+        captured = capsys.readouterr()
+        assert "repro-compress: error:" in captured.err
+        assert "truncated" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("command", ["info", "run", "disasm"])
+    def test_bit_flipped_image_is_one_line_error(
+        self, image_file, command, capsys
+    ):
+        blob = bytearray(image_file.read_bytes())
+        blob[len(blob) // 2] ^= 0x20
+        image_file.write_bytes(bytes(blob))
+        assert main([command, str(image_file)]) == 2
+        captured = capsys.readouterr()
+        assert "repro-compress: error:" in captured.err
+
+    def test_not_an_image_is_one_line_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.rcim"
+        bogus.write_bytes(b"definitely not an image")
+        assert main(["info", str(bogus)]) == 2
+        captured = capsys.readouterr()
+        assert "repro-compress: error:" in captured.err
+        assert "magic" in captured.err
+
+    def test_missing_image_is_one_line_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.rcim")]) == 2
+        captured = capsys.readouterr()
+        assert "repro-compress: error:" in captured.err
+
+    def test_compile_error_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mc"
+        bad.write_text("void main() { not valid }")
+        assert main(["build", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "repro-compress: error:" in captured.err
