@@ -69,6 +69,12 @@ def _resolve_target_units(
     token: Token, tokens: list[Token], index_to_unit: dict[int, int]
 ) -> int:
     if token.token_target is not None:
+        if token.token_target == len(tokens):
+            # Relaxing the final token leaves the skip pointing one past
+            # the stream's end — the fall-through address after the last
+            # item.
+            last = tokens[-1]
+            return last.address + last.size_units
         return tokens[token.token_target].address
     assert token.target_index is not None
     if token.target_index not in index_to_unit:

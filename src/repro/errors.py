@@ -50,8 +50,51 @@ class ServiceError(ReproError):
     """The batch compression service failed (bad job spec, pool failure)."""
 
 
+class VerificationError(ReproError):
+    """Differential or invariant verification found a real divergence."""
+
+
 class SimulationError(ReproError):
-    """The machine simulator hit an illegal state (bad PC, unknown opcode)."""
+    """The machine simulator hit an illegal state (bad PC, unknown opcode).
+
+    Mid-stream failures carry structured location fields so callers
+    (the ``repro.verify`` classifiers, the CLIs) can report *where* the
+    machine died, not just why:
+
+    * ``unit_address`` — compressed-stream alignment-unit address of
+      the failing item, when the compressed fetch engine was active;
+    * ``orig_pc`` — byte address in the original uncompressed program,
+      when the simulator can map the failure back;
+    * ``step`` — committed instruction count at the time of failure.
+
+    The location is also appended to the message, so plain ``str(exc)``
+    (what ``repro-compress``/``repro-serve`` print) includes it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        unit_address: int | None = None,
+        orig_pc: int | None = None,
+        step: int | None = None,
+    ) -> None:
+        self.unit_address = unit_address
+        self.orig_pc = orig_pc
+        self.step = step
+        location = self.location()
+        super().__init__(f"{message} [{location}]" if location else message)
+
+    def location(self) -> str:
+        """Human-readable "unit N, orig PC 0x..., step M" fragment."""
+        parts = []
+        if self.unit_address is not None:
+            parts.append(f"unit {self.unit_address}")
+        if self.orig_pc is not None:
+            parts.append(f"orig PC {self.orig_pc:#x}")
+        if self.step is not None:
+            parts.append(f"step {self.step}")
+        return ", ".join(parts)
 
 
 class DecompressionError(SimulationError):

@@ -81,12 +81,27 @@ class CompressedSimulator:
         self.item_at_address: dict[int, int] = {
             item.address: index for index, item in enumerate(self.items)
         }
+        # Unit address -> original instruction index, when provenance is
+        # available (in-memory compressor results keep it; standalone
+        # images do not).  repro.verify uses this to map failures back
+        # to original PCs.
+        self.unit_to_index: dict[int, int] | None = None
+        if compressed is not None:
+            self.unit_to_index = {
+                unit: index for index, unit in compressed.index_to_unit.items()
+            }
         self.state = MachineState()
         self.memory = Memory(data_image)
         self.stats = FetchStats()
         self.fetch_hook = None  # optional callable(byte_address, size_units)
         self._alignment_bits = encoding.alignment_bits
-        self.item_index = self.item_at_address[entry_unit]
+        entry_item = self.item_at_address.get(entry_unit)
+        if entry_item is None:
+            raise DecompressionError(
+                "entry point does not land on an item boundary",
+                unit_address=entry_unit,
+            )
+        self.item_index = entry_item
         self.micro = 0
         self.state.lr = HALT_ADDRESS
         self._text_base = text_base
@@ -102,6 +117,20 @@ class CompressedSimulator:
     def _item(self) -> FetchItem:
         return self.items[self.item_index]
 
+    def origin_pc(self) -> int | None:
+        """Original-program byte address of the current instruction.
+
+        Only available when the simulator was built from an in-memory
+        :class:`CompressedProgram` (standalone images carry no
+        provenance); relaxation-inserted instructions map to ``None``.
+        """
+        if self.unit_to_index is None:
+            return None
+        base = self.unit_to_index.get(self._item().address)
+        if base is None:
+            return None
+        return self._text_base + 4 * (base + self.micro)
+
     def _next_item_address(self) -> int:
         item = self._item()
         return self._text_base + item.address + item.size_units
@@ -110,7 +139,10 @@ class CompressedSimulator:
         index = self.item_at_address.get(unit)
         if index is None:
             raise DecompressionError(
-                f"branch to unit {unit} lands inside an encoded item"
+                f"branch to unit {unit} lands inside an encoded item",
+                unit_address=unit,
+                orig_pc=self.origin_pc(),
+                step=self.state.steps,
             )
         self.item_index = index
         self.micro = 0
@@ -126,10 +158,15 @@ class CompressedSimulator:
         if self.micro + 1 < len(item.instructions):
             self.micro += 1
         else:
+            last_unit = item.address
             self.item_index += 1
             self.micro = 0
             if self.item_index >= len(self.items):
-                raise SimulationError("fell off the end of the compressed stream")
+                raise SimulationError(
+                    "fell off the end of the compressed stream",
+                    unit_address=last_unit,
+                    step=self.state.steps,
+                )
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -188,7 +225,10 @@ class CompressedSimulator:
         while not self.state.halted:
             if self.state.steps >= self.max_steps:
                 raise SimulationError(
-                    f"{self.name}: exceeded {self.max_steps} steps"
+                    f"{self.name}: exceeded {self.max_steps} steps",
+                    unit_address=self._item().address,
+                    orig_pc=self.origin_pc(),
+                    step=self.state.steps,
                 )
             self.step()
         return RunResult(self.state, self.state.steps, self.stats.instructions_issued)

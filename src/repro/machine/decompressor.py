@@ -11,6 +11,18 @@ Decoding the whole stream once up front models the static predecode a
 hardware table lookup performs; the result maps every unit address to
 the item starting there, so branches can be validated to land only on
 item boundaries.
+
+Two decode modes exist:
+
+* **strict** (the default, and the only mode the production fetch path
+  uses): the first malformed item raises
+  :class:`~repro.errors.DecompressionError` carrying the failing unit
+  address in a structured field;
+* **lenient** (``strict=False``, used by fault-injection campaigns):
+  malformed items are recorded as :class:`DecodeDiagnostic` entries and
+  decoding resynchronizes one alignment unit later, bounded by
+  ``max_diagnostics`` so a corrupt header can never make the walk
+  unbounded.
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ from dataclasses import dataclass
 from repro import bitutils
 from repro.core.dictionary import Dictionary
 from repro.core.encodings import Encoding
-from repro.errors import DecompressionError
+from repro.errors import DecodingError, DecompressionError
 from repro.isa.instruction import Instruction, decode
 
 
@@ -39,6 +51,14 @@ class FetchItem:
     instructions: tuple[Instruction, ...]
 
 
+@dataclass(frozen=True)
+class DecodeDiagnostic:
+    """One malformed item recorded by a lenient decode pass."""
+
+    unit_address: int
+    message: str
+
+
 class StreamDecoder:
     """Decodes a compressed text stream against its dictionary."""
 
@@ -48,16 +68,70 @@ class StreamDecoder:
         dictionary: Dictionary,
         encoding: Encoding,
         total_units: int,
+        *,
+        strict: bool = True,
+        max_diagnostics: int = 64,
     ) -> None:
         self.stream = stream
         self.dictionary = dictionary
         self.encoding = encoding
         self.total_units = total_units
+        self.strict = strict
+        self.max_diagnostics = max_diagnostics
+        self.diagnostics: list[DecodeDiagnostic] = []
         # Pre-decode dictionary entries once (the on-chip dictionary RAM).
-        self._entries: list[tuple[Instruction, ...]] = [
-            tuple(decode(word) for word in entry.words)
-            for entry in dictionary.entries
-        ]
+        # A lenient decoder keeps going past entries whose words no
+        # longer decode; codewords that reference them become
+        # diagnostics instead of expansions.
+        self._entries: list[tuple[Instruction, ...] | None] = []
+        for rank, entry in enumerate(dictionary.entries):
+            try:
+                self._entries.append(tuple(decode(word) for word in entry.words))
+            except DecodingError as exc:
+                if strict:
+                    raise DecompressionError(
+                        f"dictionary entry {rank} does not decode: {exc}"
+                    ) from exc
+                self.diagnostics.append(
+                    DecodeDiagnostic(-1, f"dictionary entry {rank}: {exc}")
+                )
+                self._entries.append(None)
+
+    # ------------------------------------------------------------------
+    def _read_one(
+        self, reader: bitutils.BitReader, address: int
+    ) -> FetchItem:
+        """Decode the single item starting at ``address``."""
+        kind, payload = self.encoding.read_item(reader)
+        if kind == "cw":
+            if payload >= len(self._entries):
+                raise DecompressionError(
+                    f"codeword {payload} exceeds dictionary of "
+                    f"{len(self._entries)} entries",
+                    unit_address=address,
+                )
+            expansion = self._entries[payload]
+            if expansion is None:
+                raise DecompressionError(
+                    f"codeword {payload} references an undecodable "
+                    "dictionary entry",
+                    unit_address=address,
+                )
+            size_bits = self.encoding.codeword_bits(payload)
+            return FetchItem(
+                address=address,
+                size_units=self.encoding.units(size_bits),
+                is_codeword=True,
+                rank=payload,
+                instructions=expansion,
+            )
+        return FetchItem(
+            address=address,
+            size_units=self.encoding.instruction_units(),
+            is_codeword=False,
+            rank=None,
+            instructions=(decode(payload),),
+        )
 
     def decode_all(self) -> list[FetchItem]:
         """Decode the full stream into items with unit addresses."""
@@ -65,36 +139,45 @@ class StreamDecoder:
         items: list[FetchItem] = []
         address = 0
         while address < self.total_units:
-            kind, payload = self.encoding.read_item(reader)
-            if kind == "cw":
-                if payload >= len(self._entries):
+            start_bit = reader.bit_position
+            try:
+                items.append(self._read_one(reader, address))
+            except (DecompressionError, DecodingError, EOFError) as exc:
+                if self.strict:
+                    if isinstance(exc, DecompressionError):
+                        if exc.unit_address is not None:
+                            raise
+                        raise DecompressionError(
+                            str(exc), unit_address=address
+                        ) from exc
+                    if isinstance(exc, EOFError):
+                        raise DecompressionError(
+                            "stream exhausted mid-item", unit_address=address
+                        ) from exc
                     raise DecompressionError(
-                        f"codeword {payload} at unit {address} exceeds "
-                        f"dictionary of {len(self._entries)} entries"
+                        f"escaped word does not decode: {exc}",
+                        unit_address=address,
+                    ) from exc
+                self.diagnostics.append(DecodeDiagnostic(address, str(exc)))
+                if len(self.diagnostics) >= self.max_diagnostics:
+                    self.diagnostics.append(
+                        DecodeDiagnostic(address, "diagnostic budget exhausted")
                     )
-                size_bits = self.encoding.codeword_bits(payload)
-                items.append(
-                    FetchItem(
-                        address=address,
-                        size_units=self.encoding.units(size_bits),
-                        is_codeword=True,
-                        rank=payload,
-                        instructions=self._entries[payload],
-                    )
-                )
-            else:
-                items.append(
-                    FetchItem(
-                        address=address,
-                        size_units=self.encoding.instruction_units(),
-                        is_codeword=False,
-                        rank=None,
-                        instructions=(decode(payload),),
-                    )
-                )
+                    return items
+                # Resynchronize one alignment unit later and keep going.
+                resync = start_bit + self.encoding.alignment_bits
+                if resync > len(self.stream) * 8:
+                    return items
+                reader.seek_bit(resync)
+                address += 1
+                continue
             address += items[-1].size_units
         if address != self.total_units:
-            raise DecompressionError(
-                f"stream decoded to {address} units, expected {self.total_units}"
+            message = (
+                f"stream decoded to {address} units, "
+                f"expected {self.total_units}"
             )
+            if self.strict:
+                raise DecompressionError(message, unit_address=address)
+            self.diagnostics.append(DecodeDiagnostic(address, message))
         return items

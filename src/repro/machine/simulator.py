@@ -86,13 +86,19 @@ class Simulator:
         try:
             return self.program.index_of_address(address)
         except ValueError as exc:
-            raise SimulationError(str(exc)) from exc
+            raise SimulationError(
+                str(exc),
+                orig_pc=self.program.address_of(self.pc),
+                step=self.state.steps,
+            ) from exc
 
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Execute one instruction."""
         if not 0 <= self.pc < len(self.program.text):
-            raise SimulationError(f"PC index {self.pc} out of .text")
+            raise SimulationError(
+                f"PC index {self.pc} out of .text", step=self.state.steps
+            )
         if self.fetch_hook is not None:
             self.fetch_hook(self.program.address_of(self.pc), 1)
         ins = self.program.text[self.pc].instruction
@@ -130,7 +136,9 @@ class Simulator:
         while not self.state.halted:
             if self.state.steps >= self.max_steps:
                 raise SimulationError(
-                    f"{self.program.name}: exceeded {self.max_steps} steps"
+                    f"{self.program.name}: exceeded {self.max_steps} steps",
+                    orig_pc=self.program.address_of(self.pc),
+                    step=self.state.steps,
                 )
             self.step()
         return RunResult(self.state, self.state.steps, self.state.steps)

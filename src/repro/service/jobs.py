@@ -32,11 +32,12 @@ import hashlib
 import struct
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.compressor import CompressedProgram, compress
 from repro.core.encodings import make_encoding
 from repro.core.image import VERSION as IMAGE_VERSION
 from repro.core.image import CompressedImage
-from repro.errors import ServiceError
+from repro.errors import ServiceError, VerificationError
 from repro.linker.program import Program
 
 #: Bump when the compression pipeline changes output for identical
@@ -45,6 +46,9 @@ from repro.linker.program import Program
 PIPELINE_VERSION = 1
 
 ENCODING_NAMES = ("baseline", "onebyte", "nibble")
+
+#: Verification depth a job can request (see :attr:`CompressionJob.verify`).
+VERIFY_LEVELS = ("none", "stream", "full")
 
 
 @dataclass(frozen=True)
@@ -62,7 +66,11 @@ class CompressionJob:
     encoding: str = "nibble"
     max_codewords: int | None = None
     max_entry_len: int = 4
-    verify: bool = True
+    #: ``False``/"none" — no verification; ``True``/"stream" — bit-level
+    #: stream round-trip (cheap, the historical default); "full" — the
+    #: stream check plus static invariants and lockstep differential
+    #: execution (:mod:`repro.verify`), timed as a pipeline stage.
+    verify: bool | str = True
     name: str | None = None
 
     def __post_init__(self) -> None:
@@ -86,6 +94,19 @@ class CompressionJob:
             )
         if self.max_entry_len < 1:
             raise ServiceError("max_entry_len must be >= 1")
+        if isinstance(self.verify, str) and self.verify not in VERIFY_LEVELS:
+            raise ServiceError(
+                f"unknown verify level {self.verify!r}; choose from "
+                f"{VERIFY_LEVELS}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def verify_level(self) -> str:
+        """Normalized verification depth: 'none', 'stream', or 'full'."""
+        if isinstance(self.verify, bool):
+            return "stream" if self.verify else "none"
+        return self.verify
 
     # ------------------------------------------------------------------
     @property
@@ -139,9 +160,34 @@ class CompressionJob:
         compressed = compress(
             program, encoding, max_entry_len=self.max_entry_len
         )
-        if self.verify:
+        level = self.verify_level
+        if level != "none":
             compressed.verify_stream()
+        if level == "full":
+            self._verify_full(program, compressed)
         return compressed, CompressedImage.from_compressed(compressed)
+
+    def _verify_full(
+        self, program: Program, compressed: CompressedProgram
+    ) -> None:
+        """Static invariants + lockstep differential (``verify='full'``)."""
+        # Imported here so the (heavier) verify machinery is only paid
+        # for by jobs that ask for it.
+        from repro.verify import check_compressed, run_differential
+
+        with observe.stage("verify"):
+            invariants = check_compressed(compressed)
+            if not invariants.ok:
+                raise VerificationError(
+                    f"{self.label}: invariant check failed —\n"
+                    + invariants.render()
+                )
+            differential = run_differential(program, compressed)
+            if not differential.ok:
+                raise VerificationError(
+                    f"{self.label}: differential verification failed —\n"
+                    + differential.render()
+                )
 
 
 def _hash_program(digest: "hashlib._Hash", program: Program) -> None:

@@ -76,6 +76,7 @@ def execute_job(job: CompressionJob) -> tuple[bytes, dict, dict]:
     meta = {
         "label": job.label,
         "encoding": job.encoding,
+        "verify": job.verify_level,
         "max_codewords": job.max_codewords,
         "instructions": len(compressed.program.text),
         "original_bytes": compressed.original_bytes,
@@ -155,6 +156,8 @@ def run_batch(
                 cache.put(result.key, result.blob, result.meta)
         else:
             registry.counter("jobs.failed").inc()
+            if result.error and result.error.startswith("VerificationError"):
+                registry.counter("verify.failures").inc()
     return [result for result in results if result is not None]
 
 

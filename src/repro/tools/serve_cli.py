@@ -45,7 +45,7 @@ from repro.service import (
     MetricsRegistry,
     run_batch,
 )
-from repro.service.jobs import ENCODING_NAMES
+from repro.service.jobs import ENCODING_NAMES, VERIFY_LEVELS
 from repro.workloads import BENCHMARK_NAMES
 
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -91,7 +91,7 @@ def suite_jobs(
     benchmarks: list[str],
     encodings: list[str],
     scale: float,
-    verify: bool = True,
+    verify: bool | str = True,
 ) -> list[CompressionJob]:
     """The workload-suite × encodings job matrix."""
     return [
@@ -165,6 +165,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="evict least-recently-used artifacts over this")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip bit-level stream verification")
+    parser.add_argument("--verify-level", choices=VERIFY_LEVELS, default=None,
+                        help="verification depth for suite jobs: 'stream' "
+                        "(default), 'none', or 'full' (invariants + "
+                        "lockstep differential execution)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="run the batch N times (warm passes hit cache)")
     parser.add_argument("--metrics", action="store_true",
@@ -176,11 +180,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.manifest:
             jobs.extend(load_manifest(Path(args.manifest)))
         if args.suite or not jobs:
+            if args.verify_level is not None:
+                verify: bool | str = args.verify_level
+            else:
+                verify = not args.no_verify
             jobs.extend(suite_jobs(
                 [b.strip() for b in args.benchmarks.split(",") if b.strip()],
                 [e.strip() for e in args.encodings.split(",") if e.strip()],
                 args.scale,
-                verify=not args.no_verify,
+                verify=verify,
             ))
 
         cache = None

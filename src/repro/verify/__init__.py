@@ -1,0 +1,66 @@
+"""Differential verification & fault injection for compressed programs.
+
+Three pillars (see ``docs/verification.md``):
+
+* :mod:`repro.verify.differential` — lockstep execution of the
+  uncompressed and compressed simulators, comparing architectural state
+  at every committed instruction.
+* :mod:`repro.verify.invariants` — static structural checks over a
+  compressed program or standalone image, each violation a typed
+  finding.
+* :mod:`repro.verify.faults` / :mod:`repro.verify.campaign` — seeded
+  fault injection through load → decode → execute, with a
+  detection-coverage report.
+"""
+
+from repro.verify.campaign import (
+    OUTCOMES,
+    CampaignReport,
+    InjectionOutcome,
+    classify_injection,
+    run_campaign,
+)
+from repro.verify.differential import (
+    DifferentialResult,
+    DivergenceReport,
+    run_differential,
+)
+from repro.verify.faults import (
+    FAULT_KINDS,
+    SECTIONS,
+    FaultSpec,
+    apply_fault,
+    generate_faults,
+    reseal_crc,
+    section_ranges,
+)
+from repro.verify.invariants import (
+    RULES,
+    Finding,
+    InvariantReport,
+    check_compressed,
+    check_image,
+)
+
+__all__ = [
+    "OUTCOMES",
+    "FAULT_KINDS",
+    "RULES",
+    "SECTIONS",
+    "CampaignReport",
+    "DifferentialResult",
+    "DivergenceReport",
+    "FaultSpec",
+    "Finding",
+    "InjectionOutcome",
+    "InvariantReport",
+    "apply_fault",
+    "check_compressed",
+    "check_image",
+    "classify_injection",
+    "generate_faults",
+    "reseal_crc",
+    "run_campaign",
+    "run_differential",
+    "section_ranges",
+]

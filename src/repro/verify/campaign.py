@@ -1,0 +1,224 @@
+"""Fault-injection campaigns over the load → decode → execute path.
+
+Each injection corrupts one serialized image blob (see
+:mod:`repro.verify.faults`), pushes it through the full consumer
+pipeline, and classifies where — if anywhere — the corruption was
+caught:
+
+``detected-at-load``
+    :meth:`CompressedImage.from_bytes` rejected the blob (bad magic,
+    truncated field, CRC mismatch, unknown encoding, over-capacity
+    dictionary).
+``detected-at-decode``
+    The image parsed but the stream decoder or simulator constructor
+    refused it (corrupt codeword, dangling rank, entry off-boundary).
+``detected-at-run``
+    Decode succeeded but execution died with a typed error (branch into
+    an encoded item, bad syscall, watchdog).
+``silent-divergence``
+    The corrupted image ran to completion but produced different
+    output, exit code, or stores than the pristine program — the
+    dangerous quadrant a verification subsystem exists to measure.
+``silent-identical``
+    The corruption was behaviourally inert (flipped a bit in padding,
+    zeroed an already-zero byte, duplicated unreachable bytes).
+
+By default the container CRC is left as-is, so flash-style corruption
+is expected to land in ``detected-at-load``.  With ``reseal_crc=True``
+the CRC is recomputed over the corrupted payload, modelling a
+compressor logic bug and exercising the decode- and run-time detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compressor import compress
+from repro.core.encodings import Encoding
+from repro.core.image import CompressedImage, ImageError
+from repro.errors import ReproError, SimulationError
+from repro.experiments.common import render_table
+from repro.linker.program import Program
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.simulator import run_program
+from repro.verify import faults as faultlib
+from repro.verify.faults import FaultSpec
+
+OUTCOMES = (
+    "detected-at-load",
+    "detected-at-decode",
+    "detected-at-run",
+    "silent-divergence",
+    "silent-identical",
+)
+
+#: Outcomes that count as "the pipeline caught it".
+DETECTED_OUTCOMES = OUTCOMES[:3]
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """One fault, where it was (or wasn't) detected."""
+
+    spec: FaultSpec
+    outcome: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.outcome:<20} {self.spec.describe()}: {self.detail}"
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate results of one seeded campaign."""
+
+    name: str
+    encoding: str
+    seed: int
+    reseal_crc: bool
+    outcomes: list[InjectionOutcome] = field(default_factory=list)
+
+    @property
+    def injections(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def silent_divergences(self) -> list[InjectionOutcome]:
+        return [o for o in self.outcomes if o.outcome == "silent-divergence"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.silent_divergences
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for o in self.outcomes if o.outcome == outcome)
+
+    def detection_rate(self) -> float:
+        """Fraction of behaviour-affecting faults that were detected.
+
+        ``silent-identical`` faults are excluded from the denominator:
+        a corruption nothing can observe is not a detection failure.
+        """
+        relevant = [
+            o for o in self.outcomes if o.outcome != "silent-identical"
+        ]
+        if not relevant:
+            return 1.0
+        detected = sum(
+            1 for o in relevant if o.outcome in DETECTED_OUTCOMES
+        )
+        return detected / len(relevant)
+
+    def by_section(self) -> dict[str, dict[str, int]]:
+        table: dict[str, dict[str, int]] = {}
+        for o in self.outcomes:
+            row = table.setdefault(
+                o.spec.section, {outcome: 0 for outcome in OUTCOMES}
+            )
+            row[o.outcome] += 1
+        return table
+
+    def render(self) -> str:
+        crc = "resealed" if self.reseal_crc else "intact"
+        rows = [
+            [section] + [counts[outcome] for outcome in OUTCOMES]
+            for section, counts in sorted(self.by_section().items())
+        ]
+        lines = [
+            render_table(
+                ["section", *OUTCOMES],
+                rows,
+                title=(
+                    f"{self.name} [{self.encoding}] — {self.injections} "
+                    f"injections, seed {self.seed}, CRC {crc}"
+                ),
+            ),
+            f"detection rate: {self.detection_rate():.1%}"
+            f" ({len(self.silent_divergences)} silent divergence(s))",
+        ]
+        for o in self.silent_divergences:
+            lines.append(f"  SILENT {o.spec.describe()}: {o.detail}")
+        return "\n".join(lines)
+
+
+def classify_injection(
+    blob: bytes,
+    spec: FaultSpec,
+    reference,
+    *,
+    reseal_crc: bool = False,
+    max_steps: int = 2_000_000,
+) -> InjectionOutcome:
+    """Corrupt ``blob`` per ``spec``, run it, and classify the outcome.
+
+    ``reference`` is the pristine program's :class:`RunResult`; the
+    corrupted run is compared against its output and exit code.
+    """
+    corrupted = faultlib.apply_fault(blob, spec)
+    if reseal_crc:
+        corrupted = faultlib.reseal_crc(corrupted)
+    try:
+        image = CompressedImage.from_bytes(corrupted)
+    except ImageError as exc:
+        return InjectionOutcome(spec, "detected-at-load", str(exc))
+    try:
+        simulator = CompressedSimulator.from_image(image, max_steps=max_steps)
+    except ReproError as exc:
+        return InjectionOutcome(spec, "detected-at-decode", str(exc))
+    try:
+        result = simulator.run()
+    except SimulationError as exc:
+        return InjectionOutcome(spec, "detected-at-run", str(exc))
+    except ReproError as exc:  # e.g. executor-level decode failures
+        return InjectionOutcome(spec, "detected-at-run", str(exc))
+    if (
+        result.exit_code == reference.exit_code
+        and result.state.output == reference.state.output
+    ):
+        return InjectionOutcome(
+            spec, "silent-identical", "run matches pristine behaviour"
+        )
+    detail = (
+        f"exit {result.exit_code} vs {reference.exit_code}, "
+        f"{len(result.state.output)} output item(s) vs "
+        f"{len(reference.state.output)}"
+    )
+    return InjectionOutcome(spec, "silent-divergence", detail)
+
+
+def run_campaign(
+    program: Program,
+    encoding: Encoding,
+    *,
+    seed: int,
+    injections: int,
+    sections: tuple[str, ...] = faultlib.SECTIONS,
+    reseal_crc: bool = False,
+    max_steps: int = 2_000_000,
+) -> CampaignReport:
+    """Compress ``program``, then run a seeded fault campaign on it."""
+    compressed = compress(program, encoding)
+    image = CompressedImage.from_compressed(compressed)
+    blob = image.to_bytes()
+    reference = run_program(program, max_steps=max_steps)
+    specs = faultlib.generate_faults(
+        image,
+        seed=seed,
+        count=injections,
+        sections=sections,
+        jump_table_slots=list(program.jump_table_slots),
+    )
+    report = CampaignReport(
+        name=program.name,
+        encoding=encoding.name,
+        seed=seed,
+        reseal_crc=reseal_crc,
+    )
+    for spec in specs:
+        report.outcomes.append(
+            classify_injection(
+                blob, spec, reference,
+                reseal_crc=reseal_crc, max_steps=max_steps,
+            )
+        )
+    return report

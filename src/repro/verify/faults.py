@@ -1,0 +1,183 @@
+"""Deterministic fault injectors for ``.rcim`` images.
+
+Each :class:`FaultSpec` names one corruption — a bit flip, a byte
+zeroed, a truncation, or a byte-range duplication — at an absolute
+offset inside a serialized :class:`~repro.core.image.CompressedImage`
+blob, targeted at a specific container section (header, dictionary,
+codeword stream, data image, or individual jump-table slots).
+
+Specs are generated from a seeded :class:`random.Random`, so a campaign
+is reproducible byte-for-byte from ``(image, seed, count, sections)``.
+
+``section_ranges`` mirrors the RCIM v2 container layout in
+:meth:`CompressedImage.to_bytes`; a consistency test asserts the two
+never drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.core.image import MAGIC, CompressedImage
+from repro.errors import VerificationError
+from repro.linker.program import JumpTableSlot
+
+FAULT_KINDS = ("bitflip", "zero", "truncate", "duplicate")
+SECTIONS = ("header", "dictionary", "stream", "data")
+JUMP_TABLE_SECTION = "jump_tables"
+
+_HEADER_FIXED = len(MAGIC) + 1 + 4  # magic, version u8, crc u32
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic corruption of an image blob."""
+
+    kind: str
+    section: str
+    offset: int  # absolute byte offset in the serialized blob
+    bit: int = 0  # bit index for 'bitflip'
+    length: int = 1  # bytes for 'zero'/'duplicate'
+
+    def describe(self) -> str:
+        if self.kind == "bitflip":
+            return f"flip bit {self.bit} of byte {self.offset} ({self.section})"
+        if self.kind == "zero":
+            return (f"zero {self.length} byte(s) at {self.offset} "
+                    f"({self.section})")
+        if self.kind == "truncate":
+            return f"truncate blob at byte {self.offset} ({self.section})"
+        return (f"duplicate {self.length} byte(s) at {self.offset} "
+                f"({self.section})")
+
+
+def section_ranges(image: CompressedImage) -> dict[str, tuple[int, int]]:
+    """Byte ranges ``[start, end)`` of each container section.
+
+    Length prefixes belong to the section they describe, so corrupting
+    a section can also corrupt its framing — exactly what a real flash
+    fault does.
+    """
+    name = image.name.encode("utf-8")
+    encoding_name = image.encoding_name.encode("utf-8")
+    header_end = _HEADER_FIXED + 1 + len(name) + 1 + len(encoding_name) + 16
+    dict_end = header_end + 2 + sum(
+        1 + 4 + 4 * len(entry.words) for entry in image.dictionary.entries
+    )
+    stream_end = dict_end + 4 + len(image.stream)
+    data_end = stream_end + 4 + len(image.data_image)
+    return {
+        "header": (0, header_end),
+        "dictionary": (header_end, dict_end),
+        "stream": (dict_end, stream_end),
+        "data": (stream_end, data_end),
+    }
+
+
+def jump_table_ranges(
+    image: CompressedImage, slots: list[JumpTableSlot]
+) -> list[tuple[int, int]]:
+    """Absolute byte ranges of each jump-table slot inside the blob."""
+    data_start, _ = section_ranges(image)["data"]
+    payload = data_start + 4  # skip the length prefix
+    return [
+        (payload + slot.data_offset, payload + slot.data_offset + 4)
+        for slot in slots
+        if slot.data_offset + 4 <= len(image.data_image)
+    ]
+
+
+def apply_fault(blob: bytes, spec: FaultSpec) -> bytes:
+    """Return a corrupted copy of ``blob`` (the original is untouched)."""
+    if not 0 <= spec.offset < len(blob):
+        raise VerificationError(
+            f"fault offset {spec.offset} outside blob of {len(blob)} bytes"
+        )
+    mutated = bytearray(blob)
+    if spec.kind == "bitflip":
+        mutated[spec.offset] ^= 1 << (spec.bit & 7)
+    elif spec.kind == "zero":
+        end = min(spec.offset + spec.length, len(mutated))
+        mutated[spec.offset : end] = bytes(end - spec.offset)
+    elif spec.kind == "truncate":
+        del mutated[spec.offset :]
+    elif spec.kind == "duplicate":
+        end = min(spec.offset + spec.length, len(mutated))
+        mutated[spec.offset : spec.offset] = mutated[spec.offset : end]
+    else:
+        raise VerificationError(f"unknown fault kind {spec.kind!r}")
+    return bytes(mutated)
+
+
+def reseal_crc(blob: bytes) -> bytes:
+    """Recompute the container CRC over the (possibly corrupt) payload.
+
+    Models corruption that happens *before* the image is sealed — a
+    compressor logic bug rather than a flash fault — which is exactly
+    the class of failure the CRC cannot catch and the decode/run
+    detectors must.
+    """
+    if len(blob) < _HEADER_FIXED or blob[: len(MAGIC)] != MAGIC:
+        return blob
+    payload_start = len(MAGIC) + 1 + 4
+    crc = zlib.crc32(blob[payload_start:])
+    return (
+        blob[: len(MAGIC) + 1] + struct.pack(">I", crc) + blob[payload_start:]
+    )
+
+
+def generate_faults(
+    image: CompressedImage,
+    *,
+    seed: int,
+    count: int,
+    sections: tuple[str, ...] = SECTIONS,
+    jump_table_slots: list[JumpTableSlot] | None = None,
+) -> list[FaultSpec]:
+    """Deterministically derive ``count`` fault specs for ``image``.
+
+    Sections are cycled round-robin so small campaigns still cover all
+    of them; ``jump_tables`` (if requested) targets the 4-byte slots
+    inside the data section and requires ``jump_table_slots``.  A
+    requested section with no bytes to corrupt (an empty data image, a
+    program without jump tables) is skipped.
+    """
+    ranges = section_ranges(image)
+    targets: list[tuple[str, list[tuple[int, int]]]] = []
+    for section in sections:
+        if section == JUMP_TABLE_SECTION:
+            slot_ranges = jump_table_ranges(image, jump_table_slots or [])
+            if slot_ranges:
+                targets.append((section, slot_ranges))
+            continue
+        if section not in ranges:
+            raise VerificationError(
+                f"unknown section {section!r}; choose from "
+                f"{SECTIONS + (JUMP_TABLE_SECTION,)}"
+            )
+        start, end = ranges[section]
+        if end > start:
+            targets.append((section, [(start, end)]))
+    if not targets:
+        raise VerificationError("no non-empty sections to inject into")
+
+    rng = random.Random(seed)
+    specs: list[FaultSpec] = []
+    for position in range(count):
+        section, spans = targets[position % len(targets)]
+        start, end = spans[rng.randrange(len(spans))]
+        kind = FAULT_KINDS[rng.randrange(len(FAULT_KINDS))]
+        offset = rng.randrange(start, end)
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                section=section,
+                offset=offset,
+                bit=rng.randrange(8),
+                length=rng.randrange(1, 5),
+            )
+        )
+    return specs

@@ -62,3 +62,9 @@ class TestErrors:
     def test_bad_escape(self):
         with pytest.raises(CompileError):
             tokenize("'\\q'")
+
+    def test_hex_prefix_without_digits(self):
+        with pytest.raises(CompileError, match="hex"):
+            tokenize("0X")
+        with pytest.raises(CompileError, match="hex"):
+            tokenize("int x = 0x;")

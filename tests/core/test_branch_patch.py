@@ -115,6 +115,136 @@ class TestRelaxation:
             patch_branches(tokens, BaselineEncoding())
 
 
+class TestFieldWidthBoundary:
+    """Offsets saturating exactly at the field-width boundary.
+
+    The bc BD field is 14 bits signed: [-8192, 8191] units.  Nibble
+    rank-0 codewords occupy exactly 1 unit, so streams can be built
+    whose branch offset lands exactly on (and exactly past) the edge.
+    """
+
+    _INS_UNITS = 9  # nibble: escape nibble + 32-bit word = 9 units
+
+    def _forward_stream(self, offset):
+        """bc at unit 0 targeting a token exactly ``offset`` units away."""
+        fillers = offset - self._INS_UNITS  # 1-unit cw tokens in between
+        tokens = [ins_token("bc", 12, 2, 0, target_index=fillers + 1)]
+        for index in range(1, fillers + 1):
+            tokens.append(Token(kind="cw", orig_index=index, length=1, rank=0))
+        tokens.append(
+            Token(kind="ins", instruction=make("addi", 3, 3, 1),
+                  orig_index=fillers + 1)
+        )
+        return tokens
+
+    def test_offset_8191_fits_exactly(self):
+        patched, _, relaxations = patch_branches(
+            self._forward_stream(8191), NibbleEncoding()
+        )
+        assert relaxations == 0
+        assert patched[0].instruction.operand("target") == 8191
+
+    def test_offset_8192_relaxes(self):
+        patched, _, relaxations = patch_branches(
+            self._forward_stream(8192), NibbleEncoding()
+        )
+        assert relaxations == 1
+        assert patched[0].instruction.operand("BO") == 4  # inverted
+        assert patched[1].instruction.mnemonic == "b"
+        # The unconditional b still reaches the original target.
+        target = patched[1].address + patched[1].instruction.operand("target")
+        assert target == patched[-1].address
+
+    def _backward_stream(self, offset):
+        """bc at the end targeting a token ``offset`` units behind it."""
+        fillers = offset - self._INS_UNITS
+        tokens = [
+            Token(kind="ins", instruction=make("addi", 3, 3, 1), orig_index=0)
+        ]
+        for index in range(1, fillers + 1):
+            tokens.append(Token(kind="cw", orig_index=index, length=1, rank=0))
+        tokens.append(ins_token("bc", 12, 2, 0, target_index=0))
+        tokens[-1].orig_index = fillers + 1
+        return tokens
+
+    def test_offset_minus_8192_fits_exactly(self):
+        patched, _, relaxations = patch_branches(
+            self._backward_stream(8192), NibbleEncoding()
+        )
+        assert relaxations == 0
+        assert patched[-1].instruction.operand("target") == -8192
+
+    def test_offset_minus_8193_relaxes(self):
+        patched, _, relaxations = patch_branches(
+            self._backward_stream(8193), NibbleEncoding()
+        )
+        assert relaxations == 1
+
+
+class TestBranchIntoReplacedSequence:
+    """Branches into the *middle* of a dictionary expansion are illegal
+    (paper section 3.1.1) and must be rejected, not silently mislaid."""
+
+    def test_backward_branch_into_cw_middle_rejected(self):
+        # cw covers original indices 0..3; the bc targets index 2.
+        tokens = [
+            Token(kind="cw", orig_index=0, length=4, rank=0),
+            ins_token("bc", 12, 2, 0, target_index=2),
+        ]
+        tokens[1].orig_index = 4
+        with pytest.raises(BranchRangeError, match="inside an encoded"):
+            patch_branches(tokens, BaselineEncoding())
+
+    def test_branch_to_cw_start_allowed(self):
+        tokens = [
+            Token(kind="cw", orig_index=0, length=4, rank=0),
+            ins_token("bc", 12, 2, 0, target_index=0),
+        ]
+        tokens[1].orig_index = 4
+        patched, _, relaxations = patch_branches(tokens, BaselineEncoding())
+        assert relaxations == 0
+        assert patched[1].instruction.operand("target") == -patched[1].address
+
+
+class TestJumpTableRewrite:
+    """Jump-table slots hold indirect-branch targets; the patcher must
+    rewrite them to compressed addresses or reject mid-sequence slots."""
+
+    def _program_with_slot(self, target_index):
+        from repro.linker.objfile import InsnRole
+        from repro.linker.program import JumpTableSlot, Program, TextInstruction
+
+        text = [
+            TextInstruction(make("addi", 3, 3, 1), InsnRole.BODY, "f", False)
+            for _ in range(8)
+        ]
+        return Program(
+            name="jt",
+            text=text,
+            data_image=bytearray(8),
+            symbols={},
+            jump_table_slots=[JumpTableSlot(4, target_index)],
+        )
+
+    def test_slot_rewritten_to_unit_address(self):
+        from repro.core.branch_patch import patch_jump_tables
+
+        program = self._program_with_slot(6)
+        index_to_unit = {index: index * 2 for index in range(8)}
+        image = patch_jump_tables(program, index_to_unit)
+        raw = int.from_bytes(image[4:8], "big")
+        assert raw == program.text_base + 12
+
+    def test_slot_into_replaced_sequence_rejected(self):
+        from repro.core.branch_patch import patch_jump_tables
+
+        program = self._program_with_slot(6)
+        # Index 6 was swallowed into a codeword: absent from the map.
+        index_to_unit = {index: index * 2 for index in range(8) if index != 6}
+        with pytest.raises(BranchRangeError, match="jump table"):
+            patch_jump_tables(program, index_to_unit)
+
+
 class TestOffsetUsage:
     def test_table1_counts(self, small_suite):
         for name, program in small_suite.items():

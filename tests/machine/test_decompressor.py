@@ -70,3 +70,76 @@ class TestStreamDecoding:
         )
         with pytest.raises((DecompressionError, EOFError)):
             decoder.decode_all()
+
+
+class TestStrictErrors:
+    """Strict-mode failures carry the failing unit address."""
+
+    def test_dangling_rank_names_the_unit(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        from repro.core.dictionary import Dictionary
+
+        if len(compressed.dictionary) < 2:
+            pytest.skip("dictionary too small")
+        broken = Dictionary(compressed.dictionary.entries[:1])
+        decoder = StreamDecoder(
+            compressed.stream, broken, compressed.encoding,
+            compressed.total_units(),
+        )
+        with pytest.raises(DecompressionError) as excinfo:
+            decoder.decode_all()
+        assert excinfo.value.unit_address is not None
+        assert f"unit {excinfo.value.unit_address}" in str(excinfo.value)
+
+    def test_truncated_stream_names_the_unit(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        decoder = StreamDecoder(
+            compressed.stream[: len(compressed.stream) // 2],
+            compressed.dictionary,
+            compressed.encoding,
+            compressed.total_units(),
+        )
+        with pytest.raises(DecompressionError) as excinfo:
+            decoder.decode_all()
+        assert excinfo.value.unit_address is not None
+
+
+class TestLenientMode:
+    """Lenient decode collects diagnostics instead of raising."""
+
+    def test_clean_stream_has_no_diagnostics(self, tiny_program):
+        compressed = compress(tiny_program, NibbleEncoding())
+        decoder = StreamDecoder(
+            compressed.stream, compressed.dictionary, compressed.encoding,
+            compressed.total_units(), strict=False,
+        )
+        items = decoder.decode_all()
+        assert decoder.diagnostics == []
+        assert len(items) == len(compressed.tokens)
+
+    def test_dangling_ranks_become_diagnostics(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        from repro.core.dictionary import Dictionary
+
+        if len(compressed.dictionary) < 2:
+            pytest.skip("dictionary too small")
+        broken = Dictionary(compressed.dictionary.entries[:1])
+        decoder = StreamDecoder(
+            compressed.stream, broken, compressed.encoding,
+            compressed.total_units(), strict=False,
+        )
+        decoder.decode_all()  # must not raise
+        assert decoder.diagnostics
+        assert all(d.unit_address >= 0 for d in decoder.diagnostics)
+
+    def test_diagnostics_are_bounded(self, tiny_program):
+        compressed = compress(tiny_program, BaselineEncoding())
+        from repro.core.dictionary import Dictionary
+
+        decoder = StreamDecoder(
+            compressed.stream, Dictionary([]), compressed.encoding,
+            compressed.total_units(), strict=False, max_diagnostics=5,
+        )
+        decoder.decode_all()
+        assert len(decoder.diagnostics) <= 6  # budget + final marker
+        assert decoder.diagnostics[-1].message == "diagnostic budget exhausted"

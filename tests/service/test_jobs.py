@@ -28,6 +28,17 @@ class TestValidation:
         with pytest.raises(ServiceError, match="max_entry_len"):
             CompressionJob(benchmark="ijpeg", max_entry_len=0)
 
+    def test_unknown_verify_level_rejected(self):
+        with pytest.raises(ServiceError, match="verify level"):
+            CompressionJob(benchmark="ijpeg", verify="paranoid")
+
+    def test_verify_level_normalization(self):
+        assert CompressionJob(benchmark="ijpeg").verify_level == "stream"
+        assert CompressionJob(benchmark="ijpeg",
+                              verify=False).verify_level == "none"
+        assert CompressionJob(benchmark="ijpeg",
+                              verify="full").verify_level == "full"
+
 
 class TestContentKey:
     def test_deterministic(self):
@@ -57,7 +68,9 @@ class TestContentKey:
     def test_verify_flag_shares_artifacts(self):
         verified = CompressionJob(source=SOURCE_A, verify=True)
         unverified = CompressionJob(source=SOURCE_A, verify=False)
+        full = CompressionJob(source=SOURCE_A, verify="full")
         assert verified.content_key() == unverified.content_key()
+        assert verified.content_key() == full.content_key()
 
     def test_program_jobs_key_on_content(self, tiny_program):
         a = CompressionJob(program=tiny_program)
@@ -72,6 +85,36 @@ class TestExecution:
         compressed, image = job.run()
         assert image.total_bytes == compressed.compressed_bytes
         assert image.encoding_name == "nibble"
+
+    def test_full_verification_passes_for_clean_program(self, tiny_program):
+        job = CompressionJob(program=tiny_program, encoding="nibble",
+                             verify="full")
+        compressed, image = job.run()
+        assert image.encoding_name == "nibble"
+
+    def test_full_verification_catches_a_broken_pipeline(self, tiny_program,
+                                                         monkeypatch):
+        from repro.core.dictionary import DictionaryEntry
+        from repro.errors import VerificationError
+        from repro.service import jobs as jobs_module
+
+        real_compress = jobs_module.compress
+
+        def sabotaged(*args, **kwargs):
+            compressed = real_compress(*args, **kwargs)
+            # Corrupt a dictionary entry after the stream check would
+            # have passed: only the deep verifiers can see this.
+            entries = compressed.dictionary.entries
+            first = entries[0]
+            words = (first.words[0] ^ 1,) + first.words[1:]
+            entries[0] = DictionaryEntry(words, first.uses)
+            return compressed
+
+        monkeypatch.setattr(jobs_module, "compress", sabotaged)
+        job = CompressionJob(program=tiny_program, encoding="nibble",
+                             verify="full")
+        with pytest.raises(VerificationError):
+            job.run()
 
     def test_label(self, tiny_program):
         assert CompressionJob(benchmark="go").label == "go"

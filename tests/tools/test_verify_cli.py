@@ -1,0 +1,68 @@
+"""repro-verify CLI tests."""
+
+import pytest
+
+from repro.tools.verify_cli import main
+
+SOURCE = """
+int values[12];
+void main() {
+    int i;
+    for (i = 0; i < 12; i = i + 1) { values[i] = i * 3; }
+    print_int(sum_i(values, 12));
+    print_nl();
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestDiff:
+    def test_source_file_verifies_clean(self, source_file, capsys):
+        assert main(["diff", str(source_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "OK" in printed
+        assert "baseline" in printed and "nibble" in printed
+
+    def test_benchmark_selection(self, capsys):
+        code = main([
+            "diff", "--benchmark", "compress", "--scale", "0.3",
+            "--encodings", "nibble",
+        ])
+        assert code == 0
+        assert "compress/nibble: OK" in capsys.readouterr().out
+
+    def test_missing_input_exits(self):
+        with pytest.raises(SystemExit):
+            main(["diff"])
+
+
+class TestInvariants:
+    def test_clean_program(self, source_file, capsys):
+        assert main(["invariants", str(source_file),
+                     "--encodings", "nibble"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_crc_intact_campaign_is_clean(self, source_file, capsys):
+        code = main([
+            "campaign", str(source_file), "--seed", "1997",
+            "--injections", "12", "--sections", "dictionary,stream",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "detection rate" in printed
+        assert "0 silent divergence" in printed
+
+    def test_unknown_section_is_an_error(self, source_file, capsys):
+        code = main([
+            "campaign", str(source_file), "--sections", "nonsense",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
