@@ -13,10 +13,19 @@ from repro.linker.program import Program
 
 
 def leader_flags(program: Program) -> list[bool]:
-    """``flags[i]`` is True when instruction ``i`` starts a basic block."""
+    """``flags[i]`` is True when instruction ``i`` starts a basic block.
+
+    Cached on the program (see ``Program._analysis_cache``): block
+    structure is a pure function of the immutable text section, and
+    experiment sweeps ask for it once per encoding configuration.
+    """
+    cached = program._analysis_cache.get("leader_flags")
+    if cached is not None:
+        return cached
     n = len(program.text)
     flags = [False] * n
     if n == 0:
+        program._analysis_cache["leader_flags"] = flags
         return flags
     flags[0] = True
     flags[program.entry_index] = True
@@ -29,11 +38,15 @@ def leader_flags(program: Program) -> list[bool]:
             previous_function = ti.function
         if ti.instruction.spec.is_branch and index + 1 < n:
             flags[index + 1] = True
+    program._analysis_cache["leader_flags"] = flags
     return flags
 
 
 def block_ranges(program: Program) -> list[tuple[int, int]]:
     """Half-open [start, end) index ranges of the basic blocks."""
+    cached = program._analysis_cache.get("block_ranges")
+    if cached is not None:
+        return cached
     flags = leader_flags(program)
     ranges = []
     start = 0
@@ -43,13 +56,19 @@ def block_ranges(program: Program) -> list[tuple[int, int]]:
             start = index
     if flags:
         ranges.append((start, len(flags)))
+    program._analysis_cache["block_ranges"] = ranges
     return ranges
 
 
 def block_id_map(program: Program) -> list[int]:
-    """``block_of[i]`` = id of the basic block containing instruction i."""
+    """``block_of[i]`` = id of the basic block containing instruction i
+    (cached per program, like :func:`leader_flags`)."""
+    cached = program._analysis_cache.get("block_id_map")
+    if cached is not None:
+        return cached
     block_of = [0] * len(program.text)
     for block_id, (start, end) in enumerate(block_ranges(program)):
         for index in range(start, end):
             block_of[index] = block_id
+    program._analysis_cache["block_id_map"] = block_of
     return block_of

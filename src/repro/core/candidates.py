@@ -9,12 +9,33 @@ A candidate dictionary entry is a run of instructions that
 Branch targets are always basic-block leaders, so an occurrence can
 only *start* at a branch target — branches into the middle of encoded
 sequences cannot arise (section 3.2 restriction).
+
+Two enumerators exist:
+
+* :func:`enumerate_candidates_reference` — the original O(n·L)
+  walk that materializes one words-tuple per (position, length) pair.
+  It stays as the oracle for the fast path's golden-equivalence tests.
+* :func:`enumerate_candidates` — the production path, backed by an
+  interned :class:`CandidateStore`: sequences get small integer ids
+  (sids) and are grown level by level, one instruction at a time, so a
+  length-``L`` sequence is interned as ``(parent sid, next word)``
+  instead of re-hashing an ``L``-tuple at every occurrence.  Only
+  sequences with >= 2 occurrences are extended (a prefix that occurs
+  once cannot have a repeated extension), which prunes the huge tail of
+  unique sequences before their tuples ever exist.  Occurrence lists
+  are kept as compact ``array('i')`` position arrays.
+
+The store is cached on the program (``Program._analysis_cache``), so
+experiment sweeps that compress the same program under many encodings
+pay enumeration once.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.basic_blocks import block_id_map
 from repro.linker.program import Program
 
@@ -36,15 +57,168 @@ def compressible_flags(program: Program) -> list[bool]:
     return [not ti.is_relative_branch for ti in program.text]
 
 
+# Byte-level equivalent of ``compressible_flags``: the PC-relative
+# branches (b/bl primary opcode 18, bc/bcl primary opcode 16) are the
+# only excluded instructions, and the primary opcode is the top 6 bits
+# of the word — i.e. bits 7..2 of the first big-endian byte.  Mapping
+# the first byte of each word through this table yields the flags at
+# memchr speed instead of a Python attribute walk per instruction.
+_ALLOWED_TABLE = bytes(0 if (byte >> 2) in (16, 18) else 1 for byte in range(256))
+
+
+class CandidateStore:
+    """Interned index of every repeated candidate sequence.
+
+    Parallel per-sid arrays:
+
+    * ``seq_words[sid]`` — the words tuple (built once, at interning);
+    * ``occ[sid]`` — sorted start positions, as a compact ``array('i')``;
+    * ``lengths[sid]`` — sequence length in instructions.
+
+    sids are assigned level-major (all length-1 sequences first, then
+    length-2, ...), and within one level in first-occurrence order.
+
+    ``lex_rank[sid]`` is the sid's rank under lexicographic words-tuple
+    order.  Sequences are unique, so the map is a strictly
+    order-preserving bijection: comparing two lex_ranks is equivalent
+    to comparing the words tuples themselves, which lets the greedy
+    heap tie-break on a single int.
+    """
+
+    __slots__ = ("n", "max_entry_len", "seq_words", "occ", "lengths", "lex_rank")
+
+    def __init__(self, program: Program, max_entry_len: int = 4) -> None:
+        words = program.words()
+        n = len(words)
+        self.n = n
+        self.max_entry_len = max_entry_len
+        blocks = block_id_map(program)
+        flags = program.text_bytes()[0::4].translate(_ALLOWED_TABLE)
+
+        # run[i]: length of the maximal candidate-eligible run starting
+        # at i (same block, no relative branch), computed right-to-left.
+        run = [0] * n
+        next_run = 0
+        next_block = -1
+        for i in range(n - 1, -1, -1):
+            if flags[i]:
+                block = blocks[i]
+                length = next_run + 1 if block == next_block and next_run else 1
+                run[i] = length
+                next_run = length
+                next_block = block
+            else:
+                next_run = 0
+                next_block = -1
+
+        seq_words: list[tuple[int, ...]] = []
+        occ: list[list[int]] = []
+        lengths: list[int] = []
+
+        # Level 1: group eligible positions by word.
+        groups: dict[int, list[int]] = {}
+        for i in range(n):
+            if flags[i]:
+                word = words[i]
+                try:
+                    groups[word].append(i)
+                except KeyError:
+                    groups[word] = [i]
+        level: list[tuple[int, list[int]]] = []
+        for word, positions in groups.items():
+            if len(positions) >= 2:
+                sid = len(seq_words)
+                seq_words.append((word,))
+                occ.append(positions)
+                lengths.append(1)
+                level.append((sid, positions))
+
+        # Level L: extend each surviving level-(L-1) sequence by the word
+        # that follows it, keyed by the interned (sid, word) pair packed
+        # into one int.  Positions stay sorted because each parent's list
+        # is walked in order and dicts preserve insertion order.
+        for entry_len in range(2, max_entry_len + 1):
+            if not level:
+                break
+            offset = entry_len - 1
+            extensions: dict[int, list[int]] = {}
+            for sid, positions in level:
+                base = sid << 32
+                for p in positions:
+                    if run[p] >= entry_len:
+                        key = base | words[p + offset]
+                        try:
+                            extensions[key].append(p)
+                        except KeyError:
+                            extensions[key] = [p]
+            level = []
+            for key, positions in extensions.items():
+                if len(positions) >= 2:
+                    sid = len(seq_words)
+                    parent = key >> 32
+                    seq_words.append(
+                        seq_words[parent] + (words[positions[0] + offset],)
+                    )
+                    occ.append(positions)
+                    lengths.append(entry_len)
+                    level.append((sid, positions))
+
+        self.seq_words = seq_words
+        self.occ = [array("i", positions) for positions in occ]
+        self.lengths = lengths
+        lex_rank = [0] * len(seq_words)
+        for rank, sid in enumerate(
+            sorted(range(len(seq_words)), key=seq_words.__getitem__)
+        ):
+            lex_rank[sid] = rank
+        self.lex_rank = lex_rank
+
+    def __len__(self) -> int:
+        return len(self.seq_words)
+
+
+def candidate_store(program: Program, max_entry_len: int = 4) -> CandidateStore:
+    """The program's :class:`CandidateStore`, built once and cached."""
+    cache = program._analysis_cache
+    key = ("candidate_store", max_entry_len)
+    store = cache.get(key)
+    if store is None:
+        with observe.stage("enumerate_candidates"):
+            store = CandidateStore(program, max_entry_len)
+        observe.metric("candidates.count", len(store))
+        cache[key] = store
+    return store
+
+
 def enumerate_candidates(
     program: Program, max_entry_len: int = 4
 ) -> dict[tuple[int, ...], Candidate]:
     """Map sequence words -> candidate with all occurrence positions.
 
-    Only sequences occurring at least twice, plus single instructions
-    occurring at least twice, are kept (a unique sequence can never
-    save space: codeword + dictionary entry >= original).
+    Only sequences occurring at least twice are kept (a unique sequence
+    can never save space: codeword + dictionary entry >= original).
+
+    Backed by the interned :class:`CandidateStore`; insertion order
+    matches :func:`enumerate_candidates_reference` exactly — sorted by
+    (first occurrence position, length), which is the order the
+    reference walk first sees each repeated sequence — so order-
+    sensitive consumers (tie-breaks in ``ext_shared_dict`` and the
+    optimal-selection pool) are unaffected.
     """
+    store = candidate_store(program, max_entry_len)
+    occ = store.occ
+    lengths = store.lengths
+    order = sorted(range(len(store)), key=lambda sid: (occ[sid][0], lengths[sid]))
+    return {
+        store.seq_words[sid]: Candidate(store.seq_words[sid], list(occ[sid]))
+        for sid in order
+    }
+
+
+def enumerate_candidates_reference(
+    program: Program, max_entry_len: int = 4
+) -> dict[tuple[int, ...], Candidate]:
+    """The original tuple-materializing enumerator (equivalence oracle)."""
     words = program.words()
     blocks = block_id_map(program)
     allowed = compressible_flags(program)

@@ -102,11 +102,15 @@ class Compressor:
         max_entry_len: int = 4,
         max_codewords: int | None = None,
         position_weights: list[int] | None = None,
+        greedy_implementation: str = "fast",
     ) -> None:
         self.encoding = encoding or BaselineEncoding()
         self.max_entry_len = max_entry_len
         self.max_codewords = max_codewords
         self.position_weights = position_weights
+        # "fast" or "reference" — both produce byte-identical images;
+        # "reference" exists for golden-equivalence checks and benchmarks.
+        self.greedy_implementation = greedy_implementation
 
     def compress(self, program: Program) -> CompressedProgram:
         encoding = self.encoding
@@ -117,6 +121,7 @@ class Compressor:
                 max_entry_len=self.max_entry_len,
                 max_codewords=self.max_codewords,
                 position_weights=self.position_weights,
+                implementation=self.greedy_implementation,
             )
         with observe.stage("tokenize"):
             tokens = build_tokens(program, greedy, greedy.dictionary)

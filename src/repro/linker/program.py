@@ -86,6 +86,13 @@ class Program:
     _words_cache: list[int] | None = field(
         init=False, repr=False, compare=False, default=None
     )
+    # Scratch space for derived per-program analyses (basic-block maps,
+    # the candidate store).  Keyed by the producing module; valid for the
+    # same reason words() may be cached: a linked Program's text is never
+    # mutated in place (transformations build new Programs).
+    _analysis_cache: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def words(self) -> list[int]:
         """The 32-bit instruction words of .text, in order (cached —

@@ -76,11 +76,14 @@ class CompressedSimulator:
             data_image = image.data_image
         self.compressed = compressed
         self.max_steps = max_steps
+        # The indexed decode is shared through the process-wide decode
+        # cache: constructing many simulators over the same image (e.g.
+        # differential verification, benchmark repeats) decodes the
+        # stream once.  Both structures are read-only here.
         decoder = StreamDecoder(stream, dictionary, encoding, total_units)
-        self.items: list[FetchItem] = decoder.decode_all()
-        self.item_at_address: dict[int, int] = {
-            item.address: index for index, item in enumerate(self.items)
-        }
+        self.items: tuple[FetchItem, ...]
+        self.item_at_address: dict[int, int]
+        self.items, self.item_at_address = decoder.decode_all_indexed()
         # Unit address -> original instruction index, when provenance is
         # available (in-memory compressor results keep it; standalone
         # images do not).  repro.verify uses this to map failures back

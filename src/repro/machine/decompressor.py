@@ -23,13 +23,26 @@ Two decode modes exist:
   decoding resynchronizes one alignment unit later, bounded by
   ``max_diagnostics`` so a corrupt header can never make the walk
   unbounded.
+
+Strict decodes are memoized in a process-wide :class:`DecodeCache`
+keyed by the image content (stream bytes, dictionary words, encoding,
+unit count): verification reruns, repeated simulator constructions, and
+benchmark sweeps over the same image decode the stream once instead of
+once per consumer.  Hit/miss counts are surfaced through
+:func:`repro.observe.metric` (``decode_cache.hits`` / ``.misses``) and
+:func:`decode_cache_stats`.  Lenient decodes are never cached — their
+whole point is to re-walk a possibly-corrupt stream and collect
+diagnostics.
 """
 
 from __future__ import annotations
 
+import hashlib
+from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro import bitutils
+from repro import bitutils, observe
 from repro.core.dictionary import Dictionary
 from repro.core.encodings import Encoding
 from repro.errors import DecodingError, DecompressionError
@@ -57,6 +70,108 @@ class DecodeDiagnostic:
 
     unit_address: int
     message: str
+
+
+def _encoding_token(encoding: Encoding) -> tuple:
+    """A hashable identity for an encoding's decode behavior."""
+    token: tuple = (
+        type(encoding).__name__,
+        encoding.name,
+        encoding.alignment_bits,
+        encoding.instruction_bits,
+        getattr(encoding, "max_codewords", None),
+    )
+    allocation = getattr(encoding, "allocation", None)
+    if allocation is not None:
+        token += (tuple(sorted(allocation.items())),)
+    return token
+
+
+class DecodeCache:
+    """LRU cache of successful strict decode passes.
+
+    Values are ``(items, item_at_address)`` — an immutable tuple of
+    :class:`FetchItem` plus the unit-address index over it.  Both are
+    shared between consumers, which is safe because a strict decode of
+    a given image content is deterministic and the items are frozen;
+    the index dict must be treated as read-only by callers.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[
+            str, tuple[tuple[FetchItem, ...], dict[int, int]]
+        ] = OrderedDict()
+
+    @staticmethod
+    def content_key(
+        stream: bytes, dictionary: Dictionary, encoding: Encoding, total_units: int
+    ) -> str:
+        """Digest of everything a strict decode depends on."""
+        entries = dictionary.entries
+        lengths = array("I", [len(entry.words) for entry in entries])
+        words = array("I", [w for entry in entries for w in entry.words])
+        hasher = hashlib.sha256()
+        hasher.update(repr((_encoding_token(encoding), total_units)).encode())
+        hasher.update(lengths.tobytes())
+        hasher.update(words.tobytes())
+        hasher.update(stream)
+        return hasher.hexdigest()
+
+    def lookup(self, key: str) -> tuple[tuple[FetchItem, ...], dict[int, int]] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            observe.metric("decode_cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        observe.metric("decode_cache.hits")
+        return entry
+
+    def store(
+        self, key: str, items: tuple[FetchItem, ...], index: dict[int, int]
+    ) -> None:
+        self._entries[key] = (items, index)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_decode_cache = DecodeCache()
+_decode_cache_enabled = True
+
+
+def decode_cache_stats() -> dict[str, int]:
+    """Process-wide decode-cache counters (for tests and `repro-bench`)."""
+    return {
+        "hits": _decode_cache.hits,
+        "misses": _decode_cache.misses,
+        "entries": len(_decode_cache),
+    }
+
+
+def clear_decode_cache() -> None:
+    """Drop all cached decodes and reset the counters."""
+    _decode_cache.clear()
+
+
+def set_decode_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable the cache process-wide; returns the previous state."""
+    global _decode_cache_enabled
+    previous = _decode_cache_enabled
+    _decode_cache_enabled = enabled
+    return previous
 
 
 class StreamDecoder:
@@ -134,7 +249,43 @@ class StreamDecoder:
         )
 
     def decode_all(self) -> list[FetchItem]:
-        """Decode the full stream into items with unit addresses."""
+        """Decode the full stream into items with unit addresses.
+
+        Strict decodes are served from the process-wide
+        :class:`DecodeCache` when the same image content was decoded
+        before; the returned list is a fresh copy either way.
+        """
+        if self.strict and _decode_cache_enabled:
+            return list(self.decode_all_indexed()[0])
+        return self._walk_stream()
+
+    def decode_all_indexed(
+        self,
+    ) -> tuple[tuple[FetchItem, ...], dict[int, int]]:
+        """Strict decode returning ``(items, unit_address -> index)``.
+
+        Both structures may be shared with other consumers via the
+        decode cache — treat them as read-only.  Only available in
+        strict mode (lenient walks are never cached; their item lists
+        depend on diagnostic state).
+        """
+        if not self.strict:
+            raise ValueError("decode_all_indexed requires a strict decoder")
+        key = None
+        if _decode_cache_enabled:
+            key = DecodeCache.content_key(
+                self.stream, self.dictionary, self.encoding, self.total_units
+            )
+            cached = _decode_cache.lookup(key)
+            if cached is not None:
+                return cached
+        items = tuple(self._walk_stream())
+        index = {item.address: i for i, item in enumerate(items)}
+        if key is not None:
+            _decode_cache.store(key, items, index)
+        return items, index
+
+    def _walk_stream(self) -> list[FetchItem]:
         reader = bitutils.BitReader(self.stream)
         items: list[FetchItem] = []
         address = 0

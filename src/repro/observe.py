@@ -1,4 +1,4 @@
-"""Stage-timing hooks for pipeline instrumentation.
+"""Stage-timing and metric hooks for pipeline instrumentation.
 
 The library's hot paths (:mod:`repro.compiler.driver`,
 :mod:`repro.core.compressor`) wrap their phases in
@@ -11,17 +11,37 @@ and receives ``(stage_name, seconds)`` for every instrumented block.
 
 Stage names currently emitted:
 
-==================  ================================================
-name                where
-==================  ================================================
-``compile``         :func:`repro.compiler.driver.compile_and_link`
-``link``            :func:`repro.compiler.driver.compile_and_link`
-``dict_build``      :meth:`repro.core.compressor.Compressor.compress`
-``tokenize``        :meth:`repro.core.compressor.Compressor.compress`
-``branch_patch``    :meth:`repro.core.compressor.Compressor.compress`
-``serialize``       :meth:`repro.core.compressor.Compressor.compress`
-``jump_tables``     :meth:`repro.core.compressor.Compressor.compress`
-==================  ================================================
+=========================  ================================================
+name                       where
+=========================  ================================================
+``compile``                :func:`repro.compiler.driver.compile_and_link`
+``link``                   :func:`repro.compiler.driver.compile_and_link`
+``dict_build``             :meth:`repro.core.compressor.Compressor.compress`
+``tokenize``               :meth:`repro.core.compressor.Compressor.compress`
+``branch_patch``           :meth:`repro.core.compressor.Compressor.compress`
+``serialize``              :meth:`repro.core.compressor.Compressor.compress`
+``jump_tables``            :meth:`repro.core.compressor.Compressor.compress`
+``enumerate_candidates``   :func:`repro.core.candidates.enumerate_candidates`
+                           (nested inside ``build_dictionary``)
+``build_dictionary``       :func:`repro.core.greedy.build_dictionary`
+                           (nested inside ``dict_build``)
+=========================  ================================================
+
+A second, parallel channel carries *point metrics* — named integer
+observations that are counts rather than durations (candidates
+enumerated, decode-cache hits).  Hot paths report them through
+:func:`metric`; with no callback installed the call is a cheap early
+return.  :meth:`MetricsRegistry.install` routes them into counters.
+
+Metric names currently emitted:
+
+=========================  ================================================
+name                       where
+=========================  ================================================
+``candidates.count``       :func:`repro.core.candidates.enumerate_candidates`
+``decode_cache.hits``      :meth:`repro.machine.decompressor.StreamDecoder`
+``decode_cache.misses``    :meth:`repro.machine.decompressor.StreamDecoder`
+=========================  ================================================
 """
 
 from __future__ import annotations
@@ -31,8 +51,10 @@ from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 
 StageCallback = Callable[[str, float], None]
+MetricCallback = Callable[[str, int], None]
 
 _callback: StageCallback | None = None
+_metric_callback: MetricCallback | None = None
 
 
 def set_stage_callback(callback: StageCallback | None) -> StageCallback | None:
@@ -49,6 +71,29 @@ def set_stage_callback(callback: StageCallback | None) -> StageCallback | None:
 
 def get_stage_callback() -> StageCallback | None:
     return _callback
+
+
+def set_metric_callback(callback: MetricCallback | None) -> MetricCallback | None:
+    """Install a point-metric callback (or ``None``); returns the old one.
+
+    Like :func:`set_stage_callback`, this is process-wide and temporary
+    installers should restore the previous value.
+    """
+    global _metric_callback
+    previous = _metric_callback
+    _metric_callback = callback
+    return previous
+
+
+def get_metric_callback() -> MetricCallback | None:
+    return _metric_callback
+
+
+def metric(name: str, value: int = 1) -> None:
+    """Report one named count observation if a callback is installed."""
+    callback = _metric_callback
+    if callback is not None:
+        callback(name, value)
 
 
 @contextmanager

@@ -1,0 +1,30 @@
+"""Performance measurement for the compression pipeline.
+
+:mod:`repro.perf.bench` drives timed sweeps over the workload suite —
+dictionary construction (fast vs reference), full compression with
+per-stage breakdowns from the :mod:`repro.observe` hooks, stream
+decoding (cold vs decode-cache warm), and bounded simulation — and
+emits the machine-readable ``BENCH_compression.json`` trajectory file
+consumed by the CI regression guard.  The ``repro-bench`` CLI
+(:mod:`repro.tools.bench_cli`) is the front end.
+"""
+
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    SCHEMA,
+    check_regression,
+    load_baseline,
+    merge_baseline,
+    run_bench,
+    run_key,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "SCHEMA",
+    "check_regression",
+    "load_baseline",
+    "merge_baseline",
+    "run_bench",
+    "run_key",
+]

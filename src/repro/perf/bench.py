@@ -1,0 +1,342 @@
+"""The ``repro-bench`` measurement harness.
+
+One *run* times, per (program, encoding):
+
+* ``dict_fast`` / ``dict_reference`` — end-to-end dictionary
+  construction (candidate enumeration + greedy selection), best of
+  ``repeats``, for the production fast path and for
+  :func:`~repro.core.greedy.greedy_reference`.  The fast path is also
+  timed *cold* (per-program candidate store evicted first), since the
+  store is shared across an encoding sweep in any real workload;
+* ``compress`` — the full pipeline through
+  :class:`~repro.core.compressor.Compressor`, with the per-stage wall
+  times captured from the :mod:`repro.observe` stage hooks;
+* ``decode`` — walking the serialized stream into fetch items, cold
+  (decode cache cleared) and warm (served from the cache);
+* ``simulate`` — a bounded execution of the compressed image,
+  reporting instructions issued per second.
+
+Every fast-path measurement is gated on **byte-identical output**: the
+greedy results and the serialized images of the fast and reference
+pipelines are compared and the verdict recorded in the JSON
+(``identical_greedy`` / ``identical_image``).
+
+Results nest under a :func:`run_key` derived from the configuration
+(programs, scale, encodings), so one committed ``BENCH_compression.json``
+holds both the full-suite trajectory and the CI smoke configuration;
+:func:`check_regression` compares same-key runs and powers the CI
+``bench-smoke`` guard.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.compressor import Compressor
+from repro.core.encodings import Encoding, make_encoding
+from repro.core.greedy import build_dictionary, greedy_reference
+from repro.errors import ReproError, SimulationError
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.decompressor import (
+    StreamDecoder,
+    clear_decode_cache,
+    decode_cache_stats,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import run_batch
+from repro.workloads import build_benchmark
+
+BENCH_FILENAME = "BENCH_compression.json"
+SCHEMA = 1
+
+DEFAULT_ENCODINGS = ("nibble", "baseline", "onebyte")
+
+
+def run_key(programs: list[str], scale: float, encodings: list[str]) -> str:
+    """Stable key for one benchmark configuration."""
+    return (
+        f"programs={','.join(sorted(programs))};scale={scale:g};"
+        f"encodings={','.join(encodings)}"
+    )
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _same_greedy(a, b) -> bool:
+    return (
+        a.dictionary.entries == b.dictionary.entries
+        and a.replacements == b.replacements
+        and a.step_savings_bits == b.step_savings_bits
+    )
+
+
+def _evict_program_caches(program) -> None:
+    """Drop the per-program candidate store and block maps (cold runs)."""
+    program._analysis_cache.clear()
+
+
+def _bench_encoding(
+    program,
+    encoding: Encoding,
+    *,
+    repeats: int,
+    simulate: bool,
+    simulate_steps: int,
+) -> dict:
+    result: dict = {}
+
+    # Dictionary construction: fast (cold + warm) vs reference.
+    _evict_program_caches(program)
+    result["dict_fast_cold_seconds"] = _best(
+        lambda: build_dictionary(program, encoding), 1
+    )
+    result["dict_fast_seconds"] = _best(
+        lambda: build_dictionary(program, encoding), repeats
+    )
+    result["dict_reference_seconds"] = _best(
+        lambda: greedy_reference(program, encoding), repeats
+    )
+    result["dict_speedup"] = (
+        result["dict_reference_seconds"] / result["dict_fast_seconds"]
+        if result["dict_fast_seconds"] > 0
+        else float("inf")
+    )
+    fast_greedy = build_dictionary(program, encoding)
+    ref_greedy = greedy_reference(program, encoding)
+    result["identical_greedy"] = _same_greedy(fast_greedy, ref_greedy)
+
+    # Full pipeline, with the observe stage breakdown from one cold run
+    # (caches evicted so candidate enumeration shows up in the stage
+    # timers) and the headline wall time as best-of-repeats.
+    _evict_program_caches(program)
+    compressor = Compressor(encoding=encoding)
+    registry = MetricsRegistry()
+    with registry.installed():
+        start = time.perf_counter()
+        compressed = compressor.compress(program)
+        single_wall = time.perf_counter() - start
+    result["compress_seconds"] = min(
+        single_wall,
+        _best(lambda: compressor.compress(program), max(repeats - 1, 0))
+        if repeats > 1
+        else single_wall,
+    )
+    snapshot = registry.as_dict()
+    result["stage_seconds"] = {
+        name.removeprefix("stage."): data["total_seconds"]
+        for name, data in snapshot["timers"].items()
+    }
+    result["candidates_count"] = snapshot["counters"].get("candidates.count", 0)
+
+    # Byte-identical image gate for the fast greedy path.
+    reference_image = Compressor(
+        encoding=encoding, greedy_implementation="reference"
+    ).compress(program)
+    result["identical_image"] = (
+        compressed.stream == reference_image.stream
+        and compressed.dictionary.entries == reference_image.dictionary.entries
+        and bytes(compressed.data_image) == bytes(reference_image.data_image)
+    )
+    result["original_bytes"] = compressed.original_bytes
+    result["compressed_bytes"] = compressed.compressed_bytes
+    result["compression_ratio"] = compressed.compression_ratio
+
+    # Stream decode: cold, then served by the decode cache.
+    total_units = compressed.total_units()
+
+    def decode_once():
+        StreamDecoder(
+            compressed.stream, compressed.dictionary, encoding, total_units
+        ).decode_all_indexed()
+
+    clear_decode_cache()
+    result["decode_cold_seconds"] = _best(decode_once, 1)
+    result["decode_warm_seconds"] = _best(decode_once, repeats)
+    result["decode_cache"] = decode_cache_stats()
+
+    if simulate:
+        simulator = CompressedSimulator(compressed, max_steps=simulate_steps)
+        start = time.perf_counter()
+        try:
+            simulator.run()
+        except SimulationError:
+            pass  # hit the step bound — expected for a timing probe
+        seconds = time.perf_counter() - start
+        issued = simulator.stats.instructions_issued
+        result["simulate_seconds"] = seconds
+        result["simulate_instructions"] = issued
+        result["simulate_insn_per_second"] = issued / seconds if seconds else 0.0
+    return result
+
+
+def _bench_workers(
+    programs: list[str], scale: float, encodings: list[str], workers: int
+) -> dict:
+    """Parallel sweep over the same configuration via the service pool."""
+    from repro.service.jobs import ENCODING_NAMES, CompressionJob
+
+    jobs = [
+        CompressionJob(benchmark=name, scale=scale, encoding=enc, verify="none")
+        for name in programs
+        for enc in encodings
+        if enc in ENCODING_NAMES
+    ]
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    results = run_batch(jobs, processes=workers, metrics=registry)
+    wall = time.perf_counter() - start
+    snapshot = registry.as_dict()
+    return {
+        "workers": workers,
+        "jobs": len(jobs),
+        "failed": sum(1 for r in results if not r.ok),
+        "wall_seconds": wall,
+        "job_wall_seconds": [round(r.wall_seconds, 6) for r in results],
+        "stage_seconds": {
+            name.removeprefix("stage."): data["total_seconds"]
+            for name, data in snapshot["timers"].items()
+            if name.startswith("stage.")
+        },
+    }
+
+
+def run_bench(
+    programs: list[str],
+    scale: float = 1.0,
+    encodings: list[str] | None = None,
+    *,
+    repeats: int = 3,
+    workers: int = 0,
+    simulate: bool = True,
+    simulate_steps: int = 200_000,
+) -> dict:
+    """Measure one configuration; returns the run document."""
+    encodings = list(encodings or DEFAULT_ENCODINGS)
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    run_start = time.perf_counter()
+    program_docs: dict[str, dict] = {}
+    for name in programs:
+        start = time.perf_counter()
+        program = build_benchmark(name, scale)
+        compile_seconds = time.perf_counter() - start
+        doc: dict = {
+            "instructions": len(program.text),
+            "compile_seconds": compile_seconds,
+            "encodings": {},
+        }
+        for encoding_name in encodings:
+            encoding = make_encoding(encoding_name)
+            doc["encodings"][encoding_name] = _bench_encoding(
+                program,
+                encoding,
+                repeats=repeats,
+                simulate=simulate,
+                simulate_steps=simulate_steps,
+            )
+        program_docs[name] = doc
+
+    largest = max(program_docs, key=lambda n: program_docs[n]["instructions"])
+    largest_speedups = [
+        enc_doc["dict_speedup"]
+        for enc_doc in program_docs[largest]["encodings"].values()
+    ]
+    all_speedups = [
+        enc_doc["dict_speedup"]
+        for doc in program_docs.values()
+        for enc_doc in doc["encodings"].values()
+    ]
+    all_identical = all(
+        enc_doc["identical_greedy"] and enc_doc["identical_image"]
+        for doc in program_docs.values()
+        for enc_doc in doc["encodings"].values()
+    )
+    run_doc = {
+        "config": {
+            "programs": list(programs),
+            "scale": scale,
+            "encodings": encodings,
+            "repeats": repeats,
+            "simulate": simulate,
+            "simulate_steps": simulate_steps,
+        },
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "programs": program_docs,
+        "aggregate": {
+            "largest_program": largest,
+            "dict_speedup_largest": min(largest_speedups),
+            "dict_speedup_min": min(all_speedups),
+            "dict_speedup_max": max(all_speedups),
+            "identical_everywhere": all_identical,
+            "wall_seconds": time.perf_counter() - run_start,
+        },
+    }
+    if workers > 0:
+        run_doc["workers"] = _bench_workers(programs, scale, encodings, workers)
+    return run_doc
+
+
+# ----------------------------------------------------------------------
+# Baseline file handling and the regression guard.
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> dict:
+    """Read a ``BENCH_compression.json`` document (``{}`` shell if empty)."""
+    path = Path(path)
+    if not path.exists() or not path.read_text().strip():
+        return {"schema": SCHEMA, "runs": {}}
+    document = json.loads(path.read_text())
+    if document.get("schema") != SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported bench schema {document.get('schema')!r}"
+        )
+    return document
+
+
+def merge_baseline(document: dict, key: str, run_doc: dict) -> dict:
+    """Insert/replace one run under ``key``; returns the document."""
+    document.setdefault("schema", SCHEMA)
+    document.setdefault("runs", {})[key] = run_doc
+    return document
+
+
+def check_regression(
+    current: dict, baseline: dict, *, factor: float = 2.0
+) -> list[str]:
+    """Compare a run against its same-key baseline run.
+
+    Returns human-readable violations for every (program, encoding)
+    whose ``compress_seconds`` exceeds ``factor`` × the baseline value.
+    Entries missing from the baseline are skipped — a new program or
+    encoding cannot regress.
+    """
+    violations = []
+    for name, doc in current.get("programs", {}).items():
+        base_doc = baseline.get("programs", {}).get(name)
+        if base_doc is None:
+            continue
+        for encoding_name, enc_doc in doc.get("encodings", {}).items():
+            base_enc = base_doc.get("encodings", {}).get(encoding_name)
+            if base_enc is None:
+                continue
+            current_s = enc_doc.get("compress_seconds")
+            base_s = base_enc.get("compress_seconds")
+            if current_s is None or not base_s:
+                continue
+            if current_s > factor * base_s:
+                violations.append(
+                    f"{name}/{encoding_name}: compress {current_s:.4f}s > "
+                    f"{factor:g}x baseline {base_s:.4f}s"
+                )
+    return violations

@@ -106,6 +106,7 @@ class MetricsRegistry:
         self._timers: dict[str, Timer] = {}
         self._histograms: dict[str, Histogram] = {}
         self._previous_callback: observe.StageCallback | None = None
+        self._previous_metric_callback: observe.MetricCallback | None = None
         self._installed = False
 
     # -- instrument accessors (create on first use) --------------------
@@ -122,21 +123,29 @@ class MetricsRegistry:
 
     # -- pipeline stage hook -------------------------------------------
     def install(self, prefix: str = "stage.") -> None:
-        """Route :mod:`repro.observe` stage marks into ``<prefix><name>``
-        timers until :meth:`uninstall`."""
+        """Route :mod:`repro.observe` hooks into this registry until
+        :meth:`uninstall`: stage marks become ``<prefix><name>`` timers,
+        point metrics (``candidates.count``, ``decode_cache.hits``, ...)
+        become counters under their own names."""
         if self._installed:
             return
 
         def record(name: str, seconds: float) -> None:
             self.timer(prefix + name).observe(seconds)
 
+        def count(name: str, value: int) -> None:
+            self.counter(name).inc(value)
+
         self._previous_callback = observe.set_stage_callback(record)
+        self._previous_metric_callback = observe.set_metric_callback(count)
         self._installed = True
 
     def uninstall(self) -> None:
         if self._installed:
             observe.set_stage_callback(self._previous_callback)
+            observe.set_metric_callback(self._previous_metric_callback)
             self._previous_callback = None
+            self._previous_metric_callback = None
             self._installed = False
 
     @contextmanager

@@ -1,0 +1,216 @@
+"""``repro-bench``: the performance measurement CLI.
+
+Times the compression pipeline over the workload suite — dictionary
+construction fast-path vs :func:`~repro.core.greedy.greedy_reference`,
+the full compress with per-stage breakdown, stream decode cold vs
+decode-cache warm, and bounded simulation — and writes the results into
+``BENCH_compression.json`` keyed by configuration.
+
+Examples::
+
+    repro-bench --suite                        # full suite, scale 1.0
+    repro-bench -b compress -b li --scale 0.3  # CI smoke configuration
+    repro-bench --suite --workers 4            # add a pool-throughput sweep
+    repro-bench -b compress -b li --scale 0.3 --baseline BENCH_compression.json
+
+With ``--baseline`` the fresh run is compared against the same-key run
+in the given file; any (program, encoding) whose compress wall time
+exceeds ``--guard-factor`` (default 2.0) times the baseline makes the
+command exit with status 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    DEFAULT_ENCODINGS,
+    check_regression,
+    load_baseline,
+    merge_baseline,
+    run_bench,
+    run_key,
+)
+from repro.workloads import BENCHMARK_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the compression pipeline and guard against regressions.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--suite",
+        action="store_true",
+        help="benchmark every program in the suite",
+    )
+    group.add_argument(
+        "-b",
+        "--benchmark",
+        action="append",
+        choices=BENCHMARK_NAMES,
+        metavar="NAME",
+        help=f"benchmark to measure (repeatable; one of {', '.join(BENCHMARK_NAMES)})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="workload scale factor (default 1.0)"
+    )
+    parser.add_argument(
+        "--encodings",
+        default=",".join(DEFAULT_ENCODINGS),
+        help="comma-separated encodings to measure (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repetitions per timing (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also run the configuration through the service pool with N workers",
+    )
+    parser.add_argument(
+        "--simulate-steps",
+        type=int,
+        default=200_000,
+        help="control-flow step bound for the simulation probe (default 200000)",
+    )
+    parser.add_argument(
+        "--no-simulate",
+        action="store_true",
+        help="skip the simulation probe",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=BENCH_FILENAME,
+        help="JSON trajectory file to update (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and report only; do not update the output file",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="existing bench JSON to compare against (regression guard)",
+    )
+    parser.add_argument(
+        "--guard-factor",
+        type=float,
+        default=2.0,
+        help="fail if compress time exceeds FACTOR x baseline (default 2.0)",
+    )
+    return parser
+
+
+def _print_run(key: str, run_doc: dict) -> None:
+    print(f"run: {key}")
+    header = (
+        f"{'program':<10} {'encoding':<9} {'insns':>7} {'dict fast':>10} "
+        f"{'dict ref':>10} {'speedup':>8} {'compress':>9} {'decode warm':>11} "
+        f"{'ratio':>6} {'identical':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, doc in run_doc["programs"].items():
+        for encoding_name, enc in doc["encodings"].items():
+            identical = enc["identical_greedy"] and enc["identical_image"]
+            print(
+                f"{name:<10} {encoding_name:<9} {doc['instructions']:>7} "
+                f"{enc['dict_fast_seconds'] * 1e3:>8.2f}ms "
+                f"{enc['dict_reference_seconds'] * 1e3:>8.2f}ms "
+                f"{enc['dict_speedup']:>7.2f}x "
+                f"{enc['compress_seconds'] * 1e3:>7.1f}ms "
+                f"{enc['decode_warm_seconds'] * 1e6:>9.1f}us "
+                f"{enc['compression_ratio']:>6.3f} "
+                f"{'yes' if identical else 'NO':>9}"
+            )
+    aggregate = run_doc["aggregate"]
+    print(
+        f"largest program: {aggregate['largest_program']} "
+        f"(dictionary speedup {aggregate['dict_speedup_largest']:.2f}x); "
+        f"suite speedup range {aggregate['dict_speedup_min']:.2f}x"
+        f"-{aggregate['dict_speedup_max']:.2f}x; "
+        f"byte-identical everywhere: "
+        f"{'yes' if aggregate['identical_everywhere'] else 'NO'}"
+    )
+    workers_doc = run_doc.get("workers")
+    if workers_doc:
+        print(
+            f"pool: {workers_doc['jobs']} jobs / {workers_doc['workers']} workers "
+            f"in {workers_doc['wall_seconds']:.2f}s "
+            f"({workers_doc['failed']} failed)"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    programs = list(BENCHMARK_NAMES) if args.suite else list(args.benchmark)
+    encodings = [name.strip() for name in args.encodings.split(",") if name.strip()]
+
+    try:
+        run_doc = run_bench(
+            programs,
+            args.scale,
+            encodings,
+            repeats=args.repeats,
+            workers=args.workers,
+            simulate=not args.no_simulate,
+            simulate_steps=args.simulate_steps,
+        )
+        key = run_key(programs, args.scale, encodings)
+        _print_run(key, run_doc)
+
+        status = 0
+        if args.baseline:
+            baseline_doc = load_baseline(args.baseline)
+            baseline_run = baseline_doc.get("runs", {}).get(key)
+            if baseline_run is None:
+                print(f"baseline: no run under key {key!r}; guard skipped")
+            else:
+                violations = check_regression(
+                    run_doc, baseline_run, factor=args.guard_factor
+                )
+                if violations:
+                    for violation in violations:
+                        print(f"REGRESSION: {violation}", file=sys.stderr)
+                    status = 3
+                else:
+                    print(
+                        f"guard: within {args.guard_factor:g}x of baseline "
+                        f"({args.baseline})"
+                    )
+        if not run_doc["aggregate"]["identical_everywhere"]:
+            print(
+                "ERROR: fast greedy output differs from greedy_reference",
+                file=sys.stderr,
+            )
+            status = status or 4
+
+        if not args.no_write:
+            output = Path(args.output)
+            document = merge_baseline(load_baseline(output), key, run_doc)
+            output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {output}")
+        return status
+    except ReproError as exc:
+        print(f"repro-bench: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-bench: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""The process-wide decode cache must be invisible except for speed.
+
+Cached decodes must be item-for-item identical to fresh decodes, the
+cache must serve repeated constructions (hits) and stay out of lenient
+decoding, and a full lockstep differential run must behave identically
+with the cache on and off.
+"""
+
+import pytest
+
+from repro.core.compressor import compress
+from repro.core.encodings import make_encoding
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.decompressor import (
+    DecodeCache,
+    StreamDecoder,
+    clear_decode_cache,
+    decode_cache_stats,
+    set_decode_cache_enabled,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.verify import run_differential
+
+
+@pytest.fixture()
+def compressed(tiny_program):
+    return compress(tiny_program, make_encoding("nibble"))
+
+
+def _decoder(compressed, **kwargs):
+    return StreamDecoder(
+        compressed.stream,
+        compressed.dictionary,
+        compressed.encoding,
+        compressed.total_units(),
+        **kwargs,
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_decode_cache()
+    yield
+    clear_decode_cache()
+
+
+class TestCorrectness:
+    def test_cached_equals_uncached(self, compressed):
+        cached_items, cached_index = _decoder(compressed).decode_all_indexed()
+        previous = set_decode_cache_enabled(False)
+        try:
+            plain_items = _decoder(compressed).decode_all()
+        finally:
+            set_decode_cache_enabled(previous)
+        assert list(cached_items) == plain_items
+        assert cached_index == {
+            item.address: i for i, item in enumerate(plain_items)
+        }
+
+    def test_decode_all_uses_cache(self, compressed):
+        first = _decoder(compressed).decode_all()
+        second = _decoder(compressed).decode_all()
+        assert first == second
+        stats = decode_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_simulators_share_one_decode(self, compressed):
+        CompressedSimulator(compressed)
+        CompressedSimulator(compressed)
+        stats = decode_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+
+    def test_differential_with_and_without_cache(self, tiny_program, compressed):
+        with_cache = run_differential(tiny_program, compressed)
+        assert decode_cache_stats()["misses"] == 1
+        repeated = run_differential(tiny_program, compressed)
+        assert decode_cache_stats()["hits"] >= 1
+        previous = set_decode_cache_enabled(False)
+        try:
+            without_cache = run_differential(tiny_program, compressed)
+        finally:
+            set_decode_cache_enabled(previous)
+        assert with_cache.ok and repeated.ok and without_cache.ok
+
+    def test_distinct_images_distinct_entries(self, tiny_program):
+        for name in ("baseline", "onebyte", "nibble"):
+            _decoder(compress(tiny_program, make_encoding(name))).decode_all()
+        stats = decode_cache_stats()
+        assert stats["entries"] == 3
+        assert stats["hits"] == 0
+
+
+class TestCachePolicy:
+    def test_lenient_never_cached(self, compressed):
+        _decoder(compressed, strict=False).decode_all()
+        assert decode_cache_stats()["entries"] == 0
+        with pytest.raises(ValueError):
+            _decoder(compressed, strict=False).decode_all_indexed()
+
+    def test_disable_returns_previous_state(self):
+        assert set_decode_cache_enabled(False) is True
+        assert set_decode_cache_enabled(True) is False
+
+    def test_disabled_cache_stays_empty(self, compressed):
+        previous = set_decode_cache_enabled(False)
+        try:
+            _decoder(compressed).decode_all()
+            _decoder(compressed).decode_all()
+        finally:
+            set_decode_cache_enabled(previous)
+        stats = decode_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_lru_eviction(self, compressed):
+        cache = DecodeCache(capacity=2)
+        for token in ("a", "b", "c"):
+            assert cache.lookup(token) is None
+            cache.store(token, (token,), {0: 0})
+        assert len(cache) == 2
+        assert cache.lookup("a") is None  # evicted (oldest)
+        assert cache.lookup("c") == (("c",), {0: 0})
+
+    def test_clear_resets_counters(self, compressed):
+        _decoder(compressed).decode_all()
+        _decoder(compressed).decode_all()
+        clear_decode_cache()
+        assert decode_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestMetrics:
+    def test_hits_and_misses_reach_registry(self, compressed):
+        registry = MetricsRegistry()
+        with registry.installed():
+            _decoder(compressed).decode_all()
+            _decoder(compressed).decode_all()
+        counters = registry.as_dict()["counters"]
+        assert counters["decode_cache.misses"] == 1
+        assert counters["decode_cache.hits"] == 1

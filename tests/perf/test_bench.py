@@ -1,0 +1,178 @@
+"""repro-bench harness and CLI tests.
+
+Real measurements are run at test scale with single repeats — the
+point is the *structure* of the run document, the byte-identical
+verdicts, the baseline file round-trip, and the regression guard's
+exit behaviour, not the absolute timings.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.bench import (
+    SCHEMA,
+    check_regression,
+    load_baseline,
+    merge_baseline,
+    run_bench,
+    run_key,
+)
+from repro.tools.bench_cli import main
+
+
+@pytest.fixture(scope="module")
+def run_doc(small_suite):
+    # small_suite primes the build_benchmark cache at scale 0.3, so
+    # this measures without recompiling.
+    return run_bench(
+        ["compress"],
+        0.3,
+        ["nibble", "onebyte"],
+        repeats=1,
+        simulate=True,
+        simulate_steps=2_000,
+    )
+
+
+class TestRunBench:
+    def test_document_structure(self, run_doc):
+        assert run_doc["config"]["programs"] == ["compress"]
+        encodings = run_doc["programs"]["compress"]["encodings"]
+        assert set(encodings) == {"nibble", "onebyte"}
+        for enc_doc in encodings.values():
+            assert enc_doc["dict_fast_seconds"] > 0
+            assert enc_doc["dict_reference_seconds"] > 0
+            assert enc_doc["compress_seconds"] > 0
+            assert enc_doc["decode_warm_seconds"] > 0
+            assert 0 < enc_doc["compression_ratio"] < 1.5
+            assert enc_doc["candidates_count"] > 0
+            assert "dict_build" in enc_doc["stage_seconds"]
+            assert "build_dictionary" in enc_doc["stage_seconds"]
+            assert enc_doc["simulate_instructions"] > 0
+
+    def test_fast_path_is_byte_identical(self, run_doc):
+        assert run_doc["aggregate"]["identical_everywhere"]
+        for enc_doc in run_doc["programs"]["compress"]["encodings"].values():
+            assert enc_doc["identical_greedy"]
+            assert enc_doc["identical_image"]
+
+    def test_aggregate_names_largest(self, run_doc):
+        assert run_doc["aggregate"]["largest_program"] == "compress"
+        assert run_doc["aggregate"]["dict_speedup_min"] > 0
+
+    def test_workers_sweep(self, small_suite):
+        doc = run_bench(
+            ["compress"], 0.3, ["onebyte"], repeats=1, workers=2, simulate=False
+        )
+        workers_doc = doc["workers"]
+        assert workers_doc["jobs"] == 1
+        assert workers_doc["failed"] == 0
+        assert workers_doc["wall_seconds"] > 0
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ReproError):
+            run_bench(["compress"], 0.3, ["onebyte"], repeats=0)
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path, run_doc):
+        path = tmp_path / "bench.json"
+        key = run_key(["compress"], 0.3, ["nibble", "onebyte"])
+        document = merge_baseline(load_baseline(path), key, run_doc)
+        path.write_text(json.dumps(document))
+        loaded = load_baseline(path)
+        assert loaded["schema"] == SCHEMA
+        assert key in loaded["runs"]
+
+    def test_missing_file_gives_empty_shell(self, tmp_path):
+        document = load_baseline(tmp_path / "absent.json")
+        assert document == {"schema": SCHEMA, "runs": {}}
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": 99, "runs": {}}))
+        with pytest.raises(ReproError):
+            load_baseline(path)
+
+    def test_run_key_is_order_insensitive_on_programs(self):
+        assert run_key(["li", "compress"], 0.3, ["nibble"]) == run_key(
+            ["compress", "li"], 0.3, ["nibble"]
+        )
+
+
+def _doc(seconds):
+    return {
+        "programs": {
+            "compress": {
+                "encodings": {"nibble": {"compress_seconds": seconds}}
+            }
+        }
+    }
+
+
+class TestRegressionGuard:
+    def test_within_budget(self):
+        assert check_regression(_doc(0.010), _doc(0.008)) == []
+
+    def test_over_budget(self):
+        violations = check_regression(_doc(0.030), _doc(0.010))
+        assert len(violations) == 1
+        assert "compress/nibble" in violations[0]
+
+    def test_factor_is_configurable(self):
+        assert check_regression(_doc(0.030), _doc(0.010), factor=4.0) == []
+
+    def test_new_entries_skipped(self):
+        current = _doc(1.0)
+        current["programs"]["compress"]["encodings"]["onebyte"] = {
+            "compress_seconds": 1.0
+        }
+        assert check_regression(current, _doc(0.9), factor=2.0) == []
+
+
+class TestCli:
+    def test_smoke(self, small_suite, capsys):
+        code = main(
+            [
+                "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+                "--repeats", "1", "--no-simulate", "--no-write",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "byte-identical everywhere: yes" in printed
+
+    def test_writes_and_guards(self, small_suite, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        argv = [
+            "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+            "--repeats", "1", "--no-simulate", "-o", str(output),
+        ]
+        assert main(argv) == 0
+        assert output.exists()
+        # Same configuration against its own baseline: within budget.
+        assert main(argv + ["--baseline", str(output)]) == 0
+        assert "guard: within" in capsys.readouterr().out
+
+    def test_guard_failure_exits_3(self, small_suite, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        argv = [
+            "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+            "--repeats", "1", "--no-simulate",
+        ]
+        assert main(argv + ["-o", str(output)]) == 0
+        document = json.loads(output.read_text())
+        for run in document["runs"].values():
+            for program in run["programs"].values():
+                for enc_doc in program["encodings"].values():
+                    enc_doc["compress_seconds"] = 1e-9
+        output.write_text(json.dumps(document))
+        code = main(argv + ["--no-write", "--baseline", str(output)])
+        assert code == 3
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["-b", "nonexistent"])
