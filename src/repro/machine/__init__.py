@@ -10,30 +10,46 @@ Two execution front ends share one execution core
   dictionary in its decode stage (paper Figure 3), and issues the
   original instructions.
 
-The integration tests run every workload through both and require
-identical architectural results — the paper's correctness claim.
+Each front end has two interchangeable implementations selected by the
+``implementation`` constructor keyword: the ``"reference"``
+decode-on-every-fetch interpreter, and the default ``"fast"``
+translation-cache path (:mod:`repro.machine.fastpath`) that predecodes
+every instruction once into a bound thunk and executes straight-line
+traces without re-entering the dispatch loop.
+
+The integration tests run every workload through both front ends and
+both implementations and require identical architectural results — the
+paper's correctness claim.
 """
 
 from repro.machine.memory import Memory
 from repro.machine.state import MachineState
 from repro.machine.simulator import (
+    IMPLEMENTATIONS,
     RunResult,
     Simulator,
     profile_program,
     run_program,
 )
 from repro.machine.compressed_sim import CompressedSimulator, run_compressed
+from repro.machine.fastpath import (
+    clear_translation_caches,
+    translation_cache_stats,
+)
 from repro.machine.icache import InstructionCache, attach_to_simulator
 from repro.machine.timing import TimingParameters, time_compressed, time_uncompressed
 from repro.machine.trace import trace_compressed, trace_program, traces_equivalent
 
 __all__ = [
+    "IMPLEMENTATIONS",
     "Memory",
     "MachineState",
     "RunResult",
     "Simulator",
+    "clear_translation_caches",
     "profile_program",
     "run_program",
+    "translation_cache_stats",
     "CompressedSimulator",
     "run_compressed",
     "InstructionCache",

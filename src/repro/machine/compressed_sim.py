@@ -53,9 +53,15 @@ class CompressedSimulator:
         *,
         image=None,
         max_steps: int = 50_000_000,
+        implementation: str = "fast",
     ):
         if (compressed is None) == (image is None):
             raise ValueError("pass exactly one of compressed= or image=")
+        if implementation not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown simulator implementation {implementation!r}"
+            )
+        self.implementation = implementation
         if compressed is not None:
             self.name = compressed.program.name
             stream = compressed.stream
@@ -84,6 +90,11 @@ class CompressedSimulator:
         self.items: tuple[FetchItem, ...]
         self.item_at_address: dict[int, int]
         self.items, self.item_at_address = decoder.decode_all_indexed()
+        # Kept for the fast path: the translation-cache registry keys
+        # predecoded thunks by the same content digest as the decode
+        # cache, computed lazily on first fast run.
+        self._decoder = decoder
+        self._content_key: str | None = None
         # Unit address -> original instruction index, when provenance is
         # available (in-memory compressor results keep it; standalone
         # images do not).  repro.verify uses this to map failures back
@@ -113,6 +124,11 @@ class CompressedSimulator:
     def from_image(cls, image, max_steps: int = 50_000_000) -> "CompressedSimulator":
         """Run a deserialized :class:`CompressedImage`."""
         return cls(image=image, max_steps=max_steps)
+
+    def _translation_key(self) -> str:
+        if self._content_key is None:
+            self._content_key = self._decoder.content_key()
+        return self._content_key
 
     # ------------------------------------------------------------------
     # Address arithmetic
@@ -173,6 +189,7 @@ class CompressedSimulator:
 
     # ------------------------------------------------------------------
     def step(self) -> None:
+        """Execute one instruction (reference interpreter)."""
         item = self._item()
         if self.micro == 0:
             self.stats.units_fetched += item.size_units
@@ -224,7 +241,24 @@ class CompressedSimulator:
         else:  # pragma: no cover - CONTROL_MNEMONICS is closed
             raise SimulationError(f"unhandled control instruction {name}")
 
+    # Explicit alias: the reference single-step, regardless of the
+    # engine selected for run().
+    step_reference = step
+
+    def step_fast(self) -> None:
+        """Execute one instruction through the translation cache."""
+        from repro.machine import fastpath
+
+        fastpath.step_stream_once(self)
+
     def run(self) -> RunResult:
+        if self.implementation == "fast":
+            from repro.machine import fastpath
+
+            return fastpath.run_compressed_fast(self)
+        return self._run_reference()
+
+    def _run_reference(self) -> RunResult:
         while not self.state.halted:
             if self.state.steps >= self.max_steps:
                 raise SimulationError(
@@ -234,11 +268,20 @@ class CompressedSimulator:
                     step=self.state.steps,
                 )
             self.step()
-        return RunResult(self.state, self.state.steps, self.stats.instructions_issued)
+        return RunResult(
+            self.state,
+            self.state.steps,
+            self.stats.codeword_expansions + self.stats.escaped_instructions,
+        )
 
 
 def run_compressed(
-    compressed: CompressedProgram, max_steps: int = 50_000_000
+    compressed: CompressedProgram,
+    max_steps: int = 50_000_000,
+    *,
+    implementation: str = "fast",
 ) -> RunResult:
     """Simulate a compressed program image from entry to halt."""
-    return CompressedSimulator(compressed, max_steps=max_steps).run()
+    return CompressedSimulator(
+        compressed, max_steps=max_steps, implementation=implementation
+    ).run()

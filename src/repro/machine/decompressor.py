@@ -248,6 +248,17 @@ class StreamDecoder:
             instructions=(decode(payload),),
         )
 
+    def content_key(self) -> str:
+        """Digest of everything this decode depends on.
+
+        The same key indexes the decode cache and the fast path's
+        translation-cache registry (:mod:`repro.machine.fastpath`), so
+        predecoded thunks follow the decoded items' identity.
+        """
+        return DecodeCache.content_key(
+            self.stream, self.dictionary, self.encoding, self.total_units
+        )
+
     def decode_all(self) -> list[FetchItem]:
         """Decode the full stream into items with unit addresses.
 
@@ -273,9 +284,7 @@ class StreamDecoder:
             raise ValueError("decode_all_indexed requires a strict decoder")
         key = None
         if _decode_cache_enabled:
-            key = DecodeCache.content_key(
-                self.stream, self.dictionary, self.encoding, self.total_units
-            )
+            key = self.content_key()
             cached = _decode_cache.lookup(key)
             if cached is not None:
                 return cached

@@ -1,0 +1,1383 @@
+"""Predecoded translation-cache fast path for both simulators.
+
+The reference interpreters re-resolve ``ins.mnemonic`` against the
+handler table and walk the operand list (``ins.operand("rA")``) on
+every executed instruction.  This module trades a one-time *predecode*
+pass for a fast steady state, QEMU-style:
+
+* :func:`bound_thunk` compiles one :class:`~repro.isa.instruction.
+  Instruction` into a *bound thunk* — a closure over the already
+  extracted operand values and register numbers that applies the
+  instruction to ``(state, memory)`` directly.  Thunks are memoized
+  process-wide (instructions are frozen/hashable), so the dictionary
+  entry ``addi r3, r3, 1`` shared by every program in a batch is bound
+  exactly once.
+* A *translation cache* groups consecutive thunks into straight-line
+  **traces** that end at a control-flow instruction.  Executing a trace
+  is a single dict lookup plus a tight loop over plain callables — the
+  dispatch loop is re-entered per trace, not per instruction.
+* :class:`ProgramTranslationCache` serves the uncompressed
+  :class:`~repro.machine.simulator.Simulator` (one per
+  :class:`~repro.linker.program.Program`, stored in
+  ``program._analysis_cache``); :class:`StreamTranslationCache` serves
+  :class:`~repro.machine.compressed_sim.CompressedSimulator` and is
+  shared process-wide through an LRU registry keyed by the same content
+  digest as the :class:`~repro.machine.decompressor.DecodeCache`, so
+  repeated runs over one image (differential verification, benchmark
+  repeats) predecode once.
+
+Equivalence contract (the same one ``greedy_reference`` carries for the
+compression pipeline): architectural state — registers, CR, LR, CTR,
+memory, output, ``steps``, halt/exit — is byte-identical to the
+reference interpreters at every instruction boundary, and errors carry
+the same messages and structured fields.  The only tolerated skew is
+on *aborting* runs of the compressed engine, where per-trace fetch
+statistics are credited at trace entry (an exception mid-trace leaves
+``FetchStats`` counting the whole trace).  Step budgets are exact: a
+trace that might overrun ``max_steps`` is never entered; the simulator
+falls back to its reference loop so the overrun raises at the precise
+instruction with the reference message.
+
+Observability: predecode passes run under the ``sim.predecode`` stage
+timer; trace-cache effectiveness is reported through the
+``sim.trace_cache.hits`` / ``sim.trace_cache.misses`` metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import lru_cache
+import time
+
+from repro import bitutils, observe
+from repro.errors import DecompressionError, SimulationError
+from repro.isa import registers
+from repro.isa.instruction import Instruction
+from repro.machine.executor import CONTROL_MNEMONICS, _HANDLERS, _divw_impl
+from repro.machine.simulator import (
+    HALT_ADDRESS,
+    RunResult,
+    branch_decision,
+    do_syscall,
+)
+
+_U = bitutils.WORD_MASK
+_s32 = bitutils.s32
+_sign_extend = bitutils.sign_extend
+_rotl32 = bitutils.rotl32
+
+# Traces are capped so a pathological straight-line program cannot
+# build one giant body (and so the step-budget check, which is per
+# trace, stays reasonably fine-grained).  A capped trace ends with
+# ``control=None`` and chains to a continuation trace.
+MAX_TRACE = 1024
+
+
+# ---------------------------------------------------------------------------
+# Instruction binders: one per executor handler.  Each extracts the
+# operands once and returns a ``thunk(state, mem)`` closure that
+# mirrors the corresponding :mod:`repro.machine.executor` handler
+# exactly, including the trailing ``state.steps += 1``.
+# ---------------------------------------------------------------------------
+def _bind_addi(ins):
+    rt, ra, si = ins.operand("rT"), ins.operand("rA"), ins.operand("SI")
+    if ra:
+
+        def thunk(state, mem):
+            state.gpr[rt] = (_s32(state.gpr[ra]) + si) & _U
+            state.steps += 1
+
+    else:
+        value = si & _U
+
+        def thunk(state, mem):
+            state.gpr[rt] = value
+            state.steps += 1
+
+    return thunk
+
+
+def _bind_addis(ins):
+    rt, ra = ins.operand("rT"), ins.operand("rA")
+    shifted = ins.operand("SI") << 16
+    if ra:
+
+        def thunk(state, mem):
+            state.gpr[rt] = (_s32(state.gpr[ra]) + shifted) & _U
+            state.steps += 1
+
+    else:
+        value = shifted & _U
+
+        def thunk(state, mem):
+            state.gpr[rt] = value
+            state.steps += 1
+
+    return thunk
+
+
+def _bind_mulli(ins):
+    rt, ra, si = ins.operand("rT"), ins.operand("rA"), ins.operand("SI")
+
+    def thunk(state, mem):
+        state.gpr[rt] = (_s32(state.gpr[ra]) * si) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_subfic(ins):
+    rt, ra, si = ins.operand("rT"), ins.operand("rA"), ins.operand("SI")
+
+    def thunk(state, mem):
+        state.gpr[rt] = (si - _s32(state.gpr[ra])) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_logic_imm(op, shift):
+    def binder(ins):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+        imm = ins.operand("UI") << shift
+        if op == "|":
+
+            def thunk(state, mem):
+                state.gpr[ra] = state.gpr[rs] | imm
+                state.steps += 1
+
+        else:
+
+            def thunk(state, mem):
+                state.gpr[ra] = state.gpr[rs] ^ imm
+                state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_andi_dot(shift):
+    def binder(ins):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+        imm = ins.operand("UI") << shift
+
+        def thunk(state, mem):
+            result = state.gpr[rs] & imm
+            state.gpr[ra] = result
+            signed = _s32(result)
+            if signed < 0:
+                bits = 8
+            elif signed > 0:
+                bits = 4
+            else:
+                bits = 2
+            state.cr = (state.cr & ~(0xF << 28)) | (bits << 28)
+            state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_cmp(signed, immediate):
+    imm_name = "SI" if signed else "UI"
+
+    def binder(ins):
+        crf, ra = ins.operand("crfD"), ins.operand("rA")
+        shift = 28 - 4 * crf
+        clear = ~(0xF << shift)
+        if immediate:
+            rhs = ins.operand(imm_name)
+
+            def thunk(state, mem):
+                a = _s32(state.gpr[ra]) if signed else state.gpr[ra]
+                if a < rhs:
+                    bits = 8
+                elif a > rhs:
+                    bits = 4
+                else:
+                    bits = 2
+                state.cr = (state.cr & clear) | (bits << shift)
+                state.steps += 1
+
+        else:
+            rb = ins.operand("rB")
+
+            def thunk(state, mem):
+                if signed:
+                    a, b = _s32(state.gpr[ra]), _s32(state.gpr[rb])
+                else:
+                    a, b = state.gpr[ra], state.gpr[rb]
+                if a < b:
+                    bits = 8
+                elif a > b:
+                    bits = 4
+                else:
+                    bits = 2
+                state.cr = (state.cr & clear) | (bits << shift)
+                state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_add(ins):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        gpr[rt] = (gpr[ra] + gpr[rb]) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_subf(ins):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        gpr[rt] = (gpr[rb] - gpr[ra]) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_neg(ins):
+    rt, ra = ins.operand("rT"), ins.operand("rA")
+
+    def thunk(state, mem):
+        state.gpr[rt] = -_s32(state.gpr[ra]) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_mullw(ins):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        gpr[rt] = (_s32(gpr[ra]) * _s32(gpr[rb])) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_divw(ins):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        gpr[rt] = _divw_impl(_s32(gpr[ra]), _s32(gpr[rb])) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_divwu(ins):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        b = gpr[rb]
+        gpr[rt] = gpr[ra] // b if b else 0
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_logic_reg(op):
+    def binder(ins):
+        ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+        if op == "&":
+
+            def thunk(state, mem):
+                gpr = state.gpr
+                gpr[ra] = gpr[rs] & gpr[rb]
+                state.steps += 1
+
+        elif op == "|":
+
+            def thunk(state, mem):
+                gpr = state.gpr
+                gpr[ra] = gpr[rs] | gpr[rb]
+                state.steps += 1
+
+        elif op == "^":
+
+            def thunk(state, mem):
+                gpr = state.gpr
+                gpr[ra] = gpr[rs] ^ gpr[rb]
+                state.steps += 1
+
+        else:  # nor
+
+            def thunk(state, mem):
+                gpr = state.gpr
+                gpr[ra] = ~(gpr[rs] | gpr[rb]) & _U
+                state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_slw(ins):
+    ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        amount = gpr[rb] & 0x3F
+        gpr[ra] = 0 if amount > 31 else (gpr[rs] << amount) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_srw(ins):
+    ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        amount = gpr[rb] & 0x3F
+        gpr[ra] = 0 if amount > 31 else gpr[rs] >> amount
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_sraw(ins):
+    ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        amount = gpr[rb] & 0x3F
+        if amount > 31:
+            amount = 31
+        gpr[ra] = (_s32(gpr[rs]) >> amount) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_srawi(ins):
+    ra, rs, sh = ins.operand("rA"), ins.operand("rS"), ins.operand("SH")
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        gpr[ra] = (_s32(gpr[rs]) >> sh) & _U
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_rlwinm(ins):
+    ra, rs, sh = ins.operand("rA"), ins.operand("rS"), ins.operand("SH")
+    mb, me = ins.operand("MB"), ins.operand("ME")
+    if mb <= me:
+        mask = (bitutils.mask(me - mb + 1)) << (31 - me)
+    else:  # wrapped mask
+        mask = _U ^ ((bitutils.mask(mb - me - 1)) << (31 - mb + 1))
+
+    def thunk(state, mem):
+        gpr = state.gpr
+        gpr[ra] = _rotl32(gpr[rs], sh) & mask
+        state.steps += 1
+
+    return thunk
+
+
+def _bind_exts(width):
+    low_mask = (1 << width) - 1
+
+    def binder(ins):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+
+        def thunk(state, mem):
+            gpr = state.gpr
+            gpr[ra] = _sign_extend(gpr[rs] & low_mask, width) & _U
+            state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_load(size, update=False, signed=False):
+    width = 8 * size
+
+    def binder(ins):
+        disp, base = ins.operand("D(rA)")
+        rt = ins.operand("rT")
+
+        def thunk(state, mem):
+            gpr = state.gpr
+            address = ((gpr[base] if base else 0) + disp) & _U
+            value = mem.load(address, size)
+            if signed:
+                value = _sign_extend(value, width) & _U
+            gpr[rt] = value
+            if update:
+                gpr[base] = address
+            state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_store(size, update=False):
+    def binder(ins):
+        disp, base = ins.operand("D(rA)")
+        rs = ins.operand("rS")
+
+        def thunk(state, mem):
+            gpr = state.gpr
+            address = ((gpr[base] if base else 0) + disp) & _U
+            mem.store(address, size, gpr[rs])
+            if update:
+                gpr[base] = address
+            state.steps += 1
+
+        return thunk
+
+    return binder
+
+
+def _bind_mfspr(ins):
+    spr, rt = ins.operand("SPR"), ins.operand("rT")
+    if spr == registers.LR:
+
+        def thunk(state, mem):
+            state.gpr[rt] = state.lr & _U
+            state.steps += 1
+
+    elif spr == registers.CTR:
+
+        def thunk(state, mem):
+            state.gpr[rt] = state.ctr & _U
+            state.steps += 1
+
+    else:
+
+        def thunk(state, mem):
+            raise SimulationError(f"mfspr: unsupported SPR {spr}")
+
+    return thunk
+
+
+def _bind_mtspr(ins):
+    spr, rs = ins.operand("SPR"), ins.operand("rS")
+    if spr == registers.LR:
+
+        def thunk(state, mem):
+            state.lr = state.gpr[rs]
+            state.steps += 1
+
+    elif spr == registers.CTR:
+
+        def thunk(state, mem):
+            state.ctr = state.gpr[rs]
+            state.steps += 1
+
+    else:
+
+        def thunk(state, mem):
+            raise SimulationError(f"mtspr: unsupported SPR {spr}")
+
+    return thunk
+
+
+_BINDERS = {
+    "addi": _bind_addi,
+    "addis": _bind_addis,
+    "mulli": _bind_mulli,
+    "subfic": _bind_subfic,
+    "ori": _bind_logic_imm("|", 0),
+    "oris": _bind_logic_imm("|", 16),
+    "xori": _bind_logic_imm("^", 0),
+    "xoris": _bind_logic_imm("^", 16),
+    "andi.": _bind_andi_dot(0),
+    "andis.": _bind_andi_dot(16),
+    "cmpwi": _bind_cmp(signed=True, immediate=True),
+    "cmplwi": _bind_cmp(signed=False, immediate=True),
+    "cmpw": _bind_cmp(signed=True, immediate=False),
+    "cmplw": _bind_cmp(signed=False, immediate=False),
+    "add": _bind_add,
+    "subf": _bind_subf,
+    "neg": _bind_neg,
+    "mullw": _bind_mullw,
+    "divw": _bind_divw,
+    "divwu": _bind_divwu,
+    "and": _bind_logic_reg("&"),
+    "or": _bind_logic_reg("|"),
+    "xor": _bind_logic_reg("^"),
+    "nor": _bind_logic_reg("~|"),
+    "slw": _bind_slw,
+    "srw": _bind_srw,
+    "sraw": _bind_sraw,
+    "srawi": _bind_srawi,
+    "rlwinm": _bind_rlwinm,
+    "extsb": _bind_exts(8),
+    "extsh": _bind_exts(16),
+    "lwz": _bind_load(4),
+    "lwzu": _bind_load(4, update=True),
+    "lbz": _bind_load(1),
+    "lbzu": _bind_load(1, update=True),
+    "lhz": _bind_load(2),
+    "lha": _bind_load(2, signed=True),
+    "stw": _bind_store(4),
+    "stwu": _bind_store(4, update=True),
+    "stb": _bind_store(1),
+    "stbu": _bind_store(1, update=True),
+    "sth": _bind_store(2),
+    "mfspr": _bind_mfspr,
+    "mtspr": _bind_mtspr,
+}
+
+
+@lru_cache(maxsize=65536)
+def bound_thunk(ins: Instruction):
+    """Bind one non-control instruction to a ``(state, mem)`` closure.
+
+    Memoized process-wide: instructions are frozen dataclasses, so the
+    same word predecoded by any simulator shares one thunk.
+    """
+    binder = _BINDERS.get(ins.mnemonic)
+    if binder is not None:
+        return binder(ins)
+    handler = _HANDLERS.get(ins.mnemonic)
+    if handler is None:
+        name = ins.mnemonic
+
+        def missing(state, mem):
+            raise SimulationError(f"no semantics for {name!r}")
+
+        return missing
+
+    # A handler without a dedicated binder (future additions) still
+    # runs predecoded, through the generic executor entry.
+    def generic(state, mem):
+        handler(ins, state, mem)
+        state.steps += 1
+
+    return generic
+
+
+# ---------------------------------------------------------------------------
+# Traces
+# ---------------------------------------------------------------------------
+class Trace:
+    """A straight-line run of bound thunks ending at one control point.
+
+    ``control`` is ``None`` for capped traces (execution continues at
+    the trace keyed by ``cont``); otherwise it is a closure
+    ``control(state, sim) -> next_key`` that performs the control
+    transfer (consuming one step) or raises exactly as the reference
+    interpreter would.
+    """
+
+    __slots__ = (
+        "start",
+        "body",
+        "control",
+        "control_pc",
+        "control_key",
+        "cont",
+        "steps_cost",
+        "units",
+        "expansions",
+        "escapes",
+        "issued",
+        "events",
+    )
+
+    def __init__(self, start, body, control, cont, steps_cost):
+        self.start = start
+        self.body = body
+        self.control = control
+        self.control_pc = None
+        self.control_key = None
+        self.cont = cont
+        self.steps_cost = steps_cost
+        self.units = 0
+        self.expansions = 0
+        self.escapes = 0
+        self.issued = 0
+        self.events = ()
+
+
+def _out_of_text_control(pc):
+    def control(state, sim):
+        raise SimulationError(f"PC index {pc} out of .text", step=state.steps)
+
+    return control
+
+
+def _program_control(program, index, ins):
+    """Compile one control instruction of an uncompressed program.
+
+    The closure receives ``(state, sim)`` with ``sim.pc`` already
+    synced to ``index`` (so dynamic-target resolution and halting via
+    :meth:`Simulator._to_index` see the reference PC) and returns the
+    next instruction index.
+    """
+    name = ins.mnemonic
+    fallthrough = index + 1
+    if name in ("b", "bl"):
+        target = index + ins.operand("target")
+        if name == "bl":
+            link = program.address_of(fallthrough)
+
+            def control(state, sim):
+                state.steps += 1
+                state.lr = link
+                return target
+
+        else:
+
+            def control(state, sim):
+                state.steps += 1
+                return target
+
+    elif name in ("bc", "bcl"):
+        bo, bi = ins.operand("BO"), ins.operand("BI")
+        target = index + ins.operand("target")
+        if name == "bcl":
+            link = program.address_of(fallthrough)
+
+            def control(state, sim):
+                state.steps += 1
+                state.lr = link
+                return target if branch_decision(state, bo, bi) else fallthrough
+
+        else:
+
+            def control(state, sim):
+                state.steps += 1
+                return target if branch_decision(state, bo, bi) else fallthrough
+
+    elif name == "bclr":
+        bo, bi = ins.operand("BO"), ins.operand("BI")
+
+        def control(state, sim):
+            state.steps += 1
+            if branch_decision(state, bo, bi):
+                return sim._to_index(state.lr)
+            return fallthrough
+
+    elif name in ("bcctr", "bcctrl"):
+        bo, bi = ins.operand("BO"), ins.operand("BI")
+        link = program.address_of(fallthrough) if name == "bcctrl" else None
+
+        def control(state, sim):
+            state.steps += 1
+            taken = branch_decision(state, bo, bi)
+            if link is not None:
+                state.lr = link
+            if taken:
+                return sim._to_index(state.ctr)
+            return fallthrough
+
+    elif name == "sc":
+
+        def control(state, sim):
+            state.steps += 1
+            do_syscall(state)
+            return fallthrough
+
+    else:  # pragma: no cover - CONTROL_MNEMONICS is closed
+        def control(state, sim):
+            raise SimulationError(f"unhandled control instruction {name}")
+
+    return control
+
+
+class ProgramTranslationCache:
+    """Predecoded ``.text`` plus lazily built traces for one Program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.traces = {}
+        self.hits = 0
+        self.misses = 0
+        started = time.perf_counter()
+        with observe.stage("sim.predecode"):
+            ops = []
+            kinds = bytearray(len(program.text))
+            for index, text_ins in enumerate(program.text):
+                ins = text_ins.instruction
+                if ins.mnemonic in CONTROL_MNEMONICS:
+                    kinds[index] = 1
+                    ops.append(_program_control(program, index, ins))
+                else:
+                    ops.append(bound_thunk(ins))
+            self.ops = ops
+            self.kinds = kinds
+        self.predecode_seconds = time.perf_counter() - started
+
+    def trace_at(self, pc):
+        trace = self.traces.get(pc)
+        if trace is None:
+            trace = self.build_trace(pc)
+        return trace
+
+    def build_trace(self, start):
+        self.misses += 1
+        ops, kinds = self.ops, self.kinds
+        n = len(ops)
+        if not 0 <= start < n:
+            trace = Trace(start, (), _out_of_text_control(start), None, 0)
+            self.traces[start] = trace
+            return trace
+        body = []
+        index = start
+        while index < n and not kinds[index] and index - start < MAX_TRACE:
+            body.append(ops[index])
+            index += 1
+        if index < n and kinds[index]:
+            trace = Trace(start, tuple(body), ops[index], None, len(body) + 1)
+            trace.control_pc = index
+        elif index < n:  # capped: chain to a continuation trace
+            trace = Trace(start, tuple(body), None, index, len(body))
+        else:  # ran off the end of .text
+            trace = Trace(
+                start, tuple(body), _out_of_text_control(n), None, len(body)
+            )
+        self.traces[start] = trace
+        return trace
+
+    def stats(self):
+        return {
+            "traces": len(self.traces),
+            "hits": self.hits,
+            "misses": self.misses,
+            "predecode_seconds": self.predecode_seconds,
+        }
+
+
+def program_cache(program) -> ProgramTranslationCache:
+    """The per-program translation cache (built on first use)."""
+    cache = program._analysis_cache.get("fastpath")
+    if cache is None:
+        cache = ProgramTranslationCache(program)
+        program._analysis_cache["fastpath"] = cache
+    return cache
+
+
+# ---------------------------------------------------------------------------
+# Compressed-stream traces
+# ---------------------------------------------------------------------------
+def _fell_off_control(last_unit):
+    def control(state, sim):
+        raise SimulationError(
+            "fell off the end of the compressed stream",
+            unit_address=last_unit,
+            step=state.steps,
+        )
+
+    return control
+
+
+class StreamTranslationCache:
+    """Predecoded fetch items plus traces for one compressed image.
+
+    Positions are ``(item_index, micro)`` pairs — the compressed
+    simulator's native program counter.  Dictionary entries and escaped
+    instructions both go through :func:`bound_thunk`, so entries shared
+    across images share thunks.
+    """
+
+    def __init__(self, items, item_at_address, text_base, alignment_bits):
+        self.items = items
+        self.item_at_address = item_at_address
+        self.text_base = text_base
+        self.alignment_bits = alignment_bits
+        self.traces = {}
+        self._controls = {}
+        self.hits = 0
+        self.misses = 0
+        started = time.perf_counter()
+        with observe.stage("sim.predecode"):
+            self.item_thunks = tuple(
+                tuple(
+                    None if ins.mnemonic in CONTROL_MNEMONICS else bound_thunk(ins)
+                    for ins in item.instructions
+                )
+                for item in items
+            )
+        self.predecode_seconds = time.perf_counter() - started
+
+    # -- position arithmetic ------------------------------------------
+    def _next_key(self, item_index, micro):
+        if micro + 1 < len(self.item_thunks[item_index]):
+            return (item_index, micro + 1)
+        if item_index + 1 < len(self.items):
+            return (item_index + 1, 0)
+        return None
+
+    def _key_for_unit(self, unit):
+        index = self.item_at_address.get(unit)
+        return None if index is None else (index, 0)
+
+    def _resolve_address(self, state, sim, address, current_key):
+        """Dynamic branch target (LR/CTR value) -> stream position."""
+        if address == HALT_ADDRESS:
+            state.halted = True
+            return current_key
+        unit = address - self.text_base
+        index = self.item_at_address.get(unit)
+        if index is None:
+            raise DecompressionError(
+                f"branch to unit {unit} lands inside an encoded item",
+                unit_address=unit,
+                orig_pc=sim.origin_pc(),
+                step=state.steps,
+            )
+        return (index, 0)
+
+    # -- control compilation ------------------------------------------
+    def control_at(self, key):
+        control = self._controls.get(key)
+        if control is None:
+            control = self._build_control(key)
+            self._controls[key] = control
+        return control
+
+    def _build_control(self, key):
+        item_index, micro = key
+        item = self.items[item_index]
+        ins = item.instructions[micro]
+        name = ins.mnemonic
+        fall_key = self._next_key(item_index, micro)
+        last_unit = item.address
+        resolve = self._resolve_address
+
+        def _static_target():
+            unit = item.address + ins.operand("target")
+            target_key = self._key_for_unit(unit)
+            return unit, target_key
+
+        if name in ("b", "bl"):
+            unit, target_key = _static_target()
+            link = (
+                self.text_base + item.address + item.size_units
+                if name == "bl"
+                else None
+            )
+
+            def control(state, sim):
+                state.steps += 1
+                if link is not None:
+                    state.lr = link
+                if target_key is None:
+                    raise DecompressionError(
+                        f"branch to unit {unit} lands inside an encoded item",
+                        unit_address=unit,
+                        orig_pc=sim.origin_pc(),
+                        step=state.steps,
+                    )
+                return target_key
+
+        elif name in ("bc", "bcl"):
+            bo, bi = ins.operand("BO"), ins.operand("BI")
+            unit, target_key = _static_target()
+            link = (
+                self.text_base + item.address + item.size_units
+                if name == "bcl"
+                else None
+            )
+
+            def control(state, sim):
+                state.steps += 1
+                if link is not None:
+                    state.lr = link
+                if branch_decision(state, bo, bi):
+                    if target_key is None:
+                        raise DecompressionError(
+                            f"branch to unit {unit} lands inside an encoded item",
+                            unit_address=unit,
+                            orig_pc=sim.origin_pc(),
+                            step=state.steps,
+                        )
+                    return target_key
+                if fall_key is None:
+                    raise SimulationError(
+                        "fell off the end of the compressed stream",
+                        unit_address=last_unit,
+                        step=state.steps,
+                    )
+                return fall_key
+
+        elif name == "bclr":
+            bo, bi = ins.operand("BO"), ins.operand("BI")
+
+            def control(state, sim):
+                state.steps += 1
+                if branch_decision(state, bo, bi):
+                    return resolve(state, sim, state.lr, key)
+                if fall_key is None:
+                    raise SimulationError(
+                        "fell off the end of the compressed stream",
+                        unit_address=last_unit,
+                        step=state.steps,
+                    )
+                return fall_key
+
+        elif name in ("bcctr", "bcctrl"):
+            bo, bi = ins.operand("BO"), ins.operand("BI")
+            link = (
+                self.text_base + item.address + item.size_units
+                if name == "bcctrl"
+                else None
+            )
+
+            def control(state, sim):
+                state.steps += 1
+                taken = branch_decision(state, bo, bi)
+                if link is not None:
+                    state.lr = link
+                if taken:
+                    return resolve(state, sim, state.ctr, key)
+                if fall_key is None:
+                    raise SimulationError(
+                        "fell off the end of the compressed stream",
+                        unit_address=last_unit,
+                        step=state.steps,
+                    )
+                return fall_key
+
+        elif name == "sc":
+
+            def control(state, sim):
+                state.steps += 1
+                do_syscall(state)
+                if state.halted:
+                    return key
+                if fall_key is None:
+                    raise SimulationError(
+                        "fell off the end of the compressed stream",
+                        unit_address=last_unit,
+                        step=state.steps,
+                    )
+                return fall_key
+
+        else:  # pragma: no cover - CONTROL_MNEMONICS is closed
+            def control(state, sim):
+                raise SimulationError(f"unhandled control instruction {name}")
+
+        return control
+
+    # -- trace construction -------------------------------------------
+    def trace_at(self, key):
+        trace = self.traces.get(key)
+        if trace is None:
+            trace = self.build_trace(key)
+        return trace
+
+    def build_trace(self, start):
+        self.misses += 1
+        items = self.items
+        thunks = self.item_thunks
+        body = []
+        events = []
+        units = expansions = escapes = 0
+        control = None
+        control_key = None
+        cont = None
+        item_index, micro = start
+        count = 0
+        while True:
+            if count >= MAX_TRACE:
+                cont = (item_index, micro)
+                break
+            item = items[item_index]
+            if micro == 0:
+                events.append(
+                    (
+                        count,
+                        item_index,
+                        (item.address * self.alignment_bits) // 8,
+                        item.size_units,
+                    )
+                )
+                units += item.size_units
+                if item.is_codeword:
+                    expansions += 1
+                else:
+                    escapes += 1
+            thunk = thunks[item_index][micro]
+            count += 1
+            if thunk is None:  # control instruction
+                control = self.control_at((item_index, micro))
+                control_key = (item_index, micro)
+                break
+            body.append(thunk)
+            if micro + 1 < len(thunks[item_index]):
+                micro += 1
+            elif item_index + 1 < len(items):
+                item_index += 1
+                micro = 0
+            else:
+                # The last data instruction executes, then the advance
+                # past the end of the stream raises — exactly the
+                # reference ``_advance`` behaviour.
+                control = _fell_off_control(item.address)
+                break
+        trace = Trace(
+            start,
+            tuple(body),
+            control,
+            cont,
+            len(body) + (1 if control_key is not None else 0),
+        )
+        trace.control_key = control_key
+        trace.units = units
+        trace.expansions = expansions
+        trace.escapes = escapes
+        trace.issued = len(body) + (1 if control_key is not None else 0)
+        trace.events = tuple(events)
+        self.traces[start] = trace
+        return trace
+
+    def stats(self):
+        return {
+            "traces": len(self.traces),
+            "hits": self.hits,
+            "misses": self.misses,
+            "predecode_seconds": self.predecode_seconds,
+        }
+
+
+# Process-wide registry: one StreamTranslationCache per image content,
+# LRU-evicted, keyed by the DecodeCache content digest + text base so
+# repeated simulator constructions over one image predecode once.
+_STREAM_CACHES: OrderedDict = OrderedDict()
+STREAM_CACHE_CAPACITY = 32
+
+
+def stream_cache(
+    content_key, text_base, items, item_at_address, alignment_bits
+) -> StreamTranslationCache:
+    key = (content_key, text_base)
+    cache = _STREAM_CACHES.get(key)
+    if cache is None:
+        cache = StreamTranslationCache(
+            items, item_at_address, text_base, alignment_bits
+        )
+        _STREAM_CACHES[key] = cache
+        while len(_STREAM_CACHES) > STREAM_CACHE_CAPACITY:
+            _STREAM_CACHES.popitem(last=False)
+    else:
+        _STREAM_CACHES.move_to_end(key)
+    return cache
+
+
+def stream_cache_for(sim) -> StreamTranslationCache:
+    """The shared translation cache for one CompressedSimulator."""
+    return stream_cache(
+        sim._translation_key(),
+        sim._text_base,
+        sim.items,
+        sim.item_at_address,
+        sim._alignment_bits,
+    )
+
+
+def clear_translation_caches() -> None:
+    """Drop all shared predecode state (tests, memory pressure)."""
+    _STREAM_CACHES.clear()
+    bound_thunk.cache_clear()
+
+
+def translation_cache_stats() -> dict:
+    info = bound_thunk.cache_info()
+    return {
+        "stream_caches": len(_STREAM_CACHES),
+        "thunk_hits": info.hits,
+        "thunk_misses": info.misses,
+        "thunks": info.currsize,
+    }
+
+
+def _note_cache_metrics(cache, dispatches, misses_before):
+    built = cache.misses - misses_before
+    hits = dispatches - built
+    if hits > 0:
+        cache.hits += hits
+        observe.metric("sim.trace_cache.hits", hits)
+    if built > 0:
+        observe.metric("sim.trace_cache.misses", built)
+
+
+# ---------------------------------------------------------------------------
+# Fast run loops: uncompressed
+# ---------------------------------------------------------------------------
+def run_program_fast(sim) -> RunResult:
+    """Trace-at-a-time execution of an uncompressed Simulator."""
+    cache = program_cache(sim.program)
+    state = sim.state
+    memory = sim.memory
+    max_steps = sim.max_steps
+    traces = cache.traces
+    build = cache.build_trace
+    hooked = sim.fetch_hook is not None or sim.fetch_index_hook is not None
+    dispatches = 0
+    misses_before = cache.misses
+    pc = sim.pc
+    try:
+        while not state.halted:
+            trace = traces.get(pc)
+            if trace is None:
+                trace = build(pc)
+            dispatches += 1
+            steps = state.steps
+            if steps >= max_steps or steps + trace.steps_cost > max_steps:
+                # The trace would cross the budget: replay it on the
+                # reference loop so the overrun raises at the exact
+                # instruction with the reference message.
+                sim.pc = pc
+                return sim._run_reference()
+            sim.pc = pc
+            sim.fetches += trace.steps_cost
+            if hooked:
+                _run_program_trace_hooked(sim, trace, state, memory)
+            else:
+                for thunk in trace.body:
+                    thunk(state, memory)
+            control = trace.control
+            if control is None:
+                pc = trace.cont
+            else:
+                if trace.control_pc is not None:
+                    sim.pc = trace.control_pc
+                pc = control(state, sim)
+        sim.pc = pc
+        return RunResult(state, state.steps, sim.fetches)
+    finally:
+        _note_cache_metrics(cache, dispatches, misses_before)
+
+
+def _run_program_trace_hooked(sim, trace, state, memory):
+    hook = sim.fetch_hook
+    index_hook = sim.fetch_index_hook
+    address_of = sim.program.address_of
+    index = trace.start
+    for thunk in trace.body:
+        sim.pc = index
+        if hook is not None:
+            hook(address_of(index), 1)
+        if index_hook is not None:
+            index_hook(index)
+        thunk(state, memory)
+        index += 1
+    if trace.control_pc is not None:
+        sim.pc = trace.control_pc
+        if hook is not None:
+            hook(address_of(trace.control_pc), 1)
+        if index_hook is not None:
+            index_hook(trace.control_pc)
+
+
+def step_program_once(sim, cache=None) -> None:
+    """One predecoded instruction — the fast path's single-step.
+
+    Used by the lockstep equivalence harness; architecturally
+    equivalent to :meth:`Simulator.step`.
+    """
+    if cache is None:
+        cache = program_cache(sim.program)
+    pc = sim.pc
+    if not 0 <= pc < len(cache.ops):
+        raise SimulationError(
+            f"PC index {pc} out of .text", step=sim.state.steps
+        )
+    if sim.fetch_hook is not None:
+        sim.fetch_hook(sim.program.address_of(pc), 1)
+    if sim.fetch_index_hook is not None:
+        sim.fetch_index_hook(pc)
+    sim.fetches += 1
+    if cache.kinds[pc]:
+        sim.pc = cache.ops[pc](sim.state, sim)
+    else:
+        cache.ops[pc](sim.state, sim.memory)
+        sim.pc = pc + 1
+
+
+def run_program_profiled(sim, counts) -> RunResult:
+    """Fast run that fills per-instruction execution ``counts``.
+
+    Counts whole-trace executions and expands them to instruction
+    granularity at the end — exact, because a trace either runs fully
+    or aborts the run with an error.
+    """
+    cache = program_cache(sim.program)
+    state = sim.state
+    memory = sim.memory
+    max_steps = sim.max_steps
+    traces = cache.traces
+    trace_counts: dict = {}
+    dispatches = 0
+    misses_before = cache.misses
+    pc = sim.pc
+    try:
+        while not state.halted:
+            trace = traces.get(pc)
+            if trace is None:
+                trace = cache.build_trace(pc)
+            dispatches += 1
+            steps = state.steps
+            if steps >= max_steps or steps + trace.steps_cost > max_steps:
+                _flush_profile(trace_counts, counts)
+                trace_counts.clear()
+
+                def hook(index):
+                    counts[index] += 1
+
+                sim.fetch_index_hook = hook
+                sim.pc = pc
+                return sim._run_reference()
+            trace_counts[trace] = trace_counts.get(trace, 0) + 1
+            sim.pc = pc
+            sim.fetches += trace.steps_cost
+            for thunk in trace.body:
+                thunk(state, memory)
+            control = trace.control
+            if control is None:
+                pc = trace.cont
+            else:
+                if trace.control_pc is not None:
+                    sim.pc = trace.control_pc
+                pc = control(state, sim)
+        sim.pc = pc
+        _flush_profile(trace_counts, counts)
+        return RunResult(state, state.steps, sim.fetches)
+    finally:
+        _note_cache_metrics(cache, dispatches, misses_before)
+
+
+def _flush_profile(trace_counts, counts):
+    for trace, executions in trace_counts.items():
+        index = trace.start
+        for _ in trace.body:
+            counts[index] += executions
+            index += 1
+        if trace.control_pc is not None:
+            counts[trace.control_pc] += executions
+
+
+# ---------------------------------------------------------------------------
+# Fast run loops: compressed
+# ---------------------------------------------------------------------------
+def run_compressed_fast(sim) -> RunResult:
+    """Trace-at-a-time execution of a CompressedSimulator."""
+    cache = stream_cache_for(sim)
+    state = sim.state
+    memory = sim.memory
+    stats = sim.stats
+    max_steps = sim.max_steps
+    traces = cache.traces
+    build = cache.build_trace
+    hook = sim.fetch_hook
+    dispatches = 0
+    misses_before = cache.misses
+    key = (sim.item_index, sim.micro)
+    try:
+        while not state.halted:
+            trace = traces.get(key)
+            if trace is None:
+                trace = build(key)
+            dispatches += 1
+            steps = state.steps
+            if steps >= max_steps or steps + trace.steps_cost > max_steps:
+                sim.item_index, sim.micro = key
+                return sim._run_reference()
+            stats.units_fetched += trace.units
+            stats.codeword_expansions += trace.expansions
+            stats.escaped_instructions += trace.escapes
+            stats.instructions_issued += trace.issued
+            if hook is None:
+                for thunk in trace.body:
+                    thunk(state, memory)
+            else:
+                _run_stream_trace_hooked(sim, trace, state, memory, hook)
+            control = trace.control
+            if control is None:
+                key = trace.cont
+            else:
+                if trace.control_key is not None:
+                    sim.item_index, sim.micro = trace.control_key
+                key = control(state, sim)
+        sim.item_index, sim.micro = key
+        return RunResult(
+            state,
+            state.steps,
+            stats.codeword_expansions + stats.escaped_instructions,
+        )
+    finally:
+        _note_cache_metrics(cache, dispatches, misses_before)
+
+
+def _run_stream_trace_hooked(sim, trace, state, memory, hook):
+    """Trace body with per-item fetch callbacks.
+
+    The simulator position is synced before each callback because hook
+    consumers (e.g. :func:`repro.machine.timing.time_compressed`) read
+    ``simulator._item()``.
+    """
+    events = trace.events
+    event_index = 0
+    n_events = len(events)
+    position = 0
+    for thunk in trace.body:
+        if event_index < n_events and events[event_index][0] == position:
+            _, item_index, byte_address, size_units = events[event_index]
+            event_index += 1
+            sim.item_index = item_index
+            sim.micro = 0
+            hook(byte_address, size_units)
+        thunk(state, memory)
+        position += 1
+    if event_index < n_events and events[event_index][0] == position:
+        _, item_index, byte_address, size_units = events[event_index]
+        sim.item_index = item_index
+        sim.micro = 0
+        hook(byte_address, size_units)
+
+
+def step_stream_once(sim, cache=None) -> None:
+    """One predecoded compressed instruction (lockstep harness)."""
+    if cache is None:
+        cache = stream_cache_for(sim)
+    item_index, micro = sim.item_index, sim.micro
+    item = cache.items[item_index]
+    state = sim.state
+    stats = sim.stats
+    if micro == 0:
+        stats.units_fetched += item.size_units
+        if item.is_codeword:
+            stats.codeword_expansions += 1
+        else:
+            stats.escaped_instructions += 1
+        if sim.fetch_hook is not None:
+            sim.fetch_hook(
+                (item.address * cache.alignment_bits) // 8, item.size_units
+            )
+    stats.instructions_issued += 1
+    thunk = cache.item_thunks[item_index][micro]
+    if thunk is None:
+        next_key = cache.control_at((item_index, micro))(state, sim)
+        sim.item_index, sim.micro = next_key
+    else:
+        thunk(state, sim.memory)
+        next_key = cache._next_key(item_index, micro)
+        if next_key is None:
+            raise SimulationError(
+                "fell off the end of the compressed stream",
+                unit_address=item.address,
+                step=state.steps,
+            )
+        sim.item_index, sim.micro = next_key

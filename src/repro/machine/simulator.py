@@ -3,6 +3,20 @@
 The program counter is an instruction index; LR and CTR hold byte
 addresses exactly as the real machine would (``bl`` stores the return
 address, jump tables supply ``bctr`` targets).
+
+Two interchangeable execution engines back :meth:`Simulator.run`:
+
+* ``implementation="fast"`` (the default) executes through the
+  predecoded translation cache of :mod:`repro.machine.fastpath` —
+  instructions are bound to operand-extracting closures once and
+  grouped into straight-line traces;
+* ``implementation="reference"`` is the original instruction-at-a-time
+  interpreter (:meth:`Simulator.step`), kept as the equivalence oracle
+  for ``repro.verify`` and the benchmark suite.
+
+Both produce byte-identical architectural state; the fast engine falls
+back to the reference loop when a trace could cross the step budget so
+even error reporting matches exactly.
 """
 
 from __future__ import annotations
@@ -21,6 +35,8 @@ HALT_ADDRESS = 0xFFFF_FFFC
 SYSCALL_EXIT = 0
 SYSCALL_PUT_INT = 1
 SYSCALL_PUT_CHAR = 2
+
+IMPLEMENTATIONS = ("fast", "reference")
 
 
 def branch_decision(state: MachineState, bo: int, bi: int) -> bool:
@@ -48,7 +64,13 @@ def do_syscall(state: MachineState) -> None:
 
 @dataclass
 class RunResult:
-    """Outcome of a program run."""
+    """Outcome of a program run.
+
+    ``instructions_fetched`` counts fetch transactions against program
+    memory — one per instruction uncompressed, one per stream item
+    (codeword or escape) compressed — so the two engines' results are
+    directly comparable.
+    """
 
     state: MachineState
     steps: int
@@ -66,14 +88,27 @@ class RunResult:
 class Simulator:
     """Interprets a linked, uncompressed Program."""
 
-    def __init__(self, program: Program, max_steps: int = 50_000_000) -> None:
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int = 50_000_000,
+        *,
+        implementation: str = "fast",
+    ) -> None:
+        if implementation not in IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown simulator implementation {implementation!r}"
+            )
         self.program = program
         self.max_steps = max_steps
+        self.implementation = implementation
         self.state = MachineState()
         self.memory = Memory(program.data_image)
         self.pc = program.entry_index
         self.state.lr = HALT_ADDRESS
+        self.fetches = 0  # fetch transactions (one per executed instruction)
         self.fetch_hook = None  # optional callable(byte_address, size_units)
+        self.fetch_index_hook = None  # optional callable(instruction_index)
 
     # ------------------------------------------------------------------
     def _link_address(self) -> int:
@@ -94,13 +129,16 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Execute one instruction."""
+        """Execute one instruction (reference interpreter)."""
         if not 0 <= self.pc < len(self.program.text):
             raise SimulationError(
                 f"PC index {self.pc} out of .text", step=self.state.steps
             )
         if self.fetch_hook is not None:
             self.fetch_hook(self.program.address_of(self.pc), 1)
+        if self.fetch_index_hook is not None:
+            self.fetch_index_hook(self.pc)
+        self.fetches += 1
         ins = self.program.text[self.pc].instruction
         name = ins.mnemonic
         if name not in CONTROL_MNEMONICS:
@@ -131,8 +169,25 @@ class Simulator:
         else:  # pragma: no cover - CONTROL_MNEMONICS is closed
             raise SimulationError(f"unhandled control instruction {name}")
 
+    # Explicit alias: the reference single-step, regardless of the
+    # engine selected for run().
+    step_reference = step
+
+    def step_fast(self) -> None:
+        """Execute one instruction through the translation cache."""
+        from repro.machine import fastpath
+
+        fastpath.step_program_once(self)
+
     def run(self) -> RunResult:
         """Run until halt or the step budget is exhausted."""
+        if self.implementation == "fast":
+            from repro.machine import fastpath
+
+            return fastpath.run_program_fast(self)
+        return self._run_reference()
+
+    def _run_reference(self) -> RunResult:
         while not self.state.halted:
             if self.state.steps >= self.max_steps:
                 raise SimulationError(
@@ -141,27 +196,48 @@ class Simulator:
                     step=self.state.steps,
                 )
             self.step()
-        return RunResult(self.state, self.state.steps, self.state.steps)
+        return RunResult(self.state, self.state.steps, self.fetches)
 
 
-def run_program(program: Program, max_steps: int = 50_000_000) -> RunResult:
+def run_program(
+    program: Program,
+    max_steps: int = 50_000_000,
+    *,
+    implementation: str = "fast",
+) -> RunResult:
     """Convenience: simulate ``program`` from its entry point to halt."""
-    return Simulator(program, max_steps=max_steps).run()
+    return Simulator(
+        program, max_steps=max_steps, implementation=implementation
+    ).run()
 
 
-def profile_program(program: Program, max_steps: int = 50_000_000) -> list[int]:
+def profile_program(
+    program: Program,
+    max_steps: int = 50_000_000,
+    *,
+    implementation: str = "fast",
+) -> list[int]:
     """Run ``program`` and return per-instruction execution counts.
 
     The profile feeds the compressor's ``position_weights`` objective
-    (profile-guided dictionary selection for fetch traffic).
+    (profile-guided dictionary selection for fetch traffic).  The fast
+    engine counts whole-trace executions and expands them at the end;
+    the reference engine counts through ``fetch_index_hook`` — neither
+    pays the old address→index lookup per fetched instruction.
     """
     counts = [0] * len(program.text)
+    simulator = Simulator(
+        program, max_steps=max_steps, implementation=implementation
+    )
+    if implementation == "fast":
+        from repro.machine import fastpath
 
-    simulator = Simulator(program, max_steps=max_steps)
+        fastpath.run_program_profiled(simulator, counts)
+    else:
 
-    def hook(byte_address: int, size_units: int) -> None:
-        counts[program.index_of_address(byte_address)] += 1
+        def hook(index: int) -> None:
+            counts[index] += 1
 
-    simulator.fetch_hook = hook
-    simulator.run()
+        simulator.fetch_index_hook = hook
+        simulator.run()
     return counts

@@ -25,6 +25,9 @@ name                       where
                            (nested inside ``build_dictionary``)
 ``build_dictionary``       :func:`repro.core.greedy.build_dictionary`
                            (nested inside ``dict_build``)
+``sim.predecode``          :class:`repro.machine.fastpath.ProgramTranslationCache`
+                           / :class:`~repro.machine.fastpath.StreamTranslationCache`
+                           (one-time thunk predecode of a program or stream)
 =========================  ================================================
 
 A second, parallel channel carries *point metrics* — named integer
@@ -41,6 +44,10 @@ name                       where
 ``candidates.count``       :func:`repro.core.candidates.enumerate_candidates`
 ``decode_cache.hits``      :meth:`repro.machine.decompressor.StreamDecoder`
 ``decode_cache.misses``    :meth:`repro.machine.decompressor.StreamDecoder`
+``sim.trace_cache.hits``   :mod:`repro.machine.fastpath` run loops (trace
+                           dispatches served from the translation cache)
+``sim.trace_cache.misses`` :mod:`repro.machine.fastpath` run loops (traces
+                           built during the run)
 =========================  ================================================
 """
 

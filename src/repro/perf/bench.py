@@ -13,13 +13,21 @@ One *run* times, per (program, encoding):
   times captured from the :mod:`repro.observe` stage hooks;
 * ``decode`` — walking the serialized stream into fetch items, cold
   (decode cache cleared) and warm (served from the cache);
-* ``simulate`` — a bounded execution of the compressed image,
-  reporting instructions issued per second.
+* ``simulate`` — a bounded execution of the compressed image through
+  both the predecoded fast engine and the reference interpreter,
+  reporting instructions issued per second and the speedup.
+
+Per program (once, not per encoding) a ``simulation`` block times the
+*uncompressed* simulator the same way: cold vs warm predecode, fast vs
+reference bounded runs (steps per second), and ``profile_program``
+end-to-end — the numbers behind the fast path's ≥5x/≥3x targets.
 
 Every fast-path measurement is gated on **byte-identical output**: the
 greedy results and the serialized images of the fast and reference
 pipelines are compared and the verdict recorded in the JSON
-(``identical_greedy`` / ``identical_image``).
+(``identical_greedy`` / ``identical_image``); likewise the fast and
+reference simulations must end in identical architectural state
+(``identical_state`` / ``simulate_identical_state``).
 
 Results nest under a :func:`run_key` derived from the configuration
 (programs, scale, encodings), so one committed ``BENCH_compression.json``
@@ -40,12 +48,14 @@ from repro.core.compressor import Compressor
 from repro.core.encodings import Encoding, make_encoding
 from repro.core.greedy import build_dictionary, greedy_reference
 from repro.errors import ReproError, SimulationError
+from repro.machine import fastpath
 from repro.machine.compressed_sim import CompressedSimulator
 from repro.machine.decompressor import (
     StreamDecoder,
     clear_decode_cache,
     decode_cache_stats,
 )
+from repro.machine.simulator import Simulator, profile_program
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import run_batch
 from repro.workloads import build_benchmark
@@ -86,6 +96,100 @@ def _evict_program_caches(program) -> None:
     program._analysis_cache.clear()
 
 
+def _states_equal(a, b) -> bool:
+    """Full architectural-state comparison for the identity gates."""
+    return (
+        a.gpr == b.gpr
+        and a.cr == b.cr
+        and a.lr == b.lr
+        and a.ctr == b.ctr
+        and a.steps == b.steps
+        and a.halted == b.halted
+        and a.exit_code == b.exit_code
+        and a.output == b.output
+    )
+
+
+def _bench_simulation(
+    program, *, repeats: int, simulate_steps: int, fastpath_enabled: bool
+) -> dict:
+    """Uncompressed-simulator timings for one program."""
+    doc: dict = {}
+
+    def run_once(implementation):
+        simulator = Simulator(
+            program, max_steps=simulate_steps, implementation=implementation
+        )
+        start = time.perf_counter()
+        try:
+            simulator.run()
+        except SimulationError:
+            pass  # hit the step bound — expected for a timing probe
+        return simulator, time.perf_counter() - start
+
+    reference_sim, reference_best = run_once("reference")
+    for _ in range(repeats - 1):
+        reference_best = min(reference_best, run_once("reference")[1])
+    steps = reference_sim.state.steps
+    doc["steps"] = steps
+    doc["reference_seconds"] = reference_best
+    doc["reference_steps_per_second"] = (
+        steps / reference_best if reference_best else 0.0
+    )
+    if not fastpath_enabled:
+        return doc
+
+    # Predecode: cold (translation cache evicted), then served warm.
+    program._analysis_cache.pop("fastpath", None)
+    start = time.perf_counter()
+    cache = fastpath.program_cache(program)
+    doc["predecode_cold_seconds"] = time.perf_counter() - start
+    doc["predecode_warm_seconds"] = _best(
+        lambda: fastpath.program_cache(program), repeats
+    )
+
+    fast_sim, fast_cold = run_once("fast")  # traces built during this run
+    doc["fast_cold_seconds"] = fast_cold
+    fast_best = fast_cold
+    for _ in range(repeats - 1):
+        fast_best = min(fast_best, run_once("fast")[1])
+    doc["fast_seconds"] = fast_best
+    doc["fast_steps_per_second"] = steps / fast_best if fast_best else 0.0
+    doc["speedup"] = (
+        reference_best / fast_best if fast_best > 0 else float("inf")
+    )
+    doc["identical_state"] = (
+        _states_equal(fast_sim.state, reference_sim.state)
+        and fast_sim.pc == reference_sim.pc
+    )
+    doc["trace_cache"] = cache.stats()
+
+    # profile_program end-to-end (the ext_dynamic / weighted-greedy
+    # front end): whole-trace counting vs the index-hook reference.
+    def profile_once(implementation):
+        try:
+            profile_program(
+                program,
+                max_steps=simulate_steps,
+                implementation=implementation,
+            )
+        except SimulationError:
+            pass
+
+    doc["profile_fast_seconds"] = _best(
+        lambda: profile_once("fast"), repeats
+    )
+    doc["profile_reference_seconds"] = _best(
+        lambda: profile_once("reference"), repeats
+    )
+    doc["profile_speedup"] = (
+        doc["profile_reference_seconds"] / doc["profile_fast_seconds"]
+        if doc["profile_fast_seconds"] > 0
+        else float("inf")
+    )
+    return doc
+
+
 def _bench_encoding(
     program,
     encoding: Encoding,
@@ -93,6 +197,7 @@ def _bench_encoding(
     repeats: int,
     simulate: bool,
     simulate_steps: int,
+    fastpath_enabled: bool = True,
 ) -> dict:
     result: dict = {}
 
@@ -166,17 +271,61 @@ def _bench_encoding(
     result["decode_cache"] = decode_cache_stats()
 
     if simulate:
-        simulator = CompressedSimulator(compressed, max_steps=simulate_steps)
-        start = time.perf_counter()
-        try:
-            simulator.run()
-        except SimulationError:
-            pass  # hit the step bound — expected for a timing probe
-        seconds = time.perf_counter() - start
-        issued = simulator.stats.instructions_issued
-        result["simulate_seconds"] = seconds
+
+        def simulate_once(implementation):
+            simulator = CompressedSimulator(
+                compressed,
+                max_steps=simulate_steps,
+                implementation=implementation,
+            )
+            start = time.perf_counter()
+            try:
+                simulator.run()
+            except SimulationError:
+                pass  # hit the step bound — expected for a timing probe
+            return simulator, time.perf_counter() - start
+
+        reference_sim, reference_seconds = simulate_once("reference")
+        for _ in range(repeats - 1):
+            reference_seconds = min(
+                reference_seconds, simulate_once("reference")[1]
+            )
+        issued = reference_sim.stats.instructions_issued
         result["simulate_instructions"] = issued
-        result["simulate_insn_per_second"] = issued / seconds if seconds else 0.0
+        result["simulate_reference_seconds"] = reference_seconds
+        result["simulate_reference_insn_per_second"] = (
+            issued / reference_seconds if reference_seconds else 0.0
+        )
+        # Legacy headline keys follow the engine a plain run would use.
+        result["simulate_seconds"] = reference_seconds
+        result["simulate_insn_per_second"] = result[
+            "simulate_reference_insn_per_second"
+        ]
+        if fastpath_enabled:
+            fast_sim, fast_cold = simulate_once("fast")
+            result["simulate_fast_cold_seconds"] = fast_cold
+            fast_seconds = fast_cold
+            for _ in range(repeats - 1):
+                fast_seconds = min(fast_seconds, simulate_once("fast")[1])
+            result["simulate_fast_seconds"] = fast_seconds
+            result["simulate_fast_insn_per_second"] = (
+                issued / fast_seconds if fast_seconds else 0.0
+            )
+            result["simulate_speedup"] = (
+                reference_seconds / fast_seconds
+                if fast_seconds > 0
+                else float("inf")
+            )
+            result["simulate_identical_state"] = _states_equal(
+                fast_sim.state, reference_sim.state
+            ) and (fast_sim.item_index, fast_sim.micro) == (
+                reference_sim.item_index,
+                reference_sim.micro,
+            )
+            result["simulate_seconds"] = fast_seconds
+            result["simulate_insn_per_second"] = result[
+                "simulate_fast_insn_per_second"
+            ]
     return result
 
 
@@ -220,6 +369,7 @@ def run_bench(
     workers: int = 0,
     simulate: bool = True,
     simulate_steps: int = 200_000,
+    fastpath_enabled: bool = True,
 ) -> dict:
     """Measure one configuration; returns the run document."""
     encodings = list(encodings or DEFAULT_ENCODINGS)
@@ -236,6 +386,13 @@ def run_bench(
             "compile_seconds": compile_seconds,
             "encodings": {},
         }
+        if simulate:
+            doc["simulation"] = _bench_simulation(
+                program,
+                repeats=repeats,
+                simulate_steps=simulate_steps,
+                fastpath_enabled=fastpath_enabled,
+            )
         for encoding_name in encodings:
             encoding = make_encoding(encoding_name)
             doc["encodings"][encoding_name] = _bench_encoding(
@@ -244,6 +401,7 @@ def run_bench(
                 repeats=repeats,
                 simulate=simulate,
                 simulate_steps=simulate_steps,
+                fastpath_enabled=fastpath_enabled,
             )
         program_docs[name] = doc
 
@@ -262,6 +420,38 @@ def run_bench(
         for doc in program_docs.values()
         for enc_doc in doc["encodings"].values()
     )
+    sim_identical = all(
+        flag
+        for doc in program_docs.values()
+        for flag in (
+            [doc["simulation"].get("identical_state", True)]
+            if "simulation" in doc
+            else []
+        )
+        + [
+            enc_doc.get("simulate_identical_state", True)
+            for enc_doc in doc["encodings"].values()
+        ]
+    )
+    aggregate = {
+        "largest_program": largest,
+        "dict_speedup_largest": min(largest_speedups),
+        "dict_speedup_min": min(all_speedups),
+        "dict_speedup_max": max(all_speedups),
+        "identical_everywhere": all_identical,
+        "sim_identical_everywhere": sim_identical,
+    }
+    largest_sim = program_docs[largest].get("simulation", {})
+    if "speedup" in largest_sim:
+        aggregate["sim_speedup_largest"] = largest_sim["speedup"]
+    compressed_speedups = [
+        enc_doc["simulate_speedup"]
+        for enc_doc in program_docs[largest]["encodings"].values()
+        if "simulate_speedup" in enc_doc
+    ]
+    if compressed_speedups:
+        aggregate["compressed_sim_speedup_largest"] = min(compressed_speedups)
+    aggregate["wall_seconds"] = time.perf_counter() - run_start
     run_doc = {
         "config": {
             "programs": list(programs),
@@ -270,18 +460,12 @@ def run_bench(
             "repeats": repeats,
             "simulate": simulate,
             "simulate_steps": simulate_steps,
+            "fastpath": fastpath_enabled,
         },
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "programs": program_docs,
-        "aggregate": {
-            "largest_program": largest,
-            "dict_speedup_largest": min(largest_speedups),
-            "dict_speedup_min": min(all_speedups),
-            "dict_speedup_max": max(all_speedups),
-            "identical_everywhere": all_identical,
-            "wall_seconds": time.perf_counter() - run_start,
-        },
+        "aggregate": aggregate,
     }
     if workers > 0:
         run_doc["workers"] = _bench_workers(programs, scale, encodings, workers)
@@ -317,26 +501,51 @@ def check_regression(
     """Compare a run against its same-key baseline run.
 
     Returns human-readable violations for every (program, encoding)
-    whose ``compress_seconds`` exceeds ``factor`` × the baseline value.
-    Entries missing from the baseline are skipped — a new program or
-    encoding cannot regress.
+    whose ``compress_seconds`` exceeds ``factor`` × the baseline value,
+    and for every simulation throughput (program-level steps/sec,
+    encoding-level insn/sec) that drops below baseline / ``factor``.
+    Entries missing from the baseline are skipped — a new program,
+    encoding, or metric cannot regress.
     """
     violations = []
+
+    def guard_throughput(label: str, current_doc: dict, base_doc: dict,
+                         key: str) -> None:
+        current_v = current_doc.get(key)
+        base_v = base_doc.get(key)
+        if not current_v or not base_v:
+            return
+        if current_v * factor < base_v:
+            violations.append(
+                f"{label}: {key} {current_v:,.0f}/s < "
+                f"baseline {base_v:,.0f}/s / {factor:g}"
+            )
+
     for name, doc in current.get("programs", {}).items():
         base_doc = baseline.get("programs", {}).get(name)
         if base_doc is None:
             continue
+        sim, base_sim = doc.get("simulation"), base_doc.get("simulation")
+        if sim and base_sim:
+            for key in ("fast_steps_per_second", "reference_steps_per_second"):
+                guard_throughput(f"{name}/simulation", sim, base_sim, key)
         for encoding_name, enc_doc in doc.get("encodings", {}).items():
             base_enc = base_doc.get("encodings", {}).get(encoding_name)
             if base_enc is None:
                 continue
             current_s = enc_doc.get("compress_seconds")
             base_s = base_enc.get("compress_seconds")
-            if current_s is None or not base_s:
-                continue
-            if current_s > factor * base_s:
-                violations.append(
-                    f"{name}/{encoding_name}: compress {current_s:.4f}s > "
-                    f"{factor:g}x baseline {base_s:.4f}s"
+            if current_s is not None and base_s:
+                if current_s > factor * base_s:
+                    violations.append(
+                        f"{name}/{encoding_name}: compress {current_s:.4f}s > "
+                        f"{factor:g}x baseline {base_s:.4f}s"
+                    )
+            for key in (
+                "simulate_fast_insn_per_second",
+                "simulate_insn_per_second",
+            ):
+                guard_throughput(
+                    f"{name}/{encoding_name}", enc_doc, base_enc, key
                 )
     return violations

@@ -3,8 +3,12 @@
 Times the compression pipeline over the workload suite — dictionary
 construction fast-path vs :func:`~repro.core.greedy.greedy_reference`,
 the full compress with per-stage breakdown, stream decode cold vs
-decode-cache warm, and bounded simulation — and writes the results into
-``BENCH_compression.json`` keyed by configuration.
+decode-cache warm, and bounded simulation with the translation-cache
+fast path vs the reference interpreters (steps/sec, cold predecode vs
+warm, per-encoding compressed throughput, ``profile_program``
+end-to-end) — and writes the results into ``BENCH_compression.json``
+keyed by configuration.  ``--no-fastpath`` is the escape hatch that
+times only the reference interpreters.
 
 Examples::
 
@@ -15,8 +19,11 @@ Examples::
 
 With ``--baseline`` the fresh run is compared against the same-key run
 in the given file; any (program, encoding) whose compress wall time
-exceeds ``--guard-factor`` (default 2.0) times the baseline makes the
-command exit with status 3.
+exceeds ``--guard-factor`` (default 2.0) times the baseline — or whose
+simulation throughput (steps/sec or insn/sec) drops below baseline
+divided by the same factor — makes the command exit with status 3.
+A fast-vs-reference architectural-state mismatch exits with status 4,
+like a greedy/image identity failure.
 """
 
 from __future__ import annotations
@@ -90,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the simulation probe",
     )
     parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help=(
+            "time only the reference interpreters (escape hatch; skips "
+            "the translation-cache fast-path measurements)"
+        ),
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=BENCH_FILENAME,
@@ -135,6 +150,7 @@ def _print_run(key: str, run_doc: dict) -> None:
                 f"{enc['compression_ratio']:>6.3f} "
                 f"{'yes' if identical else 'NO':>9}"
             )
+    _print_simulation(run_doc)
     aggregate = run_doc["aggregate"]
     print(
         f"largest program: {aggregate['largest_program']} "
@@ -153,6 +169,45 @@ def _print_run(key: str, run_doc: dict) -> None:
         )
 
 
+def _print_simulation(run_doc: dict) -> None:
+    """Per-program fast-vs-reference simulation lines.
+
+    Every speedup is attributable from the JSON alone; this mirrors the
+    ``simulation`` / ``simulate_*`` keys so a regression shows up in the
+    console output too.
+    """
+    lines = []
+    for name, doc in run_doc["programs"].items():
+        sim = doc.get("simulation")
+        if sim and "speedup" in sim:
+            lines.append(
+                f"{name:<10} uncompressed: "
+                f"{sim['fast_steps_per_second']:>12,.0f} steps/s fast vs "
+                f"{sim['reference_steps_per_second']:>12,.0f} reference "
+                f"({sim['speedup']:.2f}x, "
+                f"identical {'yes' if sim['identical_state'] else 'NO'})"
+            )
+        for encoding_name, enc in doc["encodings"].items():
+            if "simulate_speedup" not in enc:
+                continue
+            lines.append(
+                f"{name:<10} {encoding_name:<9}: "
+                f"{enc['simulate_fast_insn_per_second']:>12,.0f} insn/s fast vs "
+                f"{enc['simulate_reference_insn_per_second']:>12,.0f} reference "
+                f"({enc['simulate_speedup']:.2f}x, identical "
+                f"{'yes' if enc['simulate_identical_state'] else 'NO'})"
+            )
+    if lines:
+        print("simulation fast path:")
+        for line in lines:
+            print(f"  {line}")
+
+
+def _simulation_identical(run_doc: dict) -> bool:
+    """All fast-vs-reference identity gates (missing keys pass)."""
+    return run_doc["aggregate"].get("sim_identical_everywhere", True)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -168,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             simulate=not args.no_simulate,
             simulate_steps=args.simulate_steps,
+            fastpath_enabled=not args.no_fastpath,
         )
         key = run_key(programs, args.scale, encodings)
         _print_run(key, run_doc)
@@ -194,6 +250,12 @@ def main(argv: list[str] | None = None) -> int:
         if not run_doc["aggregate"]["identical_everywhere"]:
             print(
                 "ERROR: fast greedy output differs from greedy_reference",
+                file=sys.stderr,
+            )
+            status = status or 4
+        if not _simulation_identical(run_doc):
+            print(
+                "ERROR: fast-path simulation state differs from reference",
                 file=sys.stderr,
             )
             status = status or 4

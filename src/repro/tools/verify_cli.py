@@ -3,7 +3,11 @@
 Subcommands:
 
 * ``diff``       — lockstep differential execution of the uncompressed
-  and compressed simulators over one or more programs × encodings;
+  and compressed simulators over one or more programs × encodings
+  (``--implementation fast`` steps both lanes through the
+  translation-cache fast path instead of the reference interpreters);
+* ``fastpath``   — per-instruction lockstep of the fast path against
+  the reference interpreter, on both engines, for every encoding;
 * ``invariants`` — static structural checks (branch boundaries, jump
   tables, dictionary ranks, escape discipline) without executing;
 * ``campaign``   — seeded fault-injection campaign through
@@ -34,6 +38,7 @@ from repro.verify import (
     check_compressed,
     run_campaign,
     run_differential,
+    verify_fastpath,
 )
 from repro.verify.faults import JUMP_TABLE_SECTION, SECTIONS
 from repro.workloads import BENCHMARK_NAMES, build_benchmark
@@ -69,12 +74,30 @@ def cmd_diff(args) -> int:
                 encoding=encoding,
                 max_steps=args.max_steps,
                 control_watchdog=args.control_watchdog,
+                implementation=args.implementation,
             )
             print(result.render())
             if not result.ok:
                 failures += 1
     if failures:
         print(f"\nrepro-verify: {failures} divergent pair(s)")
+    return 1 if failures else 0
+
+
+def cmd_fastpath(args) -> int:
+    failures = 0
+    encodings = tuple(
+        name.strip() for name in args.encodings.split(",") if name.strip()
+    )
+    for program in _programs(args):
+        for result in verify_fastpath(
+            program, encodings=encodings, max_steps=args.max_steps
+        ):
+            print(result.render())
+            if not result.ok:
+                failures += 1
+    if failures:
+        print(f"\nrepro-verify: {failures} fast-path divergence(s)")
     return 1 if failures else 0
 
 
@@ -137,7 +160,17 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("--max-steps", type=int, default=10_000_000)
     diff.add_argument("--control-watchdog", type=int, default=64,
                       help="max free-running control steps per commit")
+    diff.add_argument("--implementation", choices=("reference", "fast"),
+                      default="reference",
+                      help="engine implementation stepping both lanes")
     diff.set_defaults(func=cmd_diff)
+
+    fastpath = sub.add_parser(
+        "fastpath", help="fast path vs reference interpreter lockstep"
+    )
+    _add_common_options(fastpath, default_encodings="baseline,nibble,onebyte")
+    fastpath.add_argument("--max-steps", type=int, default=1_000_000)
+    fastpath.set_defaults(func=cmd_fastpath)
 
     invariants = sub.add_parser(
         "invariants", help="static structural checks"

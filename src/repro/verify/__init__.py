@@ -11,6 +11,9 @@ Three pillars (see ``docs/verification.md``):
 * :mod:`repro.verify.faults` / :mod:`repro.verify.campaign` — seeded
   fault injection through load → decode → execute, with a
   detection-coverage report.
+* :mod:`repro.verify.fastpath` — lockstep equivalence of the
+  predecoded translation-cache engines against the reference
+  interpreters, per instruction, with no address-map forgiveness.
 """
 
 from repro.verify.campaign import (
@@ -24,6 +27,13 @@ from repro.verify.differential import (
     DifferentialResult,
     DivergenceReport,
     run_differential,
+)
+from repro.verify.fastpath import (
+    FastpathDivergence,
+    FastpathResult,
+    lockstep_compressed,
+    lockstep_program,
+    verify_fastpath,
 )
 from repro.verify.faults import (
     FAULT_KINDS,
@@ -50,6 +60,8 @@ __all__ = [
     "CampaignReport",
     "DifferentialResult",
     "DivergenceReport",
+    "FastpathDivergence",
+    "FastpathResult",
     "FaultSpec",
     "Finding",
     "InjectionOutcome",
@@ -59,8 +71,11 @@ __all__ = [
     "check_image",
     "classify_injection",
     "generate_faults",
+    "lockstep_compressed",
+    "lockstep_program",
     "reseal_crc",
     "run_campaign",
     "run_differential",
     "section_ranges",
+    "verify_fastpath",
 ]

@@ -197,9 +197,17 @@ class _Lane:
 
 
 class _OriginalLane(_Lane):
-    def __init__(self, program: Program, tail_length: int) -> None:
+    def __init__(
+        self,
+        program: Program,
+        tail_length: int,
+        implementation: str = "reference",
+    ) -> None:
         super().__init__(tail_length)
-        self.sim = Simulator(program)
+        self.sim = Simulator(program, implementation=implementation)
+        self._step = (
+            self.sim.step_fast if implementation == "fast" else self.sim.step
+        )
         self._hook_memory(self.sim.memory)
 
     def peek(self) -> Instruction:
@@ -211,7 +219,7 @@ class _OriginalLane(_Lane):
         return sim.program.text[sim.pc].instruction
 
     def step(self) -> None:
-        self.sim.step()
+        self._step()
 
     def halted(self) -> bool:
         return self.sim.state.halted
@@ -221,16 +229,24 @@ class _OriginalLane(_Lane):
 
 
 class _CompressedLane(_Lane):
-    def __init__(self, compressed: CompressedProgram, tail_length: int) -> None:
+    def __init__(
+        self,
+        compressed: CompressedProgram,
+        tail_length: int,
+        implementation: str = "reference",
+    ) -> None:
         super().__init__(tail_length)
-        self.sim = CompressedSimulator(compressed)
+        self.sim = CompressedSimulator(compressed, implementation=implementation)
+        self._step = (
+            self.sim.step_fast if implementation == "fast" else self.sim.step
+        )
         self._hook_memory(self.sim.memory)
 
     def peek(self) -> Instruction:
         return self.sim._item().instructions[self.sim.micro]
 
     def step(self) -> None:
-        self.sim.step()
+        self._step()
 
     def halted(self) -> bool:
         return self.sim.state.halted
@@ -255,14 +271,15 @@ class DifferentialRunner:
         max_steps: int = 10_000_000,
         tail_length: int = 8,
         control_watchdog: int = DEFAULT_CONTROL_WATCHDOG,
+        implementation: str = "reference",
     ) -> None:
         self.program = program
         self.compressed = compressed
         self.max_steps = max_steps
         self.control_watchdog = control_watchdog
         self.address_map = _AddressMap(compressed)
-        self.original = _OriginalLane(program, tail_length)
-        self.mirror = _CompressedLane(compressed, tail_length)
+        self.original = _OriginalLane(program, tail_length, implementation)
+        self.mirror = _CompressedLane(compressed, tail_length, implementation)
         self.committed = 0
 
     # -- reporting ------------------------------------------------------
@@ -424,11 +441,15 @@ def run_differential(
     max_steps: int = 10_000_000,
     tail_length: int = 8,
     control_watchdog: int = DEFAULT_CONTROL_WATCHDOG,
+    implementation: str = "reference",
 ) -> DifferentialResult:
     """Differentially verify ``program`` against its compressed form.
 
     Pass an existing ``compressed`` result, or an ``encoding`` to
     compress with (default: the compressor's baseline encoding).
+    ``implementation`` selects the stepping engine for *both* lanes, so
+    the compression-correctness lockstep can also be driven through the
+    predecoded fast path.
     """
     if compressed is None:
         compressed = compress(program, encoding)
@@ -438,4 +459,5 @@ def run_differential(
         max_steps=max_steps,
         tail_length=tail_length,
         control_watchdog=control_watchdog,
+        implementation=implementation,
     ).run()

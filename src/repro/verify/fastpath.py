@@ -1,0 +1,248 @@
+"""Lockstep equivalence of the predecoded fast path vs the reference.
+
+:mod:`repro.verify.differential` proves *compression* correctness —
+original vs compressed program, stepped by one engine implementation.
+This module proves *engine* correctness: the same image stepped by the
+translation-cache fast path (:mod:`repro.machine.fastpath`) and by the
+reference interpreter must agree on the full architectural state after
+**every** instruction, not just at halt.  Unlike the differential
+lockstep, nothing here is compared modulo an address map: the two
+implementations run the same fetch engine, so every register, CR bit,
+LR/CTR value, memory store, output event, step count, and program
+counter must match exactly — and so must any raised error.
+
+Together with ``run_differential(..., implementation="fast")`` this
+closes the triangle: fast==reference per engine (here), and
+original==compressed across engines (differential) under either
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compressor import CompressedProgram, compress
+from repro.core.encodings import make_encoding
+from repro.errors import ReproError
+from repro.linker.program import Program
+from repro.machine.compressed_sim import CompressedSimulator
+from repro.machine.simulator import Simulator
+
+DEFAULT_ENCODINGS = ("baseline", "nibble", "onebyte")
+
+
+@dataclass(frozen=True)
+class FastpathDivergence:
+    """First observed disagreement between the two implementations."""
+
+    kind: str  # pc | register | cr | lr | ctr | steps | memory | output
+    #          # | halt | exit | exception
+    detail: str
+    step: int  # instructions executed in lockstep before the divergence
+
+    def render(self) -> str:
+        return (
+            f"FASTPATH-DIVERGENCE[{self.kind}] after {self.step} "
+            f"instructions: {self.detail}"
+        )
+
+
+@dataclass
+class FastpathResult:
+    """Outcome of one fast-vs-reference lockstep run."""
+
+    name: str
+    engine: str  # "simulator" or "compressed/<encoding>"
+    instructions_compared: int
+    divergence: FastpathDivergence | None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"{self.name}/{self.engine}: OK — "
+                f"{self.instructions_compared} instructions in lockstep"
+            )
+        return f"{self.name}/{self.engine}:\n{self.divergence.render()}"
+
+
+class _StoreLog:
+    """Record memory stores without disturbing them."""
+
+    def __init__(self, memory) -> None:
+        self.events: list[tuple[int, int, int]] = []
+        inner = memory.store
+
+        def store(address: int, size: int, value: int) -> None:
+            self.events.append((address, size, value))
+            inner(address, size, value)
+
+        memory.store = store
+
+
+def _compare_states(fast, reference, position_of) -> tuple[str, str] | None:
+    """(kind, detail) for the first state mismatch, or None."""
+    fs, rs = fast.state, reference.state
+    if position_of(fast) != position_of(reference):
+        return (
+            "pc",
+            f"fast at {position_of(fast)}, reference at "
+            f"{position_of(reference)}",
+        )
+    if fs.steps != rs.steps:
+        return ("steps", f"fast {fs.steps}, reference {rs.steps}")
+    if fs.gpr != rs.gpr:
+        register = next(i for i in range(32) if fs.gpr[i] != rs.gpr[i])
+        return (
+            "register",
+            f"r{register}: fast {fs.gpr[register]:#x}, "
+            f"reference {rs.gpr[register]:#x}",
+        )
+    if fs.cr != rs.cr:
+        return ("cr", f"fast {fs.cr:#010x}, reference {rs.cr:#010x}")
+    if fs.lr != rs.lr:
+        return ("lr", f"fast {fs.lr:#x}, reference {rs.lr:#x}")
+    if fs.ctr != rs.ctr:
+        return ("ctr", f"fast {fs.ctr:#x}, reference {rs.ctr:#x}")
+    if fs.halted != rs.halted:
+        return ("halt", f"fast halted={fs.halted}, reference={rs.halted}")
+    if fs.exit_code != rs.exit_code:
+        return ("exit", f"fast {fs.exit_code}, reference {rs.exit_code}")
+    if fs.output != rs.output:
+        return (
+            "output",
+            f"fast tail {fs.output[-3:]!r}, reference tail {rs.output[-3:]!r}",
+        )
+    return None
+
+
+def _lockstep(name, engine, fast, reference, step_fast, step_ref,
+              position_of, max_steps) -> FastpathResult:
+    fast_stores = _StoreLog(fast.memory)
+    ref_stores = _StoreLog(reference.memory)
+    executed = 0
+
+    def result(divergence):
+        return FastpathResult(
+            name=name,
+            engine=engine,
+            instructions_compared=executed,
+            divergence=divergence,
+        )
+
+    while executed < max_steps:
+        if fast.state.halted and reference.state.halted:
+            return result(None)
+        fast_error = ref_error = None
+        try:
+            step_fast()
+        except ReproError as exc:
+            fast_error = exc
+        try:
+            step_ref()
+        except ReproError as exc:
+            ref_error = exc
+        if fast_error is not None or ref_error is not None:
+            same = (
+                fast_error is not None
+                and ref_error is not None
+                and type(fast_error) is type(ref_error)
+                and str(fast_error) == str(ref_error)
+            )
+            if same:
+                return result(None)
+            return result(
+                FastpathDivergence(
+                    kind="exception",
+                    detail=(
+                        f"fast raised {fast_error!r}, "
+                        f"reference raised {ref_error!r}"
+                    ),
+                    step=executed,
+                )
+            )
+        executed += 1
+        mismatch = _compare_states(fast, reference, position_of)
+        if mismatch is None and fast_stores.events != ref_stores.events:
+            mismatch = (
+                "memory",
+                f"fast stores {fast_stores.events[-3:]!r}, "
+                f"reference {ref_stores.events[-3:]!r}",
+            )
+        if mismatch is not None:
+            kind, detail = mismatch
+            return result(FastpathDivergence(kind, detail, executed))
+        fast_stores.events.clear()
+        ref_stores.events.clear()
+    return result(
+        FastpathDivergence(
+            kind="watchdog",
+            detail=f"no halt within {max_steps} lockstep instructions",
+            step=executed,
+        )
+    )
+
+
+def lockstep_program(
+    program: Program, *, max_steps: int = 1_000_000
+) -> FastpathResult:
+    """Step the uncompressed simulator fast-vs-reference in lockstep."""
+    fast = Simulator(program, implementation="fast")
+    reference = Simulator(program, implementation="reference")
+    return _lockstep(
+        program.name,
+        "simulator",
+        fast,
+        reference,
+        fast.step_fast,
+        reference.step,
+        lambda sim: sim.pc,
+        max_steps,
+    )
+
+
+def lockstep_compressed(
+    compressed: CompressedProgram, *, max_steps: int = 1_000_000
+) -> FastpathResult:
+    """Step the compressed simulator fast-vs-reference in lockstep."""
+    fast = CompressedSimulator(compressed, implementation="fast")
+    reference = CompressedSimulator(compressed, implementation="reference")
+    result = _lockstep(
+        fast.name,
+        f"compressed/{compressed.encoding.name}",
+        fast,
+        reference,
+        fast.step_fast,
+        reference.step,
+        lambda sim: (sim.item_index, sim.micro),
+        max_steps,
+    )
+    if result.ok and fast.stats != reference.stats:
+        result.divergence = FastpathDivergence(
+            kind="stats",
+            detail=f"fast {fast.stats}, reference {reference.stats}",
+            step=result.instructions_compared,
+        )
+    return result
+
+
+def verify_fastpath(
+    program: Program,
+    *,
+    encodings: tuple[str, ...] = DEFAULT_ENCODINGS,
+    max_steps: int = 1_000_000,
+) -> list[FastpathResult]:
+    """Full fast-path audit for one program.
+
+    Runs the uncompressed lockstep, then for every encoding compresses
+    the program and runs the compressed lockstep.  Returns one
+    :class:`FastpathResult` per check; all must be ``ok``.
+    """
+    results = [lockstep_program(program, max_steps=max_steps)]
+    for name in encodings:
+        compressed = compress(program, make_encoding(name))
+        results.append(lockstep_compressed(compressed, max_steps=max_steps))
+    return results

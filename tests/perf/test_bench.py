@@ -52,6 +52,43 @@ class TestRunBench:
             assert "build_dictionary" in enc_doc["stage_seconds"]
             assert enc_doc["simulate_instructions"] > 0
 
+    def test_simulation_keys(self, run_doc):
+        sim = run_doc["programs"]["compress"]["simulation"]
+        assert sim["steps"] > 0
+        assert sim["reference_steps_per_second"] > 0
+        assert sim["fast_steps_per_second"] > 0
+        assert sim["predecode_cold_seconds"] > 0
+        assert sim["speedup"] > 0
+        assert sim["identical_state"]
+        assert sim["trace_cache"]["traces"] > 0
+        assert sim["profile_fast_seconds"] > 0
+        assert sim["profile_reference_seconds"] > 0
+        for enc_doc in run_doc["programs"]["compress"]["encodings"].values():
+            assert enc_doc["simulate_fast_insn_per_second"] > 0
+            assert enc_doc["simulate_reference_insn_per_second"] > 0
+            assert enc_doc["simulate_identical_state"]
+            # Legacy headline keys follow the default (fast) engine.
+            assert enc_doc["simulate_seconds"] == enc_doc["simulate_fast_seconds"]
+
+    def test_no_fastpath_escape_hatch(self, small_suite):
+        doc = run_bench(
+            ["compress"],
+            0.3,
+            ["onebyte"],
+            repeats=1,
+            simulate_steps=2_000,
+            fastpath_enabled=False,
+        )
+        assert doc["config"]["fastpath"] is False
+        sim = doc["programs"]["compress"]["simulation"]
+        assert "fast_steps_per_second" not in sim
+        assert sim["reference_steps_per_second"] > 0
+        enc_doc = doc["programs"]["compress"]["encodings"]["onebyte"]
+        assert "simulate_fast_seconds" not in enc_doc
+        assert enc_doc["simulate_seconds"] == enc_doc["simulate_reference_seconds"]
+        assert doc["aggregate"]["sim_identical_everywhere"] is True
+        assert "sim_speedup_largest" not in doc["aggregate"]
+
     def test_fast_path_is_byte_identical(self, run_doc):
         assert run_doc["aggregate"]["identical_everywhere"]
         for enc_doc in run_doc["programs"]["compress"]["encodings"].values():
@@ -61,6 +98,9 @@ class TestRunBench:
     def test_aggregate_names_largest(self, run_doc):
         assert run_doc["aggregate"]["largest_program"] == "compress"
         assert run_doc["aggregate"]["dict_speedup_min"] > 0
+        assert run_doc["aggregate"]["sim_identical_everywhere"] is True
+        assert run_doc["aggregate"]["sim_speedup_largest"] > 0
+        assert run_doc["aggregate"]["compressed_sim_speedup_largest"] > 0
 
     def test_workers_sweep(self, small_suite):
         doc = run_bench(
@@ -131,6 +171,44 @@ class TestRegressionGuard:
         }
         assert check_regression(current, _doc(0.9), factor=2.0) == []
 
+    def _sim_doc(self, steps_per_second, insn_per_second):
+        return {
+            "programs": {
+                "compress": {
+                    "simulation": {
+                        "fast_steps_per_second": steps_per_second,
+                        "reference_steps_per_second": 2e5,
+                    },
+                    "encodings": {
+                        "nibble": {
+                            "compress_seconds": 0.01,
+                            "simulate_fast_insn_per_second": insn_per_second,
+                            "simulate_insn_per_second": insn_per_second,
+                        }
+                    },
+                }
+            }
+        }
+
+    def test_throughput_within_budget(self):
+        baseline = self._sim_doc(1e6, 5e5)
+        assert check_regression(self._sim_doc(9e5, 4e5), baseline) == []
+
+    def test_throughput_drop_is_violation(self):
+        baseline = self._sim_doc(1e6, 5e5)
+        violations = check_regression(self._sim_doc(1e5, 5e5), baseline)
+        assert len(violations) == 1
+        assert "fast_steps_per_second" in violations[0]
+        violations = check_regression(self._sim_doc(1e6, 5e4), baseline)
+        assert len(violations) == 2  # fast + legacy headline key
+        assert any("simulate_fast_insn_per_second" in v for v in violations)
+
+    def test_missing_sim_metrics_skipped(self):
+        # A --no-fastpath run compared against a fastpath baseline (or
+        # vice versa) must not trip the guard on absent keys.
+        assert check_regression(_doc(0.01), self._sim_doc(1e6, 5e5)) == []
+        assert check_regression(self._sim_doc(1e6, 5e5), _doc(0.01)) == []
+
 
 class TestCli:
     def test_smoke(self, small_suite, capsys):
@@ -172,6 +250,30 @@ class TestCli:
         code = main(argv + ["--no-write", "--baseline", str(output)])
         assert code == 3
         assert "REGRESSION" in capsys.readouterr().err
+
+    def test_simulation_lines_printed(self, small_suite, capsys):
+        code = main(
+            [
+                "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+                "--repeats", "1", "--simulate-steps", "2000", "--no-write",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "simulation fast path:" in printed
+        assert "steps/s fast vs" in printed
+        assert "insn/s fast vs" in printed
+
+    def test_no_fastpath_flag(self, small_suite, capsys):
+        code = main(
+            [
+                "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+                "--repeats", "1", "--simulate-steps", "2000",
+                "--no-fastpath", "--no-write",
+            ]
+        )
+        assert code == 0
+        assert "simulation fast path:" not in capsys.readouterr().out
 
     def test_unknown_benchmark_rejected(self, capsys):
         with pytest.raises(SystemExit):
