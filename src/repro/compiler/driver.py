@@ -101,10 +101,11 @@ def compile_and_link(
     The program must define ``main``; the runtime's ``_start`` calls it
     and halts.
     """
-    with observe.stage("compile"):
-        module = compile_source(source, module_name=name, options=options)
-    if not any(fn.name == "main" for fn in module.functions):
-        raise CompileError(f"{name}: program defines no main()")
-    start_module = ObjectModule("crt0", functions=[make_start()])
-    with observe.stage("link"):
-        return link([module, start_module], name=name)
+    with observe.span("build", name=name):
+        with observe.stage("compile"):
+            module = compile_source(source, module_name=name, options=options)
+        if not any(fn.name == "main" for fn in module.functions):
+            raise CompileError(f"{name}: program defines no main()")
+        start_module = ObjectModule("crt0", functions=[make_start()])
+        with observe.stage("link"):
+            return link([module, start_module], name=name)

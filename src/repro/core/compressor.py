@@ -113,6 +113,15 @@ class Compressor:
         self.greedy_implementation = greedy_implementation
 
     def compress(self, program: Program) -> CompressedProgram:
+        with observe.span(
+            "compress",
+            program=program.name,
+            encoding=self.encoding.name,
+            instructions=len(program.text),
+        ):
+            return self._compress(program)
+
+    def _compress(self, program: Program) -> CompressedProgram:
         encoding = self.encoding
         with observe.stage("dict_build"):
             greedy = build_dictionary(

@@ -705,7 +705,10 @@ class ProgramTranslationCache:
         self.hits = 0
         self.misses = 0
         started = time.perf_counter()
-        with observe.stage("sim.predecode"):
+        with observe.stage(
+            "sim.predecode", kind="program", name=program.name,
+            instructions=len(program.text),
+        ):
             ops = []
             kinds = bytearray(len(program.text))
             for index, text_ins in enumerate(program.text):
@@ -801,7 +804,9 @@ class StreamTranslationCache:
         self.hits = 0
         self.misses = 0
         started = time.perf_counter()
-        with observe.stage("sim.predecode"):
+        with observe.stage(
+            "sim.predecode", kind="stream", items=len(items),
+        ):
             self.item_thunks = tuple(
                 tuple(
                     None if ins.mnemonic in CONTROL_MNEMONICS else bound_thunk(ins)

@@ -1,0 +1,123 @@
+"""Structured observability: spans, recorders, exporters, run ledger.
+
+The library's hot paths (:mod:`repro.compiler.driver`,
+:mod:`repro.core.compressor`, :mod:`repro.machine.fastpath`, the batch
+service) wrap their phases in :func:`span`/:func:`stage` blocks.  By
+default both are no-ops — no clock is read, no state is kept — so the
+plain library path pays nothing and depends on nothing.  A consumer
+that wants structure installs a :class:`Recorder` (the batch service's
+:class:`repro.service.metrics.MetricsRegistry` does this, as do the
+``repro-observe`` / ``repro-bench`` CLIs) and receives complete span
+trees and point-metric totals; exporters turn those into Chrome
+``trace_event`` JSON, Prometheus text, or JSONL run-ledger records.
+
+The original flat ``(stage, seconds)`` callback API
+(:func:`set_stage_callback` / :func:`set_metric_callback`) is kept as a
+compatibility shim: :func:`stage` still reports to it with exactly the
+historical names below while also emitting a leaf span.
+
+Stage names currently emitted:
+
+=========================  ================================================
+name                       where
+=========================  ================================================
+``compile``                :func:`repro.compiler.driver.compile_and_link`
+``link``                   :func:`repro.compiler.driver.compile_and_link`
+``dict_build``             :meth:`repro.core.compressor.Compressor.compress`
+``tokenize``               :meth:`repro.core.compressor.Compressor.compress`
+``branch_patch``           :meth:`repro.core.compressor.Compressor.compress`
+``serialize``              :meth:`repro.core.compressor.Compressor.compress`
+``jump_tables``            :meth:`repro.core.compressor.Compressor.compress`
+``enumerate_candidates``   :func:`repro.core.candidates.enumerate_candidates`
+                           (nested inside ``build_dictionary``)
+``build_dictionary``       :func:`repro.core.greedy.build_dictionary`
+                           (nested inside ``dict_build``)
+``sim.predecode``          :class:`repro.machine.fastpath.ProgramTranslationCache`
+                           / :class:`~repro.machine.fastpath.StreamTranslationCache`
+                           (one-time thunk predecode of a program or stream)
+=========================  ================================================
+
+Hierarchical (span-only) names introduced on top of the table —
+``compress`` (the whole pipeline, wrapping the five compressor
+stages), ``job`` (one service :class:`~repro.service.jobs.CompressionJob`,
+with ``label``/``encoding``/``verify``/``cache_hit`` attributes),
+``verify`` / ``verify.differential`` / ``verify.campaign`` /
+``verify.injection`` (the verification layer), and ``simulate`` (a
+traced bounded simulation) — are *not* reported to the legacy
+callback; they exist only as spans.
+
+Metric names currently emitted:
+
+=========================  ================================================
+name                       where
+=========================  ================================================
+``candidates.count``       :func:`repro.core.candidates.enumerate_candidates`
+``decode_cache.hits``      :meth:`repro.machine.decompressor.StreamDecoder`
+``decode_cache.misses``    :meth:`repro.machine.decompressor.StreamDecoder`
+``sim.trace_cache.hits``   :mod:`repro.machine.fastpath` run loops (trace
+                           dispatches served from the translation cache)
+``sim.trace_cache.misses`` :mod:`repro.machine.fastpath` run loops (traces
+                           built during the run)
+=========================  ================================================
+
+See :doc:`docs/observability` for the span model, exporter formats,
+the ledger schema, and ``repro-observe`` CLI examples.
+"""
+
+from repro.observe.spans import (
+    MetricCallback,
+    Span,
+    StageCallback,
+    current_span,
+    get_metric_callback,
+    get_stage_callback,
+    metric,
+    recording_active,
+    set_metric_callback,
+    set_stage_callback,
+    span,
+    stage,
+)
+from repro.observe.recorder import Recorder
+from repro.observe.ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    make_record,
+    make_run_id,
+    read_ledger,
+    validate_record,
+)
+from repro.observe.export import (
+    chrome_trace_events,
+    prometheus_snapshot,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "MetricCallback",
+    "Recorder",
+    "RunLedger",
+    "Span",
+    "StageCallback",
+    "chrome_trace_events",
+    "current_span",
+    "get_metric_callback",
+    "get_stage_callback",
+    "make_record",
+    "make_run_id",
+    "metric",
+    "prometheus_snapshot",
+    "read_ledger",
+    "recording_active",
+    "set_metric_callback",
+    "set_stage_callback",
+    "span",
+    "stage",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "validate_record",
+    "write_chrome_trace",
+]

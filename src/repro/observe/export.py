@@ -1,0 +1,226 @@
+"""Trace and metrics exporters.
+
+Two wire formats:
+
+* **Chrome ``trace_event`` JSON** — the object form
+  (``{"traceEvents": [...]}``) with balanced ``B``/``E`` duration
+  events, loadable in Perfetto / ``chrome://tracing``.  Span attributes
+  ride along as ``args``.  :func:`validate_chrome_trace` structurally
+  checks a document (required keys, balanced begin/end per thread,
+  monotonic timestamps) and is what the tests and the CI smoke job run
+  against every emitted trace.
+
+* **Prometheus text exposition** — :func:`prometheus_snapshot` renders
+  a :class:`~repro.service.metrics.MetricsRegistry` (or its
+  :meth:`as_dict` snapshot) as ``# TYPE``-annotated counter / summary /
+  histogram families, with timer percentiles as ``quantile`` labels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.observe.spans import Span
+
+TRACE_CATEGORY = "repro"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    roots: list[Span], *, pid: int | None = None
+) -> list[dict]:
+    """Flatten span trees into ``B``/``E`` duration events."""
+    pid = os.getpid() if pid is None else pid
+    events: list[dict] = []
+
+    def emit(node: Span) -> None:
+        end_ns = node.end_ns if node.end_ns is not None else node.start_ns
+        begin = {
+            "name": node.name,
+            "cat": TRACE_CATEGORY,
+            "ph": "B",
+            "ts": node.start_ns // 1_000,
+            "pid": pid,
+            "tid": node.thread_id,
+        }
+        if node.attrs:
+            begin["args"] = {
+                key: value for key, value in node.attrs.items()
+            }
+        events.append(begin)
+        for child in sorted(node.children, key=lambda c: c.start_ns):
+            emit(child)
+        events.append({
+            "name": node.name,
+            "cat": TRACE_CATEGORY,
+            "ph": "E",
+            "ts": end_ns // 1_000,
+            "pid": pid,
+            "tid": node.thread_id,
+        })
+
+    for root in roots:
+        emit(root)
+    return events
+
+
+def to_chrome_trace(
+    roots: list[Span],
+    *,
+    metrics: dict[str, int] | None = None,
+    pid: int | None = None,
+) -> dict:
+    """Build the Chrome trace JSON object for a list of span trees."""
+    document: dict = {
+        "traceEvents": chrome_trace_events(roots, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+    if metrics:
+        document["otherData"] = {
+            "metrics": {name: metrics[name] for name in sorted(metrics)}
+        }
+    return document
+
+
+def write_chrome_trace(
+    path: str | Path,
+    roots: list[Span],
+    *,
+    metrics: dict[str, int] | None = None,
+) -> Path:
+    """Validate and write a Chrome trace file; returns the path."""
+    document = to_chrome_trace(roots, metrics=metrics)
+    problems = validate_chrome_trace(document)
+    if problems:  # pragma: no cover - exporter invariant
+        raise ValueError(
+            "refusing to write malformed trace: " + "; ".join(problems)
+        )
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=1) + "\n")
+    return path
+
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Structural well-formedness check; returns problems (empty = ok).
+
+    Verified per ``(pid, tid)`` lane: every event carries the required
+    keys, ``B``/``E`` events balance like parentheses with matching
+    names, and timestamps never go backwards.
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    stacks: dict[tuple, list[dict]] = {}
+    last_ts: dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{index} is not an object")
+            continue
+        missing = [key for key in _REQUIRED_EVENT_KEYS if key not in event]
+        if missing:
+            problems.append(f"event #{index} missing keys {missing}")
+            continue
+        lane = (event["pid"], event["tid"])
+        if event["ts"] < last_ts.get(lane, float("-inf")):
+            problems.append(
+                f"event #{index} ({event['name']}): timestamp {event['ts']} "
+                f"goes backwards in lane {lane}"
+            )
+        last_ts[lane] = event["ts"]
+        phase = event["ph"]
+        if phase == "B":
+            stacks.setdefault(lane, []).append(event)
+        elif phase == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                problems.append(
+                    f"event #{index} ({event['name']}): E without B"
+                )
+                continue
+            begin = stack.pop()
+            if begin["name"] != event["name"]:
+                problems.append(
+                    f"event #{index}: E {event['name']!r} closes "
+                    f"B {begin['name']!r}"
+                )
+        elif phase not in ("i", "C", "M"):
+            problems.append(f"event #{index}: unknown phase {phase!r}")
+    for lane, stack in stacks.items():
+        for begin in stack:
+            problems.append(
+                f"unclosed B event {begin['name']!r} in lane {lane}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.9g}"
+
+
+def prometheus_snapshot(registry) -> str:
+    """Render a metrics registry in Prometheus text format.
+
+    ``registry`` is a :class:`~repro.service.metrics.MetricsRegistry`
+    or the dict its :meth:`as_dict` produces.  Counters become
+    ``counter`` families, timers become ``summary`` families with
+    p50/p90/p99 ``quantile`` labels, histograms become cumulative
+    ``histogram`` families with ``le`` bucket labels.
+    """
+    snapshot = registry.as_dict() if hasattr(registry, "as_dict") else registry
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("timers", {})):
+        data = snapshot["timers"][name]
+        metric = _prom_name(name) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, value in _timer_quantiles(data):
+            lines.append(f'{metric}{{quantile="{quantile}"}} {_fmt(value)}')
+        lines.append(f"{metric}_sum {_fmt(data['total_seconds'])}")
+        lines.append(f"{metric}_count {data['count']}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += data["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(data['sum'])}")
+        lines.append(f"{metric}_count {data['total']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _timer_quantiles(data: dict) -> list[tuple[str, float]]:
+    samples = sorted(data.get("samples", ()))
+    if not samples:
+        return []
+    quantiles = []
+    for quantile in (0.5, 0.9, 0.99):
+        rank = max(0, min(len(samples) - 1,
+                          round(quantile * len(samples)) - 1))
+        quantiles.append((f"{quantile:g}", samples[rank]))
+    return quantiles

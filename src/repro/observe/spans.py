@@ -1,0 +1,297 @@
+"""Hierarchical spans, the recorder registry, and the compat shim.
+
+A :class:`Span` is one timed region with a name, free-form attributes,
+and children.  :func:`span` opens one as a context manager; nesting is
+tracked through a :mod:`contextvars` variable, so concurrently running
+contexts (service pool jobs, ``contextvars.copy_context``-launched
+threads) each maintain their own span stack and never interleave.
+
+Delivery model
+--------------
+
+Completed spans are delivered to *recorders* (any object with
+``on_span(root)`` / ``on_metric(name, value)``, see
+:class:`repro.observe.recorder.Recorder`).  Recorders install either
+
+* **context-scoped** (the default) — visible only to code running in
+  the installing context and contexts copied from it, which is what
+  gives two concurrent recorders disjoint-by-run views; or
+* **process-wide** — visible everywhere, for whole-process profiling.
+
+The set of recorders in effect is snapshotted when a *root* span opens
+and travels with the tree: the full tree is delivered to exactly those
+recorders when the root closes, so a recorder never observes half a
+run, and a recorder uninstalled mid-run still receives the runs it
+witnessed starting.  Point metrics reported inside a span go to the
+owning tree's snapshot; outside any span they go to the recorders in
+effect at call time.
+
+With no recorder installed and no legacy callback set, :func:`span`,
+:func:`stage`, and :func:`metric` are no-ops — no clock is read, no
+object is allocated — so uninstrumented library use stays free.
+
+Compatibility shim
+------------------
+
+The original flat API — :func:`set_stage_callback` /
+:func:`set_metric_callback` receiving ``(name, seconds)`` /
+``(name, value)`` pairs — is preserved verbatim: :func:`stage` is now a
+leaf-span constructor that *additionally* invokes the legacy stage
+callback with the same names and semantics as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+StageCallback = Callable[[str, float], None]
+MetricCallback = Callable[[str, int], None]
+
+_EMPTY: tuple = ()
+
+
+class Span:
+    """One timed, attributed region of a trace tree."""
+
+    __slots__ = (
+        "name", "attrs", "start_ns", "end_ns", "children",
+        "thread_id", "_recorders",
+    )
+
+    def __init__(self, name: str, attrs: dict, start_ns: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+        self.children: list[Span] = []
+        self.thread_id = threading.get_ident()
+        self._recorders: tuple = _EMPTY
+
+    # -- durations ------------------------------------------------------
+    @property
+    def duration_seconds(self) -> float:
+        """Total wall time, children included (0.0 while still open)."""
+        if self.end_ns is None:
+            return 0.0
+        return (self.end_ns - self.start_ns) / 1e9
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not attributed to any child span."""
+        return max(
+            0.0,
+            self.duration_seconds
+            - sum(child.duration_seconds for child in self.children),
+        )
+
+    # -- traversal / serialization --------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (microsecond precision, recursive)."""
+        doc: dict = {
+            "name": self.name,
+            "start_us": self.start_ns // 1_000,
+            "duration_us": (
+                (self.end_ns - self.start_ns) // 1_000
+                if self.end_ns is not None
+                else None
+            ),
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.children:
+            doc["children"] = [child.to_dict() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        span = cls(doc["name"], dict(doc.get("attrs", {})),
+                   doc["start_us"] * 1_000)
+        duration = doc.get("duration_us")
+        if duration is not None:
+            span.end_ns = span.start_ns + duration * 1_000
+        span.children = [
+            cls.from_dict(child) for child in doc.get("children", [])
+        ]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_seconds * 1e3:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Recorder registry: a context-scoped tuple plus a process-wide tuple,
+# both copy-on-write so the hot-path read is a plain load.
+# ----------------------------------------------------------------------
+_current_span: ContextVar[Span | None] = ContextVar(
+    "repro_observe_span", default=None
+)
+_context_recorders: ContextVar[tuple] = ContextVar(
+    "repro_observe_recorders", default=_EMPTY
+)
+_ambient_lock = threading.Lock()
+_ambient_recorders: tuple = _EMPTY
+
+# Legacy flat callbacks (compat shim).
+_callback: StageCallback | None = None
+_metric_callback: MetricCallback | None = None
+
+
+def _effective_recorders() -> tuple:
+    return _ambient_recorders + _context_recorders.get()
+
+
+def recording_active() -> bool:
+    """True when at least one recorder would observe a new root span."""
+    return bool(_ambient_recorders) or bool(_context_recorders.get())
+
+
+def _install_context(recorder) -> object:
+    return _context_recorders.set(_context_recorders.get() + (recorder,))
+
+
+def _uninstall_context(token) -> None:
+    _context_recorders.reset(token)
+
+
+def _install_ambient(recorder) -> None:
+    global _ambient_recorders
+    with _ambient_lock:
+        _ambient_recorders = _ambient_recorders + (recorder,)
+
+
+def _uninstall_ambient(recorder) -> None:
+    global _ambient_recorders
+    with _ambient_lock:
+        _ambient_recorders = tuple(
+            existing for existing in _ambient_recorders
+            if existing is not recorder
+        )
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context (None outside any)."""
+    return _current_span.get()
+
+
+# ----------------------------------------------------------------------
+# The instrumentation API.
+# ----------------------------------------------------------------------
+@contextmanager
+def span(name: str, /, **attrs) -> Iterator[Span | None]:
+    """Open one span; yields the :class:`Span` (or None when inactive).
+
+    A root span (no enclosing span) snapshots the recorders in effect;
+    the finished tree is delivered to that snapshot when it closes.
+    Child spans attach to their parent and inherit its snapshot.  With
+    no recorder in effect a root ``span`` is a complete no-op.
+    """
+    parent = _current_span.get()
+    if parent is None:
+        recorders = _effective_recorders()
+        if not recorders:
+            yield None
+            return
+    else:
+        recorders = parent._recorders
+    current = Span(name, attrs, time.perf_counter_ns())
+    current._recorders = recorders
+    token = _current_span.set(current)
+    try:
+        yield current
+    finally:
+        current.end_ns = time.perf_counter_ns()
+        _current_span.reset(token)
+        if parent is not None:
+            parent.children.append(current)
+        else:
+            for recorder in recorders:
+                recorder.on_span(current)
+
+
+@contextmanager
+def stage(name: str, /, **attrs) -> Iterator[None]:
+    """Time one pipeline stage (compat shim; emits a leaf span).
+
+    Exactly the historical contract: with a legacy stage callback
+    installed it receives ``(name, seconds)``; with recorders in effect
+    the same region is additionally recorded as a span.  With neither,
+    this is a no-op.
+    """
+    callback = _callback
+    if callback is None:
+        if _current_span.get() is None and not _effective_recorders():
+            yield
+            return
+        with span(name, **attrs):
+            yield
+        return
+    start = time.perf_counter()
+    try:
+        with span(name, **attrs):
+            yield
+    finally:
+        callback(name, time.perf_counter() - start)
+
+
+def metric(name: str, value: int = 1) -> None:
+    """Report one named count observation to the callback and recorders."""
+    callback = _metric_callback
+    if callback is not None:
+        callback(name, value)
+    current = _current_span.get()
+    recorders = (
+        current._recorders if current is not None else _effective_recorders()
+    )
+    for recorder in recorders:
+        recorder.on_metric(name, value)
+
+
+# ----------------------------------------------------------------------
+# Legacy flat-callback API (kept verbatim for external installers).
+# ----------------------------------------------------------------------
+def set_stage_callback(callback: StageCallback | None) -> StageCallback | None:
+    """Install ``callback`` (or ``None`` to disable); returns the old one.
+
+    The callback applies process-wide; callers that install one
+    temporarily should restore the returned previous value.  New code
+    should install a :class:`~repro.observe.recorder.Recorder` instead —
+    recorders compose, callbacks overwrite each other.
+    """
+    global _callback
+    previous = _callback
+    _callback = callback
+    return previous
+
+
+def get_stage_callback() -> StageCallback | None:
+    return _callback
+
+
+def set_metric_callback(callback: MetricCallback | None) -> MetricCallback | None:
+    """Install a point-metric callback (or ``None``); returns the old one.
+
+    Like :func:`set_stage_callback`, this is process-wide and temporary
+    installers should restore the previous value.
+    """
+    global _metric_callback
+    previous = _metric_callback
+    _metric_callback = callback
+    return previous
+
+
+def get_metric_callback() -> MetricCallback | None:
+    return _metric_callback

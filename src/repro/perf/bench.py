@@ -56,6 +56,7 @@ from repro.machine.decompressor import (
     decode_cache_stats,
 )
 from repro.machine.simulator import Simulator, profile_program
+from repro.observe import Recorder, RunLedger, make_record
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import run_batch
 from repro.workloads import build_benchmark
@@ -198,6 +199,7 @@ def _bench_encoding(
     simulate: bool,
     simulate_steps: int,
     fastpath_enabled: bool = True,
+    ledger: RunLedger | None = None,
 ) -> dict:
     result: dict = {}
 
@@ -221,13 +223,15 @@ def _bench_encoding(
     ref_greedy = greedy_reference(program, encoding)
     result["identical_greedy"] = _same_greedy(fast_greedy, ref_greedy)
 
-    # Full pipeline, with the observe stage breakdown from one cold run
+    # Full pipeline, with the observe span tree from one cold run
     # (caches evicted so candidate enumeration shows up in the stage
-    # timers) and the headline wall time as best-of-repeats.
+    # breakdown) and the headline wall time as best-of-repeats.  The
+    # captured tree is what lands in the run ledger, so
+    # ``repro-observe diff`` can compare bench runs.
     _evict_program_caches(program)
     compressor = Compressor(encoding=encoding)
-    registry = MetricsRegistry()
-    with registry.installed():
+    recorder = Recorder()
+    with recorder:
         start = time.perf_counter()
         compressed = compressor.compress(program)
         single_wall = time.perf_counter() - start
@@ -237,12 +241,18 @@ def _bench_encoding(
         if repeats > 1
         else single_wall,
     )
-    snapshot = registry.as_dict()
-    result["stage_seconds"] = {
-        name.removeprefix("stage."): data["total_seconds"]
-        for name, data in snapshot["timers"].items()
-    }
-    result["candidates_count"] = snapshot["counters"].get("candidates.count", 0)
+    result["stage_seconds"] = recorder.stage_seconds()
+    result["candidates_count"] = recorder.metrics.get("candidates.count", 0)
+    if ledger is not None:
+        ledger.append(make_record(
+            "bench.compress",
+            program=program.name,
+            encoding=encoding.name,
+            spans=recorder.spans,
+            metrics=recorder.metrics,
+            wall_seconds=single_wall,
+            meta={"instructions": len(program.text)},
+        ))
 
     # Byte-identical image gate for the fast greedy path.
     reference_image = Compressor(
@@ -370,8 +380,14 @@ def run_bench(
     simulate: bool = True,
     simulate_steps: int = 200_000,
     fastpath_enabled: bool = True,
+    ledger: RunLedger | None = None,
 ) -> dict:
-    """Measure one configuration; returns the run document."""
+    """Measure one configuration; returns the run document.
+
+    With a ``ledger``, every per-(program, encoding) compress run
+    appends one ``bench.compress`` record (full span tree + metrics),
+    comparable later with ``repro-observe diff``.
+    """
     encodings = list(encodings or DEFAULT_ENCODINGS)
     if repeats < 1:
         raise ReproError("repeats must be >= 1")
@@ -402,6 +418,7 @@ def run_bench(
                 simulate=simulate,
                 simulate_steps=simulate_steps,
                 fastpath_enabled=fastpath_enabled,
+                ledger=ledger,
             )
         program_docs[name] = doc
 

@@ -154,18 +154,31 @@ class CompressionJob:
         return build_benchmark(self.benchmark, self.scale)
 
     def run(self) -> tuple[CompressedProgram, CompressedImage]:
-        """Execute the job in-process (no cache, no pool)."""
-        program = self.build_program()
-        encoding = make_encoding(self.encoding, self.max_codewords)
-        compressed = compress(
-            program, encoding, max_entry_len=self.max_entry_len
-        )
-        level = self.verify_level
-        if level != "none":
-            compressed.verify_stream()
-        if level == "full":
-            self._verify_full(program, compressed)
-        return compressed, CompressedImage.from_compressed(compressed)
+        """Execute the job in-process (no cache, no pool).
+
+        The whole job runs inside one ``job`` span — the per-job trace
+        tree the service exports — carrying the label, encoding, and
+        verify level (``cache_hit=False``; cache hits never reach
+        :meth:`run`, the pool emits their marker spans itself).
+        """
+        with observe.span(
+            "job",
+            label=self.label,
+            encoding=self.encoding,
+            verify=self.verify_level,
+            cache_hit=False,
+        ):
+            program = self.build_program()
+            encoding = make_encoding(self.encoding, self.max_codewords)
+            compressed = compress(
+                program, encoding, max_entry_len=self.max_entry_len
+            )
+            level = self.verify_level
+            if level != "none":
+                compressed.verify_stream()
+            if level == "full":
+                self._verify_full(program, compressed)
+            return compressed, CompressedImage.from_compressed(compressed)
 
     def _verify_full(
         self, program: Program, compressed: CompressedProgram

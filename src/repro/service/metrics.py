@@ -5,7 +5,8 @@ instruments:
 
 * :class:`Counter` — a monotonically increasing integer (jobs
   completed, cache hits, bytes saved);
-* :class:`Timer` — accumulated wall time plus an event count, with a
+* :class:`Timer` — accumulated wall time plus an event count and a
+  bounded sample reservoir for p50/p90/p99 percentiles, with a
   context-manager form (per-stage compile/compress timing);
 * :class:`Histogram` — fixed-boundary bucket counts (job latency
   distribution).
@@ -13,10 +14,15 @@ instruments:
 Registries serialize to plain dicts (:meth:`MetricsRegistry.as_dict`)
 so worker processes can ship their measurements back to the parent,
 which folds them in with :meth:`MetricsRegistry.merge`.  A registry can
-also :meth:`~MetricsRegistry.install` itself as the process-wide
-:mod:`repro.observe` stage callback, turning the compiler's and
-compressor's stage marks into ``stage.<name>`` timers; the library
-default remains a no-op when nothing is installed.
+also :meth:`~MetricsRegistry.install` itself as a
+:class:`repro.observe.Recorder`: every span in a completed trace tree
+becomes a ``stage.<name>`` timer observation and every point metric a
+counter.  Installation is **concurrency-safe** — recorders compose
+instead of swapping a process-wide callback, so two registries
+installed at once (two service batches, a pool worker's inline
+fallback racing a foreground batch) each receive every run started in
+their own scope and never steal or drop each other's observations.
+The library default remains a no-op when nothing is installed.
 """
 
 from __future__ import annotations
@@ -25,11 +31,19 @@ import time
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 
-from repro import observe
+from repro.observe import Recorder, Span
 
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
+
+#: Per-timer sample-reservoir cap; beyond it the reservoir is decimated
+#: (every other sample kept, stride doubled) so memory stays bounded
+#: while the percentile estimate keeps covering the whole history.
+TIMER_SAMPLE_CAP = 2048
+
+#: The labeled percentiles every timer summary reports.
+TIMER_PERCENTILES = (50, 90, 99)
 
 
 class Counter:
@@ -47,21 +61,49 @@ class Counter:
 
 
 class Timer:
-    """Accumulated seconds + event count."""
+    """Accumulated seconds + event count + percentile samples."""
 
-    __slots__ = ("total_seconds", "count")
+    __slots__ = ("total_seconds", "count", "samples", "_stride", "_skip")
 
     def __init__(self) -> None:
         self.total_seconds = 0.0
         self.count = 0
+        #: Bounded reservoir of raw observations (deterministically
+        #: decimated past :data:`TIMER_SAMPLE_CAP`).
+        self.samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
 
     def observe(self, seconds: float) -> None:
         self.total_seconds += seconds
         self.count += 1
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.samples.append(seconds)
+        if len(self.samples) > TIMER_SAMPLE_CAP:
+            self.samples = self.samples[::2]
+            self._stride *= 2
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
+
+    def percentile(self, percent: float) -> float:
+        """Nearest-rank percentile over the sample reservoir (0 if empty)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = round(percent / 100.0 * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
+
+    def percentiles(self) -> dict[str, float]:
+        """The labeled summary percentiles: ``{"p50": ..., ...}``."""
+        return {
+            f"p{percent}": self.percentile(percent)
+            for percent in TIMER_PERCENTILES
+        }
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -98,6 +140,24 @@ class Histogram:
         self.sum += value
 
 
+class _RegistryRecorder(Recorder):
+    """Adapter folding observed spans/metrics into a registry."""
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        super().__init__(name=f"registry:{prefix}")
+        self._registry = registry
+        self._prefix = prefix
+
+    def on_span(self, root: Span) -> None:
+        for node in root.walk():
+            self._registry.timer(self._prefix + node.name).observe(
+                node.duration_seconds
+            )
+
+    def on_metric(self, name: str, value: int) -> None:
+        self._registry.counter(name).inc(value)
+
+
 class MetricsRegistry:
     """Named counters/timers/histograms with dict round-tripping."""
 
@@ -105,9 +165,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._previous_callback: observe.StageCallback | None = None
-        self._previous_metric_callback: observe.MetricCallback | None = None
-        self._installed = False
+        self._recorder: _RegistryRecorder | None = None
 
     # -- instrument accessors (create on first use) --------------------
     def counter(self, name: str) -> Counter:
@@ -121,36 +179,40 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._histograms.setdefault(name, Histogram(bounds))
 
-    # -- pipeline stage hook -------------------------------------------
-    def install(self, prefix: str = "stage.") -> None:
-        """Route :mod:`repro.observe` hooks into this registry until
-        :meth:`uninstall`: stage marks become ``<prefix><name>`` timers,
-        point metrics (``candidates.count``, ``decode_cache.hits``, ...)
-        become counters under their own names."""
-        if self._installed:
+    def timers(self) -> dict[str, Timer]:
+        """A snapshot view of the named timers (read-only use)."""
+        return dict(self._timers)
+
+    # -- pipeline span hook ---------------------------------------------
+    def install(
+        self, prefix: str = "stage.", *, process_wide: bool = False
+    ) -> None:
+        """Observe :mod:`repro.observe` spans/metrics until
+        :meth:`uninstall`: every span in a completed trace becomes a
+        ``<prefix><name>`` timer observation, point metrics
+        (``candidates.count``, ``decode_cache.hits``, ...) become
+        counters under their own names.
+
+        Context-scoped by default (only runs started in this context
+        are observed, so concurrent registries see disjoint runs);
+        pass ``process_wide=True`` to observe every run in the process.
+        Any number of registries may be installed at once.
+        """
+        if self._recorder is not None:
             return
-
-        def record(name: str, seconds: float) -> None:
-            self.timer(prefix + name).observe(seconds)
-
-        def count(name: str, value: int) -> None:
-            self.counter(name).inc(value)
-
-        self._previous_callback = observe.set_stage_callback(record)
-        self._previous_metric_callback = observe.set_metric_callback(count)
-        self._installed = True
+        self._recorder = _RegistryRecorder(self, prefix)
+        self._recorder.install(process_wide=process_wide)
 
     def uninstall(self) -> None:
-        if self._installed:
-            observe.set_stage_callback(self._previous_callback)
-            observe.set_metric_callback(self._previous_metric_callback)
-            self._previous_callback = None
-            self._previous_metric_callback = None
-            self._installed = False
+        if self._recorder is not None:
+            self._recorder.uninstall()
+            self._recorder = None
 
     @contextmanager
-    def installed(self, prefix: str = "stage.") -> Iterator["MetricsRegistry"]:
-        self.install(prefix)
+    def installed(
+        self, prefix: str = "stage.", *, process_wide: bool = False
+    ) -> Iterator["MetricsRegistry"]:
+        self.install(prefix, process_wide=process_wide)
         try:
             yield self
         finally:
@@ -163,7 +225,11 @@ class MetricsRegistry:
                 name: counter.value for name, counter in self._counters.items()
             },
             "timers": {
-                name: {"count": timer.count, "total_seconds": timer.total_seconds}
+                name: {
+                    "count": timer.count,
+                    "total_seconds": timer.total_seconds,
+                    "samples": list(timer.samples),
+                }
                 for name, timer in self._timers.items()
             },
             "histograms": {
@@ -185,6 +251,10 @@ class MetricsRegistry:
             timer = self.timer(name)
             timer.count += data["count"]
             timer.total_seconds += data["total_seconds"]
+            timer.samples.extend(data.get("samples", ()))
+            while len(timer.samples) > TIMER_SAMPLE_CAP:
+                timer.samples = timer.samples[::2]
+                timer._stride *= 2
         for name, data in snapshot.get("histograms", {}).items():
             histogram = self.histogram(name, data["bounds"])
             if tuple(data["bounds"]) != histogram.bounds:
@@ -203,12 +273,17 @@ class MetricsRegistry:
             for name in sorted(self._counters):
                 lines.append(f"  {name:<28s} {self._counters[name].value}")
         if self._timers:
-            lines.append("timers (count, total, mean):")
+            lines.append("timers (count, total, mean, p50/p90/p99):")
             for name in sorted(self._timers):
                 timer = self._timers[name]
+                quantiles = timer.percentiles()
                 lines.append(
                     f"  {name:<28s} {timer.count:5d}  "
-                    f"{timer.total_seconds:8.3f}s  {timer.mean_seconds * 1e3:8.2f}ms"
+                    f"{timer.total_seconds:8.3f}s  "
+                    f"{timer.mean_seconds * 1e3:8.2f}ms  "
+                    f"{quantiles['p50'] * 1e3:.2f}/"
+                    f"{quantiles['p90'] * 1e3:.2f}/"
+                    f"{quantiles['p99'] * 1e3:.2f}ms"
                 )
         if self._histograms:
             lines.append("histograms:")

@@ -32,6 +32,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.image import CompressedImage
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import CompressionJob
@@ -122,6 +123,13 @@ def run_batch(
         entry = cache.get(key) if cache is not None else None
         if entry is not None:
             registry.counter("cache.hits").inc()
+            # One (tiny) span tree per job even when served from cache,
+            # so traces show every job with its cache_hit attribute.
+            with observe.span(
+                "job", label=job.label, encoding=job.encoding,
+                verify=job.verify_level, cache_hit=True,
+            ):
+                pass
             results[index] = JobResult(
                 job=job, key=key, blob=entry.blob, meta=entry.meta,
                 cache_hit=True, attempts=0,

@@ -34,6 +34,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.observe import RunLedger
 from repro.perf.bench import (
     BENCH_FILENAME,
     DEFAULT_ENCODINGS,
@@ -113,7 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-write",
         action="store_true",
-        help="measure and report only; do not update the output file",
+        help="measure and report only; do not update the output file "
+        "or the run ledger (an explicit --ledger-dir still writes)",
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        default=None,
+        help="directory for the observe run ledger (default: "
+        "$REPRO_OBSERVE_DIR or .repro-observe); one bench.compress "
+        "record per (program, encoding), for repro-observe diff",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip writing ledger records",
     )
     parser.add_argument(
         "--baseline",
@@ -215,6 +229,10 @@ def main(argv: list[str] | None = None) -> int:
     encodings = [name.strip() for name in args.encodings.split(",") if name.strip()]
 
     try:
+        # --no-write implies no ledger unless one was asked for by path.
+        ledger = None
+        if not args.no_ledger and (args.ledger_dir or not args.no_write):
+            ledger = RunLedger(args.ledger_dir)
         run_doc = run_bench(
             programs,
             args.scale,
@@ -224,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
             simulate=not args.no_simulate,
             simulate_steps=args.simulate_steps,
             fastpath_enabled=not args.no_fastpath,
+            ledger=ledger,
         )
         key = run_key(programs, args.scale, encodings)
         _print_run(key, run_doc)
@@ -265,6 +284,8 @@ def main(argv: list[str] | None = None) -> int:
             document = merge_baseline(load_baseline(output), key, run_doc)
             output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
             print(f"wrote {output}")
+        if ledger is not None:
+            print(f"ledger: {ledger.path}")
         return status
     except ReproError as exc:
         print(f"repro-bench: error: {exc}", file=sys.stderr)

@@ -233,19 +233,26 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _stage_summary(registry: MetricsRegistry) -> str:
-    """One-line-per-stage wall-time summary (always printed)."""
-    snapshot = registry.as_dict()["timers"]
+    """One-line-per-stage wall-time summary (always printed).
+
+    Each line carries the labeled latency percentiles (p50/p90/p99 over
+    the timer's sample reservoir) next to the total, so tail latency is
+    visible without ``--metrics``.
+    """
     stages = {
-        name: data for name, data in sorted(snapshot.items())
+        name: timer for name, timer in sorted(registry.timers().items())
         if name.startswith("stage.")
     }
     if not stages:
         return "(no per-stage timings recorded — all jobs were cache hits)"
-    lines = ["per-stage wall time:"]
-    for name, data in stages.items():
+    lines = ["per-stage wall time (total, runs, p50/p90/p99):"]
+    for name, timer in stages.items():
+        quantiles = timer.percentiles()
         lines.append(
             f"  {name.removeprefix('stage.'):<14s} "
-            f"{data['total_seconds']:8.3f}s over {data['count']} runs"
+            f"{timer.total_seconds:8.3f}s over {timer.count:3d} runs  "
+            f"{quantiles['p50'] * 1e3:.1f}/{quantiles['p90'] * 1e3:.1f}/"
+            f"{quantiles['p99'] * 1e3:.1f}ms"
         )
     return "\n".join(lines)
 

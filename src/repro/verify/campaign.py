@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.compressor import compress
 from repro.core.encodings import Encoding
 from repro.core.image import CompressedImage, ImageError
@@ -197,28 +198,38 @@ def run_campaign(
     max_steps: int = 2_000_000,
 ) -> CampaignReport:
     """Compress ``program``, then run a seeded fault campaign on it."""
-    compressed = compress(program, encoding)
-    image = CompressedImage.from_compressed(compressed)
-    blob = image.to_bytes()
-    reference = run_program(program, max_steps=max_steps)
-    specs = faultlib.generate_faults(
-        image,
-        seed=seed,
-        count=injections,
-        sections=sections,
-        jump_table_slots=list(program.jump_table_slots),
-    )
-    report = CampaignReport(
-        name=program.name,
+    with observe.span(
+        "verify.campaign",
+        program=program.name,
         encoding=encoding.name,
         seed=seed,
+        injections=injections,
         reseal_crc=reseal_crc,
-    )
-    for spec in specs:
-        report.outcomes.append(
-            classify_injection(
-                blob, spec, reference,
-                reseal_crc=reseal_crc, max_steps=max_steps,
-            )
+    ):
+        compressed = compress(program, encoding)
+        image = CompressedImage.from_compressed(compressed)
+        blob = image.to_bytes()
+        reference = run_program(program, max_steps=max_steps)
+        specs = faultlib.generate_faults(
+            image,
+            seed=seed,
+            count=injections,
+            sections=sections,
+            jump_table_slots=list(program.jump_table_slots),
         )
-    return report
+        report = CampaignReport(
+            name=program.name,
+            encoding=encoding.name,
+            seed=seed,
+            reseal_crc=reseal_crc,
+        )
+        for spec in specs:
+            with observe.span(
+                "verify.injection", section=spec.section, offset=spec.offset
+            ):
+                outcome = classify_injection(
+                    blob, spec, reference,
+                    reseal_crc=reseal_crc, max_steps=max_steps,
+                )
+            report.outcomes.append(outcome)
+        return report

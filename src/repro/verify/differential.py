@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.compressor import CompressedProgram, compress
 from repro.core.encodings import Encoding
 from repro.errors import SimulationError
@@ -453,11 +454,17 @@ def run_differential(
     """
     if compressed is None:
         compressed = compress(program, encoding)
-    return DifferentialRunner(
-        program,
-        compressed,
-        max_steps=max_steps,
-        tail_length=tail_length,
-        control_watchdog=control_watchdog,
+    with observe.span(
+        "verify.differential",
+        program=program.name,
+        encoding=compressed.encoding.name,
         implementation=implementation,
-    ).run()
+    ):
+        return DifferentialRunner(
+            program,
+            compressed,
+            max_steps=max_steps,
+            tail_length=tail_length,
+            control_watchdog=control_watchdog,
+            implementation=implementation,
+        ).run()

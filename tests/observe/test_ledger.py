@@ -1,0 +1,96 @@
+"""Run-ledger schema, append/read round-trip, corruption handling."""
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.errors import ReproError
+from repro.observe import (
+    LEDGER_SCHEMA,
+    Recorder,
+    RunLedger,
+    make_record,
+    read_ledger,
+    validate_record,
+)
+
+
+def _capture_one_run():
+    with Recorder() as recorder:
+        with observe.span("compress", program="p"):
+            with observe.span("dict_build"):
+                pass
+        observe.metric("candidates.count", 42)
+    return recorder
+
+
+class TestRecord:
+    def test_make_record_defaults(self):
+        recorder = _capture_one_run()
+        record = make_record(
+            "compress", program="p", encoding="nibble",
+            spans=recorder.spans, metrics=recorder.metrics,
+        )
+        assert record["schema"] == LEDGER_SCHEMA
+        assert record["outcome"] == "ok"
+        assert record["metrics"] == {"candidates.count": 42}
+        assert record["spans"][0]["name"] == "compress"
+        assert record["wall_seconds"] > 0
+        assert len(record["run_id"]) == 12
+        assert validate_record(record) == []
+
+    def test_run_ids_unique(self):
+        first = make_record("compress")
+        second = make_record("compress")
+        assert first["run_id"] != second["run_id"]
+
+    def test_validate_flags_problems(self):
+        assert validate_record({"schema": 99}) != []
+        record = make_record("compress")
+        record["outcome"] = "maybe"
+        assert any("outcome" in p for p in validate_record(record))
+        record = make_record("compress", spans=[{"name": "x"}])
+        assert any("start_us" in p for p in validate_record(record))
+
+
+class TestRunLedger:
+    def test_append_read_roundtrip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "obs")
+        recorder = _capture_one_run()
+        record = ledger.append(make_record(
+            "compress", program="p", encoding="nibble",
+            spans=recorder.spans, metrics=recorder.metrics,
+        ))
+        ledger.append(make_record("simulate", program="p"))
+        loaded = ledger.read()
+        assert [r["kind"] for r in loaded] == ["compress", "simulate"]
+        assert loaded[0]["run_id"] == record["run_id"]
+        assert loaded[0]["spans"][0]["children"][0]["name"] == "dict_build"
+
+    def test_append_rejects_malformed(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        with pytest.raises(ReproError, match="malformed"):
+            ledger.append({"schema": LEDGER_SCHEMA})
+        assert not ledger.path.exists()
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "nope.jsonl") == []
+
+    def test_read_rejects_corrupt_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ReproError, match="corrupt"):
+            read_ledger(path)
+
+    def test_read_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps({"schema": LEDGER_SCHEMA}) + "\n")
+        with pytest.raises(ReproError, match="invalid record"):
+            read_ledger(path)
+
+    def test_default_directory_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBSERVE_DIR", str(tmp_path / "custom"))
+        ledger = RunLedger()
+        ledger.append(make_record("compress"))
+        assert (tmp_path / "custom" / "ledger.jsonl").exists()

@@ -115,6 +115,25 @@ class TestRunBench:
         with pytest.raises(ReproError):
             run_bench(["compress"], 0.3, ["onebyte"], repeats=0)
 
+    def test_ledger_records_stage_breakdowns(self, small_suite, tmp_path):
+        from repro.observe import RunLedger
+        from repro.observe.report import aggregate_stage_seconds
+
+        ledger = RunLedger(tmp_path / "obs")
+        run_bench(
+            ["compress"], 0.3, ["nibble", "onebyte"], repeats=1,
+            simulate=False, ledger=ledger,
+        )
+        records = ledger.read()
+        assert [r["encoding"] for r in records] == ["nibble", "onebyte"]
+        for record in records:
+            assert record["kind"] == "bench.compress"
+            assert record["program"] == "compress"
+            assert record["meta"]["instructions"] > 0
+            stages = aggregate_stage_seconds(record["spans"])
+            assert "dict_build" in stages
+            assert "build_dictionary" in stages
+
 
 class TestBaselineFile:
     def test_round_trip(self, tmp_path, run_doc):
@@ -226,7 +245,8 @@ class TestCli:
         output = tmp_path / "bench.json"
         argv = [
             "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
-            "--repeats", "1", "--no-simulate", "-o", str(output),
+            "--repeats", "1", "--no-simulate", "--no-ledger",
+            "-o", str(output),
         ]
         assert main(argv) == 0
         assert output.exists()
@@ -238,7 +258,7 @@ class TestCli:
         output = tmp_path / "bench.json"
         argv = [
             "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
-            "--repeats", "1", "--no-simulate",
+            "--repeats", "1", "--no-simulate", "--no-ledger",
         ]
         assert main(argv + ["-o", str(output)]) == 0
         document = json.loads(output.read_text())
@@ -278,3 +298,23 @@ class TestCli:
     def test_unknown_benchmark_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["-b", "nonexistent"])
+
+    def test_ledger_dir_flag_feeds_observe_diff(self, small_suite, tmp_path,
+                                                capsys):
+        """Bench ledger records diff cleanly against the bench JSON."""
+        from repro.tools.observe_cli import main as observe_main
+
+        output = tmp_path / "bench.json"
+        ledger_dir = tmp_path / "obs"
+        code = main([
+            "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+            "--repeats", "1", "--no-simulate", "-o", str(output),
+            "--ledger-dir", str(ledger_dir),
+        ])
+        assert code == 0
+        assert f"ledger: {ledger_dir}" in capsys.readouterr().out
+        # The same run seen two ways can never be a regression.
+        assert observe_main([
+            "diff", str(output), str(ledger_dir),
+        ]) == 0
+        assert "no stage regressions" in capsys.readouterr().out

@@ -1,9 +1,12 @@
 """Metrics registry tests: instruments, merge, stage hook."""
 
+import threading
+
 import pytest
 
 from repro import observe
 from repro.service import MetricsRegistry
+from repro.service.metrics import TIMER_SAMPLE_CAP
 
 
 class TestInstruments:
@@ -29,6 +32,40 @@ class TestInstruments:
         with registry.timer("cm").time():
             pass
         assert registry.timer("cm").count == 1
+
+    def test_timer_percentiles(self):
+        timer = MetricsRegistry().timer("t")
+        for index in range(1, 101):
+            timer.observe(index / 1000.0)
+        p = timer.percentiles()
+        assert p["p50"] == pytest.approx(0.050, abs=0.002)
+        assert p["p90"] == pytest.approx(0.090, abs=0.002)
+        assert p["p99"] == pytest.approx(0.099, abs=0.002)
+        assert MetricsRegistry().timer("empty").percentiles() == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_timer_reservoir_stays_bounded(self):
+        timer = MetricsRegistry().timer("t")
+        for index in range(10 * TIMER_SAMPLE_CAP):
+            timer.observe(index / 1000.0)
+        assert timer.count == 10 * TIMER_SAMPLE_CAP
+        assert len(timer.samples) <= TIMER_SAMPLE_CAP
+        # Decimation keeps covering the whole history, so the median
+        # still lands mid-range instead of in the most recent window.
+        assert timer.percentile(50) == pytest.approx(
+            timer.count / 2 / 1000.0, rel=0.1
+        )
+
+    def test_merge_carries_samples(self):
+        worker = MetricsRegistry()
+        for value in (0.01, 0.02, 0.03):
+            worker.timer("stage.compile").observe(value)
+        parent = MetricsRegistry()
+        parent.merge(worker.as_dict())
+        assert parent.timer("stage.compile").percentile(50) == pytest.approx(
+            0.02
+        )
 
     def test_histogram_buckets(self):
         registry = MetricsRegistry()
@@ -100,3 +137,77 @@ class TestStageHook:
         assert observe.get_stage_callback() is None
         with observe.stage("anything"):
             pass  # must not raise, must not record
+
+    def test_report_shows_percentiles(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            registry.timer("stage.compile").observe(value)
+        report = registry.report()
+        assert "p50/p90/p99" in report
+        assert "200.00/300.00/300.00ms" in report
+
+
+class TestConcurrentInstall:
+    """Regression: concurrent installs used to steal the stage callback.
+
+    The registry that installed last hijacked every observation and the
+    first registry silently dropped the rest of its run.  Recorders
+    compose, so each installed registry now sees every run started in
+    its own scope, completely.
+    """
+
+    def test_two_installs_same_context_both_complete(self):
+        first = MetricsRegistry()
+        second = MetricsRegistry()
+        with first.installed():
+            with observe.stage("compile"):
+                pass
+            with second.installed():
+                with observe.stage("compile"):
+                    pass
+                observe.metric("cache.hits", 2)
+            # Second uninstalled: only the first keeps observing.
+            with observe.stage("compile"):
+                pass
+        assert first.timer("stage.compile").count == 3
+        assert second.timer("stage.compile").count == 1
+        assert first.counter("cache.hits").value == 2
+        assert second.counter("cache.hits").value == 2
+
+    def test_threaded_installs_disjoint_and_lossless(self):
+        registries = {}
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def work(key, stage_count):
+            try:
+                registry = MetricsRegistry()
+                registries[key] = registry
+                with registry.installed():
+                    barrier.wait(timeout=30)
+                    for _ in range(stage_count):
+                        with observe.stage(f"work-{key}"):
+                            pass
+                        observe.metric(f"count-{key}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=("a", 40)),
+            threading.Thread(target=work, args=("b", 60)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Lossless: every observation landed in its own registry...
+        assert registries["a"].timer("stage.work-a").count == 40
+        assert registries["b"].timer("stage.work-b").count == 60
+        assert registries["a"].counter("count-a").value == 40
+        assert registries["b"].counter("count-b").value == 60
+        # ...and nothing leaked across scopes.
+        assert registries["a"].timer("stage.work-b").count == 0
+        assert registries["b"].timer("stage.work-a").count == 0
+        assert registries["a"].counter("count-b").value == 0
+        assert registries["b"].counter("count-a").value == 0
