@@ -521,8 +521,10 @@ def check_regression(
     whose ``compress_seconds`` exceeds ``factor`` × the baseline value,
     and for every simulation throughput (program-level steps/sec,
     encoding-level insn/sec) that drops below baseline / ``factor``.
-    Entries missing from the baseline are skipped — a new program,
-    encoding, or metric cannot regress.
+    When both runs carry a ``service`` block (``repro-bench --load``),
+    its p50/p99 submit-to-terminal latency and job throughput are
+    guarded the same way.  Entries missing from the baseline are
+    skipped — a new program, encoding, or metric cannot regress.
     """
     violations = []
 
@@ -565,4 +567,38 @@ def check_regression(
                 guard_throughput(
                     f"{name}/{encoding_name}", enc_doc, base_enc, key
                 )
+    violations.extend(
+        _check_service_regression(
+            current.get("service"), baseline.get("service"), factor=factor
+        )
+    )
+    return violations
+
+
+def _check_service_regression(
+    service: dict | None, baseline: dict | None, *, factor: float
+) -> list[str]:
+    """Latency/throughput guards for the ``--load`` service block."""
+    if not service or not baseline:
+        return []  # load harness not run on both sides — nothing to compare
+    violations = []
+    latency = service.get("latency") or {}
+    base_latency = baseline.get("latency") or {}
+    for quantile in ("p50", "p99"):
+        current_v = latency.get(quantile)
+        base_v = base_latency.get(quantile)
+        if not current_v or not base_v:
+            continue
+        if current_v > factor * base_v:
+            violations.append(
+                f"service: latency {quantile} {current_v * 1e3:.2f}ms > "
+                f"{factor:g}x baseline {base_v * 1e3:.2f}ms"
+            )
+    current_tp = service.get("throughput_jobs_per_second")
+    base_tp = baseline.get("throughput_jobs_per_second")
+    if current_tp and base_tp and current_tp * factor < base_tp:
+        violations.append(
+            f"service: throughput {current_tp:,.1f} jobs/s < "
+            f"baseline {base_tp:,.1f} jobs/s / {factor:g}"
+        )
     return violations

@@ -1,0 +1,75 @@
+"""The networked compression service: asyncio HTTP front end.
+
+``repro.server`` grows the local batch service (:mod:`repro.service`)
+into an actual server:
+
+* :mod:`repro.server.app` — :class:`CompressionServer`, the asyncio
+  application: submission, worker tasks over a thread executor,
+  graceful drain;
+* :mod:`repro.server.http` — a minimal stdlib HTTP/1.1 layer (strict,
+  bounded parser; fixed and SSE responses);
+* :mod:`repro.server.routes` — the endpoint table
+  (``POST /v1/jobs``, SSE ``/v1/jobs/{id}/events``, artifact fetch,
+  stats, Prometheus text);
+* :mod:`repro.server.sse` — server-sent events derived from the
+  per-job observe span trees (stage names + cache-hit attributes);
+* :mod:`repro.server.sharding` — :class:`ShardedArtifactCache`,
+  content-key-prefix sharding of the artifact store with transparent
+  layout migration;
+* :mod:`repro.server.quotas` — per-tenant token buckets and
+  queue-depth admission control (429 + ``Retry-After``);
+* :mod:`repro.server.ledger` — the persistent job ledger
+  (manifest / append-only state-store split) that lets a restarted
+  server resume interrupted jobs.
+
+The ``repro-server`` CLI (:mod:`repro.tools.server_cli`) runs it; the
+``repro-bench --load`` harness (:mod:`repro.perf.loadgen`) measures it.
+"""
+
+from repro.server.app import (
+    CompressionServer,
+    JobState,
+    ServerConfig,
+    parse_spec,
+    serve,
+)
+from repro.server.ledger import JobLedger, JobRecord, make_job_id
+from repro.server.quotas import (
+    AdmissionController,
+    Decision,
+    QuotaSpec,
+    TokenBucket,
+    parse_quota,
+    parse_tenant_quota,
+)
+from repro.server.sharding import (
+    MigrationReport,
+    ShardedArtifactCache,
+    migrate_layout,
+    shard_index,
+)
+from repro.server.sse import format_event, parse_stream, span_events
+
+__all__ = [
+    "AdmissionController",
+    "CompressionServer",
+    "Decision",
+    "JobLedger",
+    "JobRecord",
+    "JobState",
+    "MigrationReport",
+    "QuotaSpec",
+    "ServerConfig",
+    "ShardedArtifactCache",
+    "TokenBucket",
+    "format_event",
+    "make_job_id",
+    "migrate_layout",
+    "parse_quota",
+    "parse_spec",
+    "parse_stream",
+    "parse_tenant_quota",
+    "serve",
+    "shard_index",
+    "span_events",
+]

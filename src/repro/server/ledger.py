@@ -1,0 +1,246 @@
+"""The persistent server-side job ledger.
+
+Two files under one state directory, split the way tldr-swinton splits
+``manifest.py`` from ``state_store.py``:
+
+* ``manifest.json`` — written **once** when the directory is created:
+  the identity of the store (schema version, pipeline version, shard
+  count, creation time).  Immutable; a mismatch on open means the
+  state directory belongs to an incompatible server build and is
+  refused rather than silently reinterpreted.
+* ``state.jsonl`` — the **append-only state store**: one JSON line per
+  job state transition (``submitted`` → ``started`` → ``completed`` /
+  ``failed`` / ``cancelled``).  Appends are flushed eagerly, so the
+  ledger survives a SIGKILL mid-batch with at most the final
+  in-progress line lost.
+
+Restart semantics
+-----------------
+
+:meth:`JobLedger.replay` folds the transition log into one
+:class:`JobRecord` per job.  Jobs whose final state is non-terminal
+(``submitted``/``started``) were interrupted by the previous shutdown
+or crash; :meth:`JobLedger.resumable` hands them back to the server,
+which re-queues them from their persisted spec — a restart resumes
+cleanly instead of dropping accepted work.
+
+:meth:`JobLedger.compact` rewrites the state store as one ``snapshot``
+line per job (atomic temp-file + ``os.replace``), which the graceful
+shutdown path runs after draining so the log does not grow without
+bound across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.service.jobs import PIPELINE_VERSION
+
+MANIFEST_FILENAME = "manifest.json"
+STATE_FILENAME = "state.jsonl"
+LEDGER_SCHEMA = 1
+
+#: Transition events, in lifecycle order.  ``snapshot`` is the
+#: compaction pseudo-event carrying a collapsed record.
+EVENTS = ("submitted", "started", "completed", "failed", "cancelled",
+          "snapshot")
+TERMINAL = ("completed", "failed", "cancelled")
+
+
+def make_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class JobRecord:
+    """The folded state of one job, reconstructed from the log."""
+
+    job_id: str
+    tenant: str = "default"
+    key: str = ""
+    spec: dict = field(default_factory=dict)
+    status: str = "submitted"
+    error: str | None = None
+    meta: dict = field(default_factory=dict)
+    cache_hit: bool = False
+    submitted_unix: float = 0.0
+    updated_unix: float = 0.0
+    attempts: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "key": self.key,
+            "spec": dict(self.spec),
+            "status": self.status,
+            "error": self.error,
+            "meta": dict(self.meta),
+            "cache_hit": self.cache_hit,
+            "submitted_unix": self.submitted_unix,
+            "updated_unix": self.updated_unix,
+            "attempts": self.attempts,
+        }
+
+
+class JobLedger:
+    """Manifest + append-only state store for server jobs."""
+
+    def __init__(self, directory: str | Path, *, shards: int = 0) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._shards = shards
+        self._handle = None
+        self.manifest = self._open_manifest()
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_FILENAME
+
+    @property
+    def state_path(self) -> Path:
+        return self.directory / STATE_FILENAME
+
+    def _open_manifest(self) -> dict:
+        if self.manifest_path.exists():
+            try:
+                manifest = json.loads(self.manifest_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ServiceError(
+                    f"unreadable ledger manifest {self.manifest_path}: {exc}"
+                ) from exc
+            if manifest.get("schema") != LEDGER_SCHEMA:
+                raise ServiceError(
+                    f"{self.manifest_path}: unsupported ledger schema "
+                    f"{manifest.get('schema')!r}"
+                )
+            if manifest.get("pipeline_version") != PIPELINE_VERSION:
+                raise ServiceError(
+                    f"{self.manifest_path}: ledger was written by pipeline "
+                    f"version {manifest.get('pipeline_version')!r}, this "
+                    f"build is {PIPELINE_VERSION}"
+                )
+            return manifest
+        manifest = {
+            "schema": LEDGER_SCHEMA,
+            "pipeline_version": PIPELINE_VERSION,
+            "shards": self._shards,
+            "created_unix": time.time(),
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, sort_keys=True) + "\n")
+        os.replace(tmp, self.manifest_path)
+        return manifest
+
+    # -- state store ---------------------------------------------------
+    def record(self, job_id: str, event: str, **fields) -> dict:
+        """Append one transition line (flushed before returning)."""
+        if event not in EVENTS:
+            raise ServiceError(f"unknown ledger event {event!r}")
+        line = {"job_id": job_id, "event": event, "unix_time": time.time(),
+                **fields}
+        if self._handle is None:
+            self._handle = self.state_path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(line, sort_keys=True) + "\n")
+        self._handle.flush()
+        return line
+
+    def _read_lines(self) -> list[dict]:
+        if not self.state_path.exists():
+            return []
+        lines = []
+        for number, raw in enumerate(
+            self.state_path.read_text().splitlines(), start=1
+        ):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError:
+                # A torn final line from a crash mid-append is expected;
+                # anything else is still not worth refusing to start over.
+                continue
+        return lines
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Fold the transition log into per-job records, log order."""
+        records: dict[str, JobRecord] = {}
+        for line in self._read_lines():
+            job_id = line.get("job_id")
+            event = line.get("event")
+            if not isinstance(job_id, str) or event not in EVENTS:
+                continue
+            if event == "snapshot":
+                snap = line.get("record", {})
+                if isinstance(snap, dict) and snap.get("job_id") == job_id:
+                    records[job_id] = JobRecord(**{
+                        k: v for k, v in snap.items()
+                        if k in JobRecord.__dataclass_fields__
+                    })
+                continue
+            record = records.get(job_id)
+            if record is None:
+                record = records[job_id] = JobRecord(job_id=job_id)
+                record.submitted_unix = line.get("unix_time", 0.0)
+            record.status = event
+            record.updated_unix = line.get("unix_time", 0.0)
+            if event == "submitted":
+                record.tenant = line.get("tenant", record.tenant)
+                record.key = line.get("key", record.key)
+                spec = line.get("spec")
+                if isinstance(spec, dict):
+                    record.spec = spec
+            elif event == "started":
+                record.attempts += 1
+            elif event == "completed":
+                record.cache_hit = bool(line.get("cache_hit", False))
+                meta = line.get("meta")
+                if isinstance(meta, dict):
+                    record.meta = meta
+            elif event == "failed":
+                record.error = line.get("error")
+        return records
+
+    def resumable(self) -> list[JobRecord]:
+        """Interrupted jobs (accepted but not finished), oldest first."""
+        records = [r for r in self.replay().values() if not r.terminal]
+        records.sort(key=lambda r: r.submitted_unix)
+        return records
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the state store as one snapshot line per job.
+
+        Returns the number of jobs kept.  Atomic: readers either see
+        the old log or the compacted one, never a truncated file.
+        """
+        records = self.replay()
+        tmp = self.state_path.with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records.values():
+                handle.write(json.dumps(
+                    {"job_id": record.job_id, "event": "snapshot",
+                     "unix_time": time.time(), "record": record.as_dict()},
+                    sort_keys=True,
+                ) + "\n")
+        self.close()
+        os.replace(tmp, self.state_path)
+        return len(records)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,171 @@
+"""Per-tenant token-bucket quotas and queue-depth admission control.
+
+Every submission passes through one :class:`AdmissionController`
+check, which can refuse it for two independent reasons:
+
+* **tenant quota** — each tenant owns a :class:`TokenBucket`
+  (``rate`` tokens/second refill, ``burst`` capacity).  A submission
+  costs one token; an empty bucket means *this tenant* is over its
+  sustained rate and is told to come back when the next token accrues
+  (``Retry-After``), while other tenants are unaffected — one noisy
+  tenant cannot starve the fleet;
+* **queue depth** — when the server-wide pending queue is at
+  ``max_queue_depth`` the server is saturated regardless of who asks,
+  and every submission is refused with a ``Retry-After`` derived from
+  the observed service rate.
+
+Both refusals map to HTTP 429 with a ``Retry-After`` header; the
+distinction is carried in the decision's ``reason`` so clients and
+metrics can tell back-off-you (quota) from back-off-everyone
+(overload) apart.
+
+Buckets take an injectable clock so tests (and the deterministic load
+harness) can step time explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QuotaSpec:
+    """One tenant's sustained rate and burst allowance."""
+
+    rate: float  # tokens (submissions) per second
+    burst: int  # bucket capacity
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"quota burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """Classic token bucket: continuous refill, integer spend."""
+
+    def __init__(self, spec: QuotaSpec, *, clock=time.monotonic) -> None:
+        self.spec = spec
+        self._clock = clock
+        self._tokens = float(spec.burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(
+            float(self.spec.burst), self._tokens + elapsed * self.spec.rate
+        )
+        self._updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> tuple[bool, float]:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``(acquired, retry_after_seconds)`` — ``retry_after``
+        is 0 on success, otherwise the time until the bucket holds
+        ``cost`` tokens again.
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            return False, (cost - self._tokens) / self.spec.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass
+class Decision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = "admitted"  # admitted | quota | queue_full
+    retry_after: float = 0.0
+    tenant: str = "default"
+
+    @property
+    def retry_after_header(self) -> str:
+        """Integer seconds, rounded up, never below 1 (RFC 9110 form)."""
+        return str(max(1, math.ceil(self.retry_after)))
+
+
+@dataclass
+class AdmissionController:
+    """Tenant token buckets + one server-wide queue-depth gate."""
+
+    default_quota: QuotaSpec = field(
+        default_factory=lambda: QuotaSpec(rate=20.0, burst=40)
+    )
+    tenant_quotas: dict[str, QuotaSpec] = field(default_factory=dict)
+    max_queue_depth: int = 64
+    clock: object = time.monotonic
+
+    def __post_init__(self) -> None:
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                spec = self.tenant_quotas.get(tenant, self.default_quota)
+                bucket = self._buckets[tenant] = TokenBucket(
+                    spec, clock=self.clock
+                )
+            return bucket
+
+    def admit(
+        self, tenant: str, queue_depth: int, *, service_rate: float = 0.0
+    ) -> Decision:
+        """Check one submission: queue-depth gate first, then quota.
+
+        ``service_rate`` (jobs/second actually completing) shapes the
+        overload ``Retry-After``: with the queue full, the honest wait
+        is one queue-drain interval, not a constant.
+        """
+        if queue_depth >= self.max_queue_depth:
+            drain = (
+                queue_depth / service_rate if service_rate > 0 else 1.0
+            )
+            return Decision(
+                admitted=False, reason="queue_full",
+                retry_after=min(drain, 60.0), tenant=tenant,
+            )
+        acquired, retry_after = self.bucket(tenant).try_acquire()
+        if not acquired:
+            return Decision(
+                admitted=False, reason="quota", retry_after=retry_after,
+                tenant=tenant,
+            )
+        return Decision(admitted=True, tenant=tenant)
+
+
+def parse_quota(text: str) -> QuotaSpec:
+    """Parse ``RATE`` or ``RATE:BURST`` (CLI form) into a spec."""
+    rate_text, _, burst_text = text.partition(":")
+    try:
+        rate = float(rate_text)
+        burst = int(burst_text) if burst_text else max(1, math.ceil(rate))
+        return QuotaSpec(rate=rate, burst=burst)
+    except ValueError as exc:
+        raise ValueError(f"malformed quota {text!r} (want RATE[:BURST])") from exc
+
+
+def parse_tenant_quota(text: str) -> tuple[str, QuotaSpec]:
+    """Parse ``TENANT=RATE[:BURST]`` (repeatable CLI option)."""
+    tenant, sep, quota_text = text.partition("=")
+    if not sep or not tenant:
+        raise ValueError(
+            f"malformed tenant quota {text!r} (want TENANT=RATE[:BURST])"
+        )
+    return tenant, parse_quota(quota_text)

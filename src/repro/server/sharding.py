@@ -1,0 +1,263 @@
+"""Content-key sharding for the artifact store.
+
+The server's artifact cache is a :class:`ShardedArtifactCache`: N
+independent :class:`~repro.service.cache.ArtifactCache` stores under
+one root, with every content key routed to exactly one shard by a
+prefix of its SHA-256 hex digest::
+
+    <root>/shards.json            # layout manifest {"version", "shards"}
+    <root>/shard-00/<k[:2]>/<key>.rcc
+    <root>/shard-01/...
+
+Why shard at all?  Each shard is an independent directory tree with
+its own LRU memory front, eviction scan, and (in the server) its own
+lock — so concurrent jobs landing on different shards never contend,
+directory listings stay short as the store grows, and a shard
+directory is the natural unit to place on separate disks or nodes
+later.  SHA-256 keys are uniformly distributed, so the prefix route
+balances shards without any placement table (the chi-squared balance
+test in ``tests/server/test_sharding.py`` pins this).
+
+Layout migration
+----------------
+
+:func:`migrate_layout` upgrades a cache root *in place*, atomically
+per artifact (``os.replace`` within one filesystem):
+
+* an **unsharded** root — the historical
+  ``<root>/<key[:2]>/<key>.rcc`` layout written by
+  :class:`~repro.service.cache.ArtifactCache` — has every artifact
+  moved into its shard;
+* a sharded root whose ``shards.json`` names a **different shard
+  count** is re-sharded the same way.
+
+Opening a :class:`ShardedArtifactCache` runs the migration
+automatically, so pointing the server at a pre-existing ``repro-serve``
+cache directory transparently upgrades it and every cached artifact
+stays warm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.service.cache import ArtifactCache, CacheEntry, CacheStats
+
+LAYOUT_FILENAME = "shards.json"
+LAYOUT_VERSION = 1
+
+#: Hex digits of the content key consumed by the shard route.  8 hex
+#: digits = 32 bits, far more granularity than any plausible shard
+#: count while staying cheap to parse.
+_ROUTE_PREFIX = 8
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Map a content key to its shard: uniform over SHA-256 prefixes."""
+    if shards < 1:
+        raise ServiceError(f"shard count must be >= 1, got {shards}")
+    try:
+        prefix = int(key[:_ROUTE_PREFIX], 16)
+    except ValueError as exc:
+        raise ServiceError(f"malformed content key {key!r}") from exc
+    return prefix % shards
+
+
+def shard_name(index: int) -> str:
+    return f"shard-{index:02d}"
+
+
+@dataclass
+class MigrationReport:
+    """What :func:`migrate_layout` did to a cache root."""
+
+    moved: int = 0
+    from_shards: int | None = None  # None: legacy unsharded layout
+    to_shards: int = 0
+
+    @property
+    def migrated(self) -> bool:
+        return self.moved > 0 or self.from_shards != self.to_shards
+
+
+def read_layout(root: str | Path) -> dict | None:
+    """The layout manifest, or ``None`` for a fresh/legacy root."""
+    path = Path(root) / LAYOUT_FILENAME
+    if not path.exists():
+        return None
+    try:
+        layout = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"unreadable shard layout {path}: {exc}") from exc
+    if layout.get("version") != LAYOUT_VERSION:
+        raise ServiceError(
+            f"{path}: unsupported layout version {layout.get('version')!r}"
+        )
+    return layout
+
+
+def _write_layout(root: Path, shards: int) -> None:
+    path = root / LAYOUT_FILENAME
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(
+        json.dumps({"version": LAYOUT_VERSION, "shards": shards}) + "\n"
+    )
+    os.replace(tmp, path)
+
+
+def _artifact_files(root: Path, *, sharded_under: int | None) -> list[Path]:
+    """Every ``.rcc`` file in the given layout."""
+    if sharded_under is None:
+        return [p for p in root.glob("[0-9a-f][0-9a-f]/*.rcc") if p.is_file()]
+    files: list[Path] = []
+    for index in range(sharded_under):
+        files.extend(
+            p for p in (root / shard_name(index)).glob("*/*.rcc")
+            if p.is_file()
+        )
+    return files
+
+
+def migrate_layout(root: str | Path, shards: int) -> MigrationReport:
+    """One-shot, idempotent layout upgrade of ``root`` to ``shards``.
+
+    Handles both the legacy unsharded layout and a sharded layout with
+    a different shard count.  Every move is a same-filesystem
+    ``os.replace`` (atomic; last writer wins on a key that exists in
+    both places, which is safe because entries are content-addressed —
+    both copies hold identical bytes).
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    layout = read_layout(root)
+    current = layout["shards"] if layout else None
+    report = MigrationReport(from_shards=current, to_shards=shards)
+    if current == shards:
+        return report
+    for path in _artifact_files(root, sharded_under=current):
+        key = path.stem
+        target = (
+            root / shard_name(shard_index(key, shards)) / key[:2] / path.name
+        )
+        if target == path:
+            continue
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, target)
+        except OSError:
+            continue  # concurrently evicted — nothing to migrate
+        report.moved += 1
+    # Drop now-empty legacy/old-shard directories (best effort).
+    prune = (
+        [d for d in root.glob("[0-9a-f][0-9a-f]") if d.is_dir()]
+        if current is None
+        else [root / shard_name(i) for i in range(current) if i >= shards]
+    )
+    for directory in prune:
+        for child in sorted(directory.glob("**/*"), reverse=True):
+            if child.is_dir():
+                try:
+                    child.rmdir()
+                except OSError:
+                    pass
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+    _write_layout(root, shards)
+    return report
+
+
+class ShardedArtifactCache:
+    """N content-key-routed :class:`ArtifactCache` shards under one root.
+
+    Presents the same ``get``/``put``/``in``/``len`` surface as a
+    single :class:`ArtifactCache`.  Thread-safe: the server's executor
+    threads and the event loop share one instance; each shard carries
+    its own lock, so contention is per-shard, not global.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        shards: int = 4,
+        *,
+        max_disk_bytes: int | None = None,
+        memory_entries: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ServiceError(f"shard count must be >= 1, got {shards}")
+        self.root = Path(root)
+        self.shards = shards
+        self.migration = migrate_layout(self.root, shards)
+        per_shard_budget = (
+            max(1, max_disk_bytes // shards)
+            if max_disk_bytes is not None
+            else None
+        )
+        self._shards = [
+            ArtifactCache(
+                self.root / shard_name(index),
+                max_disk_bytes=per_shard_budget,
+                memory_entries=max(1, memory_entries // shards),
+            )
+            for index in range(shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(shards)]
+
+    # ------------------------------------------------------------------
+    def _shard(self, key: str) -> tuple[ArtifactCache, threading.Lock]:
+        index = shard_index(key, self.shards)
+        return self._shards[index], self._locks[index]
+
+    def shard_of(self, key: str) -> int:
+        return shard_index(key, self.shards)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        shard, lock = self._shard(key)
+        with lock:
+            return shard.get(key)
+
+    def put(self, key: str, blob: bytes, meta: dict | None = None) -> CacheEntry:
+        shard, lock = self._shard(key)
+        with lock:
+            return shard.put(key, blob, meta)
+
+    def __contains__(self, key: str) -> bool:
+        shard, lock = self._shard(key)
+        with lock:
+            return key in shard
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated statistics across every shard."""
+        total = CacheStats()
+        for shard in self._shards:
+            total.hits += shard.stats.hits
+            total.misses += shard.stats.misses
+            total.stores += shard.stats.stores
+            total.evictions += shard.stats.evictions
+            total.corruptions += shard.stats.corruptions
+        return total
+
+    def shard_sizes(self) -> list[int]:
+        """Artifact count per shard (the balance the tests check)."""
+        return [len(shard) for shard in self._shards]
+
+    def disk_bytes(self) -> int:
+        return sum(shard.disk_bytes() for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                shard.clear()
+
+    def __len__(self) -> int:
+        return sum(self.shard_sizes())

@@ -1,0 +1,103 @@
+"""Server-sent events derived from the observe span trees.
+
+Each job's progress stream is a standard ``text/event-stream``:
+``id:`` is the event's position in the job's event log (so a client
+that reconnects with ``Last-Event-ID`` can resume without duplicates),
+``event:`` is the kind, ``data:`` is one JSON object.
+
+Event kinds, in the order a job emits them::
+
+    queued     {"job_id", "tenant", "key", "position"}
+    started    {"job_id", "attempt"}
+    stage      {"job_id", "name", "seq", "duration_us", "attrs"}
+    completed  {"job_id", "cache_hit", "wall_seconds", "meta"}
+    failed     {"job_id", "error"}
+    cancelled  {"job_id", "reason"}
+
+``stage`` events are **derived from the span tree** the job's run
+produced (:mod:`repro.observe`): one event per span, in span order —
+depth-first over the tree, i.e. exactly the order the stages started.
+The span's name and attributes come through verbatim, so a cache-hit
+job streams its single ``job`` span with ``"cache_hit": true`` and a
+built job streams ``job`` → ``compile`` → ``dict_build`` → … with
+``"cache_hit": false``, the same shape ``repro-observe`` would show.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe import Span
+
+#: Kinds that end a stream: after one of these, the server closes the
+#: SSE response and pollers may stop.
+TERMINAL_EVENTS = ("completed", "failed", "cancelled")
+
+
+def format_event(kind: str, data: dict, event_id: int | None = None) -> bytes:
+    """Render one SSE frame (``id``/``event``/``data`` + blank line)."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {kind}")
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    for chunk in payload.splitlines() or [""]:
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+def span_events(job_id: str, spans: list[Span | dict]) -> list[dict]:
+    """One ``stage`` event per span, depth-first (= start order).
+
+    Accepts live :class:`Span` objects or their ``to_dict`` forms (the
+    ledger/serialized shape), so replayed jobs stream identically.
+    """
+    events: list[dict] = []
+    seq = 0
+
+    def emit(node: dict) -> None:
+        nonlocal seq
+        events.append({
+            "kind": "stage",
+            "data": {
+                "job_id": job_id,
+                "name": node["name"],
+                "seq": seq,
+                "duration_us": node.get("duration_us"),
+                "attrs": node.get("attrs", {}),
+            },
+        })
+        seq += 1
+        for child in node.get("children", []):
+            emit(child)
+
+    for root in spans:
+        emit(root.to_dict() if isinstance(root, Span) else root)
+    return events
+
+
+def parse_stream(raw: bytes) -> list[dict]:
+    """Parse an event-stream body back into ``{kind, id?, data}`` dicts.
+
+    The inverse of :func:`format_event`; used by the load harness and
+    the tests (and handy for any stdlib-only client).
+    """
+    events = []
+    for frame in raw.decode().split("\n\n"):
+        kind, event_id, data_lines = None, None, []
+        for line in frame.splitlines():
+            if line.startswith("event:"):
+                kind = line[len("event:"):].strip()
+            elif line.startswith("id:"):
+                event_id = int(line[len("id:"):].strip())
+            elif line.startswith("data:"):
+                data_lines.append(line[len("data:"):].strip())
+        if kind is None:
+            continue
+        event: dict = {"kind": kind}
+        if event_id is not None:
+            event["id"] = event_id
+        if data_lines:
+            event["data"] = json.loads("\n".join(data_lines))
+        events.append(event)
+    return events

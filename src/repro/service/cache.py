@@ -20,6 +20,12 @@ Guarantees:
 * **atomic writes** — entries are written to a temp file in the same
   directory and ``os.replace``-d into place, so readers never observe
   a half-written artifact, including across processes;
+* **lock-free concurrent writers** — two processes storing the same
+  key race benignly: both ``os.replace`` a complete envelope and the
+  last writer wins (entries are content-addressed, so both envelopes
+  hold identical artifacts).  Every path that ``stat``s, touches, or
+  unlinks a file tolerates the file vanishing underneath it, because
+  a concurrent process may evict or quarantine at any moment;
 * **corruption detection** — the envelope hash is verified on every
   read; a mismatch (or truncation) raises
   :class:`CacheCorruptionError`, and :meth:`ArtifactCache.get`
@@ -48,6 +54,14 @@ from repro.core.image import CompressedImage
 from repro.errors import ServiceError
 
 CACHE_MAGIC = b"RCC1"
+
+
+def _safe_stat(path: Path) -> os.stat_result | None:
+    """``stat`` that treats a concurrently deleted file as absent."""
+    try:
+        return path.stat()
+    except OSError:
+        return None
 
 
 class CacheCorruptionError(ServiceError):
@@ -171,7 +185,10 @@ class ArtifactCache:
             self.stats.misses += 1
             path.unlink(missing_ok=True)
             return None
-        os.utime(path)  # refresh recency for LRU eviction
+        try:
+            os.utime(path)  # refresh recency for LRU eviction
+        except OSError:
+            pass  # concurrently evicted; the bytes in hand are still good
         self._remember(entry)
         self.stats.hits += 1
         return entry
@@ -183,16 +200,27 @@ class ArtifactCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = encode_entry(entry.blob, entry.meta)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".rcc"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except OSError:
-            Path(tmp_name).unlink(missing_ok=True)
-            raise
+        # Two attempts: a concurrent process (pre-fix evictors, manual
+        # cleanup) may remove the temp file or even the bucket directory
+        # between write and replace; last-writer-wins means simply
+        # redoing the write is always correct.
+        for attempt in (1, 2):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".rcc"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+                break
+            except FileNotFoundError:
+                Path(tmp_name).unlink(missing_ok=True)
+                if attempt == 2:
+                    raise
+                path.parent.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                Path(tmp_name).unlink(missing_ok=True)
+                raise
         self._remember(entry)
         self.stats.stores += 1
         if self.max_disk_bytes is not None:
@@ -207,27 +235,43 @@ class ArtifactCache:
             self._memory.popitem(last=False)
 
     def _files(self) -> list[Path]:
-        return [p for p in self.root.glob("*/*.rcc") if p.is_file()]
+        # In-flight ``.tmp-*`` writes from concurrent processes are not
+        # entries and must never be eviction victims — deleting one
+        # makes the writer's ``os.replace`` crash.
+        return [
+            p for p in self.root.glob("*/*.rcc")
+            if p.is_file() and not p.name.startswith(".")
+        ]
 
     def disk_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self._files())
+        sizes = (_safe_stat(p) for p in self._files())
+        return sum(st.st_size for st in sizes if st is not None)
 
     def _evict_to_budget(self, keep: Path | None = None) -> None:
-        files = self._files()
-        total = sum(p.stat().st_size for p in files)
+        # Snapshot (path, size, mtime) once; a concurrent writer or a
+        # second evictor may delete any of these files at any moment,
+        # so every stat tolerates absence and unlink is best-effort.
+        stated = [
+            (path, st) for path in self._files()
+            if (st := _safe_stat(path)) is not None
+        ]
+        total = sum(st.st_size for _, st in stated)
         if total <= self.max_disk_bytes:
             return
         # Oldest-used first; never evict the entry just written.
-        files.sort(key=lambda p: p.stat().st_mtime)
-        for path in files:
+        stated.sort(key=lambda item: item[1].st_mtime)
+        for path, st in stated:
             if total <= self.max_disk_bytes:
                 break
             if keep is not None and path == keep:
                 continue
-            size = path.stat().st_size
-            path.unlink(missing_ok=True)
+            try:
+                path.unlink()
+            except OSError:
+                total -= st.st_size  # already gone — someone else evicted
+                continue
             self._memory.pop(path.stem, None)
-            total -= size
+            total -= st.st_size
             self.stats.evictions += 1
 
     # ------------------------------------------------------------------

@@ -18,7 +18,11 @@ Worker-pool semantics:
   deterministic, so they are reported immediately and never retried;
 * ``processes=0`` degrades gracefully to plain in-process execution —
   no subprocesses, same results, same metrics — which is also the
-  automatic fallback when the platform refuses to fork.
+  automatic fallback when the platform refuses to fork;
+* a ``stop`` predicate (polled between job launches) supports
+  graceful drain: once it returns true no *new* job starts, jobs
+  already running finish normally, and jobs never started come back
+  with ``cancelled=True`` — the SIGTERM path of ``repro-serve``.
 
 Results come back in input order, one :class:`JobResult` per job,
 never raising for individual job failures.
@@ -53,6 +57,9 @@ class JobResult:
     wall_seconds: float = 0.0
     attempts: int = 0
     error: str | None = None
+    #: True when the job never started because a drain was requested —
+    #: not a failure, the work was deliberately left undone.
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -112,8 +119,14 @@ def run_batch(
     timeout: float | None = None,
     retries: int = 1,
     metrics: MetricsRegistry | None = None,
+    stop=None,
 ) -> list[JobResult]:
-    """Run ``jobs`` through the cache and (optionally parallel) pool."""
+    """Run ``jobs`` through the cache and (optionally parallel) pool.
+
+    ``stop`` is an optional zero-argument predicate polled between job
+    launches; once it returns true the batch drains — running jobs
+    finish, unstarted jobs return ``cancelled=True``.
+    """
     registry = metrics if metrics is not None else MetricsRegistry()
     results: list[JobResult | None] = [None] * len(jobs)
 
@@ -141,16 +154,20 @@ def run_batch(
 
     if pending:
         if processes <= 0:
-            _run_inline(jobs, pending, results, registry)
+            _run_inline(jobs, pending, results, registry, stop=stop)
         else:
             _run_pool(
                 jobs, pending, results, registry,
                 processes=processes, timeout=timeout, retries=retries,
+                stop=stop,
             )
 
     for index in pending:
         result = results[index]
         assert result is not None
+        if result.cancelled:
+            registry.counter("jobs.cancelled").inc()
+            continue
         registry.timer("job.wall").observe(result.wall_seconds)
         registry.histogram("job.seconds").observe(result.wall_seconds)
         if result.ok:
@@ -169,13 +186,24 @@ def run_batch(
     return [result for result in results if result is not None]
 
 
+def _cancel(jobs, index: int, results) -> None:
+    results[index] = JobResult(
+        job=jobs[index], key=jobs[index].content_key(), cancelled=True,
+        error="cancelled: drain requested before the job started",
+    )
+
+
 def _run_inline(
     jobs: list[CompressionJob],
     pending: list[int],
     results: list[JobResult | None],
     registry: MetricsRegistry,
+    stop=None,
 ) -> None:
     for index in pending:
+        if stop is not None and stop():
+            _cancel(jobs, index, results)
+            continue
         job = jobs[index]
         start = time.perf_counter()
         try:
@@ -202,6 +230,7 @@ def _run_pool(
     processes: int,
     timeout: float | None,
     retries: int,
+    stop=None,
 ) -> None:
     context = multiprocessing.get_context()
     queue: deque[tuple[int, int]] = deque((index, 0) for index in pending)
@@ -214,6 +243,12 @@ def _run_pool(
         )
 
     while queue or running:
+        if stop is not None and queue and stop():
+            # Drain: everything not yet launched is cancelled; the
+            # workers already running finish normally below.
+            while queue:
+                index, _ = queue.popleft()
+                _cancel(jobs, index, results)
         while queue and len(running) < processes:
             index, prior_attempts = queue.popleft()
             try:

@@ -10,12 +10,19 @@ end-to-end) — and writes the results into ``BENCH_compression.json``
 keyed by configuration.  ``--no-fastpath`` is the escape hatch that
 times only the reference interpreters.
 
+``--load`` additionally drives a self-hosted :mod:`repro.server` over
+real HTTP (closed- or open-loop, multiple tenants, hog-tenant 429
+probe) and stores the measured submit-to-terminal-SSE latency
+percentiles as the run's ``service`` block, guarded by the same
+``--baseline`` comparison (p50/p99 latency and job throughput).
+
 Examples::
 
     repro-bench --suite                        # full suite, scale 1.0
     repro-bench -b compress -b li --scale 0.3  # CI smoke configuration
     repro-bench --suite --workers 4            # add a pool-throughput sweep
     repro-bench -b compress -b li --scale 0.3 --baseline BENCH_compression.json
+    repro-bench -b compress -b li --scale 0.3 --load --load-jobs 200
 
 With ``--baseline`` the fresh run is compared against the same-key run
 in the given file; any (program, encoding) whose compress wall time
@@ -129,6 +136,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip writing ledger records",
     )
+    load = parser.add_argument_group(
+        "load harness",
+        "drive a self-hosted repro.server over HTTP and record the "
+        "'service' latency block (submit-to-terminal-SSE p50/p90/p99)",
+    )
+    load.add_argument(
+        "--load",
+        action="store_true",
+        help="run the service load harness over this configuration",
+    )
+    load.add_argument(
+        "--load-jobs",
+        type=int,
+        default=200,
+        help="measured-phase submissions (default %(default)s)",
+    )
+    load.add_argument(
+        "--load-mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed-loop (submit/wait/repeat) or open-loop (fixed "
+        "arrival rate; default %(default)s)",
+    )
+    load.add_argument(
+        "--load-clients",
+        type=int,
+        default=4,
+        help="closed-loop client threads (default %(default)s)",
+    )
+    load.add_argument(
+        "--load-rate",
+        type=float,
+        default=50.0,
+        help="open-loop submissions per second (default %(default)s)",
+    )
+    load.add_argument(
+        "--load-tenants",
+        default="alpha,beta",
+        help="comma list of measured tenants (default %(default)s)",
+    )
+    load.add_argument(
+        "--load-verify",
+        choices=("none", "stream", "full"),
+        default="full",
+        help="verification level for load jobs (default %(default)s; "
+        "'full' adds the lockstep differential divergence gate)",
+    )
+    load.add_argument(
+        "--load-shards",
+        type=int,
+        default=4,
+        help="cache shards for the self-hosted server (default %(default)s)",
+    )
+    load.add_argument(
+        "--load-concurrency",
+        type=int,
+        default=2,
+        help="server-side job concurrency (default %(default)s)",
+    )
+    load.add_argument(
+        "--load-hog-burst",
+        type=int,
+        default=8,
+        help="over-quota burst size from the throttled 'hog' tenant "
+        "(default %(default)s)",
+    )
     parser.add_argument(
         "--baseline",
         help="existing bench JSON to compare against (regression guard)",
@@ -181,6 +254,43 @@ def _print_run(key: str, run_doc: dict) -> None:
             f"in {workers_doc['wall_seconds']:.2f}s "
             f"({workers_doc['failed']} failed)"
         )
+    service = run_doc.get("service")
+    if service:
+        _print_service(service)
+
+
+def _print_service(service: dict) -> None:
+    latency = service["latency"]
+    jobs = service["jobs"]
+    cache = service["cache"]
+    hog = service["hog"]
+    shape = (
+        f"{service['clients']} clients"
+        if service["mode"] == "closed"
+        else f"{service['rate_per_second']:g}/s arrivals"
+    )
+    print(
+        f"service ({service['mode']}-loop, {shape}, "
+        f"tenants {','.join(service['tenants'])}): "
+        f"{jobs['completed']}/{jobs['requested']} jobs in "
+        f"{service['measured_wall_seconds']:.2f}s "
+        f"({service['throughput_jobs_per_second']:.1f} jobs/s)"
+    )
+    print(
+        f"  latency p50/p90/p99: {latency['p50'] * 1e3:.2f}/"
+        f"{latency['p90'] * 1e3:.2f}/{latency['p99'] * 1e3:.2f}ms "
+        f"over {latency['count']} jobs; warm hit rate "
+        f"{cache['measured_hit_rate']:.0%}; "
+        f"divergences {service['divergences']}; "
+        f"{jobs['failed']} failed"
+    )
+    print(
+        f"  admission: hog burst {hog['burst']} -> {hog['accepted']} "
+        f"accepted, {hog['rejected']} throttled with 429 "
+        f"(Retry-After {hog['retry_after_seconds']}s); "
+        f"{jobs['rejected_quota']} quota + "
+        f"{jobs['rejected_queue']} queue rejections total"
+    )
 
 
 def _print_simulation(run_doc: dict) -> None:
@@ -244,6 +354,27 @@ def main(argv: list[str] | None = None) -> int:
             fastpath_enabled=not args.no_fastpath,
             ledger=ledger,
         )
+        if args.load:
+            from repro.perf.loadgen import LoadConfig, run_load
+
+            tenants = [
+                name.strip() for name in args.load_tenants.split(",")
+                if name.strip()
+            ]
+            run_doc["service"] = run_load(LoadConfig(
+                benchmarks=programs,
+                encodings=encodings,
+                scale=args.scale,
+                verify=args.load_verify,
+                mode=args.load_mode,
+                jobs=args.load_jobs,
+                clients=args.load_clients,
+                rate=args.load_rate,
+                tenants=tenants,
+                hog_burst=args.load_hog_burst,
+                shards=args.load_shards,
+                concurrency=args.load_concurrency,
+            ))
         key = run_key(programs, args.scale, encodings)
         _print_run(key, run_doc)
 
@@ -275,6 +406,14 @@ def main(argv: list[str] | None = None) -> int:
         if not _simulation_identical(run_doc):
             print(
                 "ERROR: fast-path simulation state differs from reference",
+                file=sys.stderr,
+            )
+            status = status or 4
+        service = run_doc.get("service")
+        if service and service.get("divergences", 0):
+            print(
+                f"ERROR: load harness observed {service['divergences']} "
+                f"differential divergences",
                 file=sys.stderr,
             )
             status = status or 4

@@ -32,7 +32,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -103,11 +105,39 @@ def suite_jobs(
     ]
 
 
+#: Set by SIGTERM/SIGINT: the current batch drains (in-flight jobs
+#: finish, unstarted jobs are cancelled) and the process exits 0.
+_drain_requested = threading.Event()
+
+
+def _install_signal_handlers() -> None:
+    def handler(signum, frame):
+        if _drain_requested.is_set():
+            raise KeyboardInterrupt  # second signal: stop insisting
+        _drain_requested.set()
+        print(
+            f"repro-serve: received {signal.Signals(signum).name}; "
+            "draining in-flight jobs...",
+            file=sys.stderr, flush=True,
+        )
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform
+
+
 def summarize(results: list[JobResult], elapsed: float) -> str:
     rows = []
     for result in results:
         meta = result.meta
-        if result.ok:
+        if result.cancelled:
+            rows.append((
+                result.job.label, result.job.encoding, "cancelled",
+                "-", "-", "-", "-",
+            ))
+        elif result.ok:
             original = meta.get("original_bytes", 0)
             total = meta.get("compressed_bytes", 0)
             ratio = f"{total / original:.1%}" if original else "-"
@@ -133,10 +163,13 @@ def summarize(results: list[JobResult], elapsed: float) -> str:
     )
     completed = sum(1 for r in results if r.ok)
     hits = sum(1 for r in results if r.cache_hit)
+    cancelled = sum(1 for r in results if r.cancelled)
     footer = (
         f"\n{completed}/{len(results)} jobs ok, {hits} cache hits, "
         f"{elapsed:.2f}s wall"
     )
+    if cancelled:
+        footer += f", {cancelled} cancelled by drain"
     return table + footer
 
 
@@ -174,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print the full metrics report")
     args = parser.parse_args(argv)
+    _drain_requested.clear()
+    _install_signal_handlers()
 
     try:
         jobs: list[CompressionJob] = []
@@ -212,9 +247,13 @@ def main(argv: list[str] | None = None) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 metrics=registry,
+                stop=_drain_requested.is_set,
             )
             print(summarize(results, time.perf_counter() - start))
-            failures = sum(1 for result in results if not result.ok)
+            failures = sum(
+                1 for result in results
+                if not result.ok and not result.cancelled
+            )
             if cache is not None:
                 stats = cache.stats
                 print(
@@ -225,7 +264,16 @@ def main(argv: list[str] | None = None) -> int:
                     f"{cache.disk_bytes() / 1024:.0f} KiB on disk"
                 )
             print()
+            if _drain_requested.is_set():
+                remaining = args.repeat - round_number
+                if remaining:
+                    print(f"drain: skipping {remaining} remaining passes")
+                break
         print(registry.report() if args.metrics else _stage_summary(registry))
+        if _drain_requested.is_set():
+            print("repro-serve: drained gracefully (in-flight jobs "
+                  "completed, queued jobs cancelled)", flush=True)
+            return 0
         return 1 if failures else 0
     except ReproError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)

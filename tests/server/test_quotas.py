@@ -1,0 +1,141 @@
+"""Token-bucket quota and admission-control tests (injected clock)."""
+
+import pytest
+
+from repro.server.quotas import (
+    AdmissionController,
+    Decision,
+    QuotaSpec,
+    TokenBucket,
+    parse_quota,
+    parse_tenant_quota,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=2.0, burst=3), clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        acquired, retry_after = bucket.try_acquire()
+        assert not acquired
+        # One whole token at 2 tokens/sec is half a second away.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refill_is_continuous(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=2.0, burst=2), clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(0.25)  # half a token: still not enough
+        assert bucket.try_acquire() == (False, pytest.approx(0.25))
+        clock.advance(0.25)  # now a full token has accrued
+        assert bucket.try_acquire()[0]
+
+    def test_tokens_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=100.0, burst=5), clock=clock)
+        clock.advance(3600)
+        assert bucket.tokens == 5.0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            QuotaSpec(rate=0.0, burst=1)
+        with pytest.raises(ValueError, match="burst"):
+            QuotaSpec(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def controller(self, clock, **kwargs) -> AdmissionController:
+        defaults = dict(
+            default_quota=QuotaSpec(rate=1.0, burst=2),
+            max_queue_depth=4,
+            clock=clock,
+        )
+        defaults.update(kwargs)
+        return AdmissionController(**defaults)
+
+    def test_quota_refusal_names_the_tenant(self):
+        clock = FakeClock()
+        admission = self.controller(clock)
+        assert admission.admit("alpha", 0).admitted
+        assert admission.admit("alpha", 0).admitted
+        decision = admission.admit("alpha", 0)
+        assert not decision.admitted
+        assert decision.reason == "quota"
+        assert decision.tenant == "alpha"
+        assert decision.retry_after == pytest.approx(1.0)
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        admission = self.controller(clock)
+        for _ in range(2):
+            admission.admit("noisy", 0)
+        assert not admission.admit("noisy", 0).admitted
+        assert admission.admit("quiet", 0).admitted
+
+    def test_tenant_quota_override(self):
+        clock = FakeClock()
+        admission = self.controller(
+            clock, tenant_quotas={"hog": QuotaSpec(rate=1.0, burst=1)}
+        )
+        assert admission.admit("hog", 0).admitted
+        assert not admission.admit("hog", 0).admitted
+        # Default-quota tenants still have their full burst of 2.
+        assert admission.admit("other", 0).admitted
+        assert admission.admit("other", 0).admitted
+
+    def test_queue_gate_trumps_quota(self):
+        clock = FakeClock()
+        admission = self.controller(clock)
+        decision = admission.admit("alpha", queue_depth=4)
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        # No token was spent on the refused submission.
+        assert admission.bucket("alpha").tokens == 2.0
+
+    def test_queue_retry_after_tracks_service_rate(self):
+        clock = FakeClock()
+        admission = self.controller(clock)
+        decision = admission.admit("alpha", queue_depth=8, service_rate=2.0)
+        assert decision.retry_after == pytest.approx(4.0)
+        capped = admission.admit("alpha", queue_depth=1000, service_rate=0.5)
+        assert capped.retry_after == 60.0  # honest but bounded
+
+    def test_retry_after_header_rounds_up_to_at_least_one(self):
+        assert Decision(False, retry_after=0.2).retry_after_header == "1"
+        assert Decision(False, retry_after=1.2).retry_after_header == "2"
+
+
+class TestParsers:
+    def test_parse_quota_rate_only_defaults_burst(self):
+        spec = parse_quota("20")
+        assert (spec.rate, spec.burst) == (20.0, 20)
+
+    def test_parse_quota_rate_and_burst(self):
+        spec = parse_quota("2.5:7")
+        assert (spec.rate, spec.burst) == (2.5, 7)
+
+    def test_parse_quota_malformed(self):
+        with pytest.raises(ValueError, match="malformed quota"):
+            parse_quota("fast")
+
+    def test_parse_tenant_quota(self):
+        tenant, spec = parse_tenant_quota("hog=1:2")
+        assert tenant == "hog"
+        assert (spec.rate, spec.burst) == (1.0, 2)
+
+    def test_parse_tenant_quota_requires_equals(self):
+        with pytest.raises(ValueError, match="malformed tenant quota"):
+            parse_tenant_quota("hog:1:2")

@@ -1,0 +1,184 @@
+"""Shard routing, balance over real content keys, and layout migration."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.server.sharding import (
+    LAYOUT_FILENAME,
+    ShardedArtifactCache,
+    migrate_layout,
+    read_layout,
+    shard_index,
+    shard_name,
+)
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import CompressionJob
+from repro.workloads import BENCHMARK_NAMES
+
+
+def corpus_keys(count: int = 512) -> list[str]:
+    """Real content keys: the golden corpus swept over job parameters.
+
+    ``content_key`` hashes the job configuration, so varying
+    ``max_codewords`` yields distinct genuine keys without compiling.
+    """
+    keys = []
+    index = 0
+    while len(keys) < count:
+        for name in BENCHMARK_NAMES:
+            for encoding in ("baseline", "onebyte", "nibble"):
+                keys.append(CompressionJob(
+                    benchmark=name,
+                    encoding=encoding,
+                    max_codewords=64 + index,
+                ).content_key())
+                if len(keys) == count:
+                    return keys
+        index += 1
+    return keys
+
+
+class TestShardIndex:
+    def test_deterministic_and_in_range(self):
+        for key in corpus_keys(32):
+            index = shard_index(key, 4)
+            assert 0 <= index < 4
+            assert shard_index(key, 4) == index
+
+    def test_single_shard_routes_everything_to_zero(self):
+        assert {shard_index(key, 1) for key in corpus_keys(16)} == {0}
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ServiceError, match="malformed content key"):
+            shard_index("not-hex!", 4)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ServiceError, match="shard count"):
+            shard_index("ab" * 32, 0)
+
+    def test_balance_over_golden_corpus(self):
+        """Chi-squared balance: SHA-256 prefixes spread evenly.
+
+        With 512 keys over 4 shards the expected count is 128 per
+        shard; the chi-squared statistic (df=3) stays far below the
+        p=0.001 critical value 16.27 for a uniform route.  The corpus
+        is deterministic, so this is a fixed property, not a flake.
+        """
+        keys = corpus_keys(512)
+        shards = 4
+        counts = [0] * shards
+        for key in keys:
+            counts[shard_index(key, shards)] += 1
+        expected = len(keys) / shards
+        chi_squared = sum(
+            (count - expected) ** 2 / expected for count in counts
+        )
+        assert sum(counts) == len(keys)
+        assert chi_squared < 16.27, f"unbalanced shards {counts}"
+
+
+def seed_unsharded(root, count: int = 12) -> list[str]:
+    """Write ``count`` entries in the legacy single-store layout."""
+    cache = ArtifactCache(root)
+    keys = corpus_keys(count)
+    for position, key in enumerate(keys):
+        cache.put(key, b"blob-%d" % position, {"position": position})
+    return keys
+
+
+class TestMigration:
+    def test_unsharded_to_sharded_moves_every_artifact(self, tmp_path):
+        keys = seed_unsharded(tmp_path)
+        report = migrate_layout(tmp_path, 4)
+        assert report.from_shards is None
+        assert report.to_shards == 4
+        assert report.moved == len(keys)
+        layout = read_layout(tmp_path)
+        assert layout == {"version": 1, "shards": 4}
+        for key in keys:
+            expected = (
+                tmp_path / shard_name(shard_index(key, 4))
+                / key[:2] / f"{key}.rcc"
+            )
+            assert expected.is_file()
+
+    def test_legacy_buckets_pruned(self, tmp_path):
+        seed_unsharded(tmp_path)
+        migrate_layout(tmp_path, 4)
+        leftovers = [d for d in tmp_path.glob("[0-9a-f][0-9a-f]") if d.is_dir()]
+        assert leftovers == []
+
+    def test_idempotent(self, tmp_path):
+        seed_unsharded(tmp_path)
+        migrate_layout(tmp_path, 4)
+        again = migrate_layout(tmp_path, 4)
+        assert again.moved == 0
+        assert not again.migrated
+
+    def test_reshard_to_different_count(self, tmp_path):
+        keys = seed_unsharded(tmp_path)
+        migrate_layout(tmp_path, 4)
+        report = migrate_layout(tmp_path, 2)
+        assert report.from_shards == 4
+        assert report.to_shards == 2
+        assert read_layout(tmp_path)["shards"] == 2
+        cache = ShardedArtifactCache(tmp_path, 2)
+        for key in keys:
+            assert cache.get(key) is not None
+
+    def test_unsupported_layout_version_refused(self, tmp_path):
+        (tmp_path / LAYOUT_FILENAME).write_text(
+            json.dumps({"version": 99, "shards": 4})
+        )
+        with pytest.raises(ServiceError, match="unsupported layout version"):
+            migrate_layout(tmp_path, 4)
+
+
+class TestShardedArtifactCache:
+    def test_open_migrates_and_entries_stay_warm(self, tmp_path):
+        keys = seed_unsharded(tmp_path)
+        cache = ShardedArtifactCache(tmp_path, 4)
+        assert cache.migration.moved == len(keys)
+        for position, key in enumerate(keys):
+            entry = cache.get(key)
+            assert entry is not None
+            assert entry.blob == b"blob-%d" % position
+            assert entry.meta["position"] == position
+
+    def test_put_get_roundtrip_and_routing(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, 3)
+        keys = corpus_keys(9)
+        for key in keys:
+            cache.put(key, b"payload", {"key": key})
+        assert len(cache) == len(keys)
+        for key in keys:
+            shard_dir = tmp_path / shard_name(cache.shard_of(key))
+            assert (shard_dir / key[:2] / f"{key}.rcc").is_file()
+            assert key in cache
+
+    def test_stats_aggregate_across_shards(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, 2)
+        keys = corpus_keys(6)
+        for key in keys:
+            cache.put(key, b"x")
+        for key in keys:
+            cache.get(key)
+        cache.get("ff" * 32)  # guaranteed miss
+        assert cache.stats.stores == len(keys)
+        assert cache.stats.hits == len(keys)
+        assert cache.stats.misses == 1
+
+    def test_shard_sizes_sum_to_len(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, 4)
+        for key in corpus_keys(10):
+            cache.put(key, b"x")
+        assert sum(cache.shard_sizes()) == len(cache) == 10
+
+    def test_clear(self, tmp_path):
+        cache = ShardedArtifactCache(tmp_path, 2)
+        for key in corpus_keys(4):
+            cache.put(key, b"x")
+        cache.clear()
+        assert len(cache) == 0

@@ -111,3 +111,62 @@ class TestEviction:
             cache.put(f"{index:02d}" * 32, entry_blob(b"w"), {})
         assert cache.stats.evictions == 0
         assert len(cache) == 5
+
+
+class TestConcurrentWriters:
+    """Regression: concurrent writers + eviction must never crash.
+
+    Before the lock-free last-writer-wins audit, a process could crash
+    in ``get`` (``os.utime`` on a file another process just evicted) or
+    in ``_evict_to_budget`` (``stat`` on a vanished path).  Eight
+    processes hammering a single key with a budget tight enough to
+    force constant eviction exercises every such window.
+    """
+
+    N_PROCESSES = 8
+    ROUNDS = 40
+
+    @staticmethod
+    def _hammer(root: str, worker: int) -> None:
+        import sys
+
+        from repro.service.cache import ArtifactCache
+
+        blob = bytes([worker]) * 512
+        cache = ArtifactCache(root, max_disk_bytes=600, memory_entries=0)
+        key = "aa" * 32
+        spoiler = f"{worker:02d}" * 32
+        for round_number in range(TestConcurrentWriters.ROUNDS):
+            cache.put(key, blob, {"worker": worker, "round": round_number})
+            entry = cache.get(key)
+            # Last writer wins: the entry may be any worker's, but it
+            # must always be a complete, integrity-checked envelope.
+            if entry is not None and len(entry.blob) != 512:
+                sys.exit(3)
+            # Churn a second key so the budget forces evictions.
+            cache.put(spoiler, blob, {})
+            cache.get(spoiler)
+        sys.exit(0)
+
+    def test_eight_processes_one_key(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        workers = [
+            context.Process(
+                target=self._hammer, args=(str(tmp_path), worker), daemon=True
+            )
+            for worker in range(self.N_PROCESSES)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert not process.is_alive(), "hammer worker hung"
+            assert process.exitcode == 0, (
+                f"worker crashed with exit code {process.exitcode}"
+            )
+        # The surviving entry is whole and decodes cleanly.
+        survivor = ArtifactCache(tmp_path).get("aa" * 32)
+        if survivor is not None:
+            assert len(survivor.blob) == 512
