@@ -1,0 +1,86 @@
+"""Process-plane faults: killing, hanging, and slowing workers.
+
+Two execution substrates run compression jobs, and both get faults:
+
+* the **server's executor threads**
+  (:meth:`repro.server.app.CompressionServer._run_job`) call
+  :func:`apply_worker_fault` at the top of every attempt.  ``kill``
+  raises :class:`WorkerCrash` (a
+  :class:`~repro.errors.TransientError`, so the server's job loop
+  retries it); ``hang`` sleeps past the server's job timeout *then*
+  raises, so the attempt both stalls a slot and dies without side
+  effects; ``slow_start`` just adds latency.
+
+* the **worker processes** of :mod:`repro.service.pool` call
+  :func:`pool_kill_point` at chosen points; with a schedule installed
+  (:func:`install_schedule`, inherited across ``fork``) a ``kill``
+  decision is a real ``SIGKILL`` to the worker's own pid — the pool's
+  crash-retry path must recover it.
+
+The installed schedule is process-global on purpose: worker processes
+are forked from the parent, so installing before the pool spawns is
+all the plumbing a campaign needs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.errors import TransientError
+
+
+class WorkerCrash(TransientError):
+    """A worker died mid-job (simulated).  Retryable by definition."""
+
+
+_schedule = None
+
+
+def install_schedule(schedule) -> None:
+    """Make ``schedule`` visible to pool kill points (fork-inherited)."""
+    global _schedule
+    _schedule = schedule
+
+
+def uninstall_schedule() -> None:
+    global _schedule
+    _schedule = None
+
+
+def installed_schedule():
+    return _schedule
+
+
+def pool_kill_point(point: str, site: str) -> None:
+    """A worker-process location where the installed schedule may kill.
+
+    ``site`` should be the job's content key so decisions are
+    deterministic per job, not per pid.
+    """
+    schedule = _schedule
+    if schedule is None:
+        return
+    if schedule.decide("worker", site, point) == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def apply_worker_fault(schedule, site: str, *, sleep=time.sleep) -> None:
+    """Thread-executor fault gate, called at the top of a job attempt.
+
+    Raises :class:`WorkerCrash` for ``kill`` (immediately) and ``hang``
+    (after sleeping ``schedule.hang_seconds`` — long enough to trip the
+    server's job timeout first, which is the point).  ``slow_start``
+    sleeps briefly and lets the attempt proceed.
+    """
+    fault = schedule.decide("worker", site, "execute")
+    if fault == "kill":
+        raise WorkerCrash(f"chaos: worker killed before completing {site[:12]}")
+    if fault == "hang":
+        sleep(schedule.hang_seconds)
+        raise WorkerCrash(
+            f"chaos: worker hung {schedule.hang_seconds:g}s on {site[:12]}"
+        )
+    if fault == "slow_start":
+        sleep(schedule.slow_start_seconds)

@@ -1,0 +1,25 @@
+"""Resilient client library for the compression server.
+
+The defense half of :mod:`repro.chaos`: a client that survives every
+fault the connection plane can inject — backoff with full jitter,
+Retry-After honoring, idempotent resubmission, SSE resume, a status
+poll fallback, and a circuit breaker.  See
+:class:`~repro.client.client.ReproClient` for the failure-mode table.
+"""
+
+from repro.client.client import JobOutcome, ReproClient
+from repro.client.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientError,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ClientError",
+    "JobOutcome",
+    "ReproClient",
+    "RetryPolicy",
+]

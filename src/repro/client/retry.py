@@ -1,0 +1,110 @@
+"""Retry policy and circuit breaker for the resilient client.
+
+Two classic mechanisms, both with injectable clocks/randomness so the
+tests (and the deterministic chaos campaigns) control every delay:
+
+* :class:`RetryPolicy` — exponential backoff with **full jitter**
+  (AWS-style): the sleep before attempt *k* is drawn uniformly from
+  ``[0, min(max_delay, base * 2**k)]``.  Full jitter beats equal or
+  no jitter under contention because retries from many clients spread
+  over the whole window instead of synchronising into waves.
+* :class:`CircuitBreaker` — closed → open after N consecutive
+  failures; open requests fail fast (:class:`CircuitOpenError`)
+  without touching the network; after ``reset_timeout`` one probe is
+  allowed through (half-open) — success closes the circuit, failure
+  re-opens it for another full timeout.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ReproError
+
+
+class ClientError(ReproError):
+    """A client-side failure that retrying will not fix."""
+
+
+class CircuitOpenError(ClientError):
+    """The circuit breaker is open; the request was not attempted."""
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter, plus Retry-After capping."""
+
+    def __init__(
+        self,
+        max_attempts: int = 6,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        retry_after_cap: float = 5.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ClientError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.retry_after_cap = retry_after_cap
+
+    def delay(self, attempt: int, rng) -> float:
+        """Full-jitter sleep before retry ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return rng.uniform(0.0, ceiling)
+
+    def honor_retry_after(self, header_value) -> float:
+        """A server-provided Retry-After, capped so a confused (or
+        hostile) server cannot park the client for minutes."""
+        try:
+            seconds = float(header_value)
+        except (TypeError, ValueError):
+            return self.base_delay
+        return max(0.0, min(seconds, self.retry_after_cap))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self.failures = 0
+        self.opened_at: float | None = None
+        self._probing = False
+        self.fast_failures = 0  # requests refused while open
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self._clock() - self.opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request go out right now?  (Half-open admits one.)"""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probing:
+            self._probing = True
+            return True
+        self.fast_failures += 1
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self.opened_at = self._clock()

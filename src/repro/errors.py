@@ -50,6 +50,16 @@ class ServiceError(ReproError):
     """The batch compression service failed (bad job spec, pool failure)."""
 
 
+class TransientError(ServiceError):
+    """A failure that is expected to succeed on retry.
+
+    Raised for worker deaths, injected chaos faults, and dropped
+    connections — conditions where the *work* is fine but the attempt
+    died.  The server's job loop and :class:`repro.client.ReproClient`
+    both key their retry decisions on this type.
+    """
+
+
 class VerificationError(ReproError):
     """Differential or invariant verification found a real divergence."""
 

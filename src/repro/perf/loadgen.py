@@ -207,25 +207,51 @@ def stream_events(
         conn.close()
 
 
+#: Ceiling on a single honored Retry-After wait, so a miscomputed
+#: header cannot park a load-gen thread for minutes.
+RETRY_AFTER_CAP = 5.0
+
+
 def submit_and_wait(
-    address: tuple[str, int], spec: dict, tenant: str
+    address: tuple[str, int],
+    spec: dict,
+    tenant: str,
+    *,
+    max_throttle_retries: int = 8,
+    sleep=time.sleep,
 ) -> tuple[str, float, dict]:
     """Submit one job and block until its terminal SSE event.
 
-    Returns ``(outcome, latency_seconds, detail)`` where outcome is the
-    terminal event kind (``completed``/``failed``/``cancelled``) or
-    ``rejected`` for a 429, and detail carries the terminal event data
-    (or the refusal document).
+    A 429 is not terminal: the client honors ``Retry-After`` (capped at
+    :data:`RETRY_AFTER_CAP` seconds) and resubmits, up to
+    ``max_throttle_retries`` waits — being rate limited is back-pressure
+    to absorb, not an error to report.  Returns ``(outcome,
+    latency_seconds, detail)`` where outcome is the terminal event kind
+    (``completed``/``failed``/``cancelled``) or ``rejected`` when the
+    throttle budget is spent, and detail carries the terminal event
+    data (or the refusal document) plus ``"submit_retries"``, the
+    number of honored waits.
     """
     start = time.perf_counter()
-    status, headers, document = _request(
-        address, "POST", "/v1/jobs", body=spec, tenant=tenant
-    )
-    if status == 429:
-        return "rejected", time.perf_counter() - start, {
-            "reason": (document or {}).get("reason"),
-            "retry_after": headers.get("Retry-After"),
-        }
+    retries = 0
+    while True:
+        status, headers, document = _request(
+            address, "POST", "/v1/jobs", body=spec, tenant=tenant
+        )
+        if status != 429:
+            break
+        if retries >= max_throttle_retries:
+            return "rejected", time.perf_counter() - start, {
+                "reason": (document or {}).get("reason"),
+                "retry_after": headers.get("Retry-After"),
+                "submit_retries": retries,
+            }
+        try:
+            delay = float(headers.get("Retry-After", 1))
+        except ValueError:
+            delay = 1.0
+        sleep(max(0.0, min(delay, RETRY_AFTER_CAP)))
+        retries += 1
     if status != 202:
         raise ReproError(
             f"submit for tenant {tenant}: HTTP {status} {document}"
@@ -238,7 +264,9 @@ def submit_and_wait(
             f"terminal event"
         )
     terminal = events[-1]
-    return terminal["kind"], latency, terminal["data"]
+    return terminal["kind"], latency, {
+        **terminal["data"], "submit_retries": retries,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -354,6 +382,9 @@ def _open_loop(
 def _record(
     registry: MetricsRegistry, outcome: str, latency: float, data: dict
 ) -> None:
+    retries = data.get("submit_retries", 0)
+    if retries:
+        registry.counter("load.submit_retries").inc(retries)
     if outcome == "rejected":
         reason = data.get("reason") or "quota"
         registry.counter(f"load.rejected.{reason}").inc()
@@ -463,6 +494,7 @@ def run_load(config: LoadConfig) -> dict:
             "cancelled": counters.get("load.cancelled", 0),
             "rejected_quota": counters.get("load.rejected.quota", 0),
             "rejected_queue": counters.get("load.rejected.queue_full", 0),
+            "submit_retries": counters.get("load.submit_retries", 0),
         },
         "cache": {
             "hits": hits,

@@ -39,7 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import observe
-from repro.errors import ReproError, ServiceError
+from repro.chaos.process import apply_worker_fault
+from repro.errors import ReproError, ServiceError, TransientError
 from repro.observe import Recorder
 from repro.server.http import (
     HttpError,
@@ -51,9 +52,11 @@ from repro.server.quotas import AdmissionController, Decision, QuotaSpec
 from repro.server.routes import build_router, handle_events
 from repro.server.sharding import ShardedArtifactCache
 from repro.server.sse import span_events
+from repro.service.fsio import Filesystem
 from repro.service.jobs import CompressionJob
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import execute_job
+from repro.service.scrub import CacheScrubber
 
 #: Fields accepted in an HTTP job spec (prebuilt ``program`` jobs are
 #: process-local objects and cannot cross the wire).
@@ -78,6 +81,25 @@ class ServerConfig:
     tenant_quotas: dict[str, QuotaSpec] = field(default_factory=dict)
     max_disk_bytes: int | None = None
     default_verify: str = "stream"
+    #: Filesystem seam under cache + ledger (chaos campaigns inject a
+    #: FaultyFilesystem here); None = the real filesystem.
+    fs: Filesystem | None = None
+    #: A repro.chaos ChaosSchedule driving worker/connection faults;
+    #: None = no fault injection (production).
+    chaos: object | None = None
+    #: Execution attempts per job before it fails terminally.  Attempt
+    #: 2+ happens only for transient failures (worker crash, timeout).
+    job_attempts: int = 2
+    #: Per-attempt wall-clock limit (seconds); None = unlimited.  A
+    #: timed-out attempt counts as transient and is retried.
+    job_timeout: float | None = None
+    #: Per-connection limit on reading the request (slow-loris guard);
+    #: exceeded → 408 and the connection is closed.
+    read_timeout: float | None = 10.0
+    #: Seconds between background cache-scrub steps; None = no scrubber.
+    scrub_interval: float | None = None
+    #: Files verified per scrub step.
+    scrub_batch: int = 16
 
     def resolved_state_dir(self) -> Path:
         if self.state_dir is not None:
@@ -145,10 +167,19 @@ class SubmitOutcome:
 
     decision: Decision
     state: JobState | None = None
+    #: True when an idempotent submit matched an existing live job for
+    #: the same (tenant, content key) instead of queueing a new one.
+    deduplicated: bool = False
 
     @property
     def admitted(self) -> bool:
         return self.decision.admitted
+
+
+def _consume_abandoned(future) -> None:
+    """Retrieve (and drop) the result of an abandoned executor future."""
+    if not future.cancelled():
+        future.exception()
 
 
 def parse_spec(spec: dict, *, default_verify: str = "stream") -> CompressionJob:
@@ -176,9 +207,11 @@ class CompressionServer:
         self.cache = ShardedArtifactCache(
             config.cache_dir, config.shards,
             max_disk_bytes=config.max_disk_bytes,
+            fs=config.fs,
         )
         self.ledger = JobLedger(
-            config.resolved_state_dir(), shards=config.shards
+            config.resolved_state_dir(), shards=config.shards,
+            fs=config.fs,
         )
         self.admission = AdmissionController(
             default_quota=config.quota,
@@ -187,6 +220,9 @@ class CompressionServer:
         )
         self.router = build_router()
         self.jobs: dict[str, JobState] = {}
+        self._by_key: dict[tuple[str, str], str] = {}  # (tenant, key) → job_id
+        self.scrubber = CacheScrubber(self.cache)
+        self._scrub_task: asyncio.Task | None = None
         self.draining = False
         self._queue: asyncio.Queue[JobState | None] = asyncio.Queue()
         self._workers: list[asyncio.Task] = []
@@ -209,6 +245,8 @@ class CompressionServer:
         self._resume_interrupted()
         for _ in range(max(1, self.config.concurrency)):
             self._workers.append(asyncio.create_task(self._worker()))
+        if self.config.scrub_interval is not None:
+            self._scrub_task = asyncio.create_task(self._scrub_loop())
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -262,11 +300,48 @@ class CompressionServer:
         if self._connections:
             await asyncio.gather(*list(self._connections),
                                  return_exceptions=True)
+        if self._scrub_task is not None:
+            self._scrub_task.cancel()
+            await asyncio.gather(self._scrub_task, return_exceptions=True)
+            self._scrub_task = None
         self._executor.shutdown(wait=True)
-        self.ledger.compact()
+        try:
+            self.ledger.compact()
+        except OSError:
+            # A failing disk must not block shutdown; the append log
+            # still holds everything the compaction would have.
+            self.metrics.counter("ledger.write_errors").inc()
         self.ledger.close()
         if self._server is not None:
             await self._server.wait_closed()
+
+    async def _scrub_loop(self) -> None:
+        """Low-duty background integrity scan over the artifact store."""
+        interval = self.config.scrub_interval or 1.0
+        while True:
+            await asyncio.sleep(interval)
+            before = self.scrubber.report.quarantined
+            try:
+                self.scrubber.step(self.config.scrub_batch)
+            except OSError:
+                self.metrics.counter("scrub.errors").inc()
+                continue
+            found = self.scrubber.report.quarantined - before
+            if found:
+                self.metrics.counter("scrub.quarantined").inc(found)
+
+    def _ledger_record(self, job_id: str, event: str, **fields) -> None:
+        """Ledger append that survives a failing disk.
+
+        The in-memory job table stays authoritative for live clients;
+        a lost ledger line costs restart-resumability for that one
+        transition, which is strictly better than a worker task dying
+        mid-job (that would *lose* the job).
+        """
+        try:
+            self.ledger.record(job_id, event, **fields)
+        except OSError:
+            self.metrics.counter("ledger.write_errors").inc()
 
     def _resume_interrupted(self) -> None:
         """Re-queue jobs the previous process accepted but never finished."""
@@ -276,7 +351,7 @@ class CompressionServer:
                     record.spec, default_verify=self.config.default_verify
                 )
             except HttpError as exc:
-                self.ledger.record(
+                self._ledger_record(
                     record.job_id, "failed",
                     error=f"unresumable spec: {exc}",
                 )
@@ -284,6 +359,7 @@ class CompressionServer:
             state = JobState(record.job_id, job, record.tenant,
                              record.key or job.content_key())
             self.jobs[state.job_id] = state
+            self._by_key[(state.tenant, state.key)] = state.job_id
             state.add_event("queued", {
                 "job_id": state.job_id, "tenant": state.tenant,
                 "key": state.key, "position": self._queue.qsize(),
@@ -302,10 +378,27 @@ class CompressionServer:
         elapsed = time.monotonic() - self._started_monotonic
         return self._completed / elapsed if elapsed > 0 else 0.0
 
-    def submit(self, spec: dict, tenant: str) -> SubmitOutcome:
+    def submit(
+        self, spec: dict, tenant: str, *, idempotent: bool = False
+    ) -> SubmitOutcome:
         if self.draining:
             raise HttpError(503, "server is draining; resubmit elsewhere")
         job = parse_spec(spec, default_verify=self.config.default_verify)
+        key = job.content_key()
+        if idempotent:
+            # A client retrying an ack it never saw must not enqueue the
+            # job twice: match on (tenant, content key) against any job
+            # that is still live or already done.
+            existing_id = self._by_key.get((tenant, key))
+            existing = self.jobs.get(existing_id) if existing_id else None
+            if existing is not None and existing.status in (
+                "queued", "running", "completed"
+            ):
+                self.metrics.counter("jobs.deduplicated").inc()
+                return SubmitOutcome(
+                    decision=Decision(admitted=True, reason="deduplicated"),
+                    state=existing, deduplicated=True,
+                )
         decision = self.admission.admit(
             tenant, self.queue_depth, service_rate=self.service_rate()
         )
@@ -315,9 +408,10 @@ class CompressionServer:
             self.metrics.counter(name).inc()
             self.metrics.counter("jobs.rejected").inc()
             return SubmitOutcome(decision=decision)
-        state = JobState(make_job_id(), job, tenant, job.content_key())
+        state = JobState(make_job_id(), job, tenant, key)
         self.jobs[state.job_id] = state
-        self.ledger.record(
+        self._by_key[(tenant, key)] = state.job_id
+        self._ledger_record(
             state.job_id, "submitted",
             tenant=tenant, key=state.key, spec=dict(spec),
         )
@@ -346,48 +440,90 @@ class CompressionServer:
                 return
             if state.status == "cancelled":
                 continue
-            state.status = "running"
-            state.attempts += 1
-            self.ledger.record(state.job_id, "started")
-            state.add_event("started", {
-                "job_id": state.job_id, "attempt": state.attempts,
-            })
-            loop = asyncio.get_running_loop()
             try:
-                outcome = await loop.run_in_executor(
-                    self._executor, self._run_job, state.job, state.key
-                )
-            except ReproError as exc:
-                self._fail(state, f"{type(exc).__name__}: {exc}")
-                continue
-            except Exception as exc:  # noqa: BLE001 — job bug, not server bug
-                self._fail(state, f"{type(exc).__name__}: {exc}")
-                continue
-            cache_hit, blob, meta, spans, snapshot, wall = outcome
-            self.metrics.merge(snapshot)
-            self.metrics.counter(
-                "cache.hits" if cache_hit else "cache.misses"
-            ).inc()
-            if not cache_hit:
-                self.cache.put(state.key, blob, meta)
-            state.cache_hit = cache_hit
-            state.meta = meta
-            state.wall_seconds = wall
-            state.status = "completed"
-            self._completed += 1
-            self.metrics.counter("jobs.completed").inc()
-            self.metrics.timer("job.wall").observe(wall)
-            self.metrics.histogram("job.seconds").observe(wall)
-            self.ledger.record(
-                state.job_id, "completed", cache_hit=cache_hit, meta=meta,
-                wall_seconds=wall,
+                await self._attempt(state)
+            except Exception as exc:  # noqa: BLE001 — last-ditch guard
+                # A worker task must never die holding a job: that job
+                # would be acknowledged and then silently lost, which is
+                # exactly the outcome the chaos gate forbids.
+                self.metrics.counter("worker.guard_trips").inc()
+                self._fail(state, f"internal: {type(exc).__name__}: {exc}")
+
+    async def _attempt(self, state: JobState) -> None:
+        state.status = "running"
+        state.attempts += 1
+        self._ledger_record(state.job_id, "started")
+        state.add_event("started", {
+            "job_id": state.job_id, "attempt": state.attempts,
+        })
+        loop = asyncio.get_running_loop()
+        try:
+            future = loop.run_in_executor(
+                self._executor, self._run_job, state.job, state.key
             )
-            for event in span_events(state.job_id, spans):
-                state.add_event(event["kind"], event["data"])
-            state.add_event("completed", {
-                "job_id": state.job_id, "cache_hit": cache_hit,
-                "wall_seconds": wall, "meta": meta,
-            })
+            if self.config.job_timeout is not None:
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(future), self.config.job_timeout
+                )
+            else:
+                outcome = await future
+        except (TransientError, asyncio.TimeoutError) as exc:
+            if not future.done():
+                # A timed-out attempt leaves its executor thread running
+                # to completion; consume whatever it eventually raises so
+                # it cannot leak a never-retrieved-exception warning.
+                future.add_done_callback(_consume_abandoned)
+            reason = (f"{type(exc).__name__}: {exc}" if str(exc)
+                      else "attempt timed out")
+            self._retry_or_fail(state, reason)
+            return
+        except ReproError as exc:
+            self._fail(state, f"{type(exc).__name__}: {exc}")
+            return
+        except Exception as exc:  # noqa: BLE001 — job bug, not server bug
+            self._fail(state, f"{type(exc).__name__}: {exc}")
+            return
+        cache_hit, blob, meta, spans, snapshot, wall = outcome
+        self.metrics.merge(snapshot)
+        self.metrics.counter(
+            "cache.hits" if cache_hit else "cache.misses"
+        ).inc()
+        if not cache_hit:
+            self.cache.put(state.key, blob, meta)
+        state.cache_hit = cache_hit
+        state.meta = meta
+        state.wall_seconds = wall
+        state.status = "completed"
+        self._completed += 1
+        self.metrics.counter("jobs.completed").inc()
+        self.metrics.timer("job.wall").observe(wall)
+        self.metrics.histogram("job.seconds").observe(wall)
+        self._ledger_record(
+            state.job_id, "completed", cache_hit=cache_hit, meta=meta,
+            wall_seconds=wall,
+        )
+        for event in span_events(state.job_id, spans):
+            state.add_event(event["kind"], event["data"])
+        state.add_event("completed", {
+            "job_id": state.job_id, "cache_hit": cache_hit,
+            "wall_seconds": wall, "meta": meta,
+        })
+
+    def _retry_or_fail(self, state: JobState, reason: str) -> None:
+        """Requeue a transiently failed attempt, or fail it terminally."""
+        if state.attempts >= self.config.job_attempts or self.draining:
+            # When draining there are only shutdown sentinels behind us
+            # in the queue — requeueing would strand the job (and every
+            # SSE stream on it) forever.
+            self._fail(state, reason)
+            return
+        state.status = "queued"
+        self.metrics.counter("jobs.retried").inc()
+        state.add_event("retrying", {
+            "job_id": state.job_id, "attempt": state.attempts,
+            "error": reason,
+        })
+        self._queue.put_nowait(state)
 
     def _run_job(self, job: CompressionJob, key: str):
         """Executor-thread body: cache lookup, else compile+compress.
@@ -398,6 +534,11 @@ class CompressionServer:
         job's — concurrent jobs on other threads never interleave.
         """
         start = time.perf_counter()
+        if self.config.chaos is not None:
+            # Worker-plane faults: kill (raises immediately), hang
+            # (sleeps past job_timeout, then raises — no side effects),
+            # slow_start.  Keyed by content key for determinism.
+            apply_worker_fault(self.config.chaos, key)
         entry = self.cache.get(key)
         if entry is not None:
             with Recorder() as recorder:
@@ -421,16 +562,60 @@ class CompressionServer:
         self.metrics.counter("jobs.failed").inc()
         if "VerificationError" in error:
             self.metrics.counter("verify.failures").inc()
-        self.ledger.record(state.job_id, "failed", error=error)
+        self._ledger_record(state.job_id, "failed", error=error)
         state.add_event("failed", {"job_id": state.job_id, "error": error})
 
     def _cancel(self, state: JobState, reason: str) -> None:
         state.status = "cancelled"
         self.metrics.counter("jobs.cancelled").inc()
-        self.ledger.record(state.job_id, "cancelled", reason=reason)
+        self._ledger_record(state.job_id, "cancelled", reason=reason)
         state.add_event("cancelled", {
             "job_id": state.job_id, "reason": reason,
         })
+
+    async def rederive_artifact(self, state: JobState):
+        """Recompute a completed job's artifact after a cache loss.
+
+        Eviction, quarantine, or disk failure between completion and
+        download means the bytes are gone — but the spec is not, and
+        jobs are deterministic, so the artifact is re-derivable on
+        demand.  Returns the fresh cache entry (also re-stored).
+        """
+        loop = asyncio.get_running_loop()
+        blob, meta, snapshot = await loop.run_in_executor(
+            self._executor, execute_job, state.job
+        )
+        self.metrics.merge(snapshot)
+        self.metrics.counter("cache.rederived").inc()
+        return self.cache.put(state.key, blob, meta)
+
+    # -- chaos (connection plane) --------------------------------------
+    def chaos_connection_fault(self, site: str, op: str) -> str | None:
+        """Ask the installed schedule for a connection-plane fault.
+
+        Status-document polls are exempt: the client's poll cadence is
+        wall-clock-dependent (it polls *until* the job is terminal), so
+        faulting that route would advance the schedule's counters a
+        timing-dependent number of times and break seed-replay
+        determinism.  The plane still covers submit acks, SSE frames,
+        and artifact downloads — all of which have deterministic
+        request sequences under a serial campaign.
+        """
+        if self.config.chaos is None or site.endswith(":status"):
+            return None
+        return self.config.chaos.decide("connection", site, op)
+
+    def _connection_site(self, request, params: dict) -> str:
+        """A seed-stable identity for this request (never a uuid)."""
+        leaf = request.path.rstrip("/").rsplit("/", 1)[-1]
+        job_id = params.get("job_id")
+        if job_id is not None:
+            if leaf == job_id:
+                leaf = "status"  # GET /v1/jobs/{id}: the leaf is the uuid
+            state = self.jobs.get(job_id)
+            if state is not None:
+                return f"{state.key}:{leaf}"
+        return request.path
 
     # -- HTTP ----------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -451,7 +636,21 @@ class CompressionServer:
 
     async def _serve_one(self, reader, writer) -> None:
         try:
-            request = await read_request(reader)
+            if self.config.read_timeout is not None:
+                request = await asyncio.wait_for(
+                    read_request(reader), self.config.read_timeout
+                )
+            else:
+                request = await read_request(reader)
+        except asyncio.TimeoutError:
+            # Slow-loris defence: a connection may not hold a reader
+            # slot open by dribbling (or never sending) its request.
+            self.metrics.counter("http.read_timeouts").inc()
+            writer.write(error_response(
+                408, "request not received within the read deadline"
+            ))
+            await writer.drain()
+            return
         except HttpError as exc:
             writer.write(error_response(exc.status, str(exc)))
             await writer.drain()
@@ -459,8 +658,10 @@ class CompressionServer:
         if request is None:
             return
         self.metrics.counter("http.requests").inc()
+        site = request.path
         try:
             handler, params = self.router.resolve(request.method, request.path)
+            site = self._connection_site(request, params)
             if handler is handle_events:
                 await handler(self, request, params, writer)
                 return
@@ -469,6 +670,17 @@ class CompressionServer:
             payload = error_response(exc.status, str(exc))
         except ReproError as exc:
             payload = error_response(500, f"{type(exc).__name__}: {exc}")
+        fault = self.chaos_connection_fault(site, "response")
+        if fault == "stall":
+            await asyncio.sleep(self.config.chaos.stall_seconds)
+        elif fault == "reset":
+            # Send a prefix of the response, then hard-reset the socket
+            # mid-payload — the client sees a torn read, never an ack it
+            # can trust.
+            writer.write(payload[: max(1, len(payload) // 2)])
+            await writer.drain()
+            writer.transport.abort()
+            return
         writer.write(payload)
         await writer.drain()
 
@@ -498,6 +710,11 @@ class CompressionServer:
                 "shard_sizes": self.cache.shard_sizes(),
                 "disk_bytes": self.cache.disk_bytes(),
                 "migrated_artifacts": self.cache.migration.moved,
+                "read_only_shards": self.cache.read_only_shards(),
+            },
+            "scrub": self.scrubber.report.as_dict(),
+            "ledger": {
+                "recovered_bytes": self.ledger.recovered_bytes,
             },
         }
 

@@ -31,6 +31,7 @@ SERVER_NAME = "repro-server"
 REASONS = {
     200: "OK", 202: "Accepted", 204: "No Content",
     400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
 }

@@ -28,22 +28,38 @@ cleanly instead of dropping accepted work.
 line per job (atomic temp-file + ``os.replace``), which the graceful
 shutdown path runs after draining so the log does not grow without
 bound across restarts.
+
+Torn-tail recovery
+------------------
+
+A crash mid-append (or a torn disk write) leaves a final line that is
+not valid JSON — and, worse, usually has **no trailing newline**, so a
+naive append-after-restart would concatenate the next record onto the
+torn fragment and corrupt *two* records.  :meth:`JobLedger.recover`
+runs before the first post-restart append: it keeps the longest valid
+line-prefix of the state store, moves everything after it into
+``state.jsonl.quarantine`` (evidence, never replayed), and truncates
+the state store to the clean prefix.  All disk I/O goes through the
+:class:`repro.service.fsio.Filesystem` seam so chaos campaigns and
+crash-point property tests can exercise every one of these write
+points.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ServiceError
+from repro.service.fsio import DEFAULT_FS, Filesystem
 from repro.service.jobs import PIPELINE_VERSION
 
 MANIFEST_FILENAME = "manifest.json"
 STATE_FILENAME = "state.jsonl"
+QUARANTINE_FILENAME = "state.jsonl.quarantine"
 LEDGER_SCHEMA = 1
 
 #: Transition events, in lifecycle order.  ``snapshot`` is the
@@ -96,11 +112,19 @@ class JobRecord:
 class JobLedger:
     """Manifest + append-only state store for server jobs."""
 
-    def __init__(self, directory: str | Path, *, shards: int = 0) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        shards: int = 0,
+        fs: Filesystem | None = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._shards = shards
         self._handle = None
+        self.fs = fs or DEFAULT_FS
+        self.recovered_bytes = 0
         self.manifest = self._open_manifest()
 
     # -- manifest ------------------------------------------------------
@@ -112,10 +136,14 @@ class JobLedger:
     def state_path(self) -> Path:
         return self.directory / STATE_FILENAME
 
+    @property
+    def quarantine_path(self) -> Path:
+        return self.directory / QUARANTINE_FILENAME
+
     def _open_manifest(self) -> dict:
-        if self.manifest_path.exists():
+        if self.fs.exists(self.manifest_path):
             try:
-                manifest = json.loads(self.manifest_path.read_text())
+                manifest = json.loads(self.fs.read_text(self.manifest_path))
             except (OSError, json.JSONDecodeError) as exc:
                 raise ServiceError(
                     f"unreadable ledger manifest {self.manifest_path}: {exc}"
@@ -138,12 +166,47 @@ class JobLedger:
             "shards": self._shards,
             "created_unix": time.time(),
         }
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, sort_keys=True) + "\n")
-        os.replace(tmp, self.manifest_path)
+        self.fs.write_atomic(
+            self.manifest_path, json.dumps(manifest, sort_keys=True) + "\n"
+        )
         return manifest
 
     # -- state store ---------------------------------------------------
+    def recover(self) -> int:
+        """Quarantine any torn tail so appends land on a clean prefix.
+
+        Returns the number of bytes moved into the quarantine file
+        (0 when the store is already clean).  Idempotent, and safe to
+        crash inside: the quarantine append happens before the
+        truncate, so a crash between the two at worst re-quarantines
+        the same tail on the next recovery.
+        """
+        try:
+            raw = self.fs.read_bytes(self.state_path)
+        except OSError:
+            return 0
+        good_end = 0
+        cursor = 0
+        while cursor < len(raw):
+            newline = raw.find(b"\n", cursor)
+            if newline < 0:
+                break  # unterminated tail — torn by definition
+            line = raw[cursor:newline].strip()
+            if line:
+                try:
+                    json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break  # first undecodable line; everything after goes
+            cursor = newline + 1
+            good_end = cursor
+        tail = raw[good_end:]
+        if not tail:
+            return 0
+        self.fs.append_bytes(self.quarantine_path, tail)
+        self.fs.truncate(self.state_path, good_end)
+        self.recovered_bytes += len(tail)
+        return len(tail)
+
     def record(self, job_id: str, event: str, **fields) -> dict:
         """Append one transition line (flushed before returning)."""
         if event not in EVENTS:
@@ -151,18 +214,19 @@ class JobLedger:
         line = {"job_id": job_id, "event": event, "unix_time": time.time(),
                 **fields}
         if self._handle is None:
-            self._handle = self.state_path.open("a", encoding="utf-8")
+            # First append since open: clear any torn tail left by a
+            # crash, or this line would concatenate onto the fragment.
+            self.recover()
+            self._handle = self.fs.open_append(self.state_path)
         self._handle.write(json.dumps(line, sort_keys=True) + "\n")
         self._handle.flush()
         return line
 
     def _read_lines(self) -> list[dict]:
-        if not self.state_path.exists():
+        if not self.fs.exists(self.state_path):
             return []
         lines = []
-        for number, raw in enumerate(
-            self.state_path.read_text().splitlines(), start=1
-        ):
+        for raw in self.fs.read_text(self.state_path).splitlines():
             raw = raw.strip()
             if not raw:
                 continue
@@ -227,16 +291,16 @@ class JobLedger:
         the old log or the compacted one, never a truncated file.
         """
         records = self.replay()
-        tmp = self.state_path.with_suffix(".jsonl.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            for record in records.values():
-                handle.write(json.dumps(
-                    {"job_id": record.job_id, "event": "snapshot",
-                     "unix_time": time.time(), "record": record.as_dict()},
-                    sort_keys=True,
-                ) + "\n")
+        text = "".join(
+            json.dumps(
+                {"job_id": record.job_id, "event": "snapshot",
+                 "unix_time": time.time(), "record": record.as_dict()},
+                sort_keys=True,
+            ) + "\n"
+            for record in records.values()
+        )
         self.close()
-        os.replace(tmp, self.state_path)
+        self.fs.write_atomic(self.state_path, text)
         return len(records)
 
     def close(self) -> None:

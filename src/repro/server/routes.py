@@ -18,6 +18,11 @@ Submission carries the tenant in the ``X-Repro-Tenant`` header (or a
 ``Retry-After`` plus a JSON body naming the reason (``quota`` — this
 tenant is over its token-bucket rate; ``queue_full`` — the server-wide
 admission queue is saturated).
+
+Sending the ``X-Repro-Idempotency-Key`` header (any non-empty value)
+makes submission idempotent per (tenant, content key): a client
+re-submitting after a torn 202 gets the already-queued/completed job
+back (``"deduplicated": true`` in the body) instead of a duplicate.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.server.http import HttpError, Request, error_response, response, sse_
 from repro.server.sse import TERMINAL_EVENTS, format_event
 
 TENANT_HEADER = "x-repro-tenant"
+IDEMPOTENCY_HEADER = "x-repro-idempotency-key"
 
 
 class Router:
@@ -122,7 +128,8 @@ async def handle_submit(server, request: Request, params: dict) -> bytes:
     body = request.json()
     tenant = _tenant(request, body)
     spec = {k: v for k, v in body.items() if k != "tenant"}
-    outcome = server.submit(spec, tenant)
+    idempotent = bool(request.header(IDEMPOTENCY_HEADER))
+    outcome = server.submit(spec, tenant, idempotent=idempotent)
     if not outcome.admitted:
         return response(
             429,
@@ -140,6 +147,7 @@ async def handle_submit(server, request: Request, params: dict) -> bytes:
         "key": state.key,
         "status": state.status,
         "tenant": state.tenant,
+        "deduplicated": outcome.deduplicated,
         "events_url": f"/v1/jobs/{state.job_id}/events",
     })
 
@@ -166,6 +174,11 @@ async def handle_artifact(server, request: Request, params: dict) -> bytes:
         )
     entry = server.cache.get(state.key)
     if entry is None:
+        # Evicted, quarantined, or lost to a failing disk — the job is
+        # deterministic and its spec is in hand, so recompute instead of
+        # making the client resubmit.
+        entry = await server.rederive_artifact(state)
+    if entry is None:
         raise HttpError(404, f"artifact {state.key} evicted from cache")
     return response(
         200, entry.blob,
@@ -189,10 +202,28 @@ async def handle_events(server, request: Request, params: dict, writer) -> None:
     writer.write(sse_head())
     await writer.drain()
     server.metrics.counter("sse.streams").inc()
+    sse_site = f"{state.key}:events"
     while True:
         events = state.events
         while cursor < len(events):
             event = events[cursor]
+            fault = server.chaos_connection_fault(sse_site, "sse-event")
+            if fault == "reset":
+                # Kill the stream mid-flight: flush everything delivered
+                # so far, land half of this frame (a torn event the
+                # client must not commit), then close.  A FIN — not an
+                # RST — on purpose: an abort() can discard bytes already
+                # sitting in the client's receive buffer, which would
+                # make the resume cursor depend on read timing and break
+                # seed-replay determinism.  The client sees EOF with no
+                # terminal event and resumes via Last-Event-ID from the
+                # frame before this one.
+                frame = format_event(event["kind"], event["data"], cursor)
+                writer.write(frame[: max(1, len(frame) // 2)])
+                await writer.drain()
+                return
+            if fault == "stall":
+                await asyncio.sleep(server.config.chaos.stall_seconds)
             writer.write(format_event(event["kind"], event["data"], cursor))
             cursor += 1
             if event["kind"] in TERMINAL_EVENTS:

@@ -39,14 +39,15 @@ stays warm.
 
 from __future__ import annotations
 
+import dataclasses
 import json
-import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ServiceError
 from repro.service.cache import ArtifactCache, CacheEntry, CacheStats
+from repro.service.fsio import DEFAULT_FS, Filesystem
 
 LAYOUT_FILENAME = "shards.json"
 LAYOUT_VERSION = 1
@@ -101,13 +102,11 @@ def read_layout(root: str | Path) -> dict | None:
     return layout
 
 
-def _write_layout(root: Path, shards: int) -> None:
-    path = root / LAYOUT_FILENAME
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(
-        json.dumps({"version": LAYOUT_VERSION, "shards": shards}) + "\n"
+def _write_layout(root: Path, shards: int, fs: Filesystem) -> None:
+    fs.write_atomic(
+        root / LAYOUT_FILENAME,
+        json.dumps({"version": LAYOUT_VERSION, "shards": shards}) + "\n",
     )
-    os.replace(tmp, path)
 
 
 def _artifact_files(root: Path, *, sharded_under: int | None) -> list[Path]:
@@ -123,15 +122,21 @@ def _artifact_files(root: Path, *, sharded_under: int | None) -> list[Path]:
     return files
 
 
-def migrate_layout(root: str | Path, shards: int) -> MigrationReport:
+def migrate_layout(
+    root: str | Path, shards: int, fs: Filesystem | None = None
+) -> MigrationReport:
     """One-shot, idempotent layout upgrade of ``root`` to ``shards``.
 
     Handles both the legacy unsharded layout and a sharded layout with
     a different shard count.  Every move is a same-filesystem
     ``os.replace`` (atomic; last writer wins on a key that exists in
     both places, which is safe because entries are content-addressed —
-    both copies hold identical bytes).
+    both copies hold identical bytes).  A crash at any point leaves a
+    root that the next migration run finishes: artifacts live in either
+    the old spot or the new one, never neither, and the layout manifest
+    is only rewritten after every move landed.
     """
+    fs = fs or DEFAULT_FS
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     layout = read_layout(root)
@@ -146,9 +151,9 @@ def migrate_layout(root: str | Path, shards: int) -> MigrationReport:
         )
         if target == path:
             continue
-        target.parent.mkdir(parents=True, exist_ok=True)
+        fs.mkdir(target.parent)
         try:
-            os.replace(path, target)
+            fs.replace(path, target)
         except OSError:
             continue  # concurrently evicted — nothing to migrate
         report.moved += 1
@@ -162,14 +167,14 @@ def migrate_layout(root: str | Path, shards: int) -> MigrationReport:
         for child in sorted(directory.glob("**/*"), reverse=True):
             if child.is_dir():
                 try:
-                    child.rmdir()
+                    fs.rmdir(child)
                 except OSError:
                     pass
         try:
-            directory.rmdir()
+            fs.rmdir(directory)
         except OSError:
             pass
-    _write_layout(root, shards)
+    _write_layout(root, shards, fs)
     return report
 
 
@@ -189,12 +194,14 @@ class ShardedArtifactCache:
         *,
         max_disk_bytes: int | None = None,
         memory_entries: int = 64,
+        fs: Filesystem | None = None,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"shard count must be >= 1, got {shards}")
         self.root = Path(root)
         self.shards = shards
-        self.migration = migrate_layout(self.root, shards)
+        self.fs = fs or DEFAULT_FS
+        self.migration = migrate_layout(self.root, shards, self.fs)
         per_shard_budget = (
             max(1, max_disk_bytes // shards)
             if max_disk_bytes is not None
@@ -205,6 +212,7 @@ class ShardedArtifactCache:
                 self.root / shard_name(index),
                 max_disk_bytes=per_shard_budget,
                 memory_entries=max(1, memory_entries // shards),
+                fs=self.fs,
             )
             for index in range(shards)
         ]
@@ -240,12 +248,21 @@ class ShardedArtifactCache:
         """Aggregated statistics across every shard."""
         total = CacheStats()
         for shard in self._shards:
-            total.hits += shard.stats.hits
-            total.misses += shard.stats.misses
-            total.stores += shard.stats.stores
-            total.evictions += shard.stats.evictions
-            total.corruptions += shard.stats.corruptions
+            for spec in dataclasses.fields(CacheStats):
+                setattr(
+                    total,
+                    spec.name,
+                    getattr(total, spec.name) + getattr(shard.stats, spec.name),
+                )
         return total
+
+    def read_only_shards(self) -> int:
+        """How many shards are currently in degraded read-only mode."""
+        return sum(1 for shard in self._shards if shard.read_only)
+
+    def iter_shards(self):
+        """The underlying per-shard caches (for the scrubber)."""
+        return tuple(self._shards)
 
     def shard_sizes(self) -> list[int]:
         """Artifact count per shard (the balance the tests check)."""

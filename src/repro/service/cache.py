@@ -28,9 +28,14 @@ Guarantees:
   a concurrent process may evict or quarantine at any moment;
 * **corruption detection** — the envelope hash is verified on every
   read; a mismatch (or truncation) raises
-  :class:`CacheCorruptionError`, and :meth:`ArtifactCache.get`
-  quarantines the bad file and reports a miss instead of crashing the
-  batch;
+  :class:`CacheCorruptionError`, and :meth:`ArtifactCache.get` moves
+  the bad file into ``<root>/quarantine/`` (keeping the evidence for
+  forensics) and reports a miss instead of crashing the batch;
+* **degraded read-only mode** — consecutive store failures trip
+  :class:`WriteHealth`; while degraded, :meth:`ArtifactCache.put`
+  keeps serving from the memory front and skips the disk entirely,
+  so a failing disk plane degrades throughput instead of correctness.
+  After a cooldown one store is let through as a half-open probe;
 * **LRU memory front** — the most recently used entries stay parsed
   in memory (``memory_entries`` of them), so the hot path of a warm
   batch never touches disk;
@@ -45,15 +50,20 @@ import hashlib
 import json
 import os
 import struct
-import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.image import CompressedImage
 from repro.errors import ServiceError
+from repro.service.fsio import DEFAULT_FS, Filesystem
 
 CACHE_MAGIC = b"RCC1"
+
+#: Directory (under the cache root) holding quarantined corrupt files.
+#: The ``.quar`` suffix keeps them out of the ``*/*.rcc`` entry glob.
+QUARANTINE_DIR = "quarantine"
 
 
 def _safe_stat(path: Path) -> os.stat_result | None:
@@ -87,6 +97,9 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     corruptions: int = 0
+    quarantined: int = 0
+    write_errors: int = 0
+    skipped_stores: int = 0
 
     @property
     def lookups(self) -> int:
@@ -103,8 +116,53 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "corruptions": self.corruptions,
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
+            "skipped_stores": self.skipped_stores,
             "hit_rate": self.hit_rate,
         }
+
+
+class WriteHealth:
+    """Consecutive-failure trip switch for the cache's disk plane.
+
+    ``threshold`` consecutive store failures flip the cache into
+    degraded (read-only) mode.  After ``cooldown`` seconds the switch
+    half-opens: one store is allowed through as a probe — success
+    closes the switch, failure re-trips it immediately.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.failures = 0
+        self.tripped_at: float | None = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.tripped_at = self._clock()
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.tripped_at = None
+
+    def degraded(self) -> bool:
+        if self.tripped_at is None:
+            return False
+        if self._clock() - self.tripped_at >= self.cooldown:
+            # Half-open: allow the next store through as a probe.  One
+            # more failure re-trips (failures sits at threshold - 1).
+            self.tripped_at = None
+            self.failures = self.threshold - 1
+            return False
+        return True
 
 
 def encode_entry(blob: bytes, meta: dict) -> bytes:
@@ -148,11 +206,15 @@ class ArtifactCache:
         root: str | Path,
         max_disk_bytes: int | None = None,
         memory_entries: int = 64,
+        fs: Filesystem | None = None,
+        write_health: WriteHealth | None = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_disk_bytes = max_disk_bytes
         self.memory_entries = memory_entries
+        self.fs = fs or DEFAULT_FS
+        self.write_health = write_health or WriteHealth()
         self.stats = CacheStats()
         self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
 
@@ -162,6 +224,11 @@ class ArtifactCache:
 
     def __contains__(self, key: str) -> bool:
         return key in self._memory or self._path(key).exists()
+
+    @property
+    def read_only(self) -> bool:
+        """True while the disk plane is considered too unhealthy to write."""
+        return self.write_health.degraded()
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> CacheEntry | None:
@@ -174,7 +241,7 @@ class ArtifactCache:
             return entry
         path = self._path(key)
         try:
-            raw = path.read_bytes()
+            raw = self.fs.read_bytes(path)
         except OSError:
             self.stats.misses += 1
             return None
@@ -183,45 +250,67 @@ class ArtifactCache:
         except CacheCorruptionError:
             self.stats.corruptions += 1
             self.stats.misses += 1
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return None
         try:
-            os.utime(path)  # refresh recency for LRU eviction
+            self.fs.utime(path)  # refresh recency for LRU eviction
         except OSError:
             pass  # concurrently evicted; the bytes in hand are still good
         self._remember(entry)
         self.stats.hits += 1
         return entry
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt file out of the store, keeping the evidence."""
+        target = self.root / QUARANTINE_DIR / f"{path.name}.quar"
+        try:
+            self.fs.mkdir(target.parent)
+            self.fs.replace(path, target)
+        except OSError:
+            # Quarantine dir unwritable (or the file vanished) — fall
+            # back to deleting so the corrupt entry can't be served.
+            try:
+                self.fs.unlink(path, missing_ok=True)
+            except OSError:
+                return
+        self.stats.quarantined += 1
+
     # ------------------------------------------------------------------
     def put(self, key: str, blob: bytes, meta: dict | None = None) -> CacheEntry:
-        """Store an artifact atomically; returns the stored entry."""
+        """Store an artifact; returns the stored entry.
+
+        The memory front is always updated, so the entry is servable for
+        the rest of the process lifetime even when the disk store fails
+        or is skipped.  Disk failures (``OSError``) are swallowed into
+        :class:`WriteHealth` — a broken disk degrades the cache, it does
+        not break job completion.
+        """
         entry = CacheEntry(key=key, blob=blob, meta=dict(meta or {}))
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = encode_entry(entry.blob, entry.meta)
-        # Two attempts: a concurrent process (pre-fix evictors, manual
-        # cleanup) may remove the temp file or even the bucket directory
-        # between write and replace; last-writer-wins means simply
-        # redoing the write is always correct.
-        for attempt in (1, 2):
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".rcc"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(payload)
-                os.replace(tmp_name, path)
-                break
-            except FileNotFoundError:
-                Path(tmp_name).unlink(missing_ok=True)
-                if attempt == 2:
-                    raise
-                path.parent.mkdir(parents=True, exist_ok=True)
-            except OSError:
-                Path(tmp_name).unlink(missing_ok=True)
-                raise
         self._remember(entry)
+        if self.read_only:
+            self.stats.skipped_stores += 1
+            return entry
+        path = self._path(key)
+        payload = encode_entry(entry.blob, entry.meta)
+        try:
+            self.fs.mkdir(path.parent)
+            # Two attempts: a concurrent process (pre-fix evictors,
+            # manual cleanup) may remove the temp file or even the
+            # bucket directory between write and replace;
+            # last-writer-wins means redoing the write is always correct.
+            for attempt in (1, 2):
+                try:
+                    self.fs.write_atomic(path, payload)
+                    break
+                except FileNotFoundError:
+                    if attempt == 2:
+                        raise
+                    self.fs.mkdir(path.parent)
+        except OSError:
+            self.stats.write_errors += 1
+            self.write_health.record_failure()
+            return entry
+        self.write_health.record_success()
         self.stats.stores += 1
         if self.max_disk_bytes is not None:
             self._evict_to_budget(keep=path)
@@ -266,7 +355,7 @@ class ArtifactCache:
             if keep is not None and path == keep:
                 continue
             try:
-                path.unlink()
+                self.fs.unlink(path)
             except OSError:
                 total -= st.st_size  # already gone — someone else evicted
                 continue
@@ -277,7 +366,7 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     def clear(self) -> None:
         for path in self._files():
-            path.unlink(missing_ok=True)
+            self.fs.unlink(path, missing_ok=True)
         self._memory.clear()
 
     def __len__(self) -> int:

@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro import observe
+from repro.chaos.process import pool_kill_point
 from repro.core.image import CompressedImage
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import CompressionJob
@@ -97,8 +98,14 @@ def execute_job(job: CompressionJob) -> tuple[bytes, dict, dict]:
 
 
 def _worker(conn, job: CompressionJob) -> None:
+    # Chaos kill points (no-ops without an installed schedule): a real
+    # SIGKILL either before any work or with the result computed but
+    # unsent — both must be recovered by the pool's crash-retry path.
+    key = job.content_key()
+    pool_kill_point("start", key)
     try:
         blob, meta, snapshot = execute_job(job)
+        pool_kill_point("before_result", key)
         conn.send(("ok", blob, meta, snapshot))
     except Exception as exc:  # job failure, shipped to the parent
         conn.send(

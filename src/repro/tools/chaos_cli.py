@@ -1,0 +1,184 @@
+"""``repro-chaos``: deterministic fault-injection campaigns.
+
+Subcommands:
+
+* ``run``  — host a real server under a seeded
+  :class:`~repro.chaos.schedule.ChaosSchedule`, drive ``--jobs``
+  submissions through the resilient client, classify every job into
+  the shared outcome taxonomy, and **gate on zero lost-acknowledged
+  jobs and zero silent divergences**.  ``--runs N`` repeats the whole
+  campaign and asserts the outcome fingerprint is identical — the
+  determinism check CI runs on every push.
+* ``show`` — pretty-print a saved campaign report.
+
+Exit status: 0 campaign(s) passed the gate, 2 operational error,
+3 gate violated (lost or silently-diverged jobs), 4 determinism
+violated (same seed, different fingerprint).
+
+Examples::
+
+    repro-chaos run --seed 1997 --jobs 200 --runs 2 -o CHAOS_campaign.json
+    repro-chaos run --jobs 50 --fault disk:torn_write:0.2 \\
+        --fault worker:kill:0.1
+    repro-chaos show CHAOS_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.chaos.campaign import (
+    DEFAULT_RULES,
+    ChaosCampaignConfig,
+    run_chaos_campaign,
+)
+from repro.chaos.schedule import parse_rule
+from repro.errors import ReproError
+from repro.experiments.common import render_table
+
+
+def _render(report) -> str:
+    lines = [
+        f"chaos campaign: seed {report.seed}, {report.jobs} jobs, "
+        f"planes {', '.join(report.planes) or 'none'}",
+        "",
+        render_table(
+            ["outcome", "jobs"],
+            [[name, count] for name, count in report.counts.items()],
+        ),
+        "",
+        "injected faults: " + (
+            ", ".join(
+                f"{label}×{count}"
+                for label, count in sorted(report.injected.items())
+            ) or "none"
+        ),
+        f"client: {report.client.get('retries', 0)} retries, "
+        f"{report.client.get('throttles', 0)} throttles, "
+        f"{report.client.get('deduplicated', 0)} deduplicated resubmits",
+        f"fingerprint: {report.fingerprint[:16]}…",
+    ]
+    if report.ok:
+        lines.append("gate: PASS (0 lost, 0 silently-diverged)")
+    else:
+        lines.append("gate: FAIL — " + "; ".join(report.gate_violations))
+        for failure in report.failures[:10]:
+            lines.append(f"  job #{failure['index']} "
+                         f"[{failure['outcome']}]: {failure['error']}")
+    return "\n".join(lines)
+
+
+def cmd_run(args) -> int:
+    rules = (
+        tuple(parse_rule(text) for text in args.fault)
+        if args.fault else DEFAULT_RULES
+    )
+    config = ChaosCampaignConfig(
+        seed=args.seed,
+        jobs=args.jobs,
+        benchmarks=[b.strip() for b in args.benchmarks.split(",") if b.strip()],
+        encodings=[e.strip() for e in args.encodings.split(",") if e.strip()],
+        scale=args.scale,
+        verify=args.verify,
+        rules=rules,
+        job_timeout=args.job_timeout,
+        job_attempts=args.job_attempts,
+        hang_seconds=max(args.job_timeout * 1.2, 1.0),
+        variants=args.variants,
+    )
+    reports = []
+    for run in range(max(1, args.runs)):
+        report = run_chaos_campaign(config)
+        reports.append(report)
+        print(f"--- run {run + 1}/{max(1, args.runs)} ---")
+        print(_render(report))
+        print()
+    fingerprints = {report.fingerprint for report in reports}
+    deterministic = len(fingerprints) == 1
+    document = {
+        **reports[0].as_dict(),
+        "runs": len(reports),
+        "determinism": {
+            "checked": len(reports) > 1,
+            "identical": deterministic,
+            "fingerprints": sorted(fingerprints),
+        },
+        "rules": [rule.describe() for rule in rules],
+        "config": {
+            "benchmarks": config.benchmarks,
+            "encodings": config.encodings,
+            "scale": config.scale,
+            "verify": config.verify,
+            "job_timeout": config.job_timeout,
+            "job_attempts": config.job_attempts,
+        },
+    }
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.output}")
+    if not deterministic:
+        print("repro-chaos: DETERMINISM VIOLATION — same seed produced "
+              f"{len(fingerprints)} distinct outcome sequences",
+              file=sys.stderr)
+        return 4
+    if any(not report.ok for report in reports):
+        return 3
+    return 0
+
+
+def cmd_show(args) -> int:
+    document = json.loads(Path(args.report).read_text())
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-chaos", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a seeded chaos campaign")
+    run.add_argument("--seed", type=int, default=1997)
+    run.add_argument("--jobs", type=int, default=200)
+    run.add_argument("--benchmarks", default="compress,li")
+    run.add_argument("--encodings", default="nibble")
+    run.add_argument("--scale", type=float, default=0.25)
+    run.add_argument("--verify", default="stream",
+                     choices=("none", "stream", "full"))
+    run.add_argument("--fault", action="append", default=[],
+                     metavar="PLANE:FAULT:RATE[:MATCH]",
+                     help="add a fault rule (repeatable); default mix "
+                     "covers disk, worker, and connection planes")
+    run.add_argument("--job-timeout", type=float, default=10.0,
+                     help="server-side per-attempt wall limit (seconds)")
+    run.add_argument("--job-attempts", type=int, default=3)
+    run.add_argument("--variants", type=int, default=25,
+                     help="distinct scale variants per benchmark "
+                     "(distinct content keys keep every plane busy)")
+    run.add_argument("--runs", type=int, default=1,
+                     help="repeat the campaign N times and require "
+                     "identical outcome fingerprints")
+    run.add_argument("-o", "--output", help="write the JSON report here")
+    run.set_defaults(func=cmd_run)
+
+    show = sub.add_parser("show", help="print a saved campaign report")
+    show.add_argument("report")
+    show.set_defaults(func=cmd_show)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-chaos: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-chaos: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
                         default="stream",
                         help="verification depth for jobs that do not set "
                         "one (default %(default)s)")
+    parser.add_argument("--read-timeout", type=float, default=10.0,
+                        help="per-connection request read deadline in "
+                        "seconds; exceeded → 408 (default %(default)s)")
+    parser.add_argument("--job-attempts", type=int, default=2,
+                        help="execution attempts per job before it fails "
+                        "terminally (default %(default)s)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-attempt wall-clock limit in seconds; a "
+                        "timed-out attempt is retried (default: none)")
+    parser.add_argument("--scrub-interval", type=float, default=None,
+                        help="seconds between background cache integrity "
+                        "scrub steps (default: scrubber off)")
     return parser
 
 
@@ -98,6 +110,10 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
             if args.cache_budget_mb else None
         ),
         default_verify=args.verify_level,
+        read_timeout=args.read_timeout,
+        job_attempts=args.job_attempts,
+        job_timeout=args.job_timeout,
+        scrub_interval=args.scrub_interval,
     )
 
 

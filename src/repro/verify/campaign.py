@@ -45,16 +45,13 @@ from repro.machine.simulator import run_program
 from repro.verify import faults as faultlib
 from repro.verify.faults import FaultSpec
 
-OUTCOMES = (
-    "detected-at-load",
-    "detected-at-decode",
-    "detected-at-run",
-    "silent-divergence",
-    "silent-identical",
+# The image-level outcome taxonomy lives in repro.verify.outcomes,
+# shared with the service-level chaos campaigns; re-exported here under
+# the historical names.
+from repro.verify.outcomes import (  # noqa: E402  (re-export)
+    DETECTED_IMAGE_OUTCOMES as DETECTED_OUTCOMES,
+    IMAGE_OUTCOMES as OUTCOMES,
 )
-
-#: Outcomes that count as "the pipeline caught it".
-DETECTED_OUTCOMES = OUTCOMES[:3]
 
 
 @dataclass(frozen=True)

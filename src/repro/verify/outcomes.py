@@ -1,0 +1,80 @@
+"""The shared outcome taxonomy for fault campaigns.
+
+Two campaign layers classify faults, and they share one discipline —
+every injected fault lands in exactly one named bucket, and the gate
+is **zero silent divergences** (plus, at the service level, **zero
+lost-acknowledged jobs**):
+
+* **image level** (:mod:`repro.verify.campaign`, PR 2): one corrupted
+  container blob pushed through load → decode → execute;
+* **service level** (:mod:`repro.chaos.campaign`): one submitted job
+  driven through a live server under disk/worker/connection faults.
+
+Keeping both vocabularies here means the chaos CLI, the verify CLI,
+and the docs all name outcomes identically.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Image-level outcomes (one corrupted blob through the consumer
+# pipeline) — the PR 2 taxonomy, re-homed.
+# ----------------------------------------------------------------------
+IMAGE_OUTCOMES = (
+    "detected-at-load",
+    "detected-at-decode",
+    "detected-at-run",
+    "silent-divergence",
+    "silent-identical",
+)
+
+#: Image outcomes that count as "the pipeline caught it".
+DETECTED_IMAGE_OUTCOMES = IMAGE_OUTCOMES[:3]
+
+# ----------------------------------------------------------------------
+# Service-level (per-job) outcomes — the chaos-campaign taxonomy.
+# ----------------------------------------------------------------------
+JOB_COMPLETED = "completed"
+JOB_RETRIED = "retried-then-completed"
+JOB_REJECTED = "rejected-retryable"
+JOB_LOST = "lost"
+JOB_DIVERGED = "silently-diverged"
+
+JOB_OUTCOMES = (
+    JOB_COMPLETED,
+    JOB_RETRIED,
+    JOB_REJECTED,
+    JOB_LOST,
+    JOB_DIVERGED,
+)
+
+#: Job outcomes a chaos campaign is allowed to produce.  ``lost`` means
+#: the server acknowledged work and then forgot it; ``silently-diverged``
+#: means it served wrong bytes as success.  Both gate the campaign.
+ACCEPTABLE_JOB_OUTCOMES = (JOB_COMPLETED, JOB_RETRIED, JOB_REJECTED)
+
+
+def tally(outcomes, universe: tuple[str, ...]) -> dict[str, int]:
+    """Count ``outcomes`` into every bucket of ``universe`` (zeros kept)."""
+    counts = {bucket: 0 for bucket in universe}
+    for outcome in outcomes:
+        if outcome not in counts:
+            raise ValueError(
+                f"outcome {outcome!r} is not in the taxonomy {universe}"
+            )
+        counts[outcome] += 1
+    return counts
+
+
+def gate_jobs(counts: dict[str, int]) -> list[str]:
+    """The zero-loss / zero-divergence gate; returns the violations."""
+    problems = []
+    if counts.get(JOB_LOST, 0):
+        problems.append(
+            f"{counts[JOB_LOST]} acknowledged job(s) were lost"
+        )
+    if counts.get(JOB_DIVERGED, 0):
+        problems.append(
+            f"{counts[JOB_DIVERGED]} job(s) silently served wrong artifacts"
+        )
+    return problems

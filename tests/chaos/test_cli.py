@@ -1,0 +1,54 @@
+"""`repro-chaos` CLI tests: exit codes, report document, show."""
+
+import json
+
+from repro.tools.chaos_cli import main
+
+RUN_ARGS = [
+    "run", "--seed", "11", "--jobs", "4", "--benchmarks", "compress",
+    "--scale", "0.2", "--variants", "2",
+    "--fault", "disk:torn_write:0.3",
+    "--fault", "worker:kill:0.2",
+    "--fault", "connection:reset:0.3",
+    "--job-timeout", "5", "--job-attempts", "4",
+]
+
+
+class TestRun:
+    def test_gate_pass_exits_zero_and_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        assert main([*RUN_ARGS, "--runs", "2", "-o", str(output)]) == 0
+        document = json.loads(output.read_text())
+        assert document["gate"]["ok"] is True
+        assert document["outcomes"]["lost"] == 0
+        assert document["outcomes"]["silently-diverged"] == 0
+        assert document["determinism"] == {
+            "checked": True,
+            "identical": True,
+            "fingerprints": [document["fingerprint"]],
+        }
+        assert document["runs"] == 2
+        assert len(document["rules"]) == 3
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_malformed_fault_rule_exits_2(self, capsys):
+        assert main(["run", "--fault", "disk:torn_write"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_plane_exits_2(self, capsys):
+        assert main(["run", "--fault", "gpu:melt:0.5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_round_trips_a_saved_report(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        assert main([*RUN_ARGS, "-o", str(output)]) == 0
+        capsys.readouterr()
+        assert main(["show", str(output)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == json.loads(output.read_text())
+
+    def test_missing_report_exits_2(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "absent.json")]) == 2
+        assert "error" in capsys.readouterr().err

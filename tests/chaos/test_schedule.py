@@ -1,0 +1,146 @@
+"""Chaos-schedule tests: determinism, rates, rule parsing."""
+
+import pytest
+
+from repro.chaos.schedule import (
+    ChaosRule,
+    ChaosSchedule,
+    parse_rule,
+)
+from repro.errors import ServiceError
+
+SITES = ["aa11", "bb22", "cc33"]
+OPS = ["read", "write", "append"]
+
+
+def decisions(schedule, count=40):
+    return [
+        schedule.decide("disk", SITES[i % 3], OPS[i % 2])
+        for i in range(count)
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        rules = (ChaosRule("disk", "torn_write", 0.3),
+                 ChaosRule("disk", "eio_read", 0.2))
+        first = decisions(ChaosSchedule(1997, rules))
+        second = decisions(ChaosSchedule(1997, rules))
+        assert first == second
+        assert any(fault is not None for fault in first)
+
+    def test_different_seeds_differ(self):
+        rules = (ChaosRule("disk", "torn_write", 0.5),)
+        assert decisions(ChaosSchedule(1, rules)) != decisions(
+            ChaosSchedule(2, rules)
+        )
+
+    def test_sites_have_independent_counters(self):
+        """Interleaving traffic on another site must not perturb this
+        site's decision sequence — the counters are per (plane, site,
+        op), not global."""
+        rules = (ChaosRule("disk", "torn_write", 0.4),)
+        alone = ChaosSchedule(7, rules)
+        isolated = [alone.decide("disk", "aa11", "write") for _ in range(20)]
+        noisy = ChaosSchedule(7, rules)
+        interleaved = []
+        for _ in range(20):
+            noisy.decide("disk", "zz99", "write")  # unrelated traffic
+            interleaved.append(noisy.decide("disk", "aa11", "write"))
+        assert isolated == interleaved
+
+
+class TestRates:
+    def test_rate_zero_never_fires(self):
+        schedule = ChaosSchedule(3, (ChaosRule("disk", "enospc", 0.0),))
+        assert all(fault is None for fault in decisions(schedule, 100))
+        assert schedule.injections == []
+
+    def test_rate_one_always_fires(self):
+        schedule = ChaosSchedule(3, (ChaosRule("disk", "enospc", 1.0),))
+        assert all(fault == "enospc" for fault in decisions(schedule, 50))
+        assert len(schedule.injections) == 50
+
+    def test_rate_is_roughly_honored(self):
+        schedule = ChaosSchedule(11, (ChaosRule("disk", "eio_read", 0.25),))
+        fired = sum(
+            schedule.decide("disk", f"site-{i}", "read") is not None
+            for i in range(800)
+        )
+        assert 120 < fired < 280  # 0.25 ± generous slack over 800 draws
+
+    def test_match_restricts_sites(self):
+        schedule = ChaosSchedule(
+            5, (ChaosRule("disk", "enospc", 1.0, match="state"),)
+        )
+        assert schedule.decide("disk", "state.jsonl", "append") == "enospc"
+        assert schedule.decide("disk", "aa11.rcc", "write") is None
+
+
+class TestBookkeeping:
+    def test_injected_counts_and_planes(self):
+        rules = (ChaosRule("disk", "enospc", 1.0),
+                 ChaosRule("worker", "kill", 1.0),
+                 ChaosRule("connection", "reset", 0.0))
+        schedule = ChaosSchedule(9, rules)
+        schedule.decide("disk", "x", "write")
+        schedule.decide("disk", "x", "write")
+        schedule.decide("worker", "k", "execute")
+        assert schedule.injected_counts() == {
+            "disk:enospc": 2, "worker:kill": 1,
+        }
+        # rate-0 rules don't count as an active plane
+        assert schedule.active_planes() == ("disk", "worker")
+
+    def test_injections_carry_site_and_sequence(self):
+        schedule = ChaosSchedule(9, (ChaosRule("disk", "enospc", 1.0),))
+        schedule.decide("disk", "aa.rcc", "write")
+        schedule.decide("disk", "aa.rcc", "write")
+        last = schedule.injections[-1]
+        assert (last.site, last.op, last.sequence) == ("aa.rcc", "write", 1)
+        assert "disk:enospc" in last.describe()
+
+    def test_describe_lists_rules(self):
+        schedule = ChaosSchedule(
+            42, (ChaosRule("disk", "torn_write", 0.05, match="rcc"),)
+        )
+        assert "seed 42" in schedule.describe()
+        assert "disk:torn_write:0.05:rcc" in schedule.describe()
+
+
+class TestRuleValidation:
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ServiceError, match="unknown chaos plane"):
+            ChaosRule("gpu", "kill", 0.1)
+
+    def test_fault_must_belong_to_plane(self):
+        with pytest.raises(ServiceError, match="unknown disk fault"):
+            ChaosRule("disk", "kill", 0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ServiceError, match="rate"):
+            ChaosRule("disk", "enospc", 1.5)
+        with pytest.raises(ServiceError, match="rate"):
+            ChaosRule("disk", "enospc", -0.1)
+
+
+class TestParseRule:
+    def test_basic_form(self):
+        rule = parse_rule("worker:kill:0.05")
+        assert (rule.plane, rule.fault, rule.rate, rule.match) == (
+            "worker", "kill", 0.05, ""
+        )
+
+    def test_with_match(self):
+        rule = parse_rule("disk:torn_write:0.2:state.jsonl")
+        assert rule.match == "state.jsonl"
+
+    def test_round_trips_through_describe(self):
+        text = "connection:reset:0.1"
+        assert parse_rule(text).describe() == text
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ServiceError, match="malformed chaos rule"):
+            parse_rule("disk:enospc")
+        with pytest.raises(ServiceError, match="bad chaos rate"):
+            parse_rule("disk:enospc:lots")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.perf.bench import check_regression
-from repro.perf.loadgen import LoadConfig, run_load
+from repro.perf.loadgen import LoadConfig, run_load, submit_and_wait
 from repro.server.quotas import QuotaSpec
 
 
@@ -135,3 +135,60 @@ class TestServiceRegressionGuard:
         baseline = {"programs": {}}
         assert check_regression(current, baseline) == []
         assert check_regression(baseline, current) == []
+
+
+class TestRetryAfterHonored:
+    """Satellite: the load client treats 429 as back-pressure — honor
+    Retry-After (capped), resubmit, and report the retry count."""
+
+    SPEC = {"benchmark": "compress", "encoding": "nibble", "scale": 0.2,
+            "verify": "none"}
+
+    def hosted(self, tmp_path, quota: QuotaSpec):
+        from repro.perf.loadgen import HostedServer
+        from repro.server.app import ServerConfig
+
+        return HostedServer(ServerConfig(
+            host="127.0.0.1", port=0, cache_dir=tmp_path / "cache",
+            shards=2, concurrency=1, quota=quota,
+        ))
+
+    def test_throttle_budget_spent_reports_rejected_with_retry_count(
+        self, tmp_path
+    ):
+        sleeps: list[float] = []
+        # rate must be > 0; make refill glacial so fake sleeps never
+        # let a token accrue during the test.
+        with self.hosted(tmp_path, QuotaSpec(rate=0.001, burst=1)) as server:
+            outcome, _, detail = submit_and_wait(
+                server.address, self.SPEC, "alpha", sleep=sleeps.append
+            )
+            assert outcome == "completed"
+            outcome, _, detail = submit_and_wait(
+                server.address, self.SPEC, "alpha",
+                max_throttle_retries=3, sleep=sleeps.append,
+            )
+        assert outcome == "rejected"
+        assert detail["reason"] == "quota"
+        assert detail["submit_retries"] == 3
+        assert detail["retry_after"] is not None
+        # Every honored wait obeyed the header but stayed capped.
+        from repro.perf.loadgen import RETRY_AFTER_CAP
+        assert len(sleeps) == 3
+        assert all(0.0 <= delay <= RETRY_AFTER_CAP for delay in sleeps)
+
+    def test_throttled_submission_eventually_lands(self, tmp_path):
+        # A fast-refilling quota: the first submit drains the burst,
+        # the second gets 429 and honors (fake) waits while real time
+        # refills the bucket between polls.
+        with self.hosted(tmp_path, QuotaSpec(rate=200.0, burst=1)) as server:
+            first = submit_and_wait(
+                server.address, self.SPEC, "alpha", sleep=lambda _: None
+            )
+            assert first[0] == "completed"
+            outcome, _, detail = submit_and_wait(
+                server.address, self.SPEC, "alpha",
+                max_throttle_retries=200, sleep=lambda _: None,
+            )
+        assert outcome == "completed"
+        assert detail["submit_retries"] >= 0  # reported either way

@@ -153,3 +153,63 @@ def test_make_job_id_is_unique_and_prefixed():
     ids = {make_job_id() for _ in range(100)}
     assert len(ids) == 100
     assert all(job_id.startswith("job-") for job_id in ids)
+
+
+class TestTornTailRecovery:
+    def tear(self, ledger, fragment='{"job_id": "job-torn", "event": "subm'):
+        """Append a torn, newline-less fragment — a kill -9 mid-append."""
+        ledger.close()
+        with ledger.state_path.open("a") as handle:
+            handle.write(fragment)
+
+    def test_recover_moves_the_tail_into_quarantine(self, ledger):
+        ledger.record("job-ok", "submitted", tenant="t", key="k", spec={})
+        self.tear(ledger)
+        moved = ledger.recover()
+        assert moved == len('{"job_id": "job-torn", "event": "subm')
+        assert ledger.recovered_bytes == moved
+        assert ledger.quarantine_path.read_text() == (
+            '{"job_id": "job-torn", "event": "subm'
+        )
+        # The state store is back to a clean newline-terminated prefix.
+        raw = ledger.state_path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert set(ledger.replay()) == {"job-ok"}
+
+    def test_recover_is_idempotent(self, ledger):
+        ledger.record("job-ok", "submitted", spec={})
+        self.tear(ledger)
+        assert ledger.recover() > 0
+        assert ledger.recover() == 0
+
+    def test_append_after_tear_does_not_concatenate(self, ledger):
+        """The historical failure mode: a naive append lands on the torn
+        fragment and corrupts TWO records.  record() must recover first."""
+        ledger.record("job-a", "submitted", tenant="t", key="k", spec={})
+        self.tear(ledger)
+        # record() on the reopened handle runs recovery before appending.
+        ledger._handle = None
+        ledger.record("job-b", "submitted", tenant="t", key="k2", spec={})
+        records = ledger.replay()
+        assert set(records) == {"job-a", "job-b"}
+        assert ledger.quarantine_path.exists()
+
+    def test_mid_file_corruption_quarantines_the_suffix(self, ledger):
+        ledger.record("job-keep", "submitted", spec={})
+        ledger.close()
+        with ledger.state_path.open("a") as handle:
+            handle.write("NOT JSON AT ALL\n")
+            handle.write('{"job_id": "job-after", "event": "submitted"}\n')
+        moved = ledger.recover()
+        # Everything from the first bad line onward is evidence, not
+        # state — replaying records past a corrupt line risks replaying
+        # records the corruption may have damaged.
+        assert moved == len("NOT JSON AT ALL\n") + len(
+            '{"job_id": "job-after", "event": "submitted"}\n'
+        )
+        assert set(ledger.replay()) == {"job-keep"}
+
+    def test_clean_store_recovers_zero(self, ledger):
+        ledger.record("job-a", "submitted", spec={})
+        assert ledger.recover() == 0
+        assert not ledger.quarantine_path.exists()

@@ -139,3 +139,65 @@ class TestParsers:
     def test_parse_tenant_quota_requires_equals(self):
         with pytest.raises(ValueError, match="malformed tenant quota"):
             parse_tenant_quota("hog:1:2")
+
+
+class TestRefillOverSimulatedTime:
+    """Satellite: refill behavior at the drain/refill boundary and with
+    fractional rates, all over an injected clock."""
+
+    def test_burst_drain_refill_boundary(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=4.0, burst=3), clock=clock)
+        for _ in range(3):
+            assert bucket.try_acquire()[0]
+        acquired, retry_after = bucket.try_acquire()
+        assert not acquired
+        # Advance to a hair *before* the boundary: still refused.
+        clock.advance(retry_after - 1e-9)
+        assert not bucket.try_acquire()[0]
+        # At the boundary exactly one token has accrued.
+        clock.advance(1e-9)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]  # and only one
+
+    def test_fractional_rate_refills_slowly(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=0.5, burst=1), clock=clock)
+        assert bucket.try_acquire()[0]
+        acquired, retry_after = bucket.try_acquire()
+        assert not acquired
+        assert retry_after == pytest.approx(2.0)  # one token at 0.5/s
+        clock.advance(1.0)
+        assert not bucket.try_acquire()[0]
+        clock.advance(1.0)
+        assert bucket.try_acquire()[0]
+
+    def test_repeated_drain_refill_cycles_do_not_drift(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=2.0, burst=2), clock=clock)
+        for _ in range(5):
+            assert bucket.try_acquire()[0]
+            assert bucket.try_acquire()[0]
+            assert not bucket.try_acquire()[0]
+            clock.advance(1.0)  # exactly a full burst (2 tokens at 2/s)
+
+    def test_fractional_cost_accrual(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=1.0, burst=2), clock=clock)
+        assert bucket.try_acquire(cost=1.5)[0]
+        acquired, retry_after = bucket.try_acquire(cost=1.5)
+        assert not acquired
+        assert retry_after == pytest.approx(1.0)  # 0.5 left, need 1.5
+        clock.advance(1.0)
+        assert bucket.try_acquire(cost=1.5)[0]
+
+    def test_refill_never_overshoots_burst_after_long_idle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(QuotaSpec(rate=0.25, burst=4), clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()[0]
+        clock.advance(10_000.0)
+        assert bucket.tokens == 4.0
+        for _ in range(4):
+            assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]

@@ -5,7 +5,8 @@ import os
 import pytest
 
 from repro.service import ArtifactCache, CacheCorruptionError
-from repro.service.cache import decode_entry, encode_entry
+from repro.service.cache import WriteHealth, decode_entry, encode_entry
+from repro.service.fsio import Filesystem
 
 
 def entry_blob(tag: bytes, size: int = 64) -> bytes:
@@ -170,3 +171,81 @@ class TestConcurrentWriters:
         survivor = ArtifactCache(tmp_path).get("aa" * 32)
         if survivor is not None:
             assert len(survivor.blob) == 512
+
+
+class TestDegradedReadOnly:
+    """Consecutive store failures flip the cache read-only; a cooldown
+    half-opens it with one probe store."""
+
+    class Clock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    class BrokenDiskFs(Filesystem):
+        """Every atomic write fails like a full disk."""
+
+        def __init__(self):
+            self.attempts = 0
+            self.broken = True
+
+        def write_atomic(self, path, data):
+            self.attempts += 1
+            if self.broken:
+                raise OSError(28, "chaos: injected enospc", str(path))
+            super().write_atomic(path, data)
+
+    def degraded_cache(self, tmp_path):
+        clock = self.Clock()
+        fs = self.BrokenDiskFs()
+        cache = ArtifactCache(
+            tmp_path, fs=fs,
+            write_health=WriteHealth(threshold=3, cooldown=30.0, clock=clock),
+        )
+        return cache, fs, clock
+
+    def test_store_failures_trip_read_only_mode(self, tmp_path):
+        cache, fs, _ = self.degraded_cache(tmp_path)
+        for i in range(3):
+            assert not cache.read_only
+            cache.put(f"{i:02d}" * 32, b"blob", {})
+        assert cache.read_only
+        assert cache.stats.write_errors == 3
+
+    def test_degraded_puts_skip_disk_but_serve_from_memory(self, tmp_path):
+        cache, fs, _ = self.degraded_cache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" * 32, b"blob", {})
+        attempts_when_tripped = fs.attempts
+        key = "aa" * 32
+        entry = cache.put(key, b"payload", {"kept": True})
+        assert entry.blob == b"payload"
+        assert fs.attempts == attempts_when_tripped  # disk untouched
+        assert cache.stats.skipped_stores == 1
+        assert cache.get(key).blob == b"payload"  # memory front serves it
+
+    def test_cooldown_probe_recovers_the_disk(self, tmp_path):
+        cache, fs, clock = self.degraded_cache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" * 32, b"blob", {})
+        assert cache.read_only
+        clock.now += 31.0  # past the cooldown: half-open
+        fs.broken = False  # the disk came back
+        assert not cache.read_only  # the probe window
+        cache.put("bb" * 32, b"recovered", {})
+        assert cache.stats.stores == 1
+        assert not cache.read_only
+        # The entry actually landed on disk this time.
+        cache._memory.clear()
+        assert cache.get("bb" * 32).blob == b"recovered"
+
+    def test_failed_probe_retrips_immediately(self, tmp_path):
+        cache, fs, clock = self.degraded_cache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" * 32, b"blob", {})
+        clock.now += 31.0
+        cache.put("cc" * 32, b"probe", {})  # probe fails: disk still broken
+        assert cache.read_only
+        assert cache.stats.write_errors == 4
