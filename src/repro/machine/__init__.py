@@ -15,7 +15,11 @@ Each front end has two interchangeable implementations selected by the
 decode-on-every-fetch interpreter, and the default ``"fast"``
 translation-cache path (:mod:`repro.machine.fastpath`) that predecodes
 every instruction once into a bound thunk and executes straight-line
-traces without re-entering the dispatch loop.
+traces without re-entering the dispatch loop.  Trace bodies may embed
+*superinstructions* — fused two-instruction thunks compiled by
+:mod:`repro.machine.fusion` for the hottest adjacent pairs — and
+strict-mode stream decoding goes through the table-driven bulk decoder
+(:mod:`repro.machine.bulkdecode`) instead of the item-at-a-time walk.
 
 The integration tests run every workload through both front ends and
 both implementations and require identical architectural results — the
@@ -32,9 +36,19 @@ from repro.machine.simulator import (
     run_program,
 )
 from repro.machine.compressed_sim import CompressedSimulator, run_compressed
+from repro.machine.bulkdecode import (
+    bulk_stats,
+    clear_tables,
+    set_backend,
+)
 from repro.machine.fastpath import (
     clear_translation_caches,
     translation_cache_stats,
+)
+from repro.machine.fusion import (
+    configure as configure_fusion,
+    fusion_stats,
+    plan_from_profile,
 )
 from repro.machine.icache import InstructionCache, attach_to_simulator
 from repro.machine.timing import TimingParameters, time_compressed, time_uncompressed
@@ -46,9 +60,15 @@ __all__ = [
     "MachineState",
     "RunResult",
     "Simulator",
+    "bulk_stats",
+    "clear_tables",
     "clear_translation_caches",
+    "configure_fusion",
+    "fusion_stats",
+    "plan_from_profile",
     "profile_program",
     "run_program",
+    "set_backend",
     "translation_cache_stats",
     "CompressedSimulator",
     "run_compressed",

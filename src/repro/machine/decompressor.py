@@ -24,15 +24,23 @@ Two decode modes exist:
   ``max_diagnostics`` so a corrupt header can never make the walk
   unbounded.
 
+Strict decodes run through the table-driven bulk walker of
+:mod:`repro.machine.bulkdecode` by default and fall back to the
+one-item-at-a-time reference walk (:meth:`StreamDecoder.
+decode_all_reference`) whenever the stream is malformed, so error
+behavior is byte-identical either way.  Lenient decodes always use the
+reference walk — resynchronization and diagnostics are defined in
+terms of it.
+
 Strict decodes are memoized in a process-wide :class:`DecodeCache`
 keyed by the image content (stream bytes, dictionary words, encoding,
 unit count): verification reruns, repeated simulator constructions, and
 benchmark sweeps over the same image decode the stream once instead of
-once per consumer.  Hit/miss counts are surfaced through
-:func:`repro.observe.metric` (``decode_cache.hits`` / ``.misses``) and
-:func:`decode_cache_stats`.  Lenient decodes are never cached — their
-whole point is to re-walk a possibly-corrupt stream and collect
-diagnostics.
+once per consumer.  Hit/miss/eviction counts are surfaced through
+:func:`repro.observe.metric` (``decode_cache.hits`` / ``.misses`` /
+``.evictions``) and :func:`decode_cache_stats`.  Lenient decodes are
+never cached — their whole point is to re-walk a possibly-corrupt
+stream and collect diagnostics.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ import hashlib
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro import bitutils, observe
 from repro.core.dictionary import Dictionary
@@ -49,12 +58,16 @@ from repro.errors import DecodingError, DecompressionError
 from repro.isa.instruction import Instruction, decode
 
 
-@dataclass(frozen=True)
-class FetchItem:
+class FetchItem(NamedTuple):
     """One decoded stream item.
 
     ``instructions`` holds a single decoded instruction for an escape
     item, or the full dictionary expansion for a codeword.
+
+    A ``NamedTuple`` rather than a frozen dataclass so the bulk decoder
+    can materialize items straight from row tuples with
+    ``tuple.__new__`` — construction cost dominates a table-driven
+    decode at ~10^6 items/s.
     """
 
     address: int  # unit address of the item's first unit
@@ -95,15 +108,26 @@ class DecodeCache:
     shared between consumers, which is safe because a strict decode of
     a given image content is deterministic and the items are frozen;
     the index dict must be treated as read-only by callers.
+
+    Eviction is bounded two ways: ``capacity`` caps the entry count and
+    ``max_bytes`` caps the approximate retained size.  Each entry is
+    costed as its stream length in bytes plus one unit per decoded item
+    — the items share ``Instruction`` objects with the dictionary and
+    the process-wide decode tables, so stream length + item count is
+    the honest proxy for marginal footprint.
     """
 
-    def __init__(self, capacity: int = 32) -> None:
+    def __init__(self, capacity: int = 32, max_bytes: int = 8 << 20) -> None:
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
         self._entries: OrderedDict[
             str, tuple[tuple[FetchItem, ...], dict[int, int]]
         ] = OrderedDict()
+        self._costs: dict[str, int] = {}
 
     @staticmethod
     def content_key(
@@ -132,17 +156,36 @@ class DecodeCache:
         return entry
 
     def store(
-        self, key: str, items: tuple[FetchItem, ...], index: dict[int, int]
+        self,
+        key: str,
+        items: tuple[FetchItem, ...],
+        index: dict[int, int],
+        stream_bytes: int = 0,
     ) -> None:
+        if key in self._entries:
+            self.bytes -= self._costs.get(key, 0)
         self._entries[key] = (items, index)
         self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        cost = stream_bytes + len(items)
+        self._costs[key] = cost
+        self.bytes += cost
+        # Keep at least the entry just stored: it is the live working
+        # set even when it alone exceeds the byte bound.
+        while len(self._entries) > self.capacity or (
+            self.bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            evicted, _ = self._entries.popitem(last=False)
+            self.bytes -= self._costs.pop(evicted, 0)
+            self.evictions += 1
+            observe.metric("decode_cache.evictions")
 
     def clear(self) -> None:
         self._entries.clear()
+        self._costs.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -158,6 +201,10 @@ def decode_cache_stats() -> dict[str, int]:
         "hits": _decode_cache.hits,
         "misses": _decode_cache.misses,
         "entries": len(_decode_cache),
+        "bytes": _decode_cache.bytes,
+        "max_bytes": _decode_cache.max_bytes,
+        "capacity": _decode_cache.capacity,
+        "evictions": _decode_cache.evictions,
     }
 
 
@@ -194,6 +241,9 @@ class StreamDecoder:
         self.strict = strict
         self.max_diagnostics = max_diagnostics
         self.diagnostics: list[DecodeDiagnostic] = []
+        # Which engine produced the last decode_all result:
+        # "bulk-numpy", "bulk-python", or "reference".
+        self.last_implementation: str | None = None
         # Pre-decode dictionary entries once (the on-chip dictionary RAM).
         # A lenient decoder keeps going past entries whose words no
         # longer decode; codewords that reference them become
@@ -259,15 +309,29 @@ class StreamDecoder:
             self.stream, self.dictionary, self.encoding, self.total_units
         )
 
-    def decode_all(self) -> list[FetchItem]:
+    def decode_all(self, *, implementation: str = "bulk") -> tuple[FetchItem, ...]:
         """Decode the full stream into items with unit addresses.
 
-        Strict decodes are served from the process-wide
-        :class:`DecodeCache` when the same image content was decoded
-        before; the returned list is a fresh copy either way.
+        Strict decodes default to the table-driven bulk walker and are
+        served from the process-wide :class:`DecodeCache` when the same
+        image content was decoded before; the returned tuple is
+        **shared** between consumers and must not be mutated.  Pass
+        ``implementation="reference"`` to force the one-item-at-a-time
+        walk.  Lenient decoders always take the reference walk — bulk
+        decoding cannot attribute diagnostics to resynchronization
+        points (and asserts nothing about malformed tails).
         """
-        if self.strict and _decode_cache_enabled:
-            return list(self.decode_all_indexed()[0])
+        if implementation not in ("bulk", "reference"):
+            raise ValueError(f"unknown decode implementation {implementation!r}")
+        if not self.strict or implementation == "reference":
+            return tuple(self.decode_all_reference())
+        if _decode_cache_enabled:
+            return self.decode_all_indexed()[0]
+        return tuple(self._decode_items())
+
+    def decode_all_reference(self) -> list[FetchItem]:
+        """The one-item-at-a-time reference walk (equivalence oracle)."""
+        self.last_implementation = "reference"
         return self._walk_stream()
 
     def decode_all_indexed(
@@ -288,11 +352,24 @@ class StreamDecoder:
             cached = _decode_cache.lookup(key)
             if cached is not None:
                 return cached
-        items = tuple(self._walk_stream())
+        items = tuple(self._decode_items())
         index = {item.address: i for i, item in enumerate(items)}
         if key is not None:
-            _decode_cache.store(key, items, index)
+            _decode_cache.store(key, items, index, len(self.stream))
         return items, index
+
+    def _decode_items(self) -> list[FetchItem]:
+        """Strict bulk decode, deferring to the reference walk on any
+        anomaly so errors stay byte-identical."""
+        from repro.machine import bulkdecode
+
+        try:
+            items = bulkdecode.decode_stream(self)
+        except bulkdecode.BulkFallback:
+            self.last_implementation = "reference"
+            return self._walk_stream()
+        self.last_implementation = f"bulk-{bulkdecode.backend()}"
+        return items
 
     def _walk_stream(self) -> list[FetchItem]:
         reader = bitutils.BitReader(self.stream)

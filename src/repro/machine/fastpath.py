@@ -51,6 +51,7 @@ import time
 
 from repro import bitutils, observe
 from repro.errors import DecompressionError, SimulationError
+from repro.machine import fusion
 from repro.isa import registers
 from repro.isa.instruction import Instruction
 from repro.machine.executor import CONTROL_MNEMONICS, _HANDLERS, _divw_impl
@@ -578,11 +579,17 @@ class Trace:
     ``control(state, sim) -> next_key`` that performs the control
     transfer (consuming one step) or raises exactly as the reference
     interpreter would.
+
+    With superinstruction fusion active, ``body`` may hold fused
+    two-instruction thunks, so ``len(body)`` undercounts instructions;
+    ``body_insns`` is the architectural instruction count of the body
+    and ``steps_cost``/``issued`` stay instruction-granular.
     """
 
     __slots__ = (
         "start",
         "body",
+        "body_insns",
         "control",
         "control_pc",
         "control_key",
@@ -592,12 +599,12 @@ class Trace:
         "expansions",
         "escapes",
         "issued",
-        "events",
     )
 
     def __init__(self, start, body, control, cont, steps_cost):
         self.start = start
         self.body = body
+        self.body_insns = len(body)
         self.control = control
         self.control_pc = None
         self.control_key = None
@@ -607,7 +614,6 @@ class Trace:
         self.expansions = 0
         self.escapes = 0
         self.issued = 0
-        self.events = ()
 
 
 def _out_of_text_control(pc):
@@ -704,21 +710,25 @@ class ProgramTranslationCache:
         self.traces = {}
         self.hits = 0
         self.misses = 0
+        self.fusion_key = fusion.config_key()
         started = time.perf_counter()
         with observe.stage(
             "sim.predecode", kind="program", name=program.name,
             instructions=len(program.text),
         ):
             ops = []
+            instructions = []
             kinds = bytearray(len(program.text))
             for index, text_ins in enumerate(program.text):
                 ins = text_ins.instruction
+                instructions.append(ins)
                 if ins.mnemonic in CONTROL_MNEMONICS:
                     kinds[index] = 1
                     ops.append(_program_control(program, index, ins))
                 else:
                     ops.append(bound_thunk(ins))
             self.ops = ops
+            self.instructions = instructions
             self.kinds = kinds
         self.predecode_seconds = time.perf_counter() - started
 
@@ -736,22 +746,44 @@ class ProgramTranslationCache:
             trace = Trace(start, (), _out_of_text_control(start), None, 0)
             self.traces[start] = trace
             return trace
-        body = []
         index = start
         while index < n and not kinds[index] and index - start < MAX_TRACE:
-            body.append(ops[index])
             index += 1
+        body = self._body_span(start, index)
+        span = index - start
         if index < n and kinds[index]:
-            trace = Trace(start, tuple(body), ops[index], None, len(body) + 1)
+            trace = Trace(start, body, ops[index], None, span + 1)
             trace.control_pc = index
         elif index < n:  # capped: chain to a continuation trace
-            trace = Trace(start, tuple(body), None, index, len(body))
+            trace = Trace(start, body, None, index, span)
         else:  # ran off the end of .text
-            trace = Trace(
-                start, tuple(body), _out_of_text_control(n), None, len(body)
-            )
+            trace = Trace(start, body, _out_of_text_control(n), None, span)
+        trace.body_insns = span
         self.traces[start] = trace
         return trace
+
+    def _body_span(self, start, end):
+        """Body thunks for ``[start, end)``, fusing active hot pairs."""
+        ops = self.ops
+        pairs = fusion.active_pairs()
+        if not pairs:
+            return tuple(ops[start:end])
+        instructions = self.instructions
+        body = []
+        i = start
+        while i < end:
+            if i + 1 < end:
+                a = instructions[i]
+                b = instructions[i + 1]
+                if (a.mnemonic, b.mnemonic) in pairs:
+                    fused = fusion.fused_thunk(a, b)
+                    if fused is not None:
+                        body.append(fused)
+                        i += 2
+                        continue
+            body.append(ops[i])
+            i += 1
+        return tuple(body)
 
     def stats(self):
         return {
@@ -763,11 +795,19 @@ class ProgramTranslationCache:
 
 
 def program_cache(program) -> ProgramTranslationCache:
-    """The per-program translation cache (built on first use)."""
+    """The per-program translation cache (built on first use).
+
+    Traces embed fused thunks, so a fusion-config change invalidates
+    them (the predecoded ops survive; only traces rebuild).
+    """
     cache = program._analysis_cache.get("fastpath")
     if cache is None:
         cache = ProgramTranslationCache(program)
         program._analysis_cache["fastpath"] = cache
+    key = fusion.config_key()
+    if cache.fusion_key != key:
+        cache.traces.clear()
+        cache.fusion_key = key
     return cache
 
 
@@ -803,6 +843,7 @@ class StreamTranslationCache:
         self._controls = {}
         self.hits = 0
         self.misses = 0
+        self.fusion_key = fusion.config_key()
         started = time.perf_counter()
         with observe.stage(
             "sim.predecode", kind="stream", items=len(items),
@@ -987,8 +1028,7 @@ class StreamTranslationCache:
         self.misses += 1
         items = self.items
         thunks = self.item_thunks
-        body = []
-        events = []
+        positions = []
         units = expansions = escapes = 0
         control = None
         control_key = None
@@ -1001,14 +1041,6 @@ class StreamTranslationCache:
                 break
             item = items[item_index]
             if micro == 0:
-                events.append(
-                    (
-                        count,
-                        item_index,
-                        (item.address * self.alignment_bits) // 8,
-                        item.size_units,
-                    )
-                )
                 units += item.size_units
                 if item.is_codeword:
                     expansions += 1
@@ -1020,7 +1052,7 @@ class StreamTranslationCache:
                 control = self.control_at((item_index, micro))
                 control_key = (item_index, micro)
                 break
-            body.append(thunk)
+            positions.append((item_index, micro))
             if micro + 1 < len(thunks[item_index]):
                 micro += 1
             elif item_index + 1 < len(items):
@@ -1032,21 +1064,49 @@ class StreamTranslationCache:
                 # reference ``_advance`` behaviour.
                 control = _fell_off_control(item.address)
                 break
+        steps_cost = len(positions) + (1 if control_key is not None else 0)
         trace = Trace(
-            start,
-            tuple(body),
-            control,
-            cont,
-            len(body) + (1 if control_key is not None else 0),
+            start, self._paired_body(positions), control, cont, steps_cost
         )
         trace.control_key = control_key
         trace.units = units
         trace.expansions = expansions
         trace.escapes = escapes
-        trace.issued = len(body) + (1 if control_key is not None else 0)
-        trace.events = tuple(events)
+        trace.issued = steps_cost
+        trace.body_insns = len(positions)
         self.traces[start] = trace
         return trace
+
+    def _paired_body(self, positions):
+        """Body thunks for the collected span, fusing active hot pairs.
+
+        Pairing may cross item boundaries — fusion only changes how a
+        body executes, never its fetch accounting, which is carried on
+        the trace itself.
+        """
+        thunks = self.item_thunks
+        pairs = fusion.active_pairs()
+        if not pairs:
+            return tuple(thunks[ii][mm] for ii, mm in positions)
+        items = self.items
+        body = []
+        i = 0
+        n = len(positions)
+        while i < n:
+            ii, mm = positions[i]
+            if i + 1 < n:
+                jj, mj = positions[i + 1]
+                a = items[ii].instructions[mm]
+                b = items[jj].instructions[mj]
+                if (a.mnemonic, b.mnemonic) in pairs:
+                    fused = fusion.fused_thunk(a, b)
+                    if fused is not None:
+                        body.append(fused)
+                        i += 2
+                        continue
+            body.append(thunks[ii][mm])
+            i += 1
+        return tuple(body)
 
     def stats(self):
         return {
@@ -1078,6 +1138,10 @@ def stream_cache(
             _STREAM_CACHES.popitem(last=False)
     else:
         _STREAM_CACHES.move_to_end(key)
+    fusion_key = fusion.config_key()
+    if cache.fusion_key != fusion_key:
+        cache.traces.clear()
+        cache.fusion_key = fusion_key
     return cache
 
 
@@ -1149,7 +1213,7 @@ def run_program_fast(sim) -> RunResult:
             sim.pc = pc
             sim.fetches += trace.steps_cost
             if hooked:
-                _run_program_trace_hooked(sim, trace, state, memory)
+                _run_program_trace_hooked(sim, trace, state, memory, cache)
             else:
                 for thunk in trace.body:
                     thunk(state, memory)
@@ -1166,18 +1230,25 @@ def run_program_fast(sim) -> RunResult:
         _note_cache_metrics(cache, dispatches, misses_before)
 
 
-def _run_program_trace_hooked(sim, trace, state, memory):
+def _run_program_trace_hooked(sim, trace, state, memory, cache):
+    """Per-instruction replay of a trace span for hook consumers.
+
+    Fetch hooks observe every architectural instruction, so the replay
+    walks the predecoded ``cache.ops`` for the trace's index span
+    instead of the (possibly fused) trace body.
+    """
     hook = sim.fetch_hook
     index_hook = sim.fetch_index_hook
     address_of = sim.program.address_of
+    ops = cache.ops
     index = trace.start
-    for thunk in trace.body:
+    for _ in range(trace.body_insns):
         sim.pc = index
         if hook is not None:
             hook(address_of(index), 1)
         if index_hook is not None:
             index_hook(index)
-        thunk(state, memory)
+        ops[index](state, memory)
         index += 1
     if trace.control_pc is not None:
         sim.pc = trace.control_pc
@@ -1266,10 +1337,8 @@ def run_program_profiled(sim, counts) -> RunResult:
 
 def _flush_profile(trace_counts, counts):
     for trace, executions in trace_counts.items():
-        index = trace.start
-        for _ in trace.body:
+        for index in range(trace.start, trace.start + trace.body_insns):
             counts[index] += executions
-            index += 1
         if trace.control_pc is not None:
             counts[trace.control_pc] += executions
 
@@ -1308,7 +1377,7 @@ def run_compressed_fast(sim) -> RunResult:
                 for thunk in trace.body:
                     thunk(state, memory)
             else:
-                _run_stream_trace_hooked(sim, trace, state, memory, hook)
+                _run_stream_trace_hooked(sim, trace, state, memory, hook, cache)
             control = trace.control
             if control is None:
                 key = trace.cont
@@ -1326,31 +1395,97 @@ def run_compressed_fast(sim) -> RunResult:
         _note_cache_metrics(cache, dispatches, misses_before)
 
 
-def _run_stream_trace_hooked(sim, trace, state, memory, hook):
-    """Trace body with per-item fetch callbacks.
+def _run_stream_trace_hooked(sim, trace, state, memory, hook, cache):
+    """Per-instruction replay of a stream trace for hook consumers.
 
-    The simulator position is synced before each callback because hook
+    Walks the item positions the trace covers (executing the unfused
+    per-instruction thunks) and fires the fetch callback at each item
+    start, with the simulator position synced first because hook
     consumers (e.g. :func:`repro.machine.timing.time_compressed`) read
-    ``simulator._item()``.
+    ``simulator._item()``.  The trailing control instruction's fetch
+    event fires here; the control transfer itself runs in the caller.
     """
-    events = trace.events
-    event_index = 0
-    n_events = len(events)
-    position = 0
-    for thunk in trace.body:
-        if event_index < n_events and events[event_index][0] == position:
-            _, item_index, byte_address, size_units = events[event_index]
-            event_index += 1
+    items = cache.items
+    thunks = cache.item_thunks
+    alignment_bits = cache.alignment_bits
+    item_index, micro = trace.start
+    for _ in range(trace.issued):
+        if micro == 0:
+            item = items[item_index]
             sim.item_index = item_index
             sim.micro = 0
-            hook(byte_address, size_units)
+            hook((item.address * alignment_bits) // 8, item.size_units)
+        thunk = thunks[item_index][micro]
+        if thunk is None:  # control position: event fired, body done
+            break
         thunk(state, memory)
-        position += 1
-    if event_index < n_events and events[event_index][0] == position:
-        _, item_index, byte_address, size_units = events[event_index]
-        sim.item_index = item_index
-        sim.micro = 0
-        hook(byte_address, size_units)
+        if micro + 1 < len(thunks[item_index]):
+            micro += 1
+        elif item_index + 1 < len(items):
+            item_index += 1
+            micro = 0
+        else:  # last data instruction; the fell-off control raises next
+            break
+
+
+def step_program_trace(sim, cache=None) -> None:
+    """Execute one whole trace of an uncompressed Simulator.
+
+    Trace-granularity single-step for the lockstep harness: runs the
+    trace body — fused thunks included, exactly as :func:`run_program_fast`
+    would — plus its control transfer, leaving ``sim.pc`` at the next
+    trace boundary.  :func:`step_program_once` cannot exercise fused
+    bodies; this can.
+    """
+    if cache is None:
+        cache = program_cache(sim.program)
+    pc = sim.pc
+    trace = cache.traces.get(pc)
+    if trace is None:
+        trace = cache.build_trace(pc)
+    state = sim.state
+    memory = sim.memory
+    sim.fetches += trace.steps_cost
+    for thunk in trace.body:
+        thunk(state, memory)
+    control = trace.control
+    if control is None:
+        sim.pc = trace.cont
+    else:
+        if trace.control_pc is not None:
+            sim.pc = trace.control_pc
+        sim.pc = control(state, sim)
+
+
+def step_stream_trace(sim, cache=None) -> None:
+    """Execute one whole trace of a CompressedSimulator (lockstep).
+
+    Same contract as :func:`step_program_trace`; fetch statistics are
+    credited at trace entry exactly as :func:`run_compressed_fast`
+    does.
+    """
+    if cache is None:
+        cache = stream_cache_for(sim)
+    key = (sim.item_index, sim.micro)
+    trace = cache.traces.get(key)
+    if trace is None:
+        trace = cache.build_trace(key)
+    state = sim.state
+    memory = sim.memory
+    stats = sim.stats
+    stats.units_fetched += trace.units
+    stats.codeword_expansions += trace.expansions
+    stats.escaped_instructions += trace.escapes
+    stats.instructions_issued += trace.issued
+    for thunk in trace.body:
+        thunk(state, memory)
+    control = trace.control
+    if control is None:
+        sim.item_index, sim.micro = trace.cont
+    else:
+        if trace.control_key is not None:
+            sim.item_index, sim.micro = trace.control_key
+        sim.item_index, sim.micro = control(state, sim)
 
 
 def step_stream_once(sim, cache=None) -> None:

@@ -1,0 +1,445 @@
+"""Superinstruction fusion: fused two-instruction thunks for traces.
+
+The fast path (:mod:`repro.machine.fastpath`) executes straight-line
+traces as ``for thunk in trace.body: thunk(state, memory)`` — one
+Python call plus one loop iteration per instruction.  Interpreter
+literature's *superinstruction* idiom collapses the hottest adjacent
+instruction pairs into single handlers; here that means compiling one
+fused ``(state, mem)`` closure for an :class:`Instruction` pair, which
+halves both the loop iterations and the call dispatches on fused
+pairs.
+
+Fusion is **code generation**, not closure composition: each supported
+mnemonic has a statement template that inlines the already-extracted
+operands (register numbers, immediates, precomputed masks) as
+literals, and :func:`fused_thunk` compiles the concatenated statements
+with ``exec`` once per distinct instruction pair (memoized
+process-wide).  Composing the two existing closures instead would save
+the loop iteration but add a call — a net loss.
+
+Semantics are exact by construction:
+
+* each template mirrors its binder in :mod:`repro.machine.fastpath`
+  statement for statement (same masking, same CR update shape, same
+  memory access order);
+* ``state.steps`` accounting is per-instruction whenever either half
+  can raise (loads/stores), so an out-of-range access observes the
+  identical step count as the reference interpreter; only pure-ALU
+  pairs coalesce into one ``state.steps += 2``;
+* control instructions, ``divw``/``divwu`` and ``mfspr``/``mtspr``
+  (error corners) are never fused.
+
+Which pairs fuse is a *plan*: :data:`DEFAULT_PAIRS` carries the
+hottest adjacent data-instruction pairs mined from
+``profile_program`` fetch counts over the benchmark suite, and
+:func:`plan_from_profile` re-mines a plan for any program so callers
+(``repro-verify fastpath --fusion profile``, ``repro-bench``) can use
+workload-specific pairs.  The active configuration is process-wide;
+translation caches key their traces on :func:`config_key` and rebuild
+when it changes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+
+from repro import bitutils
+from repro.machine.executor import CONTROL_MNEMONICS
+
+_U = bitutils.WORD_MASK
+
+# Hottest adjacent data-instruction pairs across the 8-program suite,
+# weighted by min(execution count) of the two halves; these twelve
+# cover ~70% of all adjacent data-data executions.
+DEFAULT_PAIRS: tuple[tuple[str, str], ...] = (
+    ("addis", "addi"),
+    ("addi", "add"),
+    ("rlwinm", "addis"),
+    ("add", "lwz"),
+    ("addi", "or"),
+    ("add", "stw"),
+    ("lwz", "cmpw"),
+    ("or", "addi"),
+    ("add", "or"),
+    ("lwz", "add"),
+    ("stw", "addi"),
+    ("stw", "rlwinm"),
+)
+DEFAULT_TOP_K = 12
+
+_enabled = True
+_pairs: frozenset = frozenset(DEFAULT_PAIRS)
+
+
+def configure(*, enabled=None, pairs=None) -> dict:
+    """Set the process-wide fusion config; returns the previous one.
+
+    ``pairs`` is an iterable of ``(mnemonic, mnemonic)`` tuples (the
+    plan); ``None`` leaves the current plan in place.
+    """
+    global _enabled, _pairs
+    previous = {"enabled": _enabled, "pairs": tuple(sorted(_pairs))}
+    if enabled is not None:
+        _enabled = bool(enabled)
+    if pairs is not None:
+        _pairs = frozenset(tuple(pair) for pair in pairs)
+    return previous
+
+
+def fusion_enabled() -> bool:
+    return _enabled
+
+
+def active_pairs() -> frozenset:
+    """The pairs traces may fuse right now (empty when disabled)."""
+    return _pairs if _enabled else frozenset()
+
+
+def config_key() -> tuple:
+    """Hashable token for the current config (trace caches key on it)."""
+    if not _enabled:
+        return ("off",)
+    return ("on", tuple(sorted(_pairs)))
+
+
+def fusion_stats() -> dict:
+    info = fused_thunk.cache_info()
+    return {
+        "enabled": _enabled,
+        "pairs": sorted(_pairs),
+        "compiled": info.currsize,
+        "thunk_hits": info.hits,
+        "thunk_misses": info.misses,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Plan mining
+# ---------------------------------------------------------------------------
+def mine_adjacent_pairs(program, counts) -> Counter:
+    """Adjacent fusable template pairs weighted by execution count.
+
+    ``counts`` is the per-instruction execution vector from
+    :func:`repro.machine.simulator.profile_program`.  A pair's weight
+    is ``min(count_i, count_i+1)`` — the number of times the two
+    instructions can actually have executed back to back.
+    """
+    pairs: Counter = Counter()
+    text = program.text
+    for i in range(len(text) - 1):
+        a = text[i].instruction.mnemonic
+        b = text[i + 1].instruction.mnemonic
+        if a not in _TEMPLATES or b not in _TEMPLATES:
+            continue
+        weight = min(counts[i], counts[i + 1])
+        if weight:
+            pairs[(a, b)] += weight
+    return pairs
+
+
+def plan_from_profile(program, counts, top_k: int = DEFAULT_TOP_K):
+    """The ``top_k`` hottest fusable pairs for one profiled program."""
+    mined = mine_adjacent_pairs(program, counts)
+    return tuple(pair for pair, _ in mined.most_common(top_k))
+
+
+# ---------------------------------------------------------------------------
+# Statement templates.  ``_template(ins, prefix)`` renders one
+# instruction to (statements, can_raise); every template mirrors the
+# corresponding binder in fastpath.py exactly.  ``prefix`` namespaces
+# the temporaries so two templates concatenate safely.
+# ---------------------------------------------------------------------------
+def _t_addi(ins, p):
+    rt, ra, si = ins.operand("rT"), ins.operand("rA"), ins.operand("SI")
+    if ra:
+        return [f"gpr[{rt}] = (_s32(gpr[{ra}]) + {si}) & {_U}"], False
+    return [f"gpr[{rt}] = {si & _U}"], False
+
+
+def _t_addis(ins, p):
+    rt, ra = ins.operand("rT"), ins.operand("rA")
+    shifted = ins.operand("SI") << 16
+    if ra:
+        return [f"gpr[{rt}] = (_s32(gpr[{ra}]) + {shifted}) & {_U}"], False
+    return [f"gpr[{rt}] = {shifted & _U}"], False
+
+
+def _t_mulli(ins, p):
+    rt, ra, si = ins.operand("rT"), ins.operand("rA"), ins.operand("SI")
+    return [f"gpr[{rt}] = (_s32(gpr[{ra}]) * {si}) & {_U}"], False
+
+
+def _t_subfic(ins, p):
+    rt, ra, si = ins.operand("rT"), ins.operand("rA"), ins.operand("SI")
+    return [f"gpr[{rt}] = ({si} - _s32(gpr[{ra}])) & {_U}"], False
+
+
+def _t_logic_imm(op, shift):
+    def template(ins, p):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+        imm = ins.operand("UI") << shift
+        return [f"gpr[{ra}] = gpr[{rs}] {op} {imm}"], False
+
+    return template
+
+
+def _t_andi_dot(shift):
+    def template(ins, p):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+        imm = ins.operand("UI") << shift
+        keep = _U ^ (0xF << 28)
+        return [
+            f"{p}r = gpr[{rs}] & {imm}",
+            f"gpr[{ra}] = {p}r",
+            f"{p}s = _s32({p}r)",
+            f"state.cr = (state.cr & {keep}) | "
+            f"((8 if {p}s < 0 else 4 if {p}s > 0 else 2) << 28)",
+        ], False
+
+    return template
+
+
+def _t_cmp(signed, immediate):
+    imm_name = "SI" if signed else "UI"
+    cast = "_s32(gpr[{r}])" if signed else "gpr[{r}]"
+
+    def template(ins, p):
+        crf, ra = ins.operand("crfD"), ins.operand("rA")
+        shift = 28 - 4 * crf
+        keep = _U ^ (0xF << shift)
+        lines = [f"{p}a = " + cast.format(r=ra)]
+        if immediate:
+            rhs = str(ins.operand(imm_name))
+        else:
+            rhs = f"{p}b"
+            lines.append(f"{p}b = " + cast.format(r=ins.operand("rB")))
+        lines.append(
+            f"state.cr = (state.cr & {keep}) | "
+            f"((8 if {p}a < {rhs} else 4 if {p}a > {rhs} else 2) << {shift})"
+        )
+        return lines, False
+
+    return template
+
+
+def _t_add(ins, p):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+    return [f"gpr[{rt}] = (gpr[{ra}] + gpr[{rb}]) & {_U}"], False
+
+
+def _t_subf(ins, p):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+    return [f"gpr[{rt}] = (gpr[{rb}] - gpr[{ra}]) & {_U}"], False
+
+
+def _t_neg(ins, p):
+    rt, ra = ins.operand("rT"), ins.operand("rA")
+    return [f"gpr[{rt}] = -_s32(gpr[{ra}]) & {_U}"], False
+
+
+def _t_mullw(ins, p):
+    rt, ra, rb = ins.operand("rT"), ins.operand("rA"), ins.operand("rB")
+    return [f"gpr[{rt}] = (_s32(gpr[{ra}]) * _s32(gpr[{rb}])) & {_U}"], False
+
+
+def _t_logic_reg(expr):
+    def template(ins, p):
+        ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+        return [f"gpr[{ra}] = " + expr.format(s=rs, b=rb)], False
+
+    return template
+
+
+def _t_slw(ins, p):
+    ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+    return [
+        f"{p}n = gpr[{rb}] & 63",
+        f"gpr[{ra}] = 0 if {p}n > 31 else (gpr[{rs}] << {p}n) & {_U}",
+    ], False
+
+
+def _t_srw(ins, p):
+    ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+    return [
+        f"{p}n = gpr[{rb}] & 63",
+        f"gpr[{ra}] = 0 if {p}n > 31 else gpr[{rs}] >> {p}n",
+    ], False
+
+
+def _t_sraw(ins, p):
+    ra, rs, rb = ins.operand("rA"), ins.operand("rS"), ins.operand("rB")
+    return [
+        f"{p}n = gpr[{rb}] & 63",
+        f"gpr[{ra}] = (_s32(gpr[{rs}]) >> (31 if {p}n > 31 else {p}n)) & {_U}",
+    ], False
+
+
+def _t_srawi(ins, p):
+    ra, rs, sh = ins.operand("rA"), ins.operand("rS"), ins.operand("SH")
+    return [f"gpr[{ra}] = (_s32(gpr[{rs}]) >> {sh}) & {_U}"], False
+
+
+def _t_rlwinm(ins, p):
+    ra, rs, sh = ins.operand("rA"), ins.operand("rS"), ins.operand("SH")
+    mb, me = ins.operand("MB"), ins.operand("ME")
+    if mb <= me:
+        mask = (bitutils.mask(me - mb + 1)) << (31 - me)
+    else:  # wrapped mask
+        mask = _U ^ ((bitutils.mask(mb - me - 1)) << (31 - mb + 1))
+    return [f"gpr[{ra}] = _rotl32(gpr[{rs}], {sh}) & {mask}"], False
+
+
+def _t_exts(width):
+    low_mask = (1 << width) - 1
+
+    def template(ins, p):
+        ra, rs = ins.operand("rA"), ins.operand("rS")
+        return [
+            f"gpr[{ra}] = _sign_extend(gpr[{rs}] & {low_mask}, {width}) & {_U}"
+        ], False
+
+    return template
+
+
+def _t_load(size, update=False, signed=False):
+    width = 8 * size
+
+    def template(ins, p):
+        disp, base = ins.operand("D(rA)")
+        rt = ins.operand("rT")
+        if base:
+            lines = [f"{p}d = (gpr[{base}] + {disp}) & {_U}"]
+        else:
+            lines = [f"{p}d = {disp & _U}"]
+        lines.append(f"{p}v = mem.load({p}d, {size})")
+        if signed:
+            lines.append(f"{p}v = _sign_extend({p}v, {width}) & {_U}")
+        lines.append(f"gpr[{rt}] = {p}v")
+        if update:
+            lines.append(f"gpr[{base}] = {p}d")
+        return lines, True
+
+    return template
+
+
+def _t_store(size, update=False):
+    def template(ins, p):
+        disp, base = ins.operand("D(rA)")
+        rs = ins.operand("rS")
+        if base:
+            lines = [f"{p}d = (gpr[{base}] + {disp}) & {_U}"]
+        else:
+            lines = [f"{p}d = {disp & _U}"]
+        lines.append(f"mem.store({p}d, {size}, gpr[{rs}])")
+        if update:
+            lines.append(f"gpr[{base}] = {p}d")
+        return lines, True
+
+    return template
+
+
+_TEMPLATES = {
+    "addi": _t_addi,
+    "addis": _t_addis,
+    "mulli": _t_mulli,
+    "subfic": _t_subfic,
+    "ori": _t_logic_imm("|", 0),
+    "oris": _t_logic_imm("|", 16),
+    "xori": _t_logic_imm("^", 0),
+    "xoris": _t_logic_imm("^", 16),
+    "andi.": _t_andi_dot(0),
+    "andis.": _t_andi_dot(16),
+    "cmpwi": _t_cmp(signed=True, immediate=True),
+    "cmplwi": _t_cmp(signed=False, immediate=True),
+    "cmpw": _t_cmp(signed=True, immediate=False),
+    "cmplw": _t_cmp(signed=False, immediate=False),
+    "add": _t_add,
+    "subf": _t_subf,
+    "neg": _t_neg,
+    "mullw": _t_mullw,
+    "and": _t_logic_reg("gpr[{s}] & gpr[{b}]"),
+    "or": _t_logic_reg("gpr[{s}] | gpr[{b}]"),
+    "xor": _t_logic_reg("gpr[{s}] ^ gpr[{b}]"),
+    "nor": _t_logic_reg(f"~(gpr[{{s}}] | gpr[{{b}}]) & {_U}"),
+    "slw": _t_slw,
+    "srw": _t_srw,
+    "sraw": _t_sraw,
+    "srawi": _t_srawi,
+    "rlwinm": _t_rlwinm,
+    "extsb": _t_exts(8),
+    "extsh": _t_exts(16),
+    "lwz": _t_load(4),
+    "lwzu": _t_load(4, update=True),
+    "lbz": _t_load(1),
+    "lbzu": _t_load(1, update=True),
+    "lhz": _t_load(2),
+    "lha": _t_load(2, signed=True),
+    "stw": _t_store(4),
+    "stwu": _t_store(4, update=True),
+    "stb": _t_store(1),
+    "stbu": _t_store(1, update=True),
+    "sth": _t_store(2),
+}
+
+FUSABLE_MNEMONICS = frozenset(_TEMPLATES)
+
+_ENV = {
+    "_s32": bitutils.s32,
+    "_sign_extend": bitutils.sign_extend,
+    "_rotl32": bitutils.rotl32,
+}
+
+assert not FUSABLE_MNEMONICS & CONTROL_MNEMONICS
+
+
+@lru_cache(maxsize=16384)
+def fused_thunk(ins_a, ins_b):
+    """Compile one fused ``(state, mem)`` thunk for an instruction pair.
+
+    Returns ``None`` when either half has no template.  Memoized
+    process-wide (instructions are frozen/hashable), so a hot pair
+    shared across traces and programs compiles once.
+    """
+    template_a = _TEMPLATES.get(ins_a.mnemonic)
+    template_b = _TEMPLATES.get(ins_b.mnemonic)
+    if template_a is None or template_b is None:
+        return None
+    stmts_a, raises_a = template_a(ins_a, "_a")
+    stmts_b, raises_b = template_b(ins_b, "_b")
+    lines = ["def _fused(state, mem):", "    gpr = state.gpr"]
+    if raises_a or raises_b:
+        # A memory access can raise mid-pair: the step counter must
+        # advance per instruction so the error observes the exact
+        # reference step count.
+        lines += [f"    {s}" for s in stmts_a]
+        lines.append("    state.steps += 1")
+        lines += [f"    {s}" for s in stmts_b]
+        lines.append("    state.steps += 1")
+    else:
+        lines += [f"    {s}" for s in stmts_a]
+        lines += [f"    {s}" for s in stmts_b]
+        lines.append("    state.steps += 2")
+    namespace = dict(_ENV)
+    exec(compile("\n".join(lines), "<fused-thunk>", "exec"), namespace)
+    return namespace["_fused"]
+
+
+def fused_source(ins_a, ins_b) -> str | None:
+    """The generated source for a pair (diagnostics and tests)."""
+    template_a = _TEMPLATES.get(ins_a.mnemonic)
+    template_b = _TEMPLATES.get(ins_b.mnemonic)
+    if template_a is None or template_b is None:
+        return None
+    stmts_a, raises_a = template_a(ins_a, "_a")
+    stmts_b, raises_b = template_b(ins_b, "_b")
+    if raises_a or raises_b:
+        body = stmts_a + ["state.steps += 1"] + stmts_b + ["state.steps += 1"]
+    else:
+        body = stmts_a + stmts_b + ["state.steps += 2"]
+    return "\n".join(body)
+
+
+def clear_fused_thunks() -> None:
+    """Drop compiled fused thunks (tests, memory pressure)."""
+    fused_thunk.cache_clear()

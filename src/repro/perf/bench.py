@@ -12,7 +12,11 @@ One *run* times, per (program, encoding):
   :class:`~repro.core.compressor.Compressor`, with the per-stage wall
   times captured from the :mod:`repro.observe` stage hooks;
 * ``decode`` — walking the serialized stream into fetch items, cold
-  (decode cache cleared) and warm (served from the cache);
+  (decode cache cleared) and warm (served from the cache), plus a
+  head-to-head of the table-driven bulk decoder
+  (:mod:`repro.machine.bulkdecode`) against the item-at-a-time
+  reference walk, gated on identical items
+  (``decode_identical_items``);
 * ``simulate`` — a bounded execution of the compressed image through
   both the predecoded fast engine and the reference interpreter,
   reporting instructions issued per second and the speedup.
@@ -165,6 +169,24 @@ def _bench_simulation(
     )
     doc["trace_cache"] = cache.stats()
 
+    # Superinstruction fusion footprint: how much the active plan
+    # shrank the trace bodies this program actually built.
+    from repro.machine import fusion
+
+    fusion_stats = fusion.fusion_stats()
+    trace_insns = sum(t.body_insns for t in cache.traces.values())
+    trace_thunks = sum(len(t.body) for t in cache.traces.values())
+    doc["fusion"] = {
+        "enabled": fusion_stats["enabled"],
+        "planned_pairs": len(fusion_stats["pairs"]),
+        "compiled_thunks": fusion_stats["compiled"],
+        "trace_instructions": trace_insns,
+        "trace_thunks": trace_thunks,
+        "body_shrink": (
+            1.0 - trace_thunks / trace_insns if trace_insns else 0.0
+        ),
+    }
+
     # profile_program end-to-end (the ext_dynamic / weighted-greedy
     # front end): whole-trace counting vs the index-hook reference.
     def profile_once(implementation):
@@ -279,6 +301,41 @@ def _bench_encoding(
     result["decode_cold_seconds"] = _best(decode_once, 1)
     result["decode_warm_seconds"] = _best(decode_once, repeats)
     result["decode_cache"] = decode_cache_stats()
+
+    # Bulk decoder vs the reference walk, cache out of the picture: one
+    # decoder reused so dictionary predecode is paid once, bulk timed
+    # cold (classification tables rebuilt) and warm (tables resident).
+    from repro.machine import bulkdecode
+
+    decoder = StreamDecoder(
+        compressed.stream, compressed.dictionary, encoding, total_units
+    )
+    bulkdecode.clear_tables()
+    result["decode_bulk_cold_seconds"] = _best(
+        lambda: bulkdecode.decode_stream(decoder), 1
+    )
+    result["decode_bulk_seconds"] = _best(
+        lambda: bulkdecode.decode_stream(decoder), repeats
+    )
+    result["decode_reference_seconds"] = _best(
+        decoder.decode_all_reference, repeats
+    )
+    result["decode_bulk_speedup"] = (
+        result["decode_reference_seconds"] / result["decode_bulk_seconds"]
+        if result["decode_bulk_seconds"] > 0
+        else float("inf")
+    )
+    bulk_items = bulkdecode.decode_stream(decoder)
+    result["decode_identical_items"] = (
+        list(bulk_items) == decoder.decode_all_reference()
+    )
+    result["decode_backend"] = bulkdecode.backend()
+    result["decode_items"] = len(bulk_items)
+    result["decode_items_per_second"] = (
+        len(bulk_items) / result["decode_bulk_seconds"]
+        if result["decode_bulk_seconds"] > 0
+        else 0.0
+    )
 
     if simulate:
 
@@ -450,6 +507,17 @@ def run_bench(
             for enc_doc in doc["encodings"].values()
         ]
     )
+    decode_speedups = [
+        enc_doc["decode_bulk_speedup"]
+        for doc in program_docs.values()
+        for enc_doc in doc["encodings"].values()
+        if "decode_bulk_speedup" in enc_doc
+    ]
+    decode_identical = all(
+        enc_doc.get("decode_identical_items", True)
+        for doc in program_docs.values()
+        for enc_doc in doc["encodings"].values()
+    )
     aggregate = {
         "largest_program": largest,
         "dict_speedup_largest": min(largest_speedups),
@@ -457,7 +525,11 @@ def run_bench(
         "dict_speedup_max": max(all_speedups),
         "identical_everywhere": all_identical,
         "sim_identical_everywhere": sim_identical,
+        "decode_identical_everywhere": decode_identical,
     }
+    if decode_speedups:
+        aggregate["decode_speedup_min"] = min(decode_speedups)
+        aggregate["decode_speedup_max"] = max(decode_speedups)
     largest_sim = program_docs[largest].get("simulation", {})
     if "speedup" in largest_sim:
         aggregate["sim_speedup_largest"] = largest_sim["speedup"]
@@ -519,8 +591,9 @@ def check_regression(
 
     Returns human-readable violations for every (program, encoding)
     whose ``compress_seconds`` exceeds ``factor`` × the baseline value,
-    and for every simulation throughput (program-level steps/sec,
-    encoding-level insn/sec) that drops below baseline / ``factor``.
+    and for every simulation or decode throughput (program-level
+    steps/sec, encoding-level insn/sec and decoded items/sec, the bulk
+    decode speedup ratio) that drops below baseline / ``factor``.
     When both runs carry a ``service`` block (``repro-bench --load``),
     its p50/p99 submit-to-terminal latency and job throughput are
     guarded the same way.  Entries missing from the baseline are
@@ -563,9 +636,17 @@ def check_regression(
             for key in (
                 "simulate_fast_insn_per_second",
                 "simulate_insn_per_second",
+                "decode_items_per_second",
             ):
                 guard_throughput(
                     f"{name}/{encoding_name}", enc_doc, base_enc, key
+                )
+            current_r = enc_doc.get("decode_bulk_speedup")
+            base_r = base_enc.get("decode_bulk_speedup")
+            if current_r and base_r and current_r * factor < base_r:
+                violations.append(
+                    f"{name}/{encoding_name}: decode bulk speedup "
+                    f"{current_r:.2f}x < baseline {base_r:.2f}x / {factor:g}"
                 )
     violations.extend(
         _check_service_regression(

@@ -29,8 +29,11 @@ in the given file; any (program, encoding) whose compress wall time
 exceeds ``--guard-factor`` (default 2.0) times the baseline — or whose
 simulation throughput (steps/sec or insn/sec) drops below baseline
 divided by the same factor — makes the command exit with status 3.
+``--decode-guard FACTOR`` is an absolute (baseline-free) floor on the
+bulk decoder's speedup over the reference walk, also exiting 3.
 A fast-vs-reference architectural-state mismatch exits with status 4,
-like a greedy/image identity failure.
+like a greedy/image identity failure or a bulk-vs-reference decode
+item mismatch.
 """
 
 from __future__ import annotations
@@ -212,6 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="fail if compress time exceeds FACTOR x baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--decode-guard",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail (exit 3) if the bulk decode speedup over the "
+        "reference walk drops below FACTOR on any program x encoding",
+    )
     return parser
 
 
@@ -238,6 +249,7 @@ def _print_run(key: str, run_doc: dict) -> None:
                 f"{'yes' if identical else 'NO':>9}"
             )
     _print_simulation(run_doc)
+    _print_decode(run_doc)
     aggregate = run_doc["aggregate"]
     print(
         f"largest program: {aggregate['largest_program']} "
@@ -327,6 +339,50 @@ def _print_simulation(run_doc: dict) -> None:
             print(f"  {line}")
 
 
+def _print_decode(run_doc: dict) -> None:
+    """Bulk-vs-reference decode lines plus the fusion footprint."""
+    lines = []
+    for name, doc in run_doc["programs"].items():
+        for encoding_name, enc in doc["encodings"].items():
+            if "decode_bulk_speedup" not in enc:
+                continue
+            lines.append(
+                f"{name:<10} {encoding_name:<9}: "
+                f"{enc['decode_items_per_second']:>12,.0f} items/s bulk "
+                f"({enc['decode_backend']}) vs reference walk "
+                f"({enc['decode_bulk_speedup']:.2f}x, identical "
+                f"{'yes' if enc['decode_identical_items'] else 'NO'})"
+            )
+    if lines:
+        print("bulk decode:")
+        for line in lines:
+            print(f"  {line}")
+    for name, doc in run_doc["programs"].items():
+        fusion = doc.get("simulation", {}).get("fusion")
+        if fusion and fusion["enabled"]:
+            print(
+                f"fusion: {name}: {fusion['trace_instructions']} trace "
+                f"insns -> {fusion['trace_thunks']} thunks "
+                f"({fusion['body_shrink']:.1%} body shrink, "
+                f"{fusion['compiled_thunks']} compiled over "
+                f"{fusion['planned_pairs']} pairs)"
+            )
+
+
+def _decode_guard_violations(run_doc: dict, factor: float) -> list[str]:
+    """Absolute floor on the bulk decoder's speedup, no baseline needed."""
+    violations = []
+    for name, doc in run_doc["programs"].items():
+        for encoding_name, enc in doc["encodings"].items():
+            speedup = enc.get("decode_bulk_speedup")
+            if speedup is not None and speedup < factor:
+                violations.append(
+                    f"{name}/{encoding_name}: bulk decode speedup "
+                    f"{speedup:.2f}x < required {factor:g}x"
+                )
+    return violations
+
+
 def _simulation_identical(run_doc: dict) -> bool:
     """All fast-vs-reference identity gates (missing keys pass)."""
     return run_doc["aggregate"].get("sim_identical_everywhere", True)
@@ -397,6 +453,14 @@ def main(argv: list[str] | None = None) -> int:
                         f"guard: within {args.guard_factor:g}x of baseline "
                         f"({args.baseline})"
                     )
+        if args.decode_guard is not None:
+            violations = _decode_guard_violations(run_doc, args.decode_guard)
+            if violations:
+                for violation in violations:
+                    print(f"DECODE GUARD: {violation}", file=sys.stderr)
+                status = status or 3
+            else:
+                print(f"decode guard: bulk >= {args.decode_guard:g}x everywhere")
         if not run_doc["aggregate"]["identical_everywhere"]:
             print(
                 "ERROR: fast greedy output differs from greedy_reference",
@@ -406,6 +470,12 @@ def main(argv: list[str] | None = None) -> int:
         if not _simulation_identical(run_doc):
             print(
                 "ERROR: fast-path simulation state differs from reference",
+                file=sys.stderr,
+            )
+            status = status or 4
+        if not run_doc["aggregate"].get("decode_identical_everywhere", True):
+            print(
+                "ERROR: bulk decode items differ from the reference walk",
                 file=sys.stderr,
             )
             status = status or 4

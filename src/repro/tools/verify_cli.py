@@ -6,8 +6,10 @@ Subcommands:
   and compressed simulators over one or more programs × encodings
   (``--implementation fast`` steps both lanes through the
   translation-cache fast path instead of the reference interpreters);
-* ``fastpath``   — per-instruction lockstep of the fast path against
-  the reference interpreter, on both engines, for every encoding;
+* ``fastpath``   — lockstep of the fast path against the reference
+  interpreter, on both engines, for every encoding, at instruction
+  and trace granularity (the latter exercises superinstruction
+  fusion; plan selection via ``--fusion on|off|profile``);
 * ``invariants`` — static structural checks (branch boundaries, jump
   tables, dictionary ranks, escape discipline) without executing;
 * ``campaign``   — seeded fault-injection campaign through
@@ -85,17 +87,36 @@ def cmd_diff(args) -> int:
 
 
 def cmd_fastpath(args) -> int:
+    from repro.machine import fusion
+    from repro.machine.simulator import profile_program
+
     failures = 0
     encodings = tuple(
         name.strip() for name in args.encodings.split(",") if name.strip()
     )
+    if args.fusion == "off":
+        fusion.configure(enabled=False)
+    else:
+        fusion.configure(enabled=True)
     for program in _programs(args):
+        if args.fusion == "profile":
+            # Per-program plan: the hottest adjacent pairs of *this*
+            # program, not the suite-wide defaults.
+            counts = profile_program(program, max_steps=args.max_steps)
+            plan = fusion.plan_from_profile(program, counts)
+            fusion.configure(pairs=plan or fusion.DEFAULT_PAIRS)
         for result in verify_fastpath(
             program, encodings=encodings, max_steps=args.max_steps
         ):
             print(result.render())
             if not result.ok:
                 failures += 1
+    if args.fusion != "off":
+        stats = fusion.fusion_stats()
+        print(
+            f"fusion: {stats['compiled']} fused thunk(s) compiled over "
+            f"{len(stats['pairs'])} planned pair(s)"
+        )
     if failures:
         print(f"\nrepro-verify: {failures} fast-path divergence(s)")
     return 1 if failures else 0
@@ -170,6 +191,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common_options(fastpath, default_encodings="baseline,nibble,onebyte")
     fastpath.add_argument("--max-steps", type=int, default=1_000_000)
+    fastpath.add_argument("--fusion", choices=("on", "off", "profile"),
+                          default="on",
+                          help="superinstruction fusion during the trace "
+                          "lockstep: suite-wide plan (on), disabled (off), "
+                          "or a per-program profile-mined plan (profile)")
     fastpath.set_defaults(func=cmd_fastpath)
 
     invariants = sub.add_parser(

@@ -29,6 +29,8 @@ from repro.verify.differential import (
     run_differential,
 )
 from repro.verify.fastpath import (
+    lockstep_compressed_traces,
+    lockstep_program_traces,
     FastpathDivergence,
     FastpathResult,
     lockstep_compressed,
@@ -72,7 +74,9 @@ __all__ = [
     "classify_injection",
     "generate_faults",
     "lockstep_compressed",
+    "lockstep_compressed_traces",
     "lockstep_program",
+    "lockstep_program_traces",
     "reseal_crc",
     "run_campaign",
     "run_differential",

@@ -15,6 +15,17 @@ Together with ``run_differential(..., implementation="fast")`` this
 closes the triangle: fast==reference per engine (here), and
 original==compressed across engines (differential) under either
 implementation.
+
+Two lockstep granularities run per engine.  The *instruction* lockstep
+(:func:`lockstep_program` / :func:`lockstep_compressed`) compares after
+every single instruction but steps the fast path through its
+single-step entry points, which dispatch per-instruction thunks — it
+can never execute a superinstruction.  The *trace* lockstep
+(:func:`lockstep_program_traces` / :func:`lockstep_compressed_traces`)
+executes whole traces through the exact bodies the fast run loops use
+— fused thunks included — and the reference interpreter catches up by
+``state.steps`` before every boundary comparison, so fusion is audited
+against the reference with the same zero-forgiveness contract.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from repro.core.compressor import CompressedProgram, compress
 from repro.core.encodings import make_encoding
 from repro.errors import ReproError
 from repro.linker.program import Program
+from repro.machine import fastpath
 from repro.machine.compressed_sim import CompressedSimulator
 from repro.machine.simulator import Simulator
 
@@ -186,6 +198,95 @@ def _lockstep(name, engine, fast, reference, step_fast, step_ref,
     )
 
 
+def _lockstep_traces(name, engine, fast, reference, step_trace, step_ref,
+                     position_of, max_steps) -> FastpathResult:
+    """Whole-trace fast execution vs instruction-stepped reference.
+
+    The fast side advances one trace at a time; the reference side then
+    single-steps until its ``state.steps`` reaches the fast side's, so
+    states are compared at every trace boundary.  An error raised
+    mid-trace leaves the fast step counter at the faulting instruction;
+    the reference is stepped once more and must raise the identical
+    error (same type, same message).
+    """
+    fast_stores = _StoreLog(fast.memory)
+    ref_stores = _StoreLog(reference.memory)
+    executed = 0
+
+    def result(divergence):
+        return FastpathResult(
+            name=name,
+            engine=engine,
+            instructions_compared=executed,
+            divergence=divergence,
+        )
+
+    while executed < max_steps:
+        if fast.state.halted and reference.state.halted:
+            return result(None)
+        fast_error = ref_error = None
+        try:
+            step_trace()
+        except ReproError as exc:
+            fast_error = exc
+        while (
+            reference.state.steps < fast.state.steps
+            and not reference.state.halted
+            and ref_error is None
+        ):
+            try:
+                step_ref()
+                executed += 1
+            except ReproError as exc:
+                ref_error = exc
+        if fast_error is not None and ref_error is None:
+            # The faulting instruction never advanced ``steps`` (memory
+            # errors raise before the increment; control errors raise
+            # in the transfer) — the reference raises on its next step.
+            try:
+                step_ref()
+            except ReproError as exc:
+                ref_error = exc
+        if fast_error is not None or ref_error is not None:
+            same = (
+                fast_error is not None
+                and ref_error is not None
+                and type(fast_error) is type(ref_error)
+                and str(fast_error) == str(ref_error)
+            )
+            if same:
+                return result(None)
+            return result(
+                FastpathDivergence(
+                    kind="exception",
+                    detail=(
+                        f"fast raised {fast_error!r}, "
+                        f"reference raised {ref_error!r}"
+                    ),
+                    step=executed,
+                )
+            )
+        mismatch = _compare_states(fast, reference, position_of)
+        if mismatch is None and fast_stores.events != ref_stores.events:
+            mismatch = (
+                "memory",
+                f"fast stores {fast_stores.events[-3:]!r}, "
+                f"reference {ref_stores.events[-3:]!r}",
+            )
+        if mismatch is not None:
+            kind, detail = mismatch
+            return result(FastpathDivergence(kind, detail, executed))
+        fast_stores.events.clear()
+        ref_stores.events.clear()
+    return result(
+        FastpathDivergence(
+            kind="watchdog",
+            detail=f"no halt within {max_steps} lockstep instructions",
+            step=executed,
+        )
+    )
+
+
 def lockstep_program(
     program: Program, *, max_steps: int = 1_000_000
 ) -> FastpathResult:
@@ -229,20 +330,75 @@ def lockstep_compressed(
     return result
 
 
+def lockstep_program_traces(
+    program: Program, *, max_steps: int = 1_000_000
+) -> FastpathResult:
+    """Trace-at-a-time uncompressed lockstep (exercises fused bodies)."""
+    fast = Simulator(program, implementation="fast")
+    reference = Simulator(program, implementation="reference")
+    cache = fastpath.program_cache(program)
+    return _lockstep_traces(
+        program.name,
+        "simulator-traces",
+        fast,
+        reference,
+        lambda: fastpath.step_program_trace(fast, cache),
+        reference.step,
+        lambda sim: sim.pc,
+        max_steps,
+    )
+
+
+def lockstep_compressed_traces(
+    compressed: CompressedProgram, *, max_steps: int = 1_000_000
+) -> FastpathResult:
+    """Trace-at-a-time compressed lockstep (exercises fused bodies)."""
+    fast = CompressedSimulator(compressed, implementation="fast")
+    reference = CompressedSimulator(compressed, implementation="reference")
+    result = _lockstep_traces(
+        fast.name,
+        f"compressed-traces/{compressed.encoding.name}",
+        fast,
+        reference,
+        lambda: fastpath.step_stream_trace(fast),
+        reference.step,
+        lambda sim: (sim.item_index, sim.micro),
+        max_steps,
+    )
+    # Fetch statistics are credited at trace entry, so they are exact
+    # only for runs that complete — matched-error endings tolerate the
+    # documented whole-trace skew.
+    if result.ok and fast.state.halted and fast.stats != reference.stats:
+        result.divergence = FastpathDivergence(
+            kind="stats",
+            detail=f"fast {fast.stats}, reference {reference.stats}",
+            step=result.instructions_compared,
+        )
+    return result
+
+
 def verify_fastpath(
     program: Program,
     *,
     encodings: tuple[str, ...] = DEFAULT_ENCODINGS,
     max_steps: int = 1_000_000,
+    trace_lockstep: bool = True,
 ) -> list[FastpathResult]:
     """Full fast-path audit for one program.
 
-    Runs the uncompressed lockstep, then for every encoding compresses
-    the program and runs the compressed lockstep.  Returns one
+    Runs the uncompressed lockstep at both granularities, then for
+    every encoding compresses the program and runs the compressed
+    lockstep at both granularities.  Returns one
     :class:`FastpathResult` per check; all must be ``ok``.
     """
     results = [lockstep_program(program, max_steps=max_steps)]
+    if trace_lockstep:
+        results.append(lockstep_program_traces(program, max_steps=max_steps))
     for name in encodings:
         compressed = compress(program, make_encoding(name))
         results.append(lockstep_compressed(compressed, max_steps=max_steps))
+        if trace_lockstep:
+            results.append(
+                lockstep_compressed_traces(compressed, max_steps=max_steps)
+            )
     return results

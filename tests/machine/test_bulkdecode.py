@@ -1,0 +1,186 @@
+"""The bulk decoder must be invisible except for speed.
+
+Byte-identical items to the reference walk for every encoding and
+backend, strict errors routed through the reference walk unchanged
+(optimistic fallback), lenient decodes always deferred, and honest
+stats.  Tier-1 CI runs without numpy, so every test parametrizes over
+:func:`available_backends` rather than assuming the numpy backend.
+"""
+
+import pytest
+
+from repro.core.compressor import compress
+from repro.core.encodings import make_encoding
+from repro.errors import DecompressionError
+from repro.machine import bulkdecode
+from repro.machine.decompressor import (
+    StreamDecoder,
+    clear_decode_cache,
+    set_decode_cache_enabled,
+)
+
+ENCODINGS = ("baseline", "onebyte", "nibble")
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_decode_cache()
+    yield
+    clear_decode_cache()
+
+
+@pytest.fixture(params=bulkdecode.available_backends())
+def backend(request):
+    previous = bulkdecode.set_backend(request.param)
+    yield request.param
+    bulkdecode.set_backend(previous)
+
+
+def _decoder(compressed, **kwargs):
+    return StreamDecoder(
+        compressed.stream,
+        compressed.dictionary,
+        compressed.encoding,
+        compressed.total_units(),
+        **kwargs,
+    )
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("encoding_name", ENCODINGS)
+    def test_items_identical_to_reference(
+        self, tiny_program, encoding_name, backend
+    ):
+        compressed = compress(tiny_program, make_encoding(encoding_name))
+        decoder = _decoder(compressed)
+        bulk = bulkdecode.decode_stream(decoder)
+        reference = _decoder(compressed).decode_all_reference()
+        assert bulk == reference
+        assert all(type(item) is type(ref) for item, ref in zip(bulk, reference))
+
+    @pytest.mark.parametrize("encoding_name", ENCODINGS)
+    def test_suite_program_identity(self, small_suite, encoding_name, backend):
+        program = small_suite["compress"]
+        compressed = compress(program, make_encoding(encoding_name))
+        decoder = _decoder(compressed)
+        assert bulkdecode.decode_stream(decoder) == _decoder(
+            compressed
+        ).decode_all_reference()
+
+    def test_decode_all_reports_bulk_implementation(self, tiny_program, backend):
+        compressed = compress(tiny_program, make_encoding("nibble"))
+        previous = set_decode_cache_enabled(False)
+        try:
+            decoder = _decoder(compressed)
+            items = decoder.decode_all()
+        finally:
+            set_decode_cache_enabled(previous)
+        assert decoder.last_implementation == f"bulk-{backend}"
+        assert list(items) == _decoder(compressed).decode_all_reference()
+
+    def test_instructions_shared_with_dictionary(self, tiny_program, backend):
+        # Codeword expansions alias the predecoded dictionary tuples —
+        # the bulk path must not rebuild per-item instruction tuples.
+        compressed = compress(tiny_program, make_encoding("nibble"))
+        decoder = _decoder(compressed)
+        items = bulkdecode.decode_stream(decoder)
+        entries = decoder._entries
+        for item in items:
+            if item.is_codeword:
+                assert item.instructions is entries[item.rank]
+
+
+class TestFallback:
+    def test_lenient_always_falls_back(self, tiny_program):
+        compressed = compress(tiny_program, make_encoding("nibble"))
+        decoder = _decoder(compressed, strict=False)
+        with pytest.raises(bulkdecode.BulkFallback):
+            bulkdecode.decode_stream(decoder)
+        assert "lenient" in bulkdecode.bulk_stats()["last_fallback"]
+
+    @pytest.mark.parametrize("encoding_name", ENCODINGS)
+    def test_truncated_stream_error_identical(
+        self, tiny_program, encoding_name, backend
+    ):
+        compressed = compress(tiny_program, make_encoding(encoding_name))
+        truncated = compressed.stream[: len(compressed.stream) // 2]
+
+        def attempt(implementation):
+            decoder = StreamDecoder(
+                truncated,
+                compressed.dictionary,
+                compressed.encoding,
+                compressed.total_units(),
+            )
+            with pytest.raises(DecompressionError) as excinfo:
+                decoder.decode_all(implementation=implementation)
+            return excinfo.value
+
+        previous = set_decode_cache_enabled(False)
+        try:
+            bulk_error = attempt("bulk")
+            reference_error = attempt("reference")
+        finally:
+            set_decode_cache_enabled(previous)
+        assert str(bulk_error) == str(reference_error)
+        assert bulk_error.unit_address == reference_error.unit_address
+
+    def test_corrupt_stream_error_identical(self, tiny_program, backend):
+        compressed = compress(tiny_program, make_encoding("onebyte"))
+        # Flip a codeword byte into the escape range mid-stream: the
+        # tail no longer decodes to the expected unit count.
+        corrupt = bytearray(compressed.stream)
+        corrupt[len(corrupt) // 3] ^= 0xFF
+
+        def attempt(implementation):
+            decoder = StreamDecoder(
+                bytes(corrupt),
+                compressed.dictionary,
+                compressed.encoding,
+                compressed.total_units(),
+            )
+            try:
+                decoder.decode_all(implementation=implementation)
+            except DecompressionError as exc:
+                return str(exc), exc.unit_address
+            return None
+
+        previous = set_decode_cache_enabled(False)
+        try:
+            assert attempt("bulk") == attempt("reference")
+        finally:
+            set_decode_cache_enabled(previous)
+
+    def test_fallback_counts_in_stats(self, tiny_program):
+        before = bulkdecode.bulk_stats()["fallbacks"]
+        decoder = _decoder(
+            compress(tiny_program, make_encoding("nibble")), strict=False
+        )
+        with pytest.raises(bulkdecode.BulkFallback):
+            bulkdecode.decode_stream(decoder)
+        assert bulkdecode.bulk_stats()["fallbacks"] == before + 1
+
+
+class TestBackends:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            bulkdecode.set_backend("gpu")
+
+    def test_set_backend_returns_previous(self):
+        current = bulkdecode.backend()
+        assert bulkdecode.set_backend("python") == current
+        bulkdecode.set_backend(current)
+
+    def test_tables_survive_clear(self, tiny_program, backend):
+        compressed = compress(tiny_program, make_encoding("nibble"))
+        first = bulkdecode.decode_stream(_decoder(compressed))
+        bulkdecode.clear_tables()
+        second = bulkdecode.decode_stream(_decoder(compressed))
+        assert first == second
+
+    def test_empty_stream_decodes_empty(self, tiny_program, backend):
+        compressed = compress(tiny_program, make_encoding("nibble"))
+        decoder = StreamDecoder(
+            b"", compressed.dictionary, compressed.encoding, 0
+        )
+        assert bulkdecode.decode_stream(decoder) == []

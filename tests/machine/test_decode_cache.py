@@ -52,7 +52,7 @@ class TestCorrectness:
             plain_items = _decoder(compressed).decode_all()
         finally:
             set_decode_cache_enabled(previous)
-        assert list(cached_items) == plain_items
+        assert list(cached_items) == list(plain_items)
         assert cached_index == {
             item.address: i for i, item in enumerate(plain_items)
         }
@@ -64,6 +64,13 @@ class TestCorrectness:
         stats = decode_cache_stats()
         assert stats["misses"] == 1
         assert stats["hits"] == 1
+
+    def test_cache_hit_returns_shared_tuple(self, compressed):
+        # No per-hit list copy: both calls hand back the same tuple.
+        first = _decoder(compressed).decode_all()
+        second = _decoder(compressed).decode_all()
+        assert isinstance(first, tuple)
+        assert second is first
 
     def test_simulators_share_one_decode(self, compressed):
         CompressedSimulator(compressed)
@@ -112,7 +119,10 @@ class TestCachePolicy:
         finally:
             set_decode_cache_enabled(previous)
         stats = decode_cache_stats()
-        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
 
     def test_lru_eviction(self, compressed):
         cache = DecodeCache(capacity=2)
@@ -123,11 +133,54 @@ class TestCachePolicy:
         assert cache.lookup("a") is None  # evicted (oldest)
         assert cache.lookup("c") == (("c",), {0: 0})
 
+    def test_byte_accounting(self):
+        cache = DecodeCache(capacity=8)
+        cache.store("a", ("x", "y"), {}, stream_bytes=100)
+        cache.store("b", ("z",), {}, stream_bytes=40)
+        # Cost of an entry = stream bytes + item count.
+        assert cache.bytes == (100 + 2) + (40 + 1)
+        cache.clear()
+        assert cache.bytes == 0
+
+    def test_byte_bound_evicts_oldest(self):
+        cache = DecodeCache(capacity=8, max_bytes=250)
+        cache.store("a", (), {}, stream_bytes=100)
+        cache.store("b", (), {}, stream_bytes=100)
+        cache.store("c", (), {}, stream_bytes=100)
+        assert cache.lookup("a") is None
+        assert cache.lookup("b") is not None
+        assert cache.lookup("c") is not None
+        assert cache.bytes == 200
+        assert cache.evictions == 1
+
+    def test_oversized_entry_still_cached(self):
+        # A single entry above max_bytes is kept: the bound trims the
+        # cache, it never refuses the most recent decode.
+        cache = DecodeCache(capacity=8, max_bytes=50)
+        cache.store("big", (), {}, stream_bytes=1000)
+        assert cache.lookup("big") is not None
+        assert len(cache) == 1
+
+    def test_stats_expose_bytes_and_evictions(self, compressed):
+        _decoder(compressed).decode_all()
+        stats = decode_cache_stats()
+        assert set(stats) == {
+            "hits", "misses", "entries", "bytes",
+            "max_bytes", "capacity", "evictions",
+        }
+        assert stats["bytes"] >= len(compressed.stream)
+        assert stats["evictions"] == 0
+
     def test_clear_resets_counters(self, compressed):
         _decoder(compressed).decode_all()
         _decoder(compressed).decode_all()
         clear_decode_cache()
-        assert decode_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        stats = decode_cache_stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert stats["evictions"] == 0
 
 
 class TestMetrics:

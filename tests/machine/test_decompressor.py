@@ -143,3 +143,72 @@ class TestLenientMode:
         decoder.decode_all()
         assert len(decoder.diagnostics) <= 6  # budget + final marker
         assert decoder.diagnostics[-1].message == "diagnostic budget exhausted"
+
+    def test_lenient_decode_always_uses_reference_walk(self, tiny_program):
+        # Bulk decoding asserts nothing about malformed tails, so
+        # lenient decodes must defer to the reference walk even when
+        # the stream is perfectly clean.
+        compressed = compress(tiny_program, NibbleEncoding())
+        decoder = StreamDecoder(
+            compressed.stream, compressed.dictionary, compressed.encoding,
+            compressed.total_units(), strict=False,
+        )
+        decoder.decode_all()
+        assert decoder.last_implementation == "reference"
+
+
+class TestLenientTailResync:
+    """Resynchronization endgames: budget exhaustion and stream tails."""
+
+    def test_budget_exhausted_at_failing_unit(self, tiny_program):
+        # A budget of one fills on the very first failure: the walk
+        # must append the marker at that same unit address and stop
+        # instead of resynchronizing onward.
+        compressed = compress(tiny_program, BaselineEncoding())
+        from repro.core.dictionary import Dictionary
+
+        decoder = StreamDecoder(
+            compressed.stream, Dictionary([]), compressed.encoding,
+            compressed.total_units(), strict=False, max_diagnostics=1,
+        )
+        decoder.decode_all()
+        assert len(decoder.diagnostics) == 2
+        failure, marker = decoder.diagnostics
+        assert marker.message == "diagnostic budget exhausted"
+        assert marker.unit_address == failure.unit_address
+
+    def test_resync_past_stream_end_returns_early(self):
+        # Two bytes of garbage cannot hold a 16-bit-aligned baseline
+        # item chain four units long: the second resynchronization
+        # point lands past ``len(stream) * 8`` and the walk must return
+        # what it has — without the trailing unit-count diagnostic that
+        # a normally-terminated short walk would emit.
+        from repro.core.dictionary import Dictionary
+
+        encoding = BaselineEncoding()
+        decoder = StreamDecoder(
+            b"\x00\x00", Dictionary([]), encoding, 4, strict=False,
+        )
+        items = decoder.decode_all()
+        assert items == ()
+        assert decoder.diagnostics
+        assert decoder.diagnostics[-1].message != "diagnostic budget exhausted"
+        assert not any(
+            d.message.startswith("stream decoded to")
+            for d in decoder.diagnostics
+        )
+
+    def test_resync_recovers_midstream_corruption(self, tiny_program):
+        # Corrupting one interior byte must not take down the tail: the
+        # walk resynchronizes and keeps decoding units after the damage.
+        compressed = compress(tiny_program, BaselineEncoding())
+        corrupt = bytearray(compressed.stream)
+        corrupt[len(corrupt) // 2] ^= 0xFF
+        decoder = StreamDecoder(
+            bytes(corrupt), compressed.dictionary, compressed.encoding,
+            compressed.total_units(), strict=False,
+        )
+        items = decoder.decode_all()
+        if decoder.diagnostics:
+            first_bad = min(d.unit_address for d in decoder.diagnostics)
+            assert any(item.address > first_bad for item in items)

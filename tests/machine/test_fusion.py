@@ -1,0 +1,264 @@
+"""Superinstruction fusion: fused thunks must be invisible except for speed.
+
+Every fused two-instruction thunk must leave (state, memory) exactly
+where the two bound thunks would — registers, CR, steps, memory
+contents, and the error raised mid-pair — for every fusable mnemonic.
+The trace-cache integration must rebuild traces when the fusion config
+changes, shrink bodies when pairs fuse, and keep the instruction-level
+accounting (``steps_cost``/``issued``/profiles) unchanged.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction, make, spec_for
+from repro.machine import fastpath, fusion
+from repro.machine.memory import DATA_BASE, Memory
+from repro.machine.simulator import Simulator, profile_program
+from repro.machine.state import MachineState
+
+
+@pytest.fixture(autouse=True)
+def _default_fusion_config():
+    fusion.configure(enabled=True, pairs=fusion.DEFAULT_PAIRS)
+    fastpath.clear_translation_caches()
+    yield
+    fusion.configure(enabled=True, pairs=fusion.DEFAULT_PAIRS)
+    fastpath.clear_translation_caches()
+
+
+def ins(mnemonic, **operands) -> Instruction:
+    """Build an instruction with operands given by name."""
+    spec = spec_for(mnemonic)
+    return Instruction(spec, tuple(operands[op.name] for op in spec.operands))
+
+
+def _sample_instruction(mnemonic: str, rng: random.Random) -> Instruction:
+    """One representative instruction per fusable mnemonic."""
+    gpr = lambda: rng.randrange(2, 12)  # noqa: E731 - r0/r1 stay clear
+    simm = lambda: rng.randrange(-512, 512)  # noqa: E731
+    uimm = lambda: rng.randrange(0, 1 << 16)  # noqa: E731
+    disp = rng.randrange(0, 64) * 4
+    by_shape = {
+        ("rT", "rA", "SI"): lambda: ins(
+            mnemonic, rT=gpr(), rA=rng.choice([0, gpr()]), SI=simm()
+        ),
+        ("rA", "rS", "UI"): lambda: ins(
+            mnemonic, rA=gpr(), rS=gpr(), UI=uimm()
+        ),
+        ("crfD", "rA", "SI"): lambda: ins(
+            mnemonic, crfD=rng.randrange(8), rA=gpr(), SI=simm()
+        ),
+        ("crfD", "rA", "UI"): lambda: ins(
+            mnemonic, crfD=rng.randrange(8), rA=gpr(), UI=uimm()
+        ),
+        ("crfD", "rA", "rB"): lambda: ins(
+            mnemonic, crfD=rng.randrange(8), rA=gpr(), rB=gpr()
+        ),
+        ("rT", "rA", "rB"): lambda: ins(
+            mnemonic, rT=gpr(), rA=gpr(), rB=gpr()
+        ),
+        ("rT", "rA"): lambda: ins(mnemonic, rT=gpr(), rA=gpr()),
+        ("rA", "rS", "rB"): lambda: ins(
+            mnemonic, rA=gpr(), rS=gpr(), rB=gpr()
+        ),
+        ("rA", "rS", "SH"): lambda: ins(
+            mnemonic, rA=gpr(), rS=gpr(), SH=rng.randrange(32)
+        ),
+        ("rA", "rS", "SH", "MB", "ME"): lambda: ins(
+            mnemonic, rA=gpr(), rS=gpr(), SH=rng.randrange(32),
+            MB=rng.randrange(32), ME=rng.randrange(32),
+        ),
+        ("rA", "rS"): lambda: ins(mnemonic, rA=gpr(), rS=gpr()),
+        ("rT", "D(rA)"): lambda: ins(mnemonic, rT=gpr(), **{"D(rA)": (disp, 13)}),
+        ("rS", "D(rA)"): lambda: ins(mnemonic, rS=gpr(), **{"D(rA)": (disp, 13)}),
+    }
+    shape = tuple(op.name for op in spec_for(mnemonic).operands)
+    return by_shape[shape]()
+
+
+def _random_state(rng: random.Random) -> MachineState:
+    state = MachineState()
+    for reg in range(2, 12):
+        state.gpr[reg] = rng.randrange(0, 1 << 32)
+    state.gpr[13] = DATA_BASE + 4096  # valid memory base for loads/stores
+    state.cr = rng.randrange(0, 1 << 32)
+    return state
+
+
+def _clone(state: MachineState) -> MachineState:
+    clone = MachineState()
+    clone.gpr[:] = state.gpr
+    clone.cr = state.cr
+    clone.lr = state.lr
+    clone.ctr = state.ctr
+    clone.steps = state.steps
+    return clone
+
+
+def _run(thunks, state, memory):
+    try:
+        for thunk in thunks:
+            thunk(state, memory)
+        return None
+    except SimulationError as exc:
+        return exc
+
+
+class TestFusedSemantics:
+    @pytest.mark.parametrize("mnemonic", sorted(fusion.FUSABLE_MNEMONICS))
+    def test_every_template_matches_bound_thunks(self, mnemonic):
+        """Fuse each mnemonic in both slots against a random partner."""
+        rng = random.Random(hash(mnemonic) & 0xFFFF)
+        partners = sorted(fusion.FUSABLE_MNEMONICS)
+        for trial in range(12):
+            other = _sample_instruction(rng.choice(partners), rng)
+            this = _sample_instruction(mnemonic, rng)
+            pair = (this, other) if trial % 2 == 0 else (other, this)
+            fused = fusion.fused_thunk(*pair)
+            assert fused is not None
+            seq = [fastpath.bound_thunk(i) for i in pair]
+            state_f = _random_state(rng)
+            state_s = _clone(state_f)
+            mem_f = Memory(bytes(range(256)) * 32)
+            mem_s = Memory(bytes(range(256)) * 32)
+            err_f = _run([fused], state_f, mem_f)
+            err_s = _run(seq, state_s, mem_s)
+            assert (err_f is None) == (err_s is None)
+            if err_f is not None:
+                assert str(err_f) == str(err_s)
+            assert state_f.gpr == state_s.gpr
+            assert state_f.cr == state_s.cr
+            assert state_f.steps == state_s.steps
+            assert mem_f._bytes == mem_s._bytes
+
+    def test_pure_alu_pair_counts_two_steps(self):
+        fused = fusion.fused_thunk(
+            make("addis", 3, 0, 1), make("addi", 4, 3, 2)
+        )
+        state = MachineState()
+        fused(state, None)
+        assert state.steps == 2
+        assert state.gpr[3] == 0x10000
+        assert state.gpr[4] == 0x10002
+
+    def test_memory_error_mid_pair_keeps_exact_steps(self):
+        # First half executes and counts; the second half faults before
+        # its own increment — identical to the sequential engines.
+        good = make("addi", 3, 0, 7)
+        bad_load = ins("lwz", rT=4, **{"D(rA)": (0, 5)})  # r5 = 0 → bad address
+        fused = fusion.fused_thunk(good, bad_load)
+        state = MachineState()
+        memory = Memory()
+        with pytest.raises(SimulationError):
+            fused(state, memory)
+        assert state.steps == 1
+        assert state.gpr[3] == 7
+        # Faulting in the FIRST slot leaves steps untouched.
+        fused = fusion.fused_thunk(bad_load, good)
+        state = MachineState()
+        with pytest.raises(SimulationError):
+            fused(state, memory)
+        assert state.steps == 0
+        assert state.gpr[3] == 0
+
+    def test_unfusable_mnemonics_return_none(self):
+        divw = make("divw", 3, 4, 5)
+        addi = make("addi", 3, 0, 1)
+        assert fusion.fused_thunk(divw, addi) is None
+        assert fusion.fused_thunk(addi, divw) is None
+
+    def test_fused_thunks_are_memoized(self):
+        a, b = make("addi", 3, 0, 1), make("addi", 4, 0, 2)
+        assert fusion.fused_thunk(a, b) is fusion.fused_thunk(
+            make("addi", 3, 0, 1), make("addi", 4, 0, 2)
+        )
+
+    def test_control_mnemonics_never_fusable(self):
+        from repro.machine.executor import CONTROL_MNEMONICS
+
+        assert not fusion.FUSABLE_MNEMONICS & CONTROL_MNEMONICS
+
+
+class TestPlanning:
+    def test_configure_returns_previous(self):
+        previous = fusion.configure(enabled=False, pairs=[("addi", "add")])
+        assert previous["enabled"] is True
+        assert previous["pairs"] == tuple(sorted(fusion.DEFAULT_PAIRS))
+        assert fusion.active_pairs() == frozenset()  # disabled
+        fusion.configure(enabled=True)
+        assert fusion.active_pairs() == {("addi", "add")}
+
+    def test_config_key_tracks_state(self):
+        on_key = fusion.config_key()
+        fusion.configure(enabled=False)
+        assert fusion.config_key() == ("off",)
+        fusion.configure(enabled=True)
+        assert fusion.config_key() == on_key
+        fusion.configure(pairs=[("addi", "add")])
+        assert fusion.config_key() != on_key
+
+    def test_plan_from_profile_mines_hot_pairs(self, tiny_program):
+        counts = profile_program(tiny_program, max_steps=100_000)
+        plan = fusion.plan_from_profile(tiny_program, counts, top_k=8)
+        assert 0 < len(plan) <= 8
+        mined = fusion.mine_adjacent_pairs(tiny_program, counts)
+        # The plan is the top of the mined distribution, fusable only.
+        assert list(plan) == [p for p, _ in mined.most_common(8)]
+        for a, b in plan:
+            assert a in fusion.FUSABLE_MNEMONICS
+            assert b in fusion.FUSABLE_MNEMONICS
+
+    def test_stats_shape(self):
+        stats = fusion.fusion_stats()
+        assert stats["enabled"] is True
+        assert ("addi", "add") in {tuple(p) for p in stats["pairs"]}
+        assert stats["compiled"] >= 0
+
+
+class TestTraceIntegration:
+    def test_fusion_shrinks_trace_bodies(self, tiny_program):
+        fusion.configure(enabled=False)
+        Simulator(tiny_program).run()
+        cache = fastpath.program_cache(tiny_program)
+        unfused = {pc: len(t.body) for pc, t in cache.traces.items()}
+        counts = profile_program(tiny_program, max_steps=1_000_000)
+        plan = fusion.plan_from_profile(tiny_program, counts)
+        fusion.configure(enabled=True, pairs=plan)
+        Simulator(tiny_program).run()
+        cache = fastpath.program_cache(tiny_program)
+        fused = {pc: len(t.body) for pc, t in cache.traces.items()}
+        assert any(
+            fused[pc] < unfused[pc] for pc in fused if pc in unfused
+        ), "profile-chosen plan fused nothing in the hot traces"
+        for trace in cache.traces.values():
+            assert len(trace.body) <= trace.body_insns
+
+    def test_config_change_invalidates_traces(self, tiny_program):
+        Simulator(tiny_program).run()
+        cache = fastpath.program_cache(tiny_program)
+        assert cache.traces
+        fusion.configure(enabled=False)
+        cache_after = fastpath.program_cache(tiny_program)
+        assert cache_after is cache  # predecode survives
+        assert not cache_after.traces  # traces rebuilt under new config
+
+    def test_fused_run_matches_reference(self, tiny_program):
+        fast = Simulator(tiny_program, implementation="fast")
+        fast.run()
+        reference = Simulator(tiny_program, implementation="reference")
+        reference.run()
+        assert fast.state.gpr == reference.state.gpr
+        assert fast.state.steps == reference.state.steps
+        assert fast.state.output == reference.state.output
+        assert fast.fetches == reference.fetches
+
+    def test_profile_counts_identical_with_fusion(self, tiny_program):
+        with_fusion = profile_program(tiny_program, max_steps=1_000_000)
+        fusion.configure(enabled=False)
+        without = profile_program(
+            tiny_program, max_steps=1_000_000, implementation="fast"
+        )
+        assert with_fusion == without

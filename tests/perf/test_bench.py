@@ -102,6 +102,27 @@ class TestRunBench:
         assert run_doc["aggregate"]["sim_speedup_largest"] > 0
         assert run_doc["aggregate"]["compressed_sim_speedup_largest"] > 0
 
+    def test_decode_keys(self, run_doc):
+        for enc_doc in run_doc["programs"]["compress"]["encodings"].values():
+            assert enc_doc["decode_bulk_cold_seconds"] > 0
+            assert enc_doc["decode_bulk_seconds"] > 0
+            assert enc_doc["decode_reference_seconds"] > 0
+            assert enc_doc["decode_bulk_speedup"] > 0
+            assert enc_doc["decode_identical_items"] is True
+            assert enc_doc["decode_items"] > 0
+            assert enc_doc["decode_items_per_second"] > 0
+            assert enc_doc["decode_backend"] in ("python", "numpy")
+        aggregate = run_doc["aggregate"]
+        assert aggregate["decode_identical_everywhere"] is True
+        assert 0 < aggregate["decode_speedup_min"] <= aggregate["decode_speedup_max"]
+
+    def test_fusion_keys(self, run_doc):
+        fusion = run_doc["programs"]["compress"]["simulation"]["fusion"]
+        assert fusion["enabled"] is True
+        assert fusion["planned_pairs"] > 0
+        assert fusion["trace_instructions"] >= fusion["trace_thunks"] > 0
+        assert 0.0 <= fusion["body_shrink"] < 1.0
+
     def test_workers_sweep(self, small_suite):
         doc = run_bench(
             ["compress"], 0.3, ["onebyte"], repeats=1, workers=2, simulate=False
@@ -228,6 +249,34 @@ class TestRegressionGuard:
         assert check_regression(_doc(0.01), self._sim_doc(1e6, 5e5)) == []
         assert check_regression(self._sim_doc(1e6, 5e5), _doc(0.01)) == []
 
+    def _decode_doc(self, items_per_second, speedup):
+        return {
+            "programs": {
+                "compress": {
+                    "encodings": {
+                        "nibble": {
+                            "compress_seconds": 0.01,
+                            "decode_items_per_second": items_per_second,
+                            "decode_bulk_speedup": speedup,
+                        }
+                    },
+                }
+            }
+        }
+
+    def test_decode_throughput_guarded(self):
+        baseline = self._decode_doc(1e6, 6.0)
+        assert check_regression(self._decode_doc(9e5, 5.5), baseline) == []
+        violations = check_regression(self._decode_doc(1e5, 6.0), baseline)
+        assert len(violations) == 1
+        assert "decode_items_per_second" in violations[0]
+
+    def test_decode_speedup_ratio_guarded(self):
+        baseline = self._decode_doc(1e6, 6.0)
+        violations = check_regression(self._decode_doc(1e6, 1.5), baseline)
+        assert len(violations) == 1
+        assert "decode bulk speedup" in violations[0]
+
 
 class TestCli:
     def test_smoke(self, small_suite, capsys):
@@ -283,6 +332,30 @@ class TestCli:
         assert "simulation fast path:" in printed
         assert "steps/s fast vs" in printed
         assert "insn/s fast vs" in printed
+
+    def test_decode_lines_printed(self, small_suite, capsys):
+        code = main(
+            [
+                "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+                "--repeats", "1", "--simulate-steps", "2000", "--no-write",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bulk decode:" in printed
+        assert "items/s bulk" in printed
+        assert "fusion: compress:" in printed
+
+    def test_decode_guard_pass_and_fail(self, small_suite, capsys):
+        argv = [
+            "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+            "--repeats", "1", "--no-simulate", "--no-write", "--no-ledger",
+        ]
+        assert main(argv + ["--decode-guard", "0.01"]) == 0
+        assert "decode guard: bulk >= 0.01x" in capsys.readouterr().out
+        # No machine decodes 10000x faster than itself walks.
+        assert main(argv + ["--decode-guard", "10000"]) == 3
+        assert "DECODE GUARD" in capsys.readouterr().err
 
     def test_no_fastpath_flag(self, small_suite, capsys):
         code = main(
