@@ -49,7 +49,6 @@ re-runs the reference walk so strict-mode errors are byte-identical.
 from __future__ import annotations
 
 from array import array
-from itertools import repeat
 
 from repro.core.encodings import (
     BaselineEncoding,
@@ -85,7 +84,15 @@ class BulkFallback(Exception):
     """Bulk decode declined; the caller must use the reference walk."""
 
 
-_STATS = {"decodes": 0, "fallbacks": 0, "last_fallback": None}
+_STATS = {
+    "decodes": 0,
+    "fallbacks": 0,
+    "last_fallback": None,
+    # reason -> count: which anomaly triggered each BulkFallback, so a
+    # silent fallback-to-reference shows up in bench output instead of
+    # masquerading as bulk throughput.
+    "fallback_reasons": {},
+}
 
 
 def backend() -> str:
@@ -110,13 +117,30 @@ def available_backends() -> tuple[str, ...]:
 
 
 def bulk_stats() -> dict:
-    """Process-wide bulk decode counters (tests and `repro-bench`)."""
-    return dict(_STATS, backend=_BACKEND)
+    """Process-wide bulk decode counters (tests and `repro-bench`).
+
+    ``fallback_reasons`` maps each anomaly message that raised
+    :class:`BulkFallback` to how many times it fired (a copy — safe to
+    retain across later decodes).
+    """
+    stats = dict(_STATS, backend=_BACKEND)
+    stats["fallback_reasons"] = dict(_STATS["fallback_reasons"])
+    return stats
+
+
+def reset_bulk_stats() -> None:
+    """Zero the counters (benchmark isolation, tests)."""
+    _STATS["decodes"] = 0
+    _STATS["fallbacks"] = 0
+    _STATS["last_fallback"] = None
+    _STATS["fallback_reasons"] = {}
 
 
 def _fallback(reason: str):
     _STATS["fallbacks"] += 1
     _STATS["last_fallback"] = reason
+    reasons = _STATS["fallback_reasons"]
+    reasons[reason] = reasons.get(reason, 0) + 1
     raise BulkFallback(reason)
 
 
@@ -206,11 +230,15 @@ def clear_tables() -> None:
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
-def decode_stream(decoder) -> list:
-    """Bulk-decode ``decoder``'s stream into a list of ``FetchItem``.
+def decode_stream_columnar(decoder):
+    """Bulk-decode ``decoder``'s stream into :class:`StreamColumns`.
 
-    Raises :class:`BulkFallback` whenever the reference walk must run
-    instead (lenient mode, unknown encoding, or any malformed stream).
+    The native product of the bulk walk: both backends build parallel
+    per-field arrays, and this entry hands them over without ever
+    constructing a ``FetchItem`` tuple — the simulator predecode layer
+    binds thunks straight from the columns.  Raises
+    :class:`BulkFallback` whenever the reference walk must run instead
+    (lenient mode, unknown encoding, or any malformed stream).
     """
     if not decoder.strict:
         _fallback("lenient decode always uses the reference walk")
@@ -219,26 +247,29 @@ def decode_stream(decoder) -> list:
     if isinstance(encoding, CustomNibbleEncoding):
         tables = _nibble_tables(encoding)
         if use_numpy:
-            items = _numpy_nibble(decoder, tables)
+            columns = _numpy_nibble(decoder, tables)
         else:
-            items = _python_nibble(decoder, tables)
+            columns = _python_nibble(decoder, tables)
     elif isinstance(encoding, (BaselineEncoding, OneByteEncoding)):
         indexed = isinstance(encoding, BaselineEncoding)
         tables = _byte_tables(encoding)
         if use_numpy:
-            items = _numpy_bytes(decoder, tables, codeword_indexed=indexed)
+            columns = _numpy_bytes(decoder, tables, codeword_indexed=indexed)
         else:
-            items = _python_bytes(decoder, tables, codeword_indexed=indexed)
+            columns = _python_bytes(decoder, tables, codeword_indexed=indexed)
     else:
         _fallback(f"unsupported encoding {encoding.name!r}")
     _STATS["decodes"] += 1
-    return items
+    return columns
 
 
-def _materialize(rows):
-    from repro.machine.decompressor import FetchItem
+def decode_stream(decoder) -> list:
+    """Bulk-decode ``decoder``'s stream into a list of ``FetchItem``.
 
-    return list(map(tuple.__new__, repeat(FetchItem), rows))
+    Compatibility entry over :func:`decode_stream_columnar` for
+    consumers that want materialized tuples.
+    """
+    return list(decode_stream_columnar(decoder).items())
 
 
 def _memo_instructions(word: int):
@@ -310,7 +341,7 @@ def _decode_escape_words(words):
     return lookup[inverse]
 
 
-def _numpy_nibble(decoder, tables: _Tables) -> list:
+def _numpy_nibble(decoder, tables: _Tables):
     stream = decoder.stream
     total = decoder.total_units
     if total > 2 * len(stream):
@@ -360,7 +391,7 @@ def _numpy_nibble(decoder, tables: _Tables) -> list:
     )
 
 
-def _numpy_bytes(decoder, tables: _Tables, *, codeword_indexed: bool) -> list:
+def _numpy_bytes(decoder, tables: _Tables, *, codeword_indexed: bool):
     stream = decoder.stream
     total = decoder.total_units
     entries = decoder._entries
@@ -415,11 +446,14 @@ def _numpy_bytes(decoder, tables: _Tables, *, codeword_indexed: bool) -> list:
 
 
 def _materialize_columns(addresses, item_lens, escapes, ranks, words, entries):
-    """Build the FetchItem list from numpy columns.
+    """Build StreamColumns from numpy columns.
 
     Object-dtype gathers produce real Python ints/bools/tuples per
-    column; the final ``map(tuple.__new__, ...)`` is one C pass.
+    column; each ``.tolist()`` is one C pass and no per-item tuple is
+    ever constructed.
     """
+    from repro.machine.decompressor import StreamColumns
+
     entry_lookup = _np.empty(max(len(entries), 1), dtype=object)
     for i, entry in enumerate(entries):
         entry_lookup[i] = entry
@@ -428,20 +462,19 @@ def _materialize_columns(addresses, item_lens, escapes, ranks, words, entries):
         instr_col[escapes] = _decode_escape_words(words)
     rank_col = ranks.astype(object)
     rank_col[escapes] = None
-    rows = zip(
+    return StreamColumns(
         addresses.tolist(),
         item_lens.tolist(),
         (~escapes).tolist(),
         rank_col.tolist(),
         instr_col.tolist(),
     )
-    return _materialize(rows)
 
 
 # ---------------------------------------------------------------------------
 # Pure-Python backend: cursor walk over the same tables
 # ---------------------------------------------------------------------------
-def _python_nibble(decoder, tables: _Tables) -> list:
+def _python_nibble(decoder, tables: _Tables):
     encoding = decoder.encoding
     stream = decoder.stream
     padded = stream + _PAD
@@ -500,10 +533,12 @@ def _python_nibble(decoder, tables: _Tables) -> list:
         _fallback("stream truncated mid-item")
     if position * 4 > len(stream) * 8 or address != total:
         _fallback("stream truncated or unit-count mismatch")
-    return _materialize(rows)
+    from repro.machine.decompressor import StreamColumns
+
+    return StreamColumns.from_rows(rows)
 
 
-def _python_bytes(decoder, tables: _Tables, *, codeword_indexed: bool) -> list:
+def _python_bytes(decoder, tables: _Tables, *, codeword_indexed: bool):
     """Shared walk for the two byte-aligned encodings.
 
     ``codeword_indexed=True`` is the baseline scheme (escape byte +
@@ -554,4 +589,6 @@ def _python_bytes(decoder, tables: _Tables, *, codeword_indexed: bool) -> list:
         _fallback("stream truncated mid-item")
     if position > n or address != total:
         _fallback("stream truncated or unit-count mismatch")
-    return _materialize(rows)
+    from repro.machine.decompressor import StreamColumns
+
+    return StreamColumns.from_rows(rows)

@@ -82,14 +82,16 @@ class CompressedSimulator:
             data_image = image.data_image
         self.compressed = compressed
         self.max_steps = max_steps
-        # The indexed decode is shared through the process-wide decode
+        # The columnar decode is shared through the process-wide decode
         # cache: constructing many simulators over the same image (e.g.
         # differential verification, benchmark repeats) decodes the
-        # stream once.  Both structures are read-only here.
+        # stream once.  The fast path binds thunks straight from the
+        # parallel arrays; the FetchItem tuple view materializes lazily
+        # only if a reference-engine consumer asks (``self.items``).
+        # All shared structures are read-only here.
         decoder = StreamDecoder(stream, dictionary, encoding, total_units)
-        self.items: tuple[FetchItem, ...]
-        self.item_at_address: dict[int, int]
-        self.items, self.item_at_address = decoder.decode_all_indexed()
+        self._columns = decoder.decode_all_columnar()
+        self.item_at_address: dict[int, int] = self._columns.index
         # Kept for the fast path: the translation-cache registry keys
         # predecoded thunks by the same content digest as the decode
         # cache, computed lazily on first fast run.
@@ -130,6 +132,16 @@ class CompressedSimulator:
             self._content_key = self._decoder.content_key()
         return self._content_key
 
+    @property
+    def items(self) -> tuple[FetchItem, ...]:
+        """The FetchItem tuple view (materialized on first access).
+
+        The fast path never touches this — it runs on ``_columns``
+        directly; the reference interpreter and provenance consumers
+        pay the one-time materialization instead.
+        """
+        return self._columns.items()
+
     # ------------------------------------------------------------------
     # Address arithmetic
     # ------------------------------------------------------------------
@@ -145,14 +157,18 @@ class CompressedSimulator:
         """
         if self.unit_to_index is None:
             return None
-        base = self.unit_to_index.get(self._item().address)
+        base = self.unit_to_index.get(self._columns.addresses[self.item_index])
         if base is None:
             return None
         return self._text_base + 4 * (base + self.micro)
 
     def _next_item_address(self) -> int:
-        item = self._item()
-        return self._text_base + item.address + item.size_units
+        columns = self._columns
+        return (
+            self._text_base
+            + columns.addresses[self.item_index]
+            + columns.sizes[self.item_index]
+        )
 
     def _goto_unit(self, unit: int) -> None:
         index = self.item_at_address.get(unit)

@@ -49,6 +49,7 @@ import hashlib
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import repeat
 from typing import NamedTuple
 
 from repro import bitutils, observe
@@ -77,6 +78,91 @@ class FetchItem(NamedTuple):
     instructions: tuple[Instruction, ...]
 
 
+class StreamColumns:
+    """Columnar view of a decoded stream (the zero-copy fetch path).
+
+    Parallel plain-Python lists, one row per item: ``addresses[i]``,
+    ``sizes[i]``, ``is_codeword[i]``, ``ranks[i]``, and
+    ``instructions[i]`` are the five fields of what would be
+    ``FetchItem`` number ``i``.  The bulk decoder produces these
+    columns natively — the simulator predecode layer binds thunks
+    straight from them, so the hot construction path never pays for a
+    tuple per item.  :meth:`items` materializes (and memoizes) the
+    classic ``FetchItem`` tuple for every other consumer, and
+    :attr:`index` is the lazily built unit-address -> row index map.
+
+    Both views are *the same decode*: ``items()[i] == (addresses[i],
+    sizes[i], is_codeword[i], ranks[i], instructions[i])`` by
+    construction, which the differential tests pin down field by
+    field.
+    """
+
+    __slots__ = (
+        "addresses",
+        "sizes",
+        "is_codeword",
+        "ranks",
+        "instructions",
+        "_index",
+        "_items",
+    )
+
+    def __init__(self, addresses, sizes, is_codeword, ranks, instructions):
+        self.addresses = addresses
+        self.sizes = sizes
+        self.is_codeword = is_codeword
+        self.ranks = ranks
+        self.instructions = instructions
+        self._index = None
+        self._items = None
+
+    @classmethod
+    def from_rows(cls, rows) -> "StreamColumns":
+        """Transpose ``(address, size, is_codeword, rank, instructions)``
+        row tuples into columns."""
+        if rows:
+            return cls(*map(list, zip(*rows)))
+        return cls([], [], [], [], [])
+
+    @classmethod
+    def from_items(cls, items) -> "StreamColumns":
+        """Columns over an existing ``FetchItem`` sequence (reference
+        walk fallback); the item view is retained, not rebuilt."""
+        columns = cls.from_rows(items)
+        columns._items = tuple(items)
+        return columns
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def index(self) -> dict[int, int]:
+        """Unit address -> row index (built once, then shared)."""
+        if self._index is None:
+            self._index = {
+                address: i for i, address in enumerate(self.addresses)
+            }
+        return self._index
+
+    def items(self) -> tuple["FetchItem", ...]:
+        """The row-tuple view, materialized once and shared."""
+        if self._items is None:
+            self._items = tuple(
+                map(
+                    tuple.__new__,
+                    repeat(FetchItem),
+                    zip(
+                        self.addresses,
+                        self.sizes,
+                        self.is_codeword,
+                        self.ranks,
+                        self.instructions,
+                    ),
+                )
+            )
+        return self._items
+
+
 @dataclass(frozen=True)
 class DecodeDiagnostic:
     """One malformed item recorded by a lenient decode pass."""
@@ -103,11 +189,12 @@ def _encoding_token(encoding: Encoding) -> tuple:
 class DecodeCache:
     """LRU cache of successful strict decode passes.
 
-    Values are ``(items, item_at_address)`` — an immutable tuple of
-    :class:`FetchItem` plus the unit-address index over it.  Both are
-    shared between consumers, which is safe because a strict decode of
-    a given image content is deterministic and the items are frozen;
-    the index dict must be treated as read-only by callers.
+    Values are ``(columns, item_at_address)`` — the
+    :class:`StreamColumns` view of the decode plus the unit-address
+    index over it (the tuple-item view hangs off the columns, built
+    lazily).  Both are shared between consumers, which is safe because
+    a strict decode of a given image content is deterministic; every
+    cached structure must be treated as read-only by callers.
 
     Eviction is bounded two ways: ``capacity`` caps the entry count and
     ``max_bytes`` caps the approximate retained size.  Each entry is
@@ -125,7 +212,7 @@ class DecodeCache:
         self.evictions = 0
         self.bytes = 0
         self._entries: OrderedDict[
-            str, tuple[tuple[FetchItem, ...], dict[int, int]]
+            str, tuple["StreamColumns", dict[int, int]]
         ] = OrderedDict()
         self._costs: dict[str, int] = {}
 
@@ -144,7 +231,9 @@ class DecodeCache:
         hasher.update(stream)
         return hasher.hexdigest()
 
-    def lookup(self, key: str) -> tuple[tuple[FetchItem, ...], dict[int, int]] | None:
+    def lookup(
+        self, key: str
+    ) -> tuple["StreamColumns", dict[int, int]] | None:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -158,15 +247,15 @@ class DecodeCache:
     def store(
         self,
         key: str,
-        items: tuple[FetchItem, ...],
+        columns: "StreamColumns",
         index: dict[int, int],
         stream_bytes: int = 0,
     ) -> None:
         if key in self._entries:
             self.bytes -= self._costs.get(key, 0)
-        self._entries[key] = (items, index)
+        self._entries[key] = (columns, index)
         self._entries.move_to_end(key)
-        cost = stream_bytes + len(items)
+        cost = stream_bytes + len(columns)
         self._costs[key] = cost
         self.bytes += cost
         # Keep at least the entry just stored: it is the live working
@@ -327,12 +416,36 @@ class StreamDecoder:
             return tuple(self.decode_all_reference())
         if _decode_cache_enabled:
             return self.decode_all_indexed()[0]
-        return tuple(self._decode_items())
+        return self._decode_columns().items()
 
     def decode_all_reference(self) -> list[FetchItem]:
         """The one-item-at-a-time reference walk (equivalence oracle)."""
         self.last_implementation = "reference"
         return self._walk_stream()
+
+    def decode_all_columnar(self) -> StreamColumns:
+        """Strict decode returning the columnar view + address index.
+
+        This is the fast path's native fetch product: the bulk decoder
+        hands over its parallel arrays directly and no ``FetchItem``
+        tuple is ever built unless a consumer asks the returned
+        :class:`StreamColumns` for :meth:`~StreamColumns.items`.  The
+        columns are cached in the process-wide :class:`DecodeCache`
+        (same entry the tuple view shares) and must be treated as
+        read-only.  Strict mode only.
+        """
+        if not self.strict:
+            raise ValueError("decode_all_columnar requires a strict decoder")
+        key = None
+        if _decode_cache_enabled:
+            key = self.content_key()
+            cached = _decode_cache.lookup(key)
+            if cached is not None:
+                return cached[0]
+        columns = self._decode_columns()
+        if key is not None:
+            _decode_cache.store(key, columns, columns.index, len(self.stream))
+        return columns
 
     def decode_all_indexed(
         self,
@@ -342,34 +455,26 @@ class StreamDecoder:
         Both structures may be shared with other consumers via the
         decode cache — treat them as read-only.  Only available in
         strict mode (lenient walks are never cached; their item lists
-        depend on diagnostic state).
+        depend on diagnostic state).  The tuple view is materialized
+        lazily from the cached columns, once per image content.
         """
         if not self.strict:
             raise ValueError("decode_all_indexed requires a strict decoder")
-        key = None
-        if _decode_cache_enabled:
-            key = self.content_key()
-            cached = _decode_cache.lookup(key)
-            if cached is not None:
-                return cached
-        items = tuple(self._decode_items())
-        index = {item.address: i for i, item in enumerate(items)}
-        if key is not None:
-            _decode_cache.store(key, items, index, len(self.stream))
-        return items, index
+        columns = self.decode_all_columnar()
+        return columns.items(), columns.index
 
-    def _decode_items(self) -> list[FetchItem]:
+    def _decode_columns(self) -> StreamColumns:
         """Strict bulk decode, deferring to the reference walk on any
         anomaly so errors stay byte-identical."""
         from repro.machine import bulkdecode
 
         try:
-            items = bulkdecode.decode_stream(self)
+            columns = bulkdecode.decode_stream_columnar(self)
         except bulkdecode.BulkFallback:
             self.last_implementation = "reference"
-            return self._walk_stream()
+            return StreamColumns.from_items(self._walk_stream())
         self.last_implementation = f"bulk-{bulkdecode.backend()}"
-        return items
+        return columns
 
     def _walk_stream(self) -> list[FetchItem]:
         reader = bitutils.BitReader(self.stream)

@@ -584,6 +584,15 @@ class Trace:
     two-instruction thunks, so ``len(body)`` undercounts instructions;
     ``body_insns`` is the architectural instruction count of the body
     and ``steps_cost``/``issued`` stay instruction-granular.
+
+    With *control fusion* active, the last body instruction (a compare
+    or other pure-ALU lead) is absorbed into the control closure:
+    ``control`` executes lead + branch as one unit, ``fused_lead_pc`` /
+    ``fused_lead_key`` record the absorbed instruction's position, and
+    ``body_insns`` still counts it (profile accounting stays
+    instruction-granular).  ``plain_control`` is always the unfused
+    branch closure — hooked replay executes the lead per-instruction
+    and must not run it a second time inside the control.
     """
 
     __slots__ = (
@@ -591,8 +600,11 @@ class Trace:
         "body",
         "body_insns",
         "control",
+        "plain_control",
         "control_pc",
         "control_key",
+        "fused_lead_pc",
+        "fused_lead_key",
         "cont",
         "steps_cost",
         "units",
@@ -606,8 +618,11 @@ class Trace:
         self.body = body
         self.body_insns = len(body)
         self.control = control
+        self.plain_control = control
         self.control_pc = None
         self.control_key = None
+        self.fused_lead_pc = None
+        self.fused_lead_key = None
         self.cont = cont
         self.steps_cost = steps_cost
         self.units = 0
@@ -702,6 +717,57 @@ def _program_control(program, index, ins):
     return control
 
 
+def _program_control_fused(program, index, ins, lead):
+    """Compile a fused lead+branch control for an uncompressed program.
+
+    ``lead`` is the instruction at ``index - 1`` — a pure-ALU/compare
+    lead (:data:`fusion.CONTROL_LEAD_MNEMONICS`), so the lead half
+    cannot raise.  The closure executes lead then branch with the
+    exact reference order: lead (one step), ``steps += 1`` for the
+    branch, link write, decision.  Only ``bc``/``bcl`` tails fuse.
+    Returns ``None`` for any other control.
+    """
+    name = ins.mnemonic
+    if name not in ("bc", "bcl"):
+        return None
+    fallthrough = index + 1
+    bo, bi = ins.operand("BO"), ins.operand("BI")
+    target = index + ins.operand("target")
+    link = program.address_of(fallthrough) if name == "bcl" else None
+
+    feed_crf = fusion.compare_feed(lead)
+    decrement = not (bo & 0b00100)
+    if feed_crf is not None and not decrement and (bi >> 2) == feed_crf[1]:
+        # Compare lead writing the branch's own CR field, no CTR
+        # decrement: the decision tests the just-computed LT/GT/EQ
+        # bits locally instead of re-reading state.cr.
+        feed = feed_crf[0]
+        always = bool(bo & 0b10000)
+        want = (bo >> 3) & 1
+        sel = 3 - (bi & 3)
+
+        def control(state, sim):
+            bits = feed(state)
+            state.steps += 1
+            if link is not None:
+                state.lr = link
+            if always or ((bits >> sel) & 1) == want:
+                return target
+            return fallthrough
+
+    else:
+        lead_thunk = bound_thunk(lead)
+
+        def control(state, sim):
+            lead_thunk(state, sim.memory)
+            state.steps += 1
+            if link is not None:
+                state.lr = link
+            return target if branch_decision(state, bo, bi) else fallthrough
+
+    return control
+
+
 class ProgramTranslationCache:
     """Predecoded ``.text`` plus lazily built traces for one Program."""
 
@@ -749,15 +815,36 @@ class ProgramTranslationCache:
         index = start
         while index < n and not kinds[index] and index - start < MAX_TRACE:
             index += 1
-        body = self._body_span(start, index)
         span = index - start
         if index < n and kinds[index]:
-            trace = Trace(start, body, ops[index], None, span + 1)
+            fused_control = None
+            if index > start:
+                control_pairs = fusion.active_control_pairs()
+                lead = self.instructions[index - 1]
+                tail = self.instructions[index]
+                if (lead.mnemonic, tail.mnemonic) in control_pairs:
+                    fused_control = _program_control_fused(
+                        self.program, index, tail, lead
+                    )
+            if fused_control is not None:
+                # The lead is absorbed into the control: the body span
+                # (and data-pair fusion) stops one instruction early,
+                # but accounting stays instruction-granular.
+                body = self._body_span(start, index - 1)
+                trace = Trace(start, body, fused_control, None, span + 1)
+                trace.fused_lead_pc = index - 1
+                trace.plain_control = ops[index]
+            else:
+                body = self._body_span(start, index)
+                trace = Trace(start, body, ops[index], None, span + 1)
             trace.control_pc = index
         elif index < n:  # capped: chain to a continuation trace
-            trace = Trace(start, body, None, index, span)
+            trace = Trace(start, self._body_span(start, index), None, index, span)
         else:  # ran off the end of .text
-            trace = Trace(start, body, _out_of_text_control(n), None, span)
+            trace = Trace(
+                start, self._body_span(start, index),
+                _out_of_text_control(n), None, span,
+            )
         trace.body_insns = span
         self.traces[start] = trace
         return trace
@@ -826,34 +913,44 @@ def _fell_off_control(last_unit):
 
 
 class StreamTranslationCache:
-    """Predecoded fetch items plus traces for one compressed image.
+    """Predecoded stream columns plus traces for one compressed image.
 
     Positions are ``(item_index, micro)`` pairs — the compressed
-    simulator's native program counter.  Dictionary entries and escaped
-    instructions both go through :func:`bound_thunk`, so entries shared
-    across images share thunks.
+    simulator's native program counter.  The predecode layer consumes
+    the bulk decoder's columnar output directly
+    (:class:`~repro.machine.decompressor.StreamColumns`): thunks bind
+    straight from the per-item instruction column, so the fast path
+    never materializes a ``FetchItem`` tuple.  Dictionary entries and
+    escaped instructions both go through :func:`bound_thunk`, so
+    entries shared across images share thunks.
     """
 
-    def __init__(self, items, item_at_address, text_base, alignment_bits):
-        self.items = items
-        self.item_at_address = item_at_address
+    def __init__(self, columns, text_base, alignment_bits):
+        self.columns = columns
+        self.addresses = columns.addresses
+        self.sizes = columns.sizes
+        self.is_codeword = columns.is_codeword
+        self.instructions = columns.instructions
+        self.count = len(columns)
+        self.item_at_address = columns.index
         self.text_base = text_base
         self.alignment_bits = alignment_bits
         self.traces = {}
         self._controls = {}
+        self._fused_controls = {}
         self.hits = 0
         self.misses = 0
         self.fusion_key = fusion.config_key()
         started = time.perf_counter()
         with observe.stage(
-            "sim.predecode", kind="stream", items=len(items),
+            "sim.predecode", kind="stream", items=self.count,
         ):
             self.item_thunks = tuple(
                 tuple(
                     None if ins.mnemonic in CONTROL_MNEMONICS else bound_thunk(ins)
-                    for ins in item.instructions
+                    for ins in instructions
                 )
-                for item in items
+                for instructions in columns.instructions
             )
         self.predecode_seconds = time.perf_counter() - started
 
@@ -861,7 +958,7 @@ class StreamTranslationCache:
     def _next_key(self, item_index, micro):
         if micro + 1 < len(self.item_thunks[item_index]):
             return (item_index, micro + 1)
-        if item_index + 1 < len(self.items):
+        if item_index + 1 < self.count:
             return (item_index + 1, 0)
         return None
 
@@ -895,22 +992,22 @@ class StreamTranslationCache:
 
     def _build_control(self, key):
         item_index, micro = key
-        item = self.items[item_index]
-        ins = item.instructions[micro]
+        item_address = self.addresses[item_index]
+        ins = self.instructions[item_index][micro]
         name = ins.mnemonic
         fall_key = self._next_key(item_index, micro)
-        last_unit = item.address
+        last_unit = item_address
         resolve = self._resolve_address
 
         def _static_target():
-            unit = item.address + ins.operand("target")
+            unit = item_address + ins.operand("target")
             target_key = self._key_for_unit(unit)
             return unit, target_key
 
         if name in ("b", "bl"):
             unit, target_key = _static_target()
             link = (
-                self.text_base + item.address + item.size_units
+                self.text_base + item_address + self.sizes[item_index]
                 if name == "bl"
                 else None
             )
@@ -932,7 +1029,7 @@ class StreamTranslationCache:
             bo, bi = ins.operand("BO"), ins.operand("BI")
             unit, target_key = _static_target()
             link = (
-                self.text_base + item.address + item.size_units
+                self.text_base + item_address + self.sizes[item_index]
                 if name == "bcl"
                 else None
             )
@@ -976,7 +1073,7 @@ class StreamTranslationCache:
         elif name in ("bcctr", "bcctrl"):
             bo, bi = ins.operand("BO"), ins.operand("BI")
             link = (
-                self.text_base + item.address + item.size_units
+                self.text_base + item_address + self.sizes[item_index]
                 if name == "bcctrl"
                 else None
             )
@@ -1017,6 +1114,99 @@ class StreamTranslationCache:
 
         return control
 
+    def fused_control_at(self, key, lead_key):
+        control = self._fused_controls.get((key, lead_key))
+        if control is None:
+            control = self._build_fused_control(key, lead_key)
+            self._fused_controls[(key, lead_key)] = control
+        return control
+
+    def _build_fused_control(self, key, lead_key):
+        """A lead+branch control closure for a compressed stream.
+
+        ``key`` is the ``bc``/``bcl`` position, ``lead_key`` the
+        pure-ALU/compare position immediately before it in fetch
+        order.  Error semantics are byte-identical to the unfused
+        :meth:`_build_control`: both step increments land before any
+        raise, so a taken branch into an encoded item or a fall off
+        the stream reports the exact reference step count.
+        """
+        item_index, micro = key
+        item_address = self.addresses[item_index]
+        ins = self.instructions[item_index][micro]
+        name = ins.mnemonic
+        li, lm = lead_key
+        lead = self.instructions[li][lm]
+        fall_key = self._next_key(item_index, micro)
+        last_unit = item_address
+        bo, bi = ins.operand("BO"), ins.operand("BI")
+        unit = item_address + ins.operand("target")
+        target_key = self._key_for_unit(unit)
+        link = (
+            self.text_base + item_address + self.sizes[item_index]
+            if name == "bcl"
+            else None
+        )
+
+        feed_crf = fusion.compare_feed(lead)
+        decrement = not (bo & 0b00100)
+        if feed_crf is not None and not decrement and (bi >> 2) == feed_crf[1]:
+            feed = feed_crf[0]
+            always = bool(bo & 0b10000)
+            want = (bo >> 3) & 1
+            sel = 3 - (bi & 3)
+
+            def control(state, sim):
+                bits = feed(state)
+                state.steps += 1
+                if link is not None:
+                    state.lr = link
+                if always or ((bits >> sel) & 1) == want:
+                    if target_key is None:
+                        raise DecompressionError(
+                            f"branch to unit {unit} lands inside an "
+                            f"encoded item",
+                            unit_address=unit,
+                            orig_pc=sim.origin_pc(),
+                            step=state.steps,
+                        )
+                    return target_key
+                if fall_key is None:
+                    raise SimulationError(
+                        "fell off the end of the compressed stream",
+                        unit_address=last_unit,
+                        step=state.steps,
+                    )
+                return fall_key
+
+        else:
+            lead_thunk = bound_thunk(lead)
+
+            def control(state, sim):
+                lead_thunk(state, sim.memory)
+                state.steps += 1
+                if link is not None:
+                    state.lr = link
+                if branch_decision(state, bo, bi):
+                    if target_key is None:
+                        raise DecompressionError(
+                            f"branch to unit {unit} lands inside an "
+                            f"encoded item",
+                            unit_address=unit,
+                            orig_pc=sim.origin_pc(),
+                            step=state.steps,
+                        )
+                    return target_key
+                if fall_key is None:
+                    raise SimulationError(
+                        "fell off the end of the compressed stream",
+                        unit_address=last_unit,
+                        step=state.steps,
+                    )
+                return fall_key
+
+        return control
+
     # -- trace construction -------------------------------------------
     def trace_at(self, key):
         trace = self.traces.get(key)
@@ -1026,7 +1216,8 @@ class StreamTranslationCache:
 
     def build_trace(self, start):
         self.misses += 1
-        items = self.items
+        sizes = self.sizes
+        is_codeword = self.is_codeword
         thunks = self.item_thunks
         positions = []
         units = expansions = escapes = 0
@@ -1039,10 +1230,9 @@ class StreamTranslationCache:
             if count >= MAX_TRACE:
                 cont = (item_index, micro)
                 break
-            item = items[item_index]
             if micro == 0:
-                units += item.size_units
-                if item.is_codeword:
+                units += sizes[item_index]
+                if is_codeword[item_index]:
                     expansions += 1
                 else:
                     escapes += 1
@@ -1055,20 +1245,40 @@ class StreamTranslationCache:
             positions.append((item_index, micro))
             if micro + 1 < len(thunks[item_index]):
                 micro += 1
-            elif item_index + 1 < len(items):
+            elif item_index + 1 < self.count:
                 item_index += 1
                 micro = 0
             else:
                 # The last data instruction executes, then the advance
                 # past the end of the stream raises — exactly the
                 # reference ``_advance`` behaviour.
-                control = _fell_off_control(item.address)
+                control = _fell_off_control(self.addresses[item_index])
                 break
-        steps_cost = len(positions) + (1 if control_key is not None else 0)
-        trace = Trace(
-            start, self._paired_body(positions), control, cont, steps_cost
+        fused_lead_key = None
+        if control_key is not None and positions:
+            control_pairs = fusion.active_control_pairs()
+            if control_pairs:
+                li, lm = positions[-1]
+                lead = self.instructions[li][lm]
+                tail = self.instructions[control_key[0]][control_key[1]]
+                if (lead.mnemonic, tail.mnemonic) in control_pairs:
+                    fused_lead_key = positions[-1]
+        # Control fusion claims the lead before data-pair fusion sees
+        # it, so the body (and its pairing) stops one position early;
+        # fetch/step accounting always covers the full span.
+        body_positions = (
+            positions[:-1] if fused_lead_key is not None else positions
         )
+        steps_cost = len(positions) + (1 if control_key is not None else 0)
+        plain_control = control
+        if fused_lead_key is not None:
+            control = self.fused_control_at(control_key, fused_lead_key)
+        trace = Trace(
+            start, self._paired_body(body_positions), control, cont, steps_cost
+        )
+        trace.plain_control = plain_control
         trace.control_key = control_key
+        trace.fused_lead_key = fused_lead_key
         trace.units = units
         trace.expansions = expansions
         trace.escapes = escapes
@@ -1088,7 +1298,7 @@ class StreamTranslationCache:
         pairs = fusion.active_pairs()
         if not pairs:
             return tuple(thunks[ii][mm] for ii, mm in positions)
-        items = self.items
+        instructions = self.instructions
         body = []
         i = 0
         n = len(positions)
@@ -1096,8 +1306,8 @@ class StreamTranslationCache:
             ii, mm = positions[i]
             if i + 1 < n:
                 jj, mj = positions[i + 1]
-                a = items[ii].instructions[mm]
-                b = items[jj].instructions[mj]
+                a = instructions[ii][mm]
+                b = instructions[jj][mj]
                 if (a.mnemonic, b.mnemonic) in pairs:
                     fused = fusion.fused_thunk(a, b)
                     if fused is not None:
@@ -1125,14 +1335,12 @@ STREAM_CACHE_CAPACITY = 32
 
 
 def stream_cache(
-    content_key, text_base, items, item_at_address, alignment_bits
+    content_key, text_base, columns, alignment_bits
 ) -> StreamTranslationCache:
     key = (content_key, text_base)
     cache = _STREAM_CACHES.get(key)
     if cache is None:
-        cache = StreamTranslationCache(
-            items, item_at_address, text_base, alignment_bits
-        )
+        cache = StreamTranslationCache(columns, text_base, alignment_bits)
         _STREAM_CACHES[key] = cache
         while len(_STREAM_CACHES) > STREAM_CACHE_CAPACITY:
             _STREAM_CACHES.popitem(last=False)
@@ -1141,6 +1349,7 @@ def stream_cache(
     fusion_key = fusion.config_key()
     if cache.fusion_key != fusion_key:
         cache.traces.clear()
+        cache._fused_controls.clear()
         cache.fusion_key = fusion_key
     return cache
 
@@ -1150,8 +1359,7 @@ def stream_cache_for(sim) -> StreamTranslationCache:
     return stream_cache(
         sim._translation_key(),
         sim._text_base,
-        sim.items,
-        sim.item_at_address,
+        sim._columns,
         sim._alignment_bits,
     )
 
@@ -1169,6 +1377,43 @@ def translation_cache_stats() -> dict:
         "thunk_hits": info.hits,
         "thunk_misses": info.misses,
         "thunks": info.currsize,
+    }
+
+
+def control_fusion_report(program, counts) -> dict:
+    """Measured control-fusion coverage for one profiled program.
+
+    ``counts`` are per-instruction execution counts (e.g. from
+    :func:`repro.machine.simulator.profile_program`).  A *site* is an
+    adjacent compare + ``bc``/``bcl`` pair in ``.text``; its dynamic
+    weight is ``min(count_lead, count_branch)`` — the same rule the
+    fusion miner uses.  A site counts as fused when any built trace
+    absorbed its lead into the control closure, so the report reflects
+    what actually executed fused, not what theoretically could.
+    """
+    cache = program_cache(program)
+    fused_sites = {
+        trace.fused_lead_pc
+        for trace in cache.traces.values()
+        if trace.fused_lead_pc is not None
+    }
+    text = program.text
+    sites = []
+    for i in range(len(text) - 1):
+        a = text[i].instruction.mnemonic
+        b = text[i + 1].instruction.mnemonic
+        if a in fusion.COMPARE_MNEMONICS and b in fusion.CONTROL_TAIL_MNEMONICS:
+            sites.append(i)
+    dynamic_pairs = sum(min(counts[i], counts[i + 1]) for i in sites)
+    dynamic_fused = sum(
+        min(counts[i], counts[i + 1]) for i in sites if i in fused_sites
+    )
+    return {
+        "sites": len(sites),
+        "fused_sites": sum(1 for i in sites if i in fused_sites),
+        "dynamic_pairs": dynamic_pairs,
+        "dynamic_fused": dynamic_fused,
+        "coverage": (dynamic_fused / dynamic_pairs) if dynamic_pairs else 1.0,
     }
 
 
@@ -1213,11 +1458,15 @@ def run_program_fast(sim) -> RunResult:
             sim.pc = pc
             sim.fetches += trace.steps_cost
             if hooked:
+                # The replay executes every instruction (fused leads
+                # included) one at a time, so the control transfer must
+                # be the plain, unfused closure.
                 _run_program_trace_hooked(sim, trace, state, memory, cache)
+                control = trace.plain_control
             else:
                 for thunk in trace.body:
                     thunk(state, memory)
-            control = trace.control
+                control = trace.control
             if control is None:
                 pc = trace.cont
             else:
@@ -1376,9 +1625,12 @@ def run_compressed_fast(sim) -> RunResult:
             if hook is None:
                 for thunk in trace.body:
                     thunk(state, memory)
+                control = trace.control
             else:
+                # Per-instruction replay already executed the fused
+                # lead; finish with the plain branch closure.
                 _run_stream_trace_hooked(sim, trace, state, memory, hook, cache)
-            control = trace.control
+                control = trace.plain_control
             if control is None:
                 key = trace.cont
             else:
@@ -1405,23 +1657,26 @@ def _run_stream_trace_hooked(sim, trace, state, memory, hook, cache):
     ``simulator._item()``.  The trailing control instruction's fetch
     event fires here; the control transfer itself runs in the caller.
     """
-    items = cache.items
+    addresses = cache.addresses
+    sizes = cache.sizes
     thunks = cache.item_thunks
     alignment_bits = cache.alignment_bits
     item_index, micro = trace.start
     for _ in range(trace.issued):
         if micro == 0:
-            item = items[item_index]
             sim.item_index = item_index
             sim.micro = 0
-            hook((item.address * alignment_bits) // 8, item.size_units)
+            hook(
+                (addresses[item_index] * alignment_bits) // 8,
+                sizes[item_index],
+            )
         thunk = thunks[item_index][micro]
         if thunk is None:  # control position: event fired, body done
             break
         thunk(state, memory)
         if micro + 1 < len(thunks[item_index]):
             micro += 1
-        elif item_index + 1 < len(items):
+        elif item_index + 1 < cache.count:
             item_index += 1
             micro = 0
         else:  # last data instruction; the fell-off control raises next
@@ -1493,18 +1748,19 @@ def step_stream_once(sim, cache=None) -> None:
     if cache is None:
         cache = stream_cache_for(sim)
     item_index, micro = sim.item_index, sim.micro
-    item = cache.items[item_index]
+    size_units = cache.sizes[item_index]
     state = sim.state
     stats = sim.stats
     if micro == 0:
-        stats.units_fetched += item.size_units
-        if item.is_codeword:
+        stats.units_fetched += size_units
+        if cache.is_codeword[item_index]:
             stats.codeword_expansions += 1
         else:
             stats.escaped_instructions += 1
         if sim.fetch_hook is not None:
             sim.fetch_hook(
-                (item.address * cache.alignment_bits) // 8, item.size_units
+                (cache.addresses[item_index] * cache.alignment_bits) // 8,
+                size_units,
             )
     stats.instructions_issued += 1
     thunk = cache.item_thunks[item_index][micro]
@@ -1517,7 +1773,7 @@ def step_stream_once(sim, cache=None) -> None:
         if next_key is None:
             raise SimulationError(
                 "fell off the end of the compressed stream",
-                unit_address=item.address,
+                unit_address=cache.addresses[item_index],
                 step=state.steps,
             )
         sim.item_index, sim.micro = next_key

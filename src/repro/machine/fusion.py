@@ -37,6 +37,24 @@ hottest adjacent data-instruction pairs mined from
 workload-specific pairs.  The active configuration is process-wide;
 translation caches key their traces on :func:`config_key` and rebuild
 when it changes.
+
+**Control fusion** is the second, independent axis: ~46% of adjacent
+executed pairs suite-wide are a compare followed by a conditional
+branch, and PR 8's data-pair fusion deliberately stopped short of
+control flow.  A *control pair* fuses the trailing lead instruction
+into the trace-terminating control closure itself
+(:func:`repro.machine.fastpath._program_control_fused` and the stream
+equivalent): the lead executes inside the fused control, the trace
+body shrinks by one thunk, and — when the lead is a compare feeding
+the branch's own CR field — the branch decision tests the just
+computed 4-bit field value locally (:func:`compare_feed`) instead of
+re-reading ``state.cr``.  Leads are restricted to
+:data:`CONTROL_LEAD_MNEMONICS` (pure ALU/compare templates that cannot
+raise), so a fused compare+branch can only fault in its branch half
+and error step counts stay trivially exact.  The control plan is
+configured/mined separately (:data:`DEFAULT_CONTROL_PAIRS`,
+:func:`control_plan_from_profile`) and contributes its own component
+to :func:`config_key`.
 """
 
 from __future__ import annotations
@@ -68,22 +86,62 @@ DEFAULT_PAIRS: tuple[tuple[str, str], ...] = (
 )
 DEFAULT_TOP_K = 12
 
+# Compares write one 4-bit CR field; fused into a conditional branch
+# they let the decision test the freshly computed field locally.
+COMPARE_MNEMONICS = frozenset({"cmpwi", "cmplwi", "cmpw", "cmplw"})
+
+# Conditional branches a control pair may fuse into.  ``bclr``/``bcctr``
+# resolve dynamic targets (and ``sc`` halts) — their corners stay on
+# the plain control path.
+CONTROL_TAIL_MNEMONICS = frozenset({"bc", "bcl"})
+
+# Every compare x conditional-branch combination plus the ``addi + bc``
+# loop-tail idiom: together these cover the compare+branch adjacency
+# that dominates the suite's control transfers.
+DEFAULT_CONTROL_PAIRS: tuple[tuple[str, str], ...] = (
+    ("cmpwi", "bc"),
+    ("cmplwi", "bc"),
+    ("cmpw", "bc"),
+    ("cmplw", "bc"),
+    ("cmpwi", "bcl"),
+    ("cmplwi", "bcl"),
+    ("cmpw", "bcl"),
+    ("cmplw", "bcl"),
+    ("addi", "bc"),
+)
+
 _enabled = True
 _pairs: frozenset = frozenset(DEFAULT_PAIRS)
+_control_enabled = True
+_control_pairs: frozenset = frozenset(DEFAULT_CONTROL_PAIRS)
 
 
-def configure(*, enabled=None, pairs=None) -> dict:
+def configure(
+    *, enabled=None, pairs=None, control_enabled=None, control_pairs=None
+) -> dict:
     """Set the process-wide fusion config; returns the previous one.
 
-    ``pairs`` is an iterable of ``(mnemonic, mnemonic)`` tuples (the
-    plan); ``None`` leaves the current plan in place.
+    ``pairs``/``control_pairs`` are iterables of ``(mnemonic,
+    mnemonic)`` tuples (the data and control plans); ``None`` leaves
+    the current plan in place.  ``enabled`` is the master switch —
+    disabling it turns control fusion off too; ``control_enabled``
+    gates only the control-pair axis.
     """
-    global _enabled, _pairs
-    previous = {"enabled": _enabled, "pairs": tuple(sorted(_pairs))}
+    global _enabled, _pairs, _control_enabled, _control_pairs
+    previous = {
+        "enabled": _enabled,
+        "pairs": tuple(sorted(_pairs)),
+        "control_enabled": _control_enabled,
+        "control_pairs": tuple(sorted(_control_pairs)),
+    }
     if enabled is not None:
         _enabled = bool(enabled)
     if pairs is not None:
         _pairs = frozenset(tuple(pair) for pair in pairs)
+    if control_enabled is not None:
+        _control_enabled = bool(control_enabled)
+    if control_pairs is not None:
+        _control_pairs = frozenset(tuple(pair) for pair in control_pairs)
     return previous
 
 
@@ -91,26 +149,48 @@ def fusion_enabled() -> bool:
     return _enabled
 
 
+def control_fusion_enabled() -> bool:
+    return _enabled and _control_enabled
+
+
 def active_pairs() -> frozenset:
     """The pairs traces may fuse right now (empty when disabled)."""
     return _pairs if _enabled else frozenset()
 
 
+def active_control_pairs() -> frozenset:
+    """Lead+branch pairs traces may fuse into control closures."""
+    if _enabled and _control_enabled:
+        return _control_pairs
+    return frozenset()
+
+
 def config_key() -> tuple:
-    """Hashable token for the current config (trace caches key on it)."""
-    if not _enabled:
-        return ("off",)
-    return ("on", tuple(sorted(_pairs)))
+    """Hashable token for the current config (trace caches key on it).
+
+    Two independent components: the data-pair plan and the control-pair
+    plan — a change on either axis invalidates built traces.
+    """
+    data = ("off",) if not _enabled else ("on", tuple(sorted(_pairs)))
+    if _enabled and _control_enabled:
+        control = ("on", tuple(sorted(_control_pairs)))
+    else:
+        control = ("off",)
+    return (data, control)
 
 
 def fusion_stats() -> dict:
     info = fused_thunk.cache_info()
+    feeds = compare_feed.cache_info()
     return {
         "enabled": _enabled,
         "pairs": sorted(_pairs),
+        "control_enabled": _enabled and _control_enabled,
+        "control_pairs": sorted(_control_pairs),
         "compiled": info.currsize,
         "thunk_hits": info.hits,
         "thunk_misses": info.misses,
+        "compare_feeds": feeds.currsize,
     }
 
 
@@ -141,6 +221,34 @@ def mine_adjacent_pairs(program, counts) -> Counter:
 def plan_from_profile(program, counts, top_k: int = DEFAULT_TOP_K):
     """The ``top_k`` hottest fusable pairs for one profiled program."""
     mined = mine_adjacent_pairs(program, counts)
+    return tuple(pair for pair, _ in mined.most_common(top_k))
+
+
+def mine_control_pairs(program, counts) -> Counter:
+    """Adjacent lead+branch pairs weighted by execution count.
+
+    A pair qualifies when the lead has a non-raising template (pure
+    ALU/compare — memory leads are excluded so a fused control can
+    only fault in its branch half) and the tail is a fusable
+    conditional branch.  Weights follow the same ``min(count_i,
+    count_i+1)`` rule as :func:`mine_adjacent_pairs`.
+    """
+    pairs: Counter = Counter()
+    text = program.text
+    for i in range(len(text) - 1):
+        a = text[i].instruction.mnemonic
+        b = text[i + 1].instruction.mnemonic
+        if a not in CONTROL_LEAD_MNEMONICS or b not in CONTROL_TAIL_MNEMONICS:
+            continue
+        weight = min(counts[i], counts[i + 1])
+        if weight:
+            pairs[(a, b)] += weight
+    return pairs
+
+
+def control_plan_from_profile(program, counts, top_k: int = DEFAULT_TOP_K):
+    """The ``top_k`` hottest lead+branch pairs for one profiled program."""
+    mined = mine_control_pairs(program, counts)
     return tuple(pair for pair, _ in mined.most_common(top_k))
 
 
@@ -392,6 +500,105 @@ _ENV = {
 
 assert not FUSABLE_MNEMONICS & CONTROL_MNEMONICS
 
+# Leads eligible for control fusion: pure ALU/compare templates only.
+# Excluding memory instructions keeps the fused control's lead half
+# fault-free, so a trace-granularity error can only originate in the
+# branch half — which the fused control raises with the exact same
+# step count and error fields as the reference interpreter.
+_MEMORY_MNEMONICS = frozenset({
+    "lwz", "lwzu", "lbz", "lbzu", "lhz", "lha",
+    "stw", "stwu", "stb", "stbu", "sth",
+})
+CONTROL_LEAD_MNEMONICS = FUSABLE_MNEMONICS - _MEMORY_MNEMONICS
+
+assert COMPARE_MNEMONICS <= CONTROL_LEAD_MNEMONICS
+assert not CONTROL_LEAD_MNEMONICS & CONTROL_MNEMONICS
+assert CONTROL_TAIL_MNEMONICS <= CONTROL_MNEMONICS
+
+
+def _compare_feed(signed: bool, immediate: bool):
+    """Build the compare-feed compiler for one compare flavour."""
+
+    def build(ins):
+        crf = ins.operand("crfD")
+        ra = ins.operand("rA")
+        shift = 28 - 4 * crf
+        clear = ~(0xF << shift)
+        if immediate:
+            if signed:
+                rhs = ins.operand("SI")
+
+                def feed(state):
+                    a = bitutils.s32(state.gpr[ra])
+                    bits = 8 if a < rhs else 4 if a > rhs else 2
+                    state.cr = (state.cr & clear) | (bits << shift)
+                    state.steps += 1
+                    return bits
+
+            else:
+                rhs = ins.operand("UI")
+
+                def feed(state):
+                    a = state.gpr[ra]
+                    bits = 8 if a < rhs else 4 if a > rhs else 2
+                    state.cr = (state.cr & clear) | (bits << shift)
+                    state.steps += 1
+                    return bits
+
+        else:
+            rb = ins.operand("rB")
+            if signed:
+
+                def feed(state):
+                    gpr = state.gpr
+                    a = bitutils.s32(gpr[ra])
+                    b = bitutils.s32(gpr[rb])
+                    bits = 8 if a < b else 4 if a > b else 2
+                    state.cr = (state.cr & clear) | (bits << shift)
+                    state.steps += 1
+                    return bits
+
+            else:
+
+                def feed(state):
+                    gpr = state.gpr
+                    a = gpr[ra]
+                    b = gpr[rb]
+                    bits = 8 if a < b else 4 if a > b else 2
+                    state.cr = (state.cr & clear) | (bits << shift)
+                    state.steps += 1
+                    return bits
+
+        return feed, crf
+
+    return build
+
+
+_COMPARE_FEEDS = {
+    "cmpwi": _compare_feed(signed=True, immediate=True),
+    "cmplwi": _compare_feed(signed=False, immediate=True),
+    "cmpw": _compare_feed(signed=True, immediate=False),
+    "cmplw": _compare_feed(signed=False, immediate=False),
+}
+
+assert frozenset(_COMPARE_FEEDS) == COMPARE_MNEMONICS
+
+
+@lru_cache(maxsize=4096)
+def compare_feed(ins):
+    """A ``(feed, crf)`` pair for a compare lead, else ``None``.
+
+    ``feed(state)`` executes the compare — CR field write plus one
+    step — and returns the 3-bit LT/GT/EQ mask it just wrote, so a
+    fused control can test the branch condition on the local value
+    without re-reading ``state.cr``.  Non-compare leads return
+    ``None``; they fuse via the generic bound-thunk path instead.
+    """
+    builder = _COMPARE_FEEDS.get(ins.mnemonic)
+    if builder is None:
+        return None
+    return builder(ins)
+
 
 @lru_cache(maxsize=16384)
 def fused_thunk(ins_a, ins_b):
@@ -443,3 +650,4 @@ def fused_source(ins_a, ins_b) -> str | None:
 def clear_fused_thunks() -> None:
     """Drop compiled fused thunks (tests, memory pressure)."""
     fused_thunk.cache_clear()
+    compare_feed.cache_clear()

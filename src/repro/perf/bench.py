@@ -187,6 +187,20 @@ def _bench_simulation(
         ),
     }
 
+    # Control-fusion footprint: adjacent compare+branch sites in .text
+    # vs the sites whose traces actually fused the pair, weighted by
+    # measured execution counts.  The profile gets a much higher bound
+    # than the timing probes — accuracy matters more than wall time
+    # here, and the fast engine makes a full run cheap; if even that
+    # bound truncates, the dynamic weights honestly read zero.
+    try:
+        counts = profile_program(
+            program, max_steps=max(simulate_steps, 2_000_000)
+        )
+    except SimulationError:
+        counts = [0] * len(program.text)
+    doc["fusion_control"] = fastpath.control_fusion_report(program, counts)
+
     # profile_program end-to-end (the ext_dynamic / weighted-greedy
     # front end): whole-trace counting vs the index-hook reference.
     def profile_once(implementation):
@@ -337,6 +351,27 @@ def _bench_encoding(
         else 0.0
     )
 
+    # Columnar fetch path: the parallel arrays the translation layer
+    # binds thunks from, timed without the FetchItem tuple
+    # materialization that ``decode_stream`` adds on top.
+    result["decode_columnar_seconds"] = _best(
+        lambda: bulkdecode.decode_stream_columnar(decoder), repeats
+    )
+    columns = bulkdecode.decode_stream_columnar(decoder)
+    result["decode_columnar_items_per_second"] = (
+        len(columns) / result["decode_columnar_seconds"]
+        if result["decode_columnar_seconds"] > 0
+        else 0.0
+    )
+    result["decode_columnar_speedup"] = (
+        result["decode_bulk_seconds"] / result["decode_columnar_seconds"]
+        if result["decode_columnar_seconds"] > 0
+        else float("inf")
+    )
+    result["decode_columnar_identical"] = (
+        list(columns.items()) == decoder.decode_all_reference()
+    )
+
     if simulate:
 
         def simulate_once(implementation):
@@ -448,6 +483,9 @@ def run_bench(
     encodings = list(encodings or DEFAULT_ENCODINGS)
     if repeats < 1:
         raise ReproError("repeats must be >= 1")
+    from repro.machine import bulkdecode
+
+    bulkdecode.reset_bulk_stats()
     run_start = time.perf_counter()
     program_docs: dict[str, dict] = {}
     for name in programs:
@@ -515,6 +553,7 @@ def run_bench(
     ]
     decode_identical = all(
         enc_doc.get("decode_identical_items", True)
+        and enc_doc.get("decode_columnar_identical", True)
         for doc in program_docs.values()
         for enc_doc in doc["encodings"].values()
     )
@@ -540,6 +579,13 @@ def run_bench(
     ]
     if compressed_speedups:
         aggregate["compressed_sim_speedup_largest"] = min(compressed_speedups)
+    control_coverages = [
+        doc["simulation"]["fusion_control"]["coverage"]
+        for doc in program_docs.values()
+        if "fusion_control" in doc.get("simulation", {})
+    ]
+    if control_coverages:
+        aggregate["control_fusion_coverage_min"] = min(control_coverages)
     aggregate["wall_seconds"] = time.perf_counter() - run_start
     run_doc = {
         "config": {
@@ -555,6 +601,10 @@ def run_bench(
         "platform": platform.platform(),
         "programs": program_docs,
         "aggregate": aggregate,
+        # Per-reason bulk-decoder fallback counters across the whole
+        # run (reset at entry): nonzero reasons explain every decode
+        # that took the reference walk instead of the table path.
+        "bulk_decode": bulkdecode.bulk_stats(),
     }
     if workers > 0:
         run_doc["workers"] = _bench_workers(programs, scale, encodings, workers)
@@ -621,6 +671,13 @@ def check_regression(
         if sim and base_sim:
             for key in ("fast_steps_per_second", "reference_steps_per_second"):
                 guard_throughput(f"{name}/simulation", sim, base_sim, key)
+            current_fc = sim.get("fusion_control", {}).get("coverage")
+            base_fc = base_sim.get("fusion_control", {}).get("coverage")
+            if current_fc is not None and base_fc and current_fc * factor < base_fc:
+                violations.append(
+                    f"{name}/simulation: control fusion coverage "
+                    f"{current_fc:.1%} < baseline {base_fc:.1%} / {factor:g}"
+                )
         for encoding_name, enc_doc in doc.get("encodings", {}).items():
             base_enc = base_doc.get("encodings", {}).get(encoding_name)
             if base_enc is None:
@@ -637,6 +694,7 @@ def check_regression(
                 "simulate_fast_insn_per_second",
                 "simulate_insn_per_second",
                 "decode_items_per_second",
+                "decode_columnar_items_per_second",
             ):
                 guard_throughput(
                     f"{name}/{encoding_name}", enc_doc, base_enc, key

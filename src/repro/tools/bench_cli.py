@@ -30,7 +30,10 @@ exceeds ``--guard-factor`` (default 2.0) times the baseline — or whose
 simulation throughput (steps/sec or insn/sec) drops below baseline
 divided by the same factor — makes the command exit with status 3.
 ``--decode-guard FACTOR`` is an absolute (baseline-free) floor on the
-bulk decoder's speedup over the reference walk, also exiting 3.
+bulk decoder's speedup over the reference walk, also exiting 3;
+``--fusion-guard COVERAGE`` is the same kind of floor on measured
+control-fusion coverage (dynamically executed cmp+branch pairs that
+ran fused).
 A fast-vs-reference architectural-state mismatch exits with status 4,
 like a greedy/image identity failure or a bulk-vs-reference decode
 item mismatch.
@@ -223,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 3) if the bulk decode speedup over the "
         "reference walk drops below FACTOR on any program x encoding",
     )
+    parser.add_argument(
+        "--fusion-guard",
+        type=float,
+        default=None,
+        metavar="COVERAGE",
+        help="fail (exit 3) if measured control-fusion coverage (the "
+        "fraction of dynamically executed adjacent cmp+branch pairs "
+        "that ran fused) drops below COVERAGE on any program",
+    )
     return parser
 
 
@@ -367,6 +379,29 @@ def _print_decode(run_doc: dict) -> None:
                 f"{fusion['compiled_thunks']} compiled over "
                 f"{fusion['planned_pairs']} pairs)"
             )
+        control = doc.get("simulation", {}).get("fusion_control")
+        if control:
+            print(
+                f"control fusion: {name}: {control['fused_sites']}/"
+                f"{control['sites']} cmp+branch sites fused; dynamic "
+                f"coverage {control['coverage']:.1%} "
+                f"({control['dynamic_fused']:,}/"
+                f"{control['dynamic_pairs']:,} executed pairs)"
+            )
+    bulk = run_doc.get("bulk_decode")
+    if bulk:
+        reasons = bulk.get("fallback_reasons") or {}
+        detail = (
+            "; ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(reasons.items())
+            )
+            or "none"
+        )
+        print(
+            f"bulk decode fallbacks: {bulk.get('fallbacks', 0)}/"
+            f"{bulk.get('decodes', 0)} decodes ({detail})"
+        )
 
 
 def _decode_guard_violations(run_doc: dict, factor: float) -> list[str]:
@@ -380,6 +415,23 @@ def _decode_guard_violations(run_doc: dict, factor: float) -> list[str]:
                     f"{name}/{encoding_name}: bulk decode speedup "
                     f"{speedup:.2f}x < required {factor:g}x"
                 )
+    return violations
+
+
+def _fusion_guard_violations(run_doc: dict, floor: float) -> list[str]:
+    """Absolute floor on measured control-fusion coverage."""
+    violations = []
+    for name, doc in run_doc["programs"].items():
+        control = doc.get("simulation", {}).get("fusion_control")
+        if control is None:
+            continue
+        if control["coverage"] < floor:
+            violations.append(
+                f"{name}: control fusion coverage {control['coverage']:.1%} "
+                f"< required {floor:.1%} "
+                f"({control['dynamic_fused']:,}/"
+                f"{control['dynamic_pairs']:,} executed pairs)"
+            )
     return violations
 
 
@@ -461,6 +513,17 @@ def main(argv: list[str] | None = None) -> int:
                 status = status or 3
             else:
                 print(f"decode guard: bulk >= {args.decode_guard:g}x everywhere")
+        if args.fusion_guard is not None:
+            violations = _fusion_guard_violations(run_doc, args.fusion_guard)
+            if violations:
+                for violation in violations:
+                    print(f"FUSION GUARD: {violation}", file=sys.stderr)
+                status = status or 3
+            else:
+                print(
+                    f"fusion guard: control coverage >= "
+                    f"{args.fusion_guard:.0%} everywhere"
+                )
         if not run_doc["aggregate"]["identical_everywhere"]:
             print(
                 "ERROR: fast greedy output differs from greedy_reference",

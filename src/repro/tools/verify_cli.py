@@ -96,6 +96,10 @@ def cmd_fastpath(args) -> int:
     )
     if args.fusion == "off":
         fusion.configure(enabled=False)
+    elif args.fusion == "control":
+        # Isolate the control axis: no data pairs, so every divergence
+        # is attributable to the fused compare+branch closures.
+        fusion.configure(enabled=True, pairs=(), control_enabled=True)
     else:
         fusion.configure(enabled=True)
     for program in _programs(args):
@@ -105,6 +109,12 @@ def cmd_fastpath(args) -> int:
             counts = profile_program(program, max_steps=args.max_steps)
             plan = fusion.plan_from_profile(program, counts)
             fusion.configure(pairs=plan or fusion.DEFAULT_PAIRS)
+        elif args.fusion == "control":
+            counts = profile_program(program, max_steps=args.max_steps)
+            plan = fusion.control_plan_from_profile(program, counts)
+            fusion.configure(
+                control_pairs=plan or fusion.DEFAULT_CONTROL_PAIRS
+            )
         for result in verify_fastpath(
             program, encodings=encodings, max_steps=args.max_steps
         ):
@@ -117,6 +127,11 @@ def cmd_fastpath(args) -> int:
             f"fusion: {stats['compiled']} fused thunk(s) compiled over "
             f"{len(stats['pairs'])} planned pair(s)"
         )
+        if stats["control_enabled"]:
+            print(
+                f"control fusion: {stats['compare_feeds']} compare feed(s) "
+                f"compiled over {len(stats['control_pairs'])} control pair(s)"
+            )
     if failures:
         print(f"\nrepro-verify: {failures} fast-path divergence(s)")
     return 1 if failures else 0
@@ -191,11 +206,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common_options(fastpath, default_encodings="baseline,nibble,onebyte")
     fastpath.add_argument("--max-steps", type=int, default=1_000_000)
-    fastpath.add_argument("--fusion", choices=("on", "off", "profile"),
+    fastpath.add_argument("--fusion",
+                          choices=("on", "off", "profile", "control"),
                           default="on",
                           help="superinstruction fusion during the trace "
                           "lockstep: suite-wide plan (on), disabled (off), "
-                          "or a per-program profile-mined plan (profile)")
+                          "a per-program profile-mined plan (profile), or "
+                          "control fusion alone with a profile-mined "
+                          "cmp+branch plan and data pairs off (control)")
     fastpath.set_defaults(func=cmd_fastpath)
 
     invariants = sub.add_parser(

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from repro.core.compressor import CompressedProgram, compress
 from repro.core.encodings import make_encoding
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationError
 from repro.linker.program import Program
 from repro.machine import fastpath
 from repro.machine.compressed_sim import CompressedSimulator
@@ -131,6 +131,50 @@ def _compare_states(fast, reference, position_of) -> tuple[str, str] | None:
     return None
 
 
+def _same_error(fast_error, ref_error) -> bool:
+    """Zero-forgiveness error equality: type, message, AND location.
+
+    ``SimulationError`` embeds its structured location in the message,
+    but the fields are compared explicitly anyway — a fused control
+    closure that mis-stepped a fault would otherwise only be caught if
+    the formatting happened to differ.
+    """
+    if fast_error is None or ref_error is None:
+        return False
+    if type(fast_error) is not type(ref_error):
+        return False
+    if str(fast_error) != str(ref_error):
+        return False
+    if isinstance(fast_error, SimulationError):
+        return (
+            fast_error.unit_address == ref_error.unit_address
+            and fast_error.orig_pc == ref_error.orig_pc
+            and fast_error.step == ref_error.step
+        )
+    return True
+
+
+def _error_divergence(fast_error, ref_error, executed) -> FastpathDivergence:
+    def describe(error):
+        if error is None:
+            return "None"
+        if isinstance(error, SimulationError):
+            return (
+                f"{error!r} (unit_address={error.unit_address}, "
+                f"orig_pc={error.orig_pc}, step={error.step})"
+            )
+        return repr(error)
+
+    return FastpathDivergence(
+        kind="exception",
+        detail=(
+            f"fast raised {describe(fast_error)}, "
+            f"reference raised {describe(ref_error)}"
+        ),
+        step=executed,
+    )
+
+
 def _lockstep(name, engine, fast, reference, step_fast, step_ref,
               position_of, max_steps) -> FastpathResult:
     fast_stores = _StoreLog(fast.memory)
@@ -158,24 +202,9 @@ def _lockstep(name, engine, fast, reference, step_fast, step_ref,
         except ReproError as exc:
             ref_error = exc
         if fast_error is not None or ref_error is not None:
-            same = (
-                fast_error is not None
-                and ref_error is not None
-                and type(fast_error) is type(ref_error)
-                and str(fast_error) == str(ref_error)
-            )
-            if same:
+            if _same_error(fast_error, ref_error):
                 return result(None)
-            return result(
-                FastpathDivergence(
-                    kind="exception",
-                    detail=(
-                        f"fast raised {fast_error!r}, "
-                        f"reference raised {ref_error!r}"
-                    ),
-                    step=executed,
-                )
-            )
+            return result(_error_divergence(fast_error, ref_error, executed))
         executed += 1
         mismatch = _compare_states(fast, reference, position_of)
         if mismatch is None and fast_stores.events != ref_stores.events:
@@ -248,24 +277,9 @@ def _lockstep_traces(name, engine, fast, reference, step_trace, step_ref,
             except ReproError as exc:
                 ref_error = exc
         if fast_error is not None or ref_error is not None:
-            same = (
-                fast_error is not None
-                and ref_error is not None
-                and type(fast_error) is type(ref_error)
-                and str(fast_error) == str(ref_error)
-            )
-            if same:
+            if _same_error(fast_error, ref_error):
                 return result(None)
-            return result(
-                FastpathDivergence(
-                    kind="exception",
-                    detail=(
-                        f"fast raised {fast_error!r}, "
-                        f"reference raised {ref_error!r}"
-                    ),
-                    step=executed,
-                )
-            )
+            return result(_error_divergence(fast_error, ref_error, executed))
         mismatch = _compare_states(fast, reference, position_of)
         if mismatch is None and fast_stores.events != ref_stores.events:
             mismatch = (

@@ -160,6 +160,22 @@ class TestFallback:
             bulkdecode.decode_stream(decoder)
         assert bulkdecode.bulk_stats()["fallbacks"] == before + 1
 
+    def test_fallback_reasons_counted_per_reason(self, tiny_program):
+        bulkdecode.reset_bulk_stats()
+        decoder = _decoder(
+            compress(tiny_program, make_encoding("nibble")), strict=False
+        )
+        with pytest.raises(bulkdecode.BulkFallback):
+            bulkdecode.decode_stream(decoder)
+        stats = bulkdecode.bulk_stats()
+        assert stats["fallbacks"] == 1
+        assert sum(stats["fallback_reasons"].values()) == 1
+        (reason,) = stats["fallback_reasons"]
+        assert "lenient" in reason
+        # The snapshot is a copy: mutating it must not touch the counters.
+        stats["fallback_reasons"][reason] = 99
+        assert bulkdecode.bulk_stats()["fallback_reasons"][reason] == 1
+
 
 class TestBackends:
     def test_unknown_backend_rejected(self):

@@ -22,10 +22,16 @@ from repro.machine.state import MachineState
 
 @pytest.fixture(autouse=True)
 def _default_fusion_config():
-    fusion.configure(enabled=True, pairs=fusion.DEFAULT_PAIRS)
+    fusion.configure(
+        enabled=True, pairs=fusion.DEFAULT_PAIRS,
+        control_enabled=True, control_pairs=fusion.DEFAULT_CONTROL_PAIRS,
+    )
     fastpath.clear_translation_caches()
     yield
-    fusion.configure(enabled=True, pairs=fusion.DEFAULT_PAIRS)
+    fusion.configure(
+        enabled=True, pairs=fusion.DEFAULT_PAIRS,
+        control_enabled=True, control_pairs=fusion.DEFAULT_CONTROL_PAIRS,
+    )
     fastpath.clear_translation_caches()
 
 
@@ -194,11 +200,27 @@ class TestPlanning:
     def test_config_key_tracks_state(self):
         on_key = fusion.config_key()
         fusion.configure(enabled=False)
-        assert fusion.config_key() == ("off",)
+        # Disabling the master switch turns both axes off.
+        assert fusion.config_key() == (("off",), ("off",))
         fusion.configure(enabled=True)
         assert fusion.config_key() == on_key
         fusion.configure(pairs=[("addi", "add")])
         assert fusion.config_key() != on_key
+
+    def test_config_key_tracks_control_axis(self):
+        on_key = fusion.config_key()
+        previous = fusion.configure(control_enabled=False)
+        assert previous["control_enabled"] is True
+        off_key = fusion.config_key()
+        assert off_key != on_key
+        assert off_key[0] == on_key[0]  # data axis untouched
+        assert off_key[1] == ("off",)
+        fusion.configure(control_enabled=True)
+        assert fusion.config_key() == on_key
+        fusion.configure(control_pairs=[("cmpwi", "bc")])
+        assert fusion.config_key() != on_key
+        assert fusion.active_control_pairs() == {("cmpwi", "bc")}
+        fusion.configure(control_pairs=fusion.DEFAULT_CONTROL_PAIRS)
 
     def test_plan_from_profile_mines_hot_pairs(self, tiny_program):
         counts = profile_program(tiny_program, max_steps=100_000)

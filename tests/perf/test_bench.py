@@ -123,6 +123,32 @@ class TestRunBench:
         assert fusion["trace_instructions"] >= fusion["trace_thunks"] > 0
         assert 0.0 <= fusion["body_shrink"] < 1.0
 
+    def test_control_fusion_keys(self, run_doc):
+        control = run_doc["programs"]["compress"]["simulation"]["fusion_control"]
+        assert control["sites"] >= control["fused_sites"] > 0
+        # The tiny simulate_steps bound truncates the profile, so the
+        # dynamic weights may be zero here; real dynamic coverage is
+        # asserted in tests/machine/test_control_fusion.py.
+        assert control["dynamic_pairs"] >= control["dynamic_fused"] >= 0
+        assert 0.0 <= control["coverage"] <= 1.0
+        assert (
+            run_doc["aggregate"]["control_fusion_coverage_min"]
+            == control["coverage"]
+        )
+
+    def test_columnar_decode_keys(self, run_doc):
+        for enc_doc in run_doc["programs"]["compress"]["encodings"].values():
+            assert enc_doc["decode_columnar_seconds"] > 0
+            assert enc_doc["decode_columnar_items_per_second"] > 0
+            assert enc_doc["decode_columnar_speedup"] > 0
+            assert enc_doc["decode_columnar_identical"] is True
+
+    def test_bulk_decode_stats_snapshot(self, run_doc):
+        bulk = run_doc["bulk_decode"]
+        assert bulk["decodes"] > 0
+        assert isinstance(bulk["fallback_reasons"], dict)
+        assert sum(bulk["fallback_reasons"].values()) == bulk["fallbacks"]
+
     def test_workers_sweep(self, small_suite):
         doc = run_bench(
             ["compress"], 0.3, ["onebyte"], repeats=1, workers=2, simulate=False
@@ -277,6 +303,46 @@ class TestRegressionGuard:
         assert len(violations) == 1
         assert "decode bulk speedup" in violations[0]
 
+    def _columnar_doc(self, items_per_second):
+        return {
+            "programs": {
+                "compress": {
+                    "encodings": {
+                        "nibble": {
+                            "compress_seconds": 0.01,
+                            "decode_columnar_items_per_second": items_per_second,
+                        }
+                    },
+                }
+            }
+        }
+
+    def test_columnar_throughput_guarded(self):
+        baseline = self._columnar_doc(1e6)
+        assert check_regression(self._columnar_doc(9e5), baseline) == []
+        violations = check_regression(self._columnar_doc(1e5), baseline)
+        assert len(violations) == 1
+        assert "decode_columnar_items_per_second" in violations[0]
+
+    def _control_doc(self, coverage):
+        return {
+            "programs": {
+                "compress": {
+                    "simulation": {
+                        "fusion_control": {"coverage": coverage},
+                    },
+                    "encodings": {},
+                }
+            }
+        }
+
+    def test_control_fusion_coverage_guarded(self):
+        baseline = self._control_doc(1.0)
+        assert check_regression(self._control_doc(0.9), baseline) == []
+        violations = check_regression(self._control_doc(0.2), baseline)
+        assert len(violations) == 1
+        assert "control fusion coverage" in violations[0]
+
 
 class TestCli:
     def test_smoke(self, small_suite, capsys):
@@ -356,6 +422,30 @@ class TestCli:
         # No machine decodes 10000x faster than itself walks.
         assert main(argv + ["--decode-guard", "10000"]) == 3
         assert "DECODE GUARD" in capsys.readouterr().err
+
+    def test_fusion_guard_pass_and_fail(self, small_suite, capsys):
+        argv = [
+            "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+            "--repeats", "1", "--simulate-steps", "2000", "--no-write",
+            "--no-ledger",
+        ]
+        assert main(argv + ["--fusion-guard", "0.6"]) == 0
+        printed = capsys.readouterr().out
+        assert "fusion guard: control coverage >= 60%" in printed
+        assert "control fusion: compress:" in printed
+        # Coverage cannot exceed 1.0, so a >1 floor must always trip.
+        assert main(argv + ["--fusion-guard", "1.5"]) == 3
+        assert "FUSION GUARD" in capsys.readouterr().err
+
+    def test_fallback_lines_printed(self, small_suite, capsys):
+        code = main(
+            [
+                "-b", "compress", "--scale", "0.3", "--encodings", "onebyte",
+                "--repeats", "1", "--no-simulate", "--no-write", "--no-ledger",
+            ]
+        )
+        assert code == 0
+        assert "bulk decode fallbacks:" in capsys.readouterr().out
 
     def test_no_fastpath_flag(self, small_suite, capsys):
         code = main(
