@@ -39,6 +39,7 @@ import tempfile
 from pathlib import Path
 
 from repro.chaos.schedule import ChaosSchedule
+from repro.observe import blackbox
 from repro.service.fsio import AppendHandle, Filesystem
 
 
@@ -82,10 +83,15 @@ class FaultyFilesystem(Filesystem):
         """One write syscall about to happen; maybe die instead."""
         self.write_ops += 1
         if self.crash_after is not None and self.write_ops > self.crash_after:
-            raise SimulatedCrash(
+            reason = (
                 f"simulated kill -9 at write point #{self.write_ops} "
                 f"({op} {self._site(path)})"
             )
+            # A real kill -9 gives no hooks, so the flight recorder
+            # dumps *before* the guillotine falls (no-op when unarmed)
+            # — the chaos campaign's postmortem evidence.
+            blackbox.crash_dump("simulated_crash", reason)
+            raise SimulatedCrash(reason)
 
     @staticmethod
     def _oserror(code: int, fault: str, path: str | Path) -> OSError:

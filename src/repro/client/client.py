@@ -37,6 +37,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.client.retry import (
     CircuitBreaker,
     CircuitOpenError,
@@ -44,7 +45,11 @@ from repro.client.retry import (
     RetryPolicy,
 )
 from repro.errors import TransientError
-from repro.server.routes import IDEMPOTENCY_HEADER, TENANT_HEADER
+from repro.server.routes import (
+    IDEMPOTENCY_HEADER,
+    TENANT_HEADER,
+    TRACEPARENT_HEADER,
+)
 from repro.server.sse import TERMINAL_EVENTS
 
 #: Connection-level exceptions treated as transient network faults.
@@ -72,6 +77,9 @@ class JobOutcome:
     data: bytes | None = None  # the artifact, when completed
     error: str | None = None
     events: list[dict] = field(default_factory=list)
+    #: The distributed trace id this job ran under (from the server's
+    #: 202 ack; None when the submission was refused outright).
+    trace_id: str | None = None
 
 
 class ReproClient:
@@ -162,8 +170,20 @@ class ReproClient:
 
         Raises :class:`ClientError` when every attempt (transient
         budget *and* throttle budget) is spent without an ack.
+
+        Every attempt carries the same ``traceparent`` (the enclosing
+        span's identity when one is open, else minted here), so server
+        admissions of client retries all land in one trace.
         """
-        headers = {IDEMPOTENCY_HEADER: self.idempotency_key(spec)}
+        traceparent = observe.current_traceparent()
+        if traceparent is None:
+            traceparent = observe.format_traceparent(
+                observe.make_trace_id(), observe.make_span_id()
+            )
+        headers = {
+            IDEMPOTENCY_HEADER: self.idempotency_key(spec),
+            TRACEPARENT_HEADER: traceparent,
+        }
         throttles = 0
         last_error = "no attempts made"
         attempt = 0
@@ -341,7 +361,17 @@ class ReproClient:
 
     # -- the full journey ----------------------------------------------
     def run_job(self, spec: dict) -> JobOutcome:
-        """Submit → wait → download, absorbing every retryable fault."""
+        """Submit → wait → download, absorbing every retryable fault.
+
+        With a recorder installed, the whole round trip is one
+        ``client.job`` span; :meth:`submit` forwards its identity as
+        the ``traceparent`` header, so the server-side job span becomes
+        this span's child — one trace id across the wire.
+        """
+        with observe.span("client.job", tenant=self.tenant) as client_span:
+            return self._run_job(spec, client_span)
+
+    def _run_job(self, spec: dict, client_span) -> JobOutcome:
         start = time.perf_counter()
         retries_before = self.retries
         throttles_before = self.throttles
@@ -358,6 +388,9 @@ class ReproClient:
         job_id = ack["job_id"]
         key = ack.get("key")
         deduplicated = bool(ack.get("deduplicated"))
+        trace_id = ack.get("trace_id")
+        if client_span is not None and trace_id:
+            client_span.attrs["job_id"] = job_id
         terminal, events = self.wait(job_id)
         latency = time.perf_counter() - start
         common = dict(
@@ -365,6 +398,7 @@ class ReproClient:
             retries=self.retries - retries_before,
             throttles=self.throttles - throttles_before,
             deduplicated=deduplicated, events=events,
+            trace_id=trace_id,
         )
         if terminal is None:
             return JobOutcome(

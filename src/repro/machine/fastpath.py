@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from functools import lru_cache
+import threading
 import time
 
 from repro import bitutils, observe
@@ -1417,6 +1418,38 @@ def control_fusion_report(program, counts) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Trace-identity markers for the sampling profiler.
+#
+# When tagging is enabled (by repro.observe.profiler), the run loops
+# publish "which trace is this thread executing right now" into a
+# per-thread map, so stack samples landing inside a trace body can be
+# attributed to the specific (fused) trace — "which superinstruction
+# is hot" becomes a queryable fact.  The flag is hoisted into a local
+# before each run loop starts, so the disabled cost is one truthiness
+# check per run, not per dispatch.
+# ---------------------------------------------------------------------------
+_TRACE_TAGGING = False
+_live_trace: dict[int, tuple] = {}
+
+
+def enable_trace_tagging() -> None:
+    global _TRACE_TAGGING
+    _TRACE_TAGGING = True
+
+
+def disable_trace_tagging() -> None:
+    global _TRACE_TAGGING
+    _TRACE_TAGGING = False
+    _live_trace.clear()
+
+
+def live_trace_markers() -> dict[int, tuple]:
+    """Snapshot of thread id → ``(kind, start, fused)`` for threads
+    currently inside a fast run loop (empty unless tagging is on)."""
+    return dict(_live_trace)
+
+
 def _note_cache_metrics(cache, dispatches, misses_before):
     built = cache.misses - misses_before
     hits = dispatches - built
@@ -1441,12 +1474,18 @@ def run_program_fast(sim) -> RunResult:
     hooked = sim.fetch_hook is not None or sim.fetch_index_hook is not None
     dispatches = 0
     misses_before = cache.misses
+    tagging = _TRACE_TAGGING
+    ident = threading.get_ident() if tagging else 0
     pc = sim.pc
     try:
         while not state.halted:
             trace = traces.get(pc)
             if trace is None:
                 trace = build(pc)
+            if tagging:
+                _live_trace[ident] = (
+                    "program", pc, trace.fused_lead_pc is not None
+                )
             dispatches += 1
             steps = state.steps
             if steps >= max_steps or steps + trace.steps_cost > max_steps:
@@ -1476,6 +1515,8 @@ def run_program_fast(sim) -> RunResult:
         sim.pc = pc
         return RunResult(state, state.steps, sim.fetches)
     finally:
+        if tagging:
+            _live_trace.pop(ident, None)
         _note_cache_metrics(cache, dispatches, misses_before)
 
 
@@ -1607,12 +1648,18 @@ def run_compressed_fast(sim) -> RunResult:
     hook = sim.fetch_hook
     dispatches = 0
     misses_before = cache.misses
+    tagging = _TRACE_TAGGING
+    ident = threading.get_ident() if tagging else 0
     key = (sim.item_index, sim.micro)
     try:
         while not state.halted:
             trace = traces.get(key)
             if trace is None:
                 trace = build(key)
+            if tagging:
+                _live_trace[ident] = (
+                    "stream", key, trace.fused_lead_key is not None
+                )
             dispatches += 1
             steps = state.steps
             if steps >= max_steps or steps + trace.steps_cost > max_steps:
@@ -1644,6 +1691,8 @@ def run_compressed_fast(sim) -> RunResult:
             stats.codeword_expansions + stats.escaped_instructions,
         )
     finally:
+        if tagging:
+            _live_trace.pop(ident, None)
         _note_cache_metrics(cache, dispatches, misses_before)
 
 

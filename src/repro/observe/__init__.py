@@ -58,7 +58,25 @@ name                       where
                            dispatches served from the translation cache)
 ``sim.trace_cache.misses`` :mod:`repro.machine.fastpath` run loops (traces
                            built during the run)
+``profiler.samples``       :meth:`repro.observe.profiler.SamplingProfiler.stop`
+                           (stack samples collected this profiling run)
+``blackbox.dumps``         :meth:`repro.observe.blackbox.FlightRecorder.dump`
+                           (one per blackbox file written)
 =========================  ================================================
+
+The server additionally keeps per-tenant ``server.trace.count.<tenant>``
+counters directly in its :class:`~repro.service.metrics.MetricsRegistry`
+(one increment per admitted trace); the Prometheus exporter folds them
+into a single ``tenant``-labeled family.
+
+Distributed tracing rides on the same span machinery: root spans mint
+W3C ``traceparent`` identity (:func:`make_trace_id` /
+:func:`format_traceparent`), :func:`remote_context` parents roots
+under an identity received over the wire, and
+:func:`current_traceparent` renders the header to forward downstream.
+The :mod:`~repro.observe.profiler` and :mod:`~repro.observe.blackbox`
+modules add the sampling profiler and the crash flight recorder on
+top.
 
 See :doc:`docs/observability` for the span model, exporter formats,
 the ledger schema, and ``repro-observe`` CLI examples.
@@ -69,10 +87,17 @@ from repro.observe.spans import (
     Span,
     StageCallback,
     current_span,
+    current_traceparent,
+    format_traceparent,
     get_metric_callback,
     get_stage_callback,
+    live_spans,
+    make_span_id,
+    make_trace_id,
     metric,
+    parse_traceparent,
     recording_active,
+    remote_context,
     set_metric_callback,
     set_stage_callback,
     span,
@@ -81,6 +106,7 @@ from repro.observe.spans import (
 from repro.observe.recorder import Recorder
 from repro.observe.ledger import (
     LEDGER_SCHEMA,
+    SUPPORTED_SCHEMAS,
     RunLedger,
     make_record,
     make_run_id,
@@ -89,35 +115,70 @@ from repro.observe.ledger import (
 )
 from repro.observe.export import (
     chrome_trace_events,
+    chrome_trace_from_records,
+    lint_prometheus,
     prometheus_snapshot,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.observe.profiler import (
+    SamplingProfiler,
+    profile,
+    validate_speedscope,
+    write_speedscope,
+)
+from repro.observe.blackbox import (
+    FlightRecorder,
+    crash_dump,
+    read_dumps,
+    validate_blackbox,
+)
+from repro.observe import blackbox, profiler
 
 __all__ = [
+    "FlightRecorder",
     "LEDGER_SCHEMA",
     "MetricCallback",
     "Recorder",
     "RunLedger",
+    "SUPPORTED_SCHEMAS",
+    "SamplingProfiler",
     "Span",
     "StageCallback",
+    "blackbox",
     "chrome_trace_events",
+    "chrome_trace_from_records",
+    "crash_dump",
     "current_span",
+    "current_traceparent",
+    "format_traceparent",
     "get_metric_callback",
     "get_stage_callback",
+    "lint_prometheus",
+    "live_spans",
     "make_record",
     "make_run_id",
+    "make_span_id",
+    "make_trace_id",
     "metric",
+    "parse_traceparent",
+    "profile",
+    "profiler",
     "prometheus_snapshot",
+    "read_dumps",
     "read_ledger",
     "recording_active",
+    "remote_context",
     "set_metric_callback",
     "set_stage_callback",
     "span",
     "stage",
     "to_chrome_trace",
+    "validate_blackbox",
     "validate_chrome_trace",
     "validate_record",
+    "validate_speedscope",
     "write_chrome_trace",
+    "write_speedscope",
 ]

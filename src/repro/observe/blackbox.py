@@ -1,0 +1,285 @@
+"""The crash flight recorder: a bounded ring of recent telemetry.
+
+:class:`FlightRecorder` is a recorder (same ``on_span``/``on_metric``
+duck type as :class:`repro.observe.recorder.Recorder`) that keeps the
+last N span completions, metric deltas, and free-form notes in a
+bounded :class:`collections.deque` — appends are lock-free under the
+GIL and O(1), so it is safe to leave installed in production paths.
+
+:func:`install` arms the recorder process-wide and chains it into the
+crash surfaces: ``sys.excepthook``, ``threading.excepthook``, and
+``SIGTERM``.  When any of them fires — or when chaos injection calls
+:func:`crash_dump` just before raising a
+:class:`~repro.chaos.faults.SimulatedCrash` — the ring is serialized
+to ``$REPRO_OBSERVE_DIR/blackbox/`` as one self-describing JSON file,
+so a guillotined worker leaves postmortem-grade evidence instead of
+silence.  ``repro-observe blackbox`` dumps and merges recordings.
+
+Previously-installed hooks are preserved and chained; :func:`uninstall`
+restores them.  With nothing installed, :func:`crash_dump` is a no-op
+returning ``None`` — chaos code may call it unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.observe import ledger as _ledger
+from repro.observe import spans as _spans
+
+BLACKBOX_DIRNAME = "blackbox"
+BLACKBOX_SCHEMA = 1
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring of recent span events, metric deltas, and notes."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        directory: str | Path | None = None,
+        process: str | None = None,
+    ) -> None:
+        self.capacity = capacity
+        self._directory = Path(directory) if directory else None
+        self.process = process or f"pid-{os.getpid()}"
+        self.ring: deque[dict] = deque(maxlen=capacity)
+        self.dumps = 0
+        self.dropped = 0  # events pushed out of the full ring
+
+    @property
+    def directory(self) -> Path:
+        """Dump target; tracks ``$REPRO_OBSERVE_DIR`` unless pinned."""
+        if self._directory is not None:
+            return self._directory
+        return _ledger.default_directory() / BLACKBOX_DIRNAME
+
+    # -- recorder duck type ---------------------------------------------
+    def _push(self, event: dict) -> None:
+        if len(self.ring) == self.capacity:
+            self.dropped += 1
+        self.ring.append(event)
+
+    def on_span(self, root) -> None:
+        self._push({
+            "type": "span",
+            "unix_time": time.time(),
+            "span": root.to_dict(),
+        })
+
+    def on_metric(self, name: str, value: int) -> None:
+        self._push({
+            "type": "metric",
+            "unix_time": time.time(),
+            "name": name,
+            "value": value,
+        })
+
+    def note(self, message: str, **data) -> None:
+        """Record a free-form breadcrumb (e.g. 'entering stage X')."""
+        event = {"type": "note", "unix_time": time.time(),
+                 "message": message}
+        if data:
+            event["data"] = data
+        self._push(event)
+
+    def snapshot(self) -> list[dict]:
+        return list(self.ring)
+
+    # -- dumping --------------------------------------------------------
+    def dump(self, reason: str, error: str | None = None) -> Path:
+        """Serialize the ring to one blackbox file; returns its path.
+
+        Never raises on the crash path is the caller's job — this
+        method itself only touches the filesystem at the very end, and
+        the CLI/validators treat every file independently, so a torn
+        write loses one dump, not the recorder.
+        """
+        directory = self.directory
+        directory.mkdir(parents=True, exist_ok=True)
+        self.dumps += 1
+        document = {
+            "schema": BLACKBOX_SCHEMA,
+            "reason": reason,
+            "error": error,
+            "process": self.process,
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "events": self.snapshot(),
+        }
+        path = directory / (
+            f"blackbox-{os.getpid()}-{time.time_ns()}-{self.dumps}.json"
+        )
+        path.write_text(json.dumps(document, sort_keys=True) + "\n")
+        try:
+            _spans.metric("blackbox.dumps", 1)
+        except Exception:  # pragma: no cover - crash path must not fail
+            pass
+        return path
+
+
+def validate_blackbox(document: dict) -> list[str]:
+    """Structural check of one blackbox dump; empty list = valid."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("schema") != BLACKBOX_SCHEMA:
+        problems.append(f"unsupported schema {document.get('schema')!r}")
+    for key, kinds in (
+        ("reason", str), ("process", str), ("pid", int),
+        ("unix_time", (int, float)), ("events", list),
+    ):
+        if not isinstance(document.get(key), kinds):
+            problems.append(f"field {key!r} missing or mistyped")
+    for index, event in enumerate(document.get("events") or []):
+        if not isinstance(event, dict) or event.get("type") not in (
+            "span", "metric", "note"
+        ):
+            problems.append(f"events[{index}] malformed")
+    return problems
+
+
+def read_dumps(directory: str | Path | None = None) -> list[dict]:
+    """Load every parseable blackbox dump under ``directory``, oldest
+    first; unparseable files are skipped (a torn crash write must not
+    hide the good dumps next to it)."""
+    directory = (
+        Path(directory) if directory
+        else _ledger.default_directory() / BLACKBOX_DIRNAME
+    )
+    dumps: list[dict] = []
+    if not directory.is_dir():
+        return dumps
+    for path in sorted(directory.glob("blackbox-*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not validate_blackbox(document):
+            document["_path"] = str(path)
+            dumps.append(document)
+    dumps.sort(key=lambda doc: doc.get("unix_time", 0.0))
+    return dumps
+
+
+# ----------------------------------------------------------------------
+# Process-wide installation: one armed recorder, chained crash hooks.
+# ----------------------------------------------------------------------
+_installed: FlightRecorder | None = None
+_previous_excepthook = None
+_previous_threading_hook = None
+_previous_sigterm = None
+_sigterm_armed = False
+
+
+def installed() -> FlightRecorder | None:
+    """The armed recorder, if any."""
+    return _installed
+
+
+def crash_dump(reason: str, error: str | None = None) -> Path | None:
+    """Dump the armed recorder (no-op returning None when unarmed)."""
+    recorder = _installed
+    if recorder is None:
+        return None
+    return recorder.dump(reason, error)
+
+
+def _excepthook(exc_type, exc, tb) -> None:
+    crash_dump("unhandled_exception", f"{exc_type.__name__}: {exc}")
+    (_previous_excepthook or sys.__excepthook__)(exc_type, exc, tb)
+
+
+def _threading_hook(args) -> None:
+    crash_dump(
+        "unhandled_thread_exception",
+        f"{args.exc_type.__name__}: {args.exc_value} "
+        f"in {getattr(args.thread, 'name', '?')}",
+    )
+    (_previous_threading_hook or threading.__excepthook__)(args)
+
+
+def _sigterm_handler(signum, frame) -> None:
+    crash_dump("sigterm")
+    previous = _previous_sigterm
+    if callable(previous):
+        previous(signum, frame)
+    elif previous == signal.SIG_DFL:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+    # SIG_IGN / None: swallow, matching the prior disposition.
+
+
+def install(
+    recorder: FlightRecorder | None = None,
+    *,
+    signals: bool = True,
+) -> FlightRecorder:
+    """Arm a flight recorder process-wide; returns it.
+
+    Registers it with the span machinery (process-wide recorder) and
+    chains ``sys.excepthook`` / ``threading.excepthook`` / ``SIGTERM``
+    (``signals=False`` skips the signal handler — e.g. when not on the
+    main thread).  Idempotent: installing while armed returns the
+    already-armed recorder.
+    """
+    global _installed, _previous_excepthook, _previous_threading_hook
+    global _previous_sigterm, _sigterm_armed
+    if _installed is not None:
+        return _installed
+    recorder = recorder or FlightRecorder()
+    _installed = recorder
+    _spans._install_ambient(recorder)
+    _previous_excepthook = sys.excepthook
+    sys.excepthook = _excepthook
+    _previous_threading_hook = threading.excepthook
+    threading.excepthook = _threading_hook
+    _sigterm_armed = False
+    if signals:
+        try:
+            _previous_sigterm = signal.signal(
+                signal.SIGTERM, _sigterm_handler
+            )
+            _sigterm_armed = True
+        except ValueError:  # not the main thread
+            _previous_sigterm = None
+    return recorder
+
+
+def uninstall() -> None:
+    """Disarm the flight recorder and restore every chained hook."""
+    global _installed, _previous_excepthook, _previous_threading_hook
+    global _previous_sigterm, _sigterm_armed
+    if _installed is None:
+        return
+    _spans._uninstall_ambient(_installed)
+    if sys.excepthook is _excepthook:
+        sys.excepthook = _previous_excepthook or sys.__excepthook__
+    if threading.excepthook is _threading_hook:
+        threading.excepthook = (
+            _previous_threading_hook or threading.__excepthook__
+        )
+    if _sigterm_armed:
+        try:
+            if signal.getsignal(signal.SIGTERM) is _sigterm_handler:
+                signal.signal(
+                    signal.SIGTERM, _previous_sigterm or signal.SIG_DFL
+                )
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+    _installed = None
+    _previous_excepthook = None
+    _previous_threading_hook = None
+    _previous_sigterm = None
+    _sigterm_armed = False

@@ -8,17 +8,26 @@ Two wire formats:
   ride along as ``args``.  :func:`validate_chrome_trace` structurally
   checks a document (required keys, balanced begin/end per thread,
   monotonic timestamps) and is what the tests and the CI smoke job run
-  against every emitted trace.
+  against every emitted trace.  :func:`chrome_trace_from_records`
+  stitches several ledger records (one lane per record, typically one
+  per process) into one document and draws ``s``/``f`` flow arrows
+  between lanes wherever a root span's ``parent_span_id`` names a span
+  recorded in another lane — the cross-process view of one trace id.
 
 * **Prometheus text exposition** — :func:`prometheus_snapshot` renders
   a :class:`~repro.service.metrics.MetricsRegistry` (or its
-  :meth:`as_dict` snapshot) as ``# TYPE``-annotated counter / summary /
-  histogram families, with timer percentiles as ``quantile`` labels.
+  :meth:`as_dict` snapshot) as ``# HELP``/``# TYPE``-annotated counter
+  / summary / histogram families, with timer percentiles as
+  ``quantile`` labels and per-tenant ``server.trace.count.*`` counters
+  folded into one ``tenant``-labeled family.
+  :func:`lint_prometheus` checks a rendered exposition for HELP/TYPE
+  pairing and duplicate families.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 from pathlib import Path
@@ -48,10 +57,11 @@ def chrome_trace_events(
             "pid": pid,
             "tid": node.thread_id,
         }
-        if node.attrs:
-            begin["args"] = {
-                key: value for key, value in node.attrs.items()
-            }
+        args = dict(node.attrs)
+        if node.trace_id is not None:
+            args["trace_id"] = node.trace_id
+        if args:
+            begin["args"] = args
         events.append(begin)
         for child in sorted(node.children, key=lambda c: c.start_ns):
             emit(child)
@@ -105,6 +115,74 @@ def write_chrome_trace(
     return path
 
 
+def _shift_tree(node: Span, delta_ns: int) -> None:
+    node.start_ns += delta_ns
+    if node.end_ns is not None:
+        node.end_ns += delta_ns
+    for child in node.children:
+        _shift_tree(child, delta_ns)
+
+
+def _flow_id(span_id: str) -> int:
+    """A stable 63-bit flow-event id from a 16-hex span id."""
+    return int(span_id, 16) & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def chrome_trace_from_records(records: list[dict]) -> dict:
+    """Stitch ledger records into one multi-process Chrome trace.
+
+    Each record becomes its own ``pid`` lane (timestamps are
+    per-process monotonic clocks, so every lane is normalized to its
+    own zero — the stitch shows structure and causality, not wall-clock
+    alignment).  Wherever a root span's ``parent_span_id`` names a span
+    recorded in *another* record, an ``s``/``f`` flow arrow is drawn
+    from the parent to the child — in Perfetto that is the visible
+    hand-off from client submit to server admission to worker
+    execution, all sharing one ``trace_id``.
+    """
+    events: list[dict] = []
+    trees: list[tuple[int, list[Span]]] = []
+    located: dict[str, tuple[int, int, int]] = {}  # span_id → (pid, tid, ts)
+    for pid, record in enumerate(records, start=1):
+        roots = [Span.from_dict(doc) for doc in record.get("spans", [])]
+        origin = min((root.start_ns for root in roots), default=0)
+        for root in roots:
+            _shift_tree(root, -origin)
+            for node in root.walk():
+                if node.span_id:
+                    located[node.span_id] = (
+                        pid, node.thread_id, node.start_ns // 1_000
+                    )
+        label = record.get("meta", {}).get("process") or record.get("kind")
+        events.append({
+            "name": "process_name", "ph": "M", "ts": 0,
+            "pid": pid, "tid": 0,
+            "args": {"name": f"{label} [{record.get('run_id')}]"},
+        })
+        trees.append((pid, roots))
+    for pid, roots in trees:
+        events.extend(chrome_trace_events(roots, pid=pid))
+    for pid, roots in trees:
+        for root in roots:
+            parent = root.parent_span_id and located.get(root.parent_span_id)
+            if not parent or parent[0] == pid:
+                continue
+            flow = _flow_id(root.span_id)
+            source_pid, source_tid, source_ts = parent
+            events.append({
+                "name": "trace", "cat": TRACE_CATEGORY + ".flow",
+                "ph": "s", "id": flow, "ts": source_ts,
+                "pid": source_pid, "tid": source_tid,
+            })
+            events.append({
+                "name": "trace", "cat": TRACE_CATEGORY + ".flow",
+                "ph": "f", "bp": "e", "id": flow,
+                "ts": root.start_ns // 1_000,
+                "pid": pid, "tid": root.thread_id,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
 _REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
 
 
@@ -130,13 +208,17 @@ def validate_chrome_trace(document: dict) -> list[str]:
             problems.append(f"event #{index} missing keys {missing}")
             continue
         lane = (event["pid"], event["tid"])
-        if event["ts"] < last_ts.get(lane, float("-inf")):
-            problems.append(
-                f"event #{index} ({event['name']}): timestamp {event['ts']} "
-                f"goes backwards in lane {lane}"
-            )
-        last_ts[lane] = event["ts"]
         phase = event["ph"]
+        # Flow events (s/t/f) bind *across* lanes and are emitted after
+        # the duration events they decorate, so they are exempt from
+        # the per-lane monotonic-timestamp requirement.
+        if phase not in ("s", "t", "f"):
+            if event["ts"] < last_ts.get(lane, float("-inf")):
+                problems.append(
+                    f"event #{index} ({event['name']}): timestamp "
+                    f"{event['ts']} goes backwards in lane {lane}"
+                )
+            last_ts[lane] = event["ts"]
         if phase == "B":
             stacks.setdefault(lane, []).append(event)
         elif phase == "E":
@@ -151,6 +233,12 @@ def validate_chrome_trace(document: dict) -> list[str]:
                 problems.append(
                     f"event #{index}: E {event['name']!r} closes "
                     f"B {begin['name']!r}"
+                )
+        elif phase in ("s", "t", "f"):
+            if "id" not in event:
+                problems.append(
+                    f"event #{index} ({event['name']}): flow event "
+                    f"without an id"
                 )
         elif phase not in ("i", "C", "M"):
             problems.append(f"event #{index}: unknown phase {phase!r}")
@@ -176,6 +264,20 @@ def _fmt(value: float) -> str:
     return f"{value:.9g}"
 
 
+#: Per-tenant counter prefixes folded into one labeled family: a
+#: counter named ``<prefix><tenant>`` renders as
+#: ``<family>{<label>="<tenant>"}`` instead of one family per tenant.
+_LABELED_COUNTER_FAMILIES = (
+    ("server.trace.count.", "repro_server_trace_count", "tenant"),
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def prometheus_snapshot(registry) -> str:
     """Render a metrics registry in Prometheus text format.
 
@@ -183,17 +285,43 @@ def prometheus_snapshot(registry) -> str:
     or the dict its :meth:`as_dict` produces.  Counters become
     ``counter`` families, timers become ``summary`` families with
     p50/p90/p99 ``quantile`` labels, histograms become cumulative
-    ``histogram`` families with ``le`` bucket labels.
+    ``histogram`` families with ``le`` bucket labels.  Every family
+    carries a ``# HELP``/``# TYPE`` pair, and per-tenant
+    ``server.trace.count.*`` counters fold into a single
+    ``tenant``-labeled family.
     """
     snapshot = registry.as_dict() if hasattr(registry, "as_dict") else registry
     lines: list[str] = []
-    for name in sorted(snapshot.get("counters", {})):
+    plain: dict[str, int] = {}
+    labeled: dict[str, list[tuple[str, str, int]]] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        for prefix, family, label in _LABELED_COUNTER_FAMILIES:
+            if name.startswith(prefix) and len(name) > len(prefix):
+                labeled.setdefault(family, []).append(
+                    (label, name[len(prefix):], value)
+                )
+                break
+        else:
+            plain[name] = value
+    for name in sorted(plain):
         metric = _prom_name(name)
+        lines.append(f"# HELP {metric} Monotonic counter {name!r}.")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {snapshot['counters'][name]}")
+        lines.append(f"{metric} {plain[name]}")
+    for family in sorted(labeled):
+        lines.append(f"# HELP {family} Per-tenant monotonic counter.")
+        lines.append(f"# TYPE {family} counter")
+        for label, key, value in sorted(labeled[family]):
+            lines.append(
+                f'{family}{{{label}="{_escape_label(key)}"}} {value}'
+            )
     for name in sorted(snapshot.get("timers", {})):
         data = snapshot["timers"][name]
         metric = _prom_name(name) + "_seconds"
+        lines.append(
+            f"# HELP {metric} Timer {name!r} in seconds (reservoir "
+            f"quantiles)."
+        )
         lines.append(f"# TYPE {metric} summary")
         for quantile, value in _timer_quantiles(data):
             lines.append(f'{metric}{{quantile="{quantile}"}} {_fmt(value)}')
@@ -202,6 +330,7 @@ def prometheus_snapshot(registry) -> str:
     for name in sorted(snapshot.get("histograms", {})):
         data = snapshot["histograms"][name]
         metric = _prom_name(name)
+        lines.append(f"# HELP {metric} Histogram {name!r}.")
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for bound, count in zip(data["bounds"], data["counts"]):
@@ -215,12 +344,81 @@ def prometheus_snapshot(registry) -> str:
 
 
 def _timer_quantiles(data: dict) -> list[tuple[str, float]]:
+    """Nearest-rank (ceil) quantiles over the reservoir — always an
+    observed sample, never an extrapolation past the max."""
     samples = sorted(data.get("samples", ()))
     if not samples:
         return []
     quantiles = []
     for quantile in (0.5, 0.9, 0.99):
-        rank = max(0, min(len(samples) - 1,
-                          round(quantile * len(samples)) - 1))
+        rank = math.ceil(quantile * len(samples)) - 1
+        rank = max(0, min(len(samples) - 1, rank))
         quantiles.append((f"{quantile:g}", samples[rank]))
     return quantiles
+
+
+_METADATA_RE = re.compile(r"^# (HELP|TYPE) (\S+)(?: (.*))?$")
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? \S+$")
+_PROM_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+_SAMPLE_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Exposition-format lint; returns problems (empty = clean).
+
+    Checked: every ``# TYPE`` has a matching ``# HELP`` (and vice
+    versa), no family declares HELP or TYPE twice, TYPE values are
+    legal, and every sample belongs to a declared family (accounting
+    for the ``_sum``/``_count``/``_bucket`` suffixes of summaries and
+    histograms).
+    """
+    problems: list[str] = []
+    helps: dict[str, int] = {}
+    types: dict[str, str] = {}
+    samples: list[tuple[int, str]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        meta = _METADATA_RE.match(line)
+        if meta:
+            keyword, family, rest = meta.groups()
+            if keyword == "HELP":
+                if family in helps:
+                    problems.append(f"line {number}: duplicate HELP {family}")
+                helps[family] = number
+                if not (rest or "").strip():
+                    problems.append(f"line {number}: empty HELP {family}")
+            else:
+                if family in types:
+                    problems.append(f"line {number}: duplicate TYPE {family}")
+                types[family] = (rest or "").strip()
+                if types[family] not in _PROM_TYPES:
+                    problems.append(
+                        f"line {number}: TYPE {family} is "
+                        f"{types[family]!r}, not one of {_PROM_TYPES}"
+                    )
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        sample = _SAMPLE_RE.match(line)
+        if sample is None:
+            problems.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        samples.append((number, sample.group(1)))
+    for family in types:
+        if family not in helps:
+            problems.append(f"family {family}: TYPE without HELP")
+    for family in helps:
+        if family not in types:
+            problems.append(f"family {family}: HELP without TYPE")
+    for number, name in samples:
+        candidates = [name] + [
+            name[: -len(suffix)]
+            for suffix in _SAMPLE_SUFFIXES
+            if name.endswith(suffix)
+        ]
+        if not any(candidate in types for candidate in candidates):
+            problems.append(
+                f"line {number}: sample {name} has no # TYPE metadata"
+            )
+    return problems

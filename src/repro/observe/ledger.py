@@ -8,10 +8,10 @@ and point-metric totals, so later tooling (``repro-observe report`` /
 ``diff``) can reconstruct where the time went without rerunning
 anything.
 
-Record schema (version 1)::
+Record schema (version 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "run_id": "4f6a0c2d9b1e",          # unique per record
       "kind": "compress",                 # compress|simulate|verify|bench.*
       "program": "gcc",                   # or null
@@ -20,11 +20,17 @@ Record schema (version 1)::
       "error": null,                      # message when outcome == "error"
       "wall_seconds": 0.1234,
       "unix_time": 1754300000.0,
-      "spans": [ {"name", "start_us", "duration_us", "attrs?",
+      "trace_id": "32-hex or null",       # distributed trace identity
+      "parent_span_id": "16-hex or null", # remote parent, when stitched
+      "spans": [ {"name", "start_us", "duration_us", "trace_id?",
+                  "span_id?", "parent_span_id?", "attrs?",
                   "children?"} , ... ],
       "metrics": {"candidates.count": 1234, ...},
       "meta": {...}                       # free-form extras
     }
+
+Version 1 records (no trace fields) remain readable: validation
+accepts both versions, and readers treat the trace fields as null.
 """
 
 from __future__ import annotations
@@ -38,7 +44,11 @@ from pathlib import Path
 from repro.errors import ReproError
 from repro.observe.spans import Span
 
-LEDGER_SCHEMA = 1
+LEDGER_SCHEMA = 2
+#: Every schema version :func:`validate_record` accepts on read —
+#: version 1 predates trace-context propagation and simply lacks the
+#: ``trace_id``/``parent_span_id`` fields.
+SUPPORTED_SCHEMAS = (1, 2)
 LEDGER_FILENAME = "ledger.jsonl"
 DEFAULT_DIR_ENV = "REPRO_OBSERVE_DIR"
 DEFAULT_DIR = ".repro-observe"
@@ -66,8 +76,15 @@ def make_record(
     wall_seconds: float | None = None,
     run_id: str | None = None,
     meta: dict | None = None,
+    trace_id: str | None = None,
+    parent_span_id: str | None = None,
 ) -> dict:
-    """Build one schema-1 ledger record (spans may be Span objects)."""
+    """Build one schema-2 ledger record (spans may be Span objects).
+
+    ``trace_id``/``parent_span_id`` default to the first root span's
+    identity, so a record built from a recorded tree carries its
+    distributed trace identity without the caller threading it through.
+    """
     serialized = [
         node.to_dict() if isinstance(node, Span) else node
         for node in (spans or [])
@@ -76,6 +93,13 @@ def make_record(
         wall_seconds = sum(
             (node.get("duration_us") or 0) / 1e6 for node in serialized
         )
+    if trace_id is None:
+        for node in serialized:
+            if node.get("trace_id"):
+                trace_id = node["trace_id"]
+                if parent_span_id is None:
+                    parent_span_id = node.get("parent_span_id")
+                break
     return {
         "schema": LEDGER_SCHEMA,
         "run_id": run_id or make_run_id(),
@@ -86,6 +110,8 @@ def make_record(
         "error": error,
         "wall_seconds": wall_seconds,
         "unix_time": time.time(),
+        "trace_id": trace_id,
+        "parent_span_id": parent_span_id,
         "spans": serialized,
         "metrics": dict(metrics or {}),
         "meta": dict(meta or {}),
@@ -97,7 +123,7 @@ def validate_record(record: dict) -> list[str]:
     problems: list[str] = []
     if not isinstance(record, dict):
         return ["record is not an object"]
-    if record.get("schema") != LEDGER_SCHEMA:
+    if record.get("schema") not in SUPPORTED_SCHEMAS:
         problems.append(f"unsupported schema {record.get('schema')!r}")
     for key, kinds in (
         ("run_id", str), ("kind", str), ("outcome", str),
@@ -105,6 +131,10 @@ def validate_record(record: dict) -> list[str]:
     ):
         if not isinstance(record.get(key), kinds):
             problems.append(f"field {key!r} missing or mistyped")
+    for key in ("trace_id", "parent_span_id"):
+        value = record.get(key)
+        if value is not None and not isinstance(value, str):
+            problems.append(f"field {key!r} mistyped")
     if record.get("outcome") not in OUTCOMES:
         problems.append(f"outcome {record.get('outcome')!r} not in {OUTCOMES}")
     for index, node in enumerate(record.get("spans") or []):

@@ -30,6 +30,19 @@ With no recorder installed and no legacy callback set, :func:`span`,
 :func:`stage`, and :func:`metric` are no-ops — no clock is read, no
 object is allocated — so uninstrumented library use stays free.
 
+Trace context
+-------------
+
+Every recorded *root* span carries W3C-style trace identity: a 32-hex
+``trace_id`` (minted at the root, inherited by children), a 16-hex
+``span_id`` per span, and an optional ``parent_span_id``.  A process
+that received a ``traceparent`` header enters
+:func:`remote_context` before opening spans; roots opened inside it
+inherit the remote ``trace_id`` and parent under the remote span, so
+one trace id stitches client retries, server admission, executor
+stages, and worker-side spans into a single distributed tree.
+:func:`current_traceparent` renders the header to forward downstream.
+
 Compatibility shim
 ------------------
 
@@ -42,6 +55,8 @@ callback with the same names and semantics as before.
 
 from __future__ import annotations
 
+import os
+import re
 import threading
 import time
 from collections.abc import Callable, Iterator
@@ -53,6 +68,48 @@ MetricCallback = Callable[[str, int], None]
 
 _EMPTY: tuple = ()
 
+# ----------------------------------------------------------------------
+# W3C trace-context identity (the `traceparent` header: version 00,
+# 32-hex trace id, 16-hex span id, 2-hex flags).
+# ----------------------------------------------------------------------
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def make_trace_id() -> str:
+    """A fresh 32-hex trace id (never all zeros)."""
+    value = os.urandom(16).hex()
+    return value if value != "0" * 32 else make_trace_id()
+
+
+def make_span_id() -> str:
+    """A fresh 16-hex span id (never all zeros)."""
+    value = os.urandom(8).hex()
+    return value if value != "0" * 16 else make_span_id()
+
+
+def format_traceparent(
+    trace_id: str, span_id: str, flags: int = 1
+) -> str:
+    """Render a ``traceparent`` header value (version 00)."""
+    return f"00-{trace_id}-{span_id}-{flags:02x}"
+
+
+def parse_traceparent(text: str | None) -> tuple[str, str, int] | None:
+    """Parse a ``traceparent`` header into ``(trace_id, span_id,
+    flags)``; None for anything malformed (never raises — a bad header
+    from the wire must not fail a request)."""
+    if not isinstance(text, str):
+        return None
+    match = _TRACEPARENT_RE.match(text.strip().lower())
+    if match is None:
+        return None
+    trace_id, span_id, flags = match.groups()
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id, int(flags, 16)
+
 
 class Span:
     """One timed, attributed region of a trace tree."""
@@ -60,6 +117,7 @@ class Span:
     __slots__ = (
         "name", "attrs", "start_ns", "end_ns", "children",
         "thread_id", "_recorders",
+        "trace_id", "span_id", "parent_span_id",
     )
 
     def __init__(self, name: str, attrs: dict, start_ns: int) -> None:
@@ -70,6 +128,12 @@ class Span:
         self.children: list[Span] = []
         self.thread_id = threading.get_ident()
         self._recorders: tuple = _EMPTY
+        #: W3C trace identity: minted at the root (or inherited from a
+        #: remote context), shared by every span of one tree.  None on
+        #: hand-built spans that never went through :func:`span`.
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_span_id: str | None = None
 
     # -- durations ------------------------------------------------------
     @property
@@ -106,6 +170,11 @@ class Span:
                 else None
             ),
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+            doc["span_id"] = self.span_id
+            if self.parent_span_id is not None:
+                doc["parent_span_id"] = self.parent_span_id
         if self.attrs:
             doc["attrs"] = dict(self.attrs)
         if self.children:
@@ -120,6 +189,9 @@ class Span:
         duration = doc.get("duration_us")
         if duration is not None:
             span.end_ns = span.start_ns + duration * 1_000
+        span.trace_id = doc.get("trace_id")
+        span.span_id = doc.get("span_id")
+        span.parent_span_id = doc.get("parent_span_id")
         span.children = [
             cls.from_dict(child) for child in doc.get("children", [])
         ]
@@ -138,6 +210,11 @@ class Span:
 # ----------------------------------------------------------------------
 _current_span: ContextVar[Span | None] = ContextVar(
     "repro_observe_span", default=None
+)
+#: (trace_id, span_id, flags) from a ``traceparent`` received over the
+#: wire; root spans opened inside :func:`remote_context` parent here.
+_remote_parent: ContextVar[tuple | None] = ContextVar(
+    "repro_observe_remote_parent", default=None
 )
 _context_recorders: ContextVar[tuple] = ContextVar(
     "repro_observe_recorders", default=_EMPTY
@@ -187,6 +264,68 @@ def current_span() -> Span | None:
     return _current_span.get()
 
 
+@contextmanager
+def remote_context(traceparent: str | None) -> Iterator[None]:
+    """Parent root spans under a remote ``traceparent`` for this block.
+
+    Malformed or missing headers are silently ignored (the block runs
+    untraced-by-remote, roots mint their own trace ids) — a bad header
+    must never fail the work it arrived with.
+    """
+    parsed = parse_traceparent(traceparent)
+    if parsed is None:
+        yield
+        return
+    token = _remote_parent.set(parsed)
+    try:
+        yield
+    finally:
+        _remote_parent.reset(token)
+
+
+def current_traceparent() -> str | None:
+    """The ``traceparent`` to forward downstream from this context:
+    the innermost open span's identity, else the remote parent, else
+    None."""
+    current = _current_span.get()
+    if current is not None and current.trace_id is not None:
+        return format_traceparent(current.trace_id, current.span_id)
+    remote = _remote_parent.get()
+    if remote is not None:
+        return format_traceparent(remote[0], remote[1], remote[2])
+    return None
+
+
+# ----------------------------------------------------------------------
+# Live-span tracking: a per-thread map of the innermost open span,
+# maintained only while a consumer (the sampling profiler, the flight
+# recorder) has switched it on — the default span path never touches
+# it beyond one falsy global check.
+# ----------------------------------------------------------------------
+_live_tracking = 0
+_live_spans: dict[int, Span] = {}
+
+
+def _enable_live_tracking() -> None:
+    global _live_tracking
+    with _ambient_lock:
+        _live_tracking += 1
+
+
+def _disable_live_tracking() -> None:
+    global _live_tracking
+    with _ambient_lock:
+        _live_tracking = max(0, _live_tracking - 1)
+        if not _live_tracking:
+            _live_spans.clear()
+
+
+def live_spans() -> dict[int, Span]:
+    """Snapshot of thread id → innermost open span (empty unless a
+    live-tracking consumer is installed)."""
+    return dict(_live_spans)
+
+
 # ----------------------------------------------------------------------
 # The instrumentation API.
 # ----------------------------------------------------------------------
@@ -209,12 +348,29 @@ def span(name: str, /, **attrs) -> Iterator[Span | None]:
         recorders = parent._recorders
     current = Span(name, attrs, time.perf_counter_ns())
     current._recorders = recorders
+    if parent is not None:
+        current.trace_id = parent.trace_id
+        current.parent_span_id = parent.span_id
+    else:
+        remote = _remote_parent.get()
+        if remote is not None:
+            current.trace_id, current.parent_span_id = remote[0], remote[1]
+        else:
+            current.trace_id = make_trace_id()
+    current.span_id = make_span_id()
     token = _current_span.set(current)
+    if _live_tracking:
+        _live_spans[current.thread_id] = current
     try:
         yield current
     finally:
         current.end_ns = time.perf_counter_ns()
         _current_span.reset(token)
+        if _live_tracking:
+            if parent is not None and parent.thread_id == current.thread_id:
+                _live_spans[current.thread_id] = parent
+            else:
+                _live_spans.pop(current.thread_id, None)
         if parent is not None:
             parent.children.append(current)
         else:

@@ -372,6 +372,38 @@ def _bench_encoding(
         list(columns.items()) == decoder.decode_all_reference()
     )
 
+    if ledger is not None:
+        # The decode comparison as a ledger record: one synthetic span
+        # per timed path, so ``repro-observe diff`` tracks decode drift
+        # the same way it tracks compress-stage drift.
+        ledger.append(make_record(
+            "bench.decode",
+            program=program.name,
+            encoding=encoding.name,
+            spans=[
+                {
+                    "name": f"decode.{path}",
+                    "start_us": 0,
+                    "duration_us": int(result[key] * 1e6),
+                }
+                for path, key in (
+                    ("reference", "decode_reference_seconds"),
+                    ("bulk", "decode_bulk_seconds"),
+                    ("columnar", "decode_columnar_seconds"),
+                )
+            ],
+            metrics={"decode.items": result["decode_items"]},
+            meta={
+                "backend": result["decode_backend"],
+                "bulk_speedup": result["decode_bulk_speedup"],
+                "columnar_speedup": result["decode_columnar_speedup"],
+                "identical": (
+                    result["decode_identical_items"]
+                    and result["decode_columnar_identical"]
+                ),
+            },
+        ))
+
     if simulate:
 
         def simulate_once(implementation):
@@ -478,6 +510,9 @@ def run_bench(
 
     With a ``ledger``, every per-(program, encoding) compress run
     appends one ``bench.compress`` record (full span tree + metrics),
+    each decode comparison one ``bench.decode`` record (synthetic spans
+    from the timed paths), and each simulated program one
+    ``bench.fusion`` record (plan footprint + control coverage) — all
     comparable later with ``repro-observe diff``.
     """
     encodings = list(encodings or DEFAULT_ENCODINGS)
@@ -504,6 +539,34 @@ def run_bench(
                 simulate_steps=simulate_steps,
                 fastpath_enabled=fastpath_enabled,
             )
+            if ledger is not None:
+                sim = doc["simulation"]
+                fusion_doc = sim.get("fusion", {})
+                control_doc = sim.get("fusion_control", {})
+                # Fusion footprint as a ledger record, so plan drift
+                # (fewer compiled thunks, shrinking control coverage)
+                # shows up in ``repro-observe diff`` next to timing.
+                ledger.append(make_record(
+                    "bench.fusion",
+                    program=name,
+                    spans=[],
+                    metrics={
+                        "fusion.planned_pairs": int(
+                            fusion_doc.get("planned_pairs", 0)
+                        ),
+                        "fusion.compiled_thunks": int(
+                            fusion_doc.get("compiled_thunks", 0)
+                        ),
+                        "fusion.trace_thunks": int(
+                            fusion_doc.get("trace_thunks", 0)
+                        ),
+                    },
+                    wall_seconds=0.0,
+                    meta={
+                        "fusion": fusion_doc,
+                        "fusion_control": control_doc,
+                    },
+                ))
         for encoding_name in encodings:
             encoding = make_encoding(encoding_name)
             doc["encodings"][encoding_name] = _bench_encoding(

@@ -34,10 +34,11 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import observe
 from repro.errors import ReproError
 from repro.server.app import ServerConfig, serve
 from repro.server.quotas import QuotaSpec
-from repro.server.routes import TENANT_HEADER
+from repro.server.routes import TENANT_HEADER, TRACEPARENT_HEADER
 from repro.server.sse import TERMINAL_EVENTS
 from repro.service.metrics import MetricsRegistry
 
@@ -139,6 +140,7 @@ def _request(
     *,
     body: dict | None = None,
     tenant: str | None = None,
+    extra_headers: dict | None = None,
 ):
     """Returns ``(status, headers, parsed_json_or_None)``."""
     conn = http.client.HTTPConnection(*address, timeout=CLIENT_TIMEOUT)
@@ -149,6 +151,8 @@ def _request(
         headers["Content-Type"] = "application/json"
     if tenant is not None:
         headers[TENANT_HEADER] = tenant
+    if extra_headers:
+        headers.update(extra_headers)
     try:
         conn.request(method, target, payload, headers)
         response = conn.getresponse()
@@ -230,13 +234,18 @@ def submit_and_wait(
     (``completed``/``failed``/``cancelled``) or ``rejected`` when the
     throttle budget is spent, and detail carries the terminal event
     data (or the refusal document) plus ``"submit_retries"``, the
-    number of honored waits.
+    number of honored waits and ``"trace_id"``, the W3C trace id the
+    harness minted for the job (constant across throttle retries, so
+    every server-side span of every attempt stitches into one trace).
     """
     start = time.perf_counter()
+    trace_id = observe.make_trace_id()
+    traceparent = observe.format_traceparent(trace_id, observe.make_span_id())
     retries = 0
     while True:
         status, headers, document = _request(
-            address, "POST", "/v1/jobs", body=spec, tenant=tenant
+            address, "POST", "/v1/jobs", body=spec, tenant=tenant,
+            extra_headers={TRACEPARENT_HEADER: traceparent},
         )
         if status != 429:
             break
@@ -245,6 +254,7 @@ def submit_and_wait(
                 "reason": (document or {}).get("reason"),
                 "retry_after": headers.get("Retry-After"),
                 "submit_retries": retries,
+                "trace_id": trace_id,
             }
         try:
             delay = float(headers.get("Retry-After", 1))
@@ -265,7 +275,9 @@ def submit_and_wait(
         )
     terminal = events[-1]
     return terminal["kind"], latency, {
-        **terminal["data"], "submit_retries": retries,
+        **terminal["data"],
+        "submit_retries": retries,
+        "trace_id": document.get("trace_id") or trace_id,
     }
 
 
@@ -291,7 +303,8 @@ def _warmup(address, specs: list[dict], tenant: str) -> dict:
 
 
 def _closed_loop(
-    address, config: LoadConfig, registry: MetricsRegistry
+    address, config: LoadConfig, registry: MetricsRegistry,
+    rows: list[dict] | None = None,
 ) -> None:
     """``clients`` threads, each submit→wait→repeat; ``jobs`` total."""
     specs = config.specs()
@@ -323,7 +336,7 @@ def _closed_loop(
                 with lock:
                     errors.append(str(exc))
                 return
-            _record(registry, outcome, latency, data)
+            _record(registry, outcome, latency, data, tenant, rows)
 
     threads = [
         threading.Thread(target=client, args=(worker,), daemon=True)
@@ -338,7 +351,8 @@ def _closed_loop(
 
 
 def _open_loop(
-    address, config: LoadConfig, registry: MetricsRegistry
+    address, config: LoadConfig, registry: MetricsRegistry,
+    rows: list[dict] | None = None,
 ) -> None:
     """Submit at a fixed rate; waiter threads collect terminal events."""
     specs = config.specs()
@@ -356,7 +370,10 @@ def _open_loop(
             return
         # Open-loop latency includes queueing behind the arrival
         # process, measured from the intended arrival time.
-        _record(registry, outcome, time.perf_counter() - submitted, data)
+        _record(
+            registry, outcome, time.perf_counter() - submitted, data,
+            tenant, rows,
+        )
 
     next_arrival = time.perf_counter()
     for index in range(config.jobs):
@@ -380,8 +397,24 @@ def _open_loop(
 
 
 def _record(
-    registry: MetricsRegistry, outcome: str, latency: float, data: dict
+    registry: MetricsRegistry,
+    outcome: str,
+    latency: float,
+    data: dict,
+    tenant: str | None = None,
+    rows: list[dict] | None = None,
 ) -> None:
+    if rows is not None:
+        # One attribution row per measured job; list.append is atomic
+        # under the GIL, so the client threads share the list lock-free.
+        rows.append({
+            "trace_id": data.get("trace_id"),
+            "outcome": outcome,
+            "latency_seconds": latency,
+            "cache_hit": bool(data.get("cache_hit")),
+            "tenant": tenant,
+            "submit_retries": data.get("submit_retries", 0),
+        })
     retries = data.get("submit_retries", 0)
     if retries:
         registry.counter("load.submit_retries").inc(retries)
@@ -402,6 +435,22 @@ def _record(
         error = data.get("error") or ""
         if "VerificationError" in error:
             registry.counter("load.divergences").inc()
+
+
+#: Rows kept in the ``tail_latency`` attribution table.
+TAIL_ROWS = 10
+
+
+def _tail_latency(rows: list[dict]) -> list[dict]:
+    """The slowest completed jobs, each carrying its trace id.
+
+    The bench doc's answer to "why is p99 what it is": feed a row's
+    ``trace_id`` to ``repro-observe stitch`` and read the actual span
+    tree of that slow job instead of guessing from aggregates.
+    """
+    completed = [row for row in rows if row["outcome"] == "completed"]
+    completed.sort(key=lambda row: row["latency_seconds"], reverse=True)
+    return completed[:TAIL_ROWS]
 
 
 def _hog_burst(address, config: LoadConfig, registry: MetricsRegistry) -> dict:
@@ -459,17 +508,19 @@ def run_load(config: LoadConfig) -> dict:
             address = hosted.address
             warmup = _warmup(address, config.specs(), config.tenants[0])
 
+            rows: list[dict] = []
             measured_start = time.perf_counter()
             if config.mode == "closed":
-                _closed_loop(address, config, registry)
+                _closed_loop(address, config, registry, rows)
             else:
-                _open_loop(address, config, registry)
+                _open_loop(address, config, registry, rows)
             measured_wall = time.perf_counter() - measured_start
 
             hog = _hog_burst(address, config, registry)
             _, _, stats = _request(address, "GET", "/v1/stats")
 
     latency = registry.timer("load.latency")
+    latency_quantiles = latency.percentiles()
     counters = registry.as_dict()["counters"]
     completed = counters.get("load.completed", 0)
     hits = counters.get("load.cache_hits", 0)
@@ -503,9 +554,11 @@ def run_load(config: LoadConfig) -> dict:
         },
         "latency": {
             "count": latency.count,
+            "quantile_samples": latency_quantiles.pop("count"),
             "mean_seconds": latency.mean_seconds,
-            **latency.percentiles(),
+            **latency_quantiles,
         },
+        "tail_latency": _tail_latency(rows),
         "throughput_jobs_per_second": (
             completed / measured_wall if measured_wall > 0 else 0.0
         ),

@@ -100,6 +100,11 @@ class ServerConfig:
     scrub_interval: float | None = None
     #: Files verified per scrub step.
     scrub_batch: int = 16
+    #: Directory for the observe JSONL run ledger; one ``server.job``
+    #: record (span tree + trace identity) is appended per executed
+    #: job.  None = no observe ledger (the durable event ledger under
+    #: ``state_dir`` is unaffected either way).
+    observe_dir: str | Path | None = None
 
     def resolved_state_dir(self) -> Path:
         if self.state_dir is not None:
@@ -113,6 +118,7 @@ class JobState:
     __slots__ = (
         "job_id", "job", "tenant", "key", "status", "events", "changed",
         "error", "meta", "cache_hit", "attempts", "created", "wall_seconds",
+        "traceparent", "trace_id",
     )
 
     def __init__(
@@ -131,6 +137,11 @@ class JobState:
         self.attempts = 0
         self.created = time.time()
         self.wall_seconds = 0.0
+        #: W3C trace identity: the client's ``traceparent`` header when
+        #: one arrived with the submit, else minted at admission so
+        #: every job is traceable.  Constant across retry attempts.
+        self.traceparent: str | None = None
+        self.trace_id: str | None = None
 
     def add_event(self, kind: str, data: dict) -> None:
         """Append one event and wake every SSE stream on this job."""
@@ -146,6 +157,7 @@ class JobState:
             "status": self.status,
             "cache_hit": self.cache_hit,
             "key": self.key,
+            "trace_id": self.trace_id,
         }
 
     def document(self) -> dict:
@@ -379,7 +391,8 @@ class CompressionServer:
         return self._completed / elapsed if elapsed > 0 else 0.0
 
     def submit(
-        self, spec: dict, tenant: str, *, idempotent: bool = False
+        self, spec: dict, tenant: str, *, idempotent: bool = False,
+        traceparent: str | None = None,
     ) -> SubmitOutcome:
         if self.draining:
             raise HttpError(503, "server is draining; resubmit elsewhere")
@@ -409,18 +422,32 @@ class CompressionServer:
             self.metrics.counter("jobs.rejected").inc()
             return SubmitOutcome(decision=decision)
         state = JobState(make_job_id(), job, tenant, key)
+        # Admission pins the job's distributed trace identity: a valid
+        # client header wins; otherwise the server mints one, so every
+        # admitted job is traceable end to end either way.
+        parsed = observe.parse_traceparent(traceparent)
+        if parsed is not None:
+            state.traceparent = traceparent
+            state.trace_id = parsed[0]
+        else:
+            state.trace_id = observe.make_trace_id()
+            state.traceparent = observe.format_traceparent(
+                state.trace_id, observe.make_span_id()
+            )
         self.jobs[state.job_id] = state
         self._by_key[(tenant, key)] = state.job_id
         self._ledger_record(
             state.job_id, "submitted",
             tenant=tenant, key=state.key, spec=dict(spec),
+            trace_id=state.trace_id,
         )
         state.add_event("queued", {
             "job_id": state.job_id, "tenant": tenant, "key": state.key,
-            "position": self.queue_depth,
+            "position": self.queue_depth, "trace_id": state.trace_id,
         })
         self._queue.put_nowait(state)
         self.metrics.counter("jobs.submitted").inc()
+        self.metrics.counter(f"server.trace.count.{tenant}").inc()
         return SubmitOutcome(decision=decision, state=state)
 
     def job_state(self, job_id: str) -> JobState:
@@ -459,7 +486,8 @@ class CompressionServer:
         loop = asyncio.get_running_loop()
         try:
             future = loop.run_in_executor(
-                self._executor, self._run_job, state.job, state.key
+                self._executor, self._run_job, state.job, state.key,
+                state.traceparent,
             )
             if self.config.job_timeout is not None:
                 outcome = await asyncio.wait_for(
@@ -502,12 +530,45 @@ class CompressionServer:
             state.job_id, "completed", cache_hit=cache_hit, meta=meta,
             wall_seconds=wall,
         )
+        self._observe_record(state, spans, wall)
         for event in span_events(state.job_id, spans):
             state.add_event(event["kind"], event["data"])
         state.add_event("completed", {
             "job_id": state.job_id, "cache_hit": cache_hit,
             "wall_seconds": wall, "meta": meta,
+            "trace_id": state.trace_id,
         })
+
+    def _observe_record(
+        self, state: JobState, spans: list[dict], wall: float
+    ) -> None:
+        """Append one ``server.job`` record to the observe run ledger.
+
+        Best-effort: the ledger is telemetry, so a full disk or an
+        injected filesystem fault here must not fail the job that just
+        completed.
+        """
+        if self.config.observe_dir is None:
+            return
+        try:
+            ledger = observe.RunLedger(self.config.observe_dir)
+            ledger.append(observe.make_record(
+                "server.job",
+                program=state.job.label,
+                encoding=state.job.encoding,
+                spans=spans,
+                wall_seconds=wall,
+                trace_id=state.trace_id,
+                meta={
+                    "process": "server",
+                    "job_id": state.job_id,
+                    "tenant": state.tenant,
+                    "cache_hit": state.cache_hit,
+                    "attempts": state.attempts,
+                },
+            ))
+        except Exception:  # noqa: BLE001 — telemetry must not fail jobs
+            self.metrics.counter("observe.ledger_errors").inc()
 
     def _retry_or_fail(self, state: JobState, reason: str) -> None:
         """Requeue a transiently failed attempt, or fail it terminally."""
@@ -525,13 +586,17 @@ class CompressionServer:
         })
         self._queue.put_nowait(state)
 
-    def _run_job(self, job: CompressionJob, key: str):
+    def _run_job(
+        self, job: CompressionJob, key: str, traceparent: str | None = None
+    ):
         """Executor-thread body: cache lookup, else compile+compress.
 
         Returns ``(cache_hit, blob, meta, span_dicts, metrics_snapshot,
         wall_seconds)``.  The observe recorder is installed in this
         thread's context, so the captured span tree is exactly this
-        job's — concurrent jobs on other threads never interleave.
+        job's — concurrent jobs on other threads never interleave.  The
+        job's ``traceparent`` parents the recorded spans under the
+        remote (client-side) trace, one trace id across the wire.
         """
         start = time.perf_counter()
         if self.config.chaos is not None:
@@ -542,16 +607,18 @@ class CompressionServer:
         entry = self.cache.get(key)
         if entry is not None:
             with Recorder() as recorder:
-                with observe.span(
-                    "job", label=job.label, encoding=job.encoding,
-                    verify=job.verify_level, cache_hit=True,
-                ):
-                    pass
+                with observe.remote_context(traceparent):
+                    with observe.span(
+                        "job", label=job.label, encoding=job.encoding,
+                        verify=job.verify_level, cache_hit=True,
+                    ):
+                        pass
             spans = [root.to_dict() for root in recorder.spans]
             return (True, entry.blob, entry.meta, spans, {},
                     time.perf_counter() - start)
         with Recorder() as recorder:
-            blob, meta, snapshot = execute_job(job)
+            with observe.remote_context(traceparent):
+                blob, meta, snapshot = execute_job(job)
         spans = [root.to_dict() for root in recorder.spans]
         return (False, blob, meta, spans, snapshot,
                 time.perf_counter() - start)
@@ -692,6 +759,7 @@ class CompressionServer:
         cache_stats = self.cache.stats
         snapshot = self.metrics.as_dict()
         wall = self.metrics.timer("job.wall")
+        wall_quantiles = wall.percentiles()
         return {
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "draining": self.draining,
@@ -701,8 +769,9 @@ class CompressionServer:
             "counters": snapshot["counters"],
             "job_wall": {
                 "count": wall.count,
+                "quantile_samples": wall_quantiles.pop("count"),
                 "mean_seconds": wall.mean_seconds,
-                **wall.percentiles(),
+                **wall_quantiles,
             },
             "cache": {
                 **cache_stats.as_dict(),

@@ -35,6 +35,9 @@ from repro.server.sse import TERMINAL_EVENTS, format_event
 
 TENANT_HEADER = "x-repro-tenant"
 IDEMPOTENCY_HEADER = "x-repro-idempotency-key"
+#: W3C trace-context header; a valid value parents the server-side job
+#: span under the client's trace, one trace id across the wire.
+TRACEPARENT_HEADER = "traceparent"
 
 
 class Router:
@@ -129,7 +132,10 @@ async def handle_submit(server, request: Request, params: dict) -> bytes:
     tenant = _tenant(request, body)
     spec = {k: v for k, v in body.items() if k != "tenant"}
     idempotent = bool(request.header(IDEMPOTENCY_HEADER))
-    outcome = server.submit(spec, tenant, idempotent=idempotent)
+    outcome = server.submit(
+        spec, tenant, idempotent=idempotent,
+        traceparent=request.header(TRACEPARENT_HEADER),
+    )
     if not outcome.admitted:
         return response(
             429,
@@ -148,6 +154,7 @@ async def handle_submit(server, request: Request, params: dict) -> bytes:
         "status": state.status,
         "tenant": state.tenant,
         "deduplicated": outcome.deduplicated,
+        "trace_id": state.trace_id,
         "events_url": f"/v1/jobs/{state.job_id}/events",
     })
 

@@ -27,6 +27,7 @@ The library default remains a no-op when nothing is installed.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
@@ -91,19 +92,31 @@ class Timer:
         return self.total_seconds / self.count if self.count else 0.0
 
     def percentile(self, percent: float) -> float:
-        """Nearest-rank percentile over the sample reservoir (0 if empty)."""
+        """Nearest-rank (ceil) percentile over the sample reservoir.
+
+        Always returns an *observed* value — on small reservoirs the
+        high quantiles clamp to the max rather than extrapolating past
+        it — and 0 when the reservoir is empty.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        rank = round(percent / 100.0 * len(ordered)) - 1
+        rank = math.ceil(percent / 100.0 * len(ordered)) - 1
         return ordered[max(0, min(len(ordered) - 1, rank))]
 
     def percentiles(self) -> dict[str, float]:
-        """The labeled summary percentiles: ``{"p50": ..., ...}``."""
-        return {
+        """The labeled summary percentiles plus the reservoir size.
+
+        The ``count`` field is the number of *retained* samples the
+        quantiles were computed from (capped at ``TIMER_SAMPLE_CAP``),
+        so downstream reports can flag low-confidence quantiles.
+        """
+        quantiles: dict[str, float] = {
             f"p{percent}": self.percentile(percent)
             for percent in TIMER_PERCENTILES
         }
+        quantiles["count"] = len(self.samples)
+        return quantiles
 
     @contextmanager
     def time(self) -> Iterator[None]:

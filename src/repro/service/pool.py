@@ -97,14 +97,18 @@ def execute_job(job: CompressionJob) -> tuple[bytes, dict, dict]:
     return blob, meta, registry.as_dict()
 
 
-def _worker(conn, job: CompressionJob) -> None:
+def _worker(conn, job: CompressionJob, traceparent: str | None = None) -> None:
     # Chaos kill points (no-ops without an installed schedule): a real
     # SIGKILL either before any work or with the result computed but
     # unsent — both must be recovered by the pool's crash-retry path.
     key = job.content_key()
     pool_kill_point("start", key)
     try:
-        blob, meta, snapshot = execute_job(job)
+        # The parent's traceparent crosses the process boundary as a
+        # plain argument; spans recorded in this worker parent under it,
+        # so one trace id covers dispatcher and worker lanes.
+        with observe.remote_context(traceparent):
+            blob, meta, snapshot = execute_job(job)
         pool_kill_point("before_result", key)
         conn.send(("ok", blob, meta, snapshot))
     except Exception as exc:  # job failure, shipped to the parent
@@ -261,7 +265,11 @@ def _run_pool(
             try:
                 parent_conn, child_conn = context.Pipe(duplex=False)
                 process = context.Process(
-                    target=_worker, args=(child_conn, jobs[index]), daemon=True
+                    target=_worker,
+                    args=(
+                        child_conn, jobs[index], observe.current_traceparent()
+                    ),
+                    daemon=True,
                 )
                 process.start()
                 child_conn.close()

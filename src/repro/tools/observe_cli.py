@@ -1,6 +1,6 @@
 """``repro-observe``: trace pipeline runs, report them, diff ledgers.
 
-Three subcommands over the :mod:`repro.observe` subsystem:
+Six subcommands over the :mod:`repro.observe` subsystem:
 
 ``trace``
     Run one pipeline step (``compress``, ``simulate``, or ``verify``)
@@ -19,6 +19,21 @@ Three subcommands over the :mod:`repro.observe` subsystem:
     regressions; exits 3 when any stage exceeds ``--factor`` times its
     baseline.
 
+``flame``
+    Run a pipeline step with the sampling profiler attached and write
+    a speedscope JSON profile (open it at https://www.speedscope.app)
+    with samples attributed to named spans and fastpath trace bodies.
+
+``blackbox``
+    List or dump the flight-recorder crash files under
+    ``$REPRO_OBSERVE_DIR/blackbox/`` — merged chronologically, with
+    ``--json`` for machine consumption.
+
+``stitch``
+    Merge ledger records that share one ``trace_id`` (e.g. a client
+    record and a server record) into a single multi-process Chrome
+    trace with cross-lane flow arrows.
+
 Examples::
 
     repro-observe trace --step compress -b gcc --scale 0.5
@@ -26,6 +41,9 @@ Examples::
     repro-observe report --last 2
     repro-observe report --kind bench.compress --program gcc
     repro-observe diff .repro-observe/ledger.jsonl BENCH_compression.json
+    repro-observe flame --step simulate -b gcc -o flame.speedscope.json
+    repro-observe blackbox --json
+    repro-observe stitch --trace-id <32-hex> -o stitched.json
 """
 
 from __future__ import annotations
@@ -44,9 +62,14 @@ from repro.machine.compressed_sim import CompressedSimulator
 from repro.observe import (
     Recorder,
     RunLedger,
+    SamplingProfiler,
+    chrome_trace_from_records,
     make_record,
+    read_dumps,
     read_ledger,
+    validate_chrome_trace,
     write_chrome_trace,
+    write_speedscope,
 )
 from repro.observe.report import (
     diff_ledgers,
@@ -134,6 +157,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore regressions smaller than this absolute growth "
         "in milliseconds (default 2.0)",
     )
+
+    flame = commands.add_parser(
+        "flame", help="profile one pipeline step into speedscope JSON"
+    )
+    flame.add_argument(
+        "--step", choices=TRACE_STEPS, default="simulate",
+        help="pipeline step to profile (default %(default)s)",
+    )
+    flame.add_argument(
+        "-b", "--benchmark", required=True, choices=BENCHMARK_NAMES,
+        metavar="NAME",
+        help=f"workload program (one of {', '.join(BENCHMARK_NAMES)})",
+    )
+    flame.add_argument("--scale", type=float, default=1.0)
+    flame.add_argument("--encoding", default="nibble")
+    flame.add_argument(
+        "--simulate-steps", type=int, default=200_000,
+        help="step bound for --step simulate (default %(default)s)",
+    )
+    flame.add_argument(
+        "--hz", type=int, default=SamplingProfiler().hz,
+        help="sampling rate (default %(default)s)",
+    )
+    flame.add_argument(
+        "--repeats", type=int, default=1,
+        help="run the step N times under one profile (default 1)",
+    )
+    flame.add_argument(
+        "-o", "--output", default=None,
+        help="profile path (default flame-<step>-<program>.speedscope.json)",
+    )
+
+    blackbox_cmd = commands.add_parser(
+        "blackbox", help="list/dump flight-recorder crash files"
+    )
+    blackbox_cmd.add_argument(
+        "--dir", default=None,
+        help="blackbox directory (default "
+        "$REPRO_OBSERVE_DIR/blackbox or .repro-observe/blackbox)",
+    )
+    blackbox_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the merged dumps as one JSON document",
+    )
+    blackbox_cmd.add_argument(
+        "--last", type=int, default=0,
+        help="only the last N dumps (0 = all, default 0)",
+    )
+
+    stitch = commands.add_parser(
+        "stitch", help="merge ledger records into one multi-process trace"
+    )
+    stitch.add_argument(
+        "--ledger", action="append", default=None,
+        help="ledger file or directory (repeatable; default "
+        "$REPRO_OBSERVE_DIR or .repro-observe)",
+    )
+    stitch.add_argument(
+        "--trace-id", default=None,
+        help="stitch only records with this trace id (default: the "
+        "trace id of the newest record that has one)",
+    )
+    stitch.add_argument(
+        "-o", "--output", default="stitched-trace.json",
+        help="Chrome trace output path (default %(default)s)",
+    )
     return parser
 
 
@@ -141,8 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
 # trace
 # ----------------------------------------------------------------------
 def _run_traced_step(args, recorder: Recorder) -> None:
-    """Execute the selected pipeline step inside the recorder."""
-    with recorder:
+    """Execute the selected pipeline step inside the recorder.
+
+    Everything runs under one ``step.<name>`` root span, so profiler
+    samples landing anywhere in the step (benchmark build included)
+    attribute to a named span.
+    """
+    with recorder, observe.span(
+        f"step.{args.step}", program=args.benchmark, encoding=args.encoding
+    ):
         if args.step == "compress":
             program = build_benchmark(args.benchmark, args.scale)
             Compressor(encoding=make_encoding(args.encoding)).compress(program)
@@ -215,6 +311,117 @@ def _cmd_trace(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# flame
+# ----------------------------------------------------------------------
+def _cmd_flame(args) -> int:
+    profiler = SamplingProfiler(args.hz)
+    profiler.start()
+    error = None
+    try:
+        for _ in range(max(1, args.repeats)):
+            _run_traced_step(args, Recorder())
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        profiler.stop()
+    output = Path(
+        args.output
+        or f"flame-{args.step}-{args.benchmark}.speedscope.json"
+    )
+    write_speedscope(
+        output, profiler,
+        name=f"{args.step} {args.benchmark} ({args.encoding})",
+    )
+    attribution = profiler.attribution()
+    print(
+        f"flame: {output} ({attribution['samples']} samples, "
+        f"{attribution['fraction']:.0%} attributed to named spans)"
+    )
+    if error is not None:
+        print(f"repro-observe: error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# blackbox
+# ----------------------------------------------------------------------
+def _cmd_blackbox(args) -> int:
+    dumps = read_dumps(args.dir)
+    if args.last > 0:
+        dumps = dumps[-args.last:]
+    if args.json:
+        print(json.dumps({"dumps": dumps, "count": len(dumps)}, indent=1))
+        return 0
+    if not dumps:
+        print("no blackbox dumps found")
+        return 1
+    for dump in dumps:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(dump["unix_time"])
+        )
+        print(
+            f"{stamp}  {dump['process']} (pid {dump['pid']})  "
+            f"reason={dump['reason']}  events={len(dump['events'])}"
+            + (f"  dropped={dump['dropped']}" if dump.get("dropped") else "")
+        )
+        if dump.get("error"):
+            print(f"    error: {dump['error']}")
+        for event in dump["events"][-5:]:
+            if event["type"] == "span":
+                span = event["span"]
+                print(
+                    f"    span   {span['name']}  "
+                    f"{(span.get('duration_us') or 0) / 1e3:.3f}ms"
+                    + (f"  trace={span['trace_id']}"
+                       if span.get("trace_id") else "")
+                )
+            elif event["type"] == "metric":
+                print(f"    metric {event['name']} +{event['value']}")
+            else:
+                print(f"    note   {event['message']}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# stitch
+# ----------------------------------------------------------------------
+def _cmd_stitch(args) -> int:
+    sources = args.ledger or [None]
+    records: list[dict] = []
+    for source in sources:
+        records.extend(read_ledger(_resolve_ledger_path(source)))
+    trace_id = args.trace_id
+    if trace_id is None:
+        for record in reversed(records):
+            if record.get("trace_id"):
+                trace_id = record["trace_id"]
+                break
+    if trace_id is None:
+        print("no record with a trace id found", file=sys.stderr)
+        return 1
+    matching = [r for r in records if r.get("trace_id") == trace_id]
+    if not matching:
+        print(f"no records with trace id {trace_id}", file=sys.stderr)
+        return 1
+    document = chrome_trace_from_records(matching)
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"repro-observe: invalid trace: {problem}",
+                  file=sys.stderr)
+        return 2
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=1) + "\n")
+    flows = sum(1 for e in document["traceEvents"] if e.get("ph") == "s")
+    print(
+        f"stitch: {output} (trace {trace_id}, {len(matching)} record(s), "
+        f"{flows} cross-lane flow arrow(s))"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # report / diff
 # ----------------------------------------------------------------------
 def _resolve_ledger_path(argument: str | None) -> Path:
@@ -278,6 +485,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "flame":
+            return _cmd_flame(args)
+        if args.command == "blackbox":
+            return _cmd_blackbox(args)
+        if args.command == "stitch":
+            return _cmd_stitch(args)
         return _cmd_diff(args)
     except ReproError as exc:
         print(f"repro-observe: error: {exc}", file=sys.stderr)

@@ -161,6 +161,23 @@ class TestAgainstARealServer:
         assert second.job_id == first.job_id
         assert second.data == first.data
 
+    def test_client_span_and_server_share_one_trace(self, hosted):
+        from repro import observe
+        from repro.observe.recorder import Recorder
+
+        # A fresh spec variant: an idempotency-dedup hit would hand
+        # back the first submission's job (and its trace id).
+        spec = dict(self.SPEC, scale=0.22)
+        with Recorder() as recorder:
+            outcome = ReproClient(hosted.address, "alpha").run_job(spec)
+        assert outcome.outcome == "completed"
+        assert outcome.trace_id and len(outcome.trace_id) == 32
+        # The recorded client.job span and the server's acknowledged
+        # trace id are the same trace — one id across the wire.
+        roots = [span for span in recorder.spans
+                 if span.name == "client.job"]
+        assert roots and roots[-1].trace_id == outcome.trace_id
+
     def test_refused_connection_is_transient_then_breaker_opens(self):
         # A port with no listener: every attempt is a network error.
         client = ReproClient(

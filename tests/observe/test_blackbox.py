@@ -1,0 +1,201 @@
+"""Flight-recorder tests: ring bounds, dumps, and crash-hook chaining.
+
+Every test that arms the process-wide recorder uninstalls it again —
+the hooks are global state shared with the rest of the suite.
+"""
+
+import json
+import signal
+import sys
+import threading
+
+import pytest
+
+from repro import observe
+from repro.observe import blackbox
+from repro.observe.blackbox import (
+    FlightRecorder,
+    read_dumps,
+    validate_blackbox,
+)
+
+
+@pytest.fixture(autouse=True)
+def _always_disarm():
+    yield
+    blackbox.uninstall()
+
+
+class TestRing:
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.note(f"event {index}")
+        events = recorder.snapshot()
+        assert len(events) == 4
+        assert recorder.dropped == 6
+        # Oldest evicted first: only the newest four remain.
+        assert [e["message"] for e in events] == [
+            f"event {index}" for index in range(6, 10)
+        ]
+
+    def test_recorder_duck_type_collects_spans_and_metrics(self):
+        recorder = FlightRecorder(capacity=16)
+        with observe.recorder.Recorder():  # make spans real
+            blackbox.install(recorder, signals=False)
+            with observe.span("doomed", tenant="alpha"):
+                observe.metric("work.units", 3)
+        kinds = [event["type"] for event in recorder.snapshot()]
+        assert "span" in kinds and "metric" in kinds
+        span_events = [
+            e for e in recorder.snapshot() if e["type"] == "span"
+        ]
+        assert span_events[-1]["span"]["name"] == "doomed"
+
+
+class TestDump:
+    def test_dump_round_trips_and_validates(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, directory=tmp_path)
+        recorder.note("approaching the iceberg", speed="full ahead")
+        path = recorder.dump("unit_test", "TestError: boom")
+        document = json.loads(path.read_text())
+        assert validate_blackbox(document) == []
+        assert document["reason"] == "unit_test"
+        assert document["error"] == "TestError: boom"
+        assert document["events"][-1]["message"] == "approaching the iceberg"
+
+    def test_read_dumps_skips_torn_files(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, directory=tmp_path)
+        recorder.note("one")
+        good = recorder.dump("first")
+        torn = tmp_path / "blackbox-999-1-1.json"
+        torn.write_text(good.read_text()[: 40])  # torn crash write
+        dumps = read_dumps(tmp_path)
+        assert len(dumps) == 1
+        assert dumps[0]["_path"] == str(good)
+
+    def test_read_dumps_sorted_oldest_first(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, directory=tmp_path)
+        first = recorder.dump("first")
+        second = recorder.dump("second")
+        assert [d["reason"] for d in read_dumps(tmp_path)] == [
+            "first", "second",
+        ]
+        assert first != second
+
+    def test_validator_rejects_malformed(self):
+        assert validate_blackbox([]) == ["document is not an object"]
+        assert any(
+            "schema" in problem for problem in validate_blackbox({})
+        )
+        bad = {
+            "schema": 1, "reason": "x", "process": "p", "pid": 1,
+            "unix_time": 0.0, "events": [{"type": "nope"}],
+        }
+        assert any("events[0]" in p for p in validate_blackbox(bad))
+
+
+class TestInstall:
+    def test_crash_dump_is_noop_when_unarmed(self):
+        assert blackbox.installed() is None
+        assert blackbox.crash_dump("whatever") is None
+
+    def test_install_is_idempotent_and_uninstall_restores(self, tmp_path):
+        before_except = sys.excepthook
+        before_thread = threading.excepthook
+        recorder = FlightRecorder(directory=tmp_path)
+        armed = blackbox.install(recorder, signals=False)
+        assert armed is recorder
+        assert blackbox.install(FlightRecorder(), signals=False) is recorder
+        assert sys.excepthook is not before_except
+        blackbox.uninstall()
+        assert blackbox.installed() is None
+        assert sys.excepthook is before_except
+        assert threading.excepthook is before_thread
+
+    def test_unhandled_exception_dumps(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        blackbox.install(recorder, signals=False)
+        recorder.note("last breadcrumb")
+        # Drive the chained excepthook exactly as the interpreter would;
+        # swap the underlying hook so the error is not printed.
+        previous, blackbox._previous_excepthook = (
+            blackbox._previous_excepthook, lambda *a: None,
+        )
+        try:
+            sys.excepthook(ValueError, ValueError("kaboom"), None)
+        finally:
+            blackbox._previous_excepthook = previous
+        dumps = read_dumps(tmp_path)
+        assert len(dumps) == 1
+        assert dumps[0]["reason"] == "unhandled_exception"
+        assert "kaboom" in dumps[0]["error"]
+        assert dumps[0]["events"][-1]["message"] == "last breadcrumb"
+
+    def test_thread_exception_dumps(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        blackbox.install(recorder, signals=False)
+
+        def die():
+            raise RuntimeError("thread went down")
+
+        # Silence the chained default printer for this one thread.
+        previous, blackbox._previous_threading_hook = (
+            blackbox._previous_threading_hook, lambda args: None,
+        )
+        try:
+            worker = threading.Thread(target=die, name="doomed-worker")
+            worker.start()
+            worker.join()
+        finally:
+            blackbox._previous_threading_hook = previous
+        dumps = read_dumps(tmp_path)
+        assert dumps and dumps[-1]["reason"] == "unhandled_thread_exception"
+        assert "doomed-worker" in dumps[-1]["error"]
+
+    def test_sigterm_dumps_and_chains(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        seen = []
+        previous = signal.signal(
+            signal.SIGTERM, lambda *a: seen.append("previous")
+        )
+        try:
+            blackbox.install(recorder)
+            signal.raise_signal(signal.SIGTERM)
+        finally:
+            blackbox.uninstall()
+            signal.signal(signal.SIGTERM, previous)
+        assert seen == ["previous"]  # prior handler still ran
+        assert [d["reason"] for d in read_dumps(tmp_path)] == ["sigterm"]
+
+    def test_dump_reports_blackbox_dumps_metric(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        with observe.recorder.Recorder() as ambient:
+            with observe.span("covering"):
+                recorder.dump("metric_check")
+        assert ambient.metrics.get("blackbox.dumps") == 1
+
+
+class TestSimulatedCrashIntegration:
+    def test_chaos_crash_point_leaves_a_dump(self, tmp_path):
+        from repro.chaos.filesystem import FaultyFilesystem, SimulatedCrash
+
+        recorder = FlightRecorder(directory=tmp_path)
+        blackbox.install(recorder, signals=False)
+        recorder.note("writing the artifact")
+        fs = FaultyFilesystem(crash_after=0)
+        with pytest.raises(SimulatedCrash):
+            fs.write_atomic(tmp_path / "artifact.bin", b"payload")
+        dumps = read_dumps(tmp_path)
+        assert len(dumps) == 1
+        assert dumps[0]["reason"] == "simulated_crash"
+        assert "write point" in dumps[0]["error"]
+        assert dumps[0]["events"][-1]["message"] == "writing the artifact"
+
+    def test_chaos_crash_point_without_recorder_still_raises(self, tmp_path):
+        from repro.chaos.filesystem import FaultyFilesystem, SimulatedCrash
+
+        fs = FaultyFilesystem(crash_after=0)
+        with pytest.raises(SimulatedCrash):
+            fs.write_atomic(tmp_path / "artifact.bin", b"payload")
+        assert read_dumps(tmp_path) == []

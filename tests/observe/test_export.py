@@ -10,11 +10,13 @@ from repro import observe
 from repro.observe import (
     Recorder,
     Span,
+    chrome_trace_from_records,
+    make_record,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
-from repro.observe.export import prometheus_snapshot
+from repro.observe.export import lint_prometheus, prometheus_snapshot
 from repro.service.metrics import MetricsRegistry
 
 
@@ -163,3 +165,136 @@ class TestPrometheus:
         assert p["p50"] <= p["p90"] <= p["p99"]
         assert p["p50"] == pytest.approx(0.49, abs=0.02)
         assert p["p99"] == pytest.approx(0.98, abs=0.02)
+
+
+class TestPrometheusLabelsAndLint:
+    def test_tenant_counters_fold_into_one_labeled_family(self):
+        registry = MetricsRegistry()
+        registry.counter("server.trace.count.alpha").inc(3)
+        registry.counter("server.trace.count.beta").inc(1)
+        registry.counter("jobs.completed").inc()
+        text = prometheus_snapshot(registry)
+        assert 'repro_server_trace_count{tenant="alpha"} 3' in text
+        assert 'repro_server_trace_count{tenant="beta"} 1' in text
+        # One HELP/TYPE pair for the whole family, not one per tenant.
+        assert text.count("# TYPE repro_server_trace_count counter") == 1
+        assert text.count("# HELP repro_server_trace_count") == 1
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter('server.trace.count.we"ird\\one').inc()
+        text = prometheus_snapshot(registry)
+        assert 'tenant="we\\"ird\\\\one"' in text
+        assert lint_prometheus(text) == []
+
+    def test_every_family_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("profiler.samples").inc(10)
+        registry.counter("blackbox.dumps").inc(1)
+        registry.counter("server.trace.count.alpha").inc(2)
+        registry.timer("job.wall").observe(0.2)
+        registry.histogram("job.seconds", bounds=(0.1, 1.0)).observe(0.05)
+        text = prometheus_snapshot(registry)
+        families = {
+            line.split()[3 - 1]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        }
+        helps = {
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# HELP ")
+        }
+        assert families == helps
+        assert lint_prometheus(text) == []
+
+    def test_lint_flags_type_without_help(self):
+        problems = lint_prometheus("# TYPE repro_x counter\nrepro_x 1\n")
+        assert any("TYPE without HELP" in p for p in problems)
+
+    def test_lint_flags_duplicate_family(self):
+        text = (
+            "# HELP repro_x one\n# TYPE repro_x counter\nrepro_x 1\n"
+            "# HELP repro_x two\n# TYPE repro_x counter\nrepro_x 2\n"
+        )
+        problems = lint_prometheus(text)
+        assert any("duplicate HELP" in p for p in problems)
+        assert any("duplicate TYPE" in p for p in problems)
+
+    def test_lint_flags_orphan_sample_and_bad_type(self):
+        problems = lint_prometheus("repro_orphan 5\n")
+        assert any("no # TYPE" in p for p in problems)
+        problems = lint_prometheus(
+            "# HELP repro_x thing\n# TYPE repro_x gadget\nrepro_x 1\n"
+        )
+        assert any("not one of" in p for p in problems)
+
+    def test_lint_accepts_suffixed_summary_samples(self):
+        registry = MetricsRegistry()
+        registry.timer("stage.compile").observe(0.01)
+        registry.histogram("job.seconds", bounds=(0.5,)).observe(0.1)
+        assert lint_prometheus(prometheus_snapshot(registry)) == []
+
+    def test_live_server_exposition_is_lint_clean(self):
+        # The same registry shape the /metrics route serves.
+        registry = MetricsRegistry()
+        registry.counter("jobs.submitted").inc(4)
+        registry.counter("server.trace.count.alpha").inc(4)
+        registry.counter("profiler.samples").inc(970)
+        registry.counter("blackbox.dumps").inc(1)
+        registry.timer("job.wall").observe(1.2)
+        assert lint_prometheus(prometheus_snapshot(registry)) == []
+
+
+class TestMultiProcessStitch:
+    def _record_pair(self):
+        """A client record + a server record parented across the gap."""
+        with Recorder() as client_side:
+            with observe.span("client.job", tenant="alpha"):
+                traceparent = observe.current_traceparent()
+        with Recorder() as server_side:
+            with observe.remote_context(traceparent):
+                with observe.span("server.job", job_id="j-1"):
+                    with observe.span("compress"):
+                        pass
+        client_record = make_record(
+            "client.job", spans=client_side.spans,
+            meta={"process": "client"},
+        )
+        server_record = make_record(
+            "server.job", spans=server_side.spans,
+            meta={"process": "server"},
+        )
+        return client_record, server_record
+
+    def test_flow_arrows_cross_lanes_on_one_trace(self):
+        client_record, server_record = self._record_pair()
+        assert client_record["trace_id"] == server_record["trace_id"]
+        document = chrome_trace_from_records([client_record, server_record])
+        assert validate_chrome_trace(document) == []
+        events = document["traceEvents"]
+        pids = {e["pid"] for e in events if e["ph"] in "BE"}
+        assert len(pids) == 2  # one lane per record
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == 1 and len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert starts[0]["pid"] != finishes[0]["pid"]
+
+    def test_no_arrow_without_cross_record_parent(self):
+        with Recorder() as lonely:
+            with observe.span("solo"):
+                pass
+        record = make_record("solo", spans=lonely.spans)
+        document = chrome_trace_from_records([record])
+        assert validate_chrome_trace(document) == []
+        assert not [
+            e for e in document["traceEvents"] if e["ph"] in ("s", "f")
+        ]
+
+    def test_lanes_are_zero_normalized(self):
+        client_record, server_record = self._record_pair()
+        document = chrome_trace_from_records([client_record, server_record])
+        begins = [e for e in document["traceEvents"] if e["ph"] == "B"]
+        for pid in {e["pid"] for e in begins}:
+            assert min(e["ts"] for e in begins if e["pid"] == pid) == 0

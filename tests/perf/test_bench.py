@@ -172,14 +172,40 @@ class TestRunBench:
             simulate=False, ledger=ledger,
         )
         records = ledger.read()
-        assert [r["encoding"] for r in records] == ["nibble", "onebyte"]
-        for record in records:
-            assert record["kind"] == "bench.compress"
+        compresses = [r for r in records if r["kind"] == "bench.compress"]
+        assert [r["encoding"] for r in compresses] == ["nibble", "onebyte"]
+        for record in compresses:
             assert record["program"] == "compress"
             assert record["meta"]["instructions"] > 0
             stages = aggregate_stage_seconds(record["spans"])
             assert "dict_build" in stages
             assert "build_dictionary" in stages
+
+    def test_ledger_records_decode_and_fusion(self, small_suite, tmp_path):
+        from repro.observe import RunLedger, validate_record
+
+        ledger = RunLedger(tmp_path / "obs")
+        run_bench(
+            ["compress"], 0.3, ["nibble"], repeats=1,
+            simulate=True, simulate_steps=2_000, ledger=ledger,
+        )
+        records = ledger.read()
+        for record in records:
+            assert validate_record(record) == []
+
+        decode = [r for r in records if r["kind"] == "bench.decode"]
+        assert [r["encoding"] for r in decode] == ["nibble"]
+        names = [span["name"] for span in decode[0]["spans"]]
+        assert names == ["decode.reference", "decode.bulk", "decode.columnar"]
+        assert decode[0]["wall_seconds"] > 0
+        assert decode[0]["metrics"]["decode.items"] > 0
+        assert decode[0]["meta"]["identical"] is True
+
+        fusion = [r for r in records if r["kind"] == "bench.fusion"]
+        assert [r["program"] for r in fusion] == ["compress"]
+        assert fusion[0]["metrics"]["fusion.planned_pairs"] >= 0
+        assert "coverage" in fusion[0]["meta"]["fusion_control"]
+        assert "body_shrink" in fusion[0]["meta"]["fusion"]
 
 
 class TestBaselineFile:

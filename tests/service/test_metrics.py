@@ -41,9 +41,27 @@ class TestInstruments:
         assert p["p50"] == pytest.approx(0.050, abs=0.002)
         assert p["p90"] == pytest.approx(0.090, abs=0.002)
         assert p["p99"] == pytest.approx(0.099, abs=0.002)
+        assert p["count"] == 100
         assert MetricsRegistry().timer("empty").percentiles() == {
-            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "count": 0,
         }
+
+    def test_timer_percentiles_clamp_to_observed_on_small_reservoirs(self):
+        timer = MetricsRegistry().timer("t")
+        timer.observe(0.1)
+        timer.observe(0.9)
+        p = timer.percentiles()
+        # Nearest-rank never extrapolates past the max observed value,
+        # and p50 of two samples is the *first*, not a midpoint.
+        assert p["p50"] == pytest.approx(0.1)
+        assert p["p90"] == pytest.approx(0.9)
+        assert p["p99"] == pytest.approx(0.9)
+        assert p["count"] == 2
+        single = MetricsRegistry().timer("one")
+        single.observe(0.25)
+        quantiles = single.percentiles()
+        assert quantiles["p50"] == quantiles["p99"] == pytest.approx(0.25)
+        assert quantiles["count"] == 1
 
     def test_timer_reservoir_stays_bounded(self):
         timer = MetricsRegistry().timer("t")
